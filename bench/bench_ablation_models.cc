@@ -1,0 +1,99 @@
+// Familiarity-model ablation (paper §9.2): the DOK model needs developer
+// self-ratings to calibrate its weights; the EA alternative works from commit
+// messages alone. The paper argues EA "may be less accurate but do[es] not
+// require the original developers to participate" — this bench measures that
+// trade on the synthesized corpora: top-K bug yield and precision for DOK
+// (paper-calibrated weights), DOK (locally re-fit weights), and EA.
+
+#include "bench/bench_util.h"
+#include "src/familiarity/dok_model.h"
+#include "src/support/rng.h"
+
+namespace {
+
+int BugsInTopK(const vc::AppEval& run, size_t k) {
+  int real = 0;
+  for (const vc::UnusedDefCandidate& cand : run.report.Top(k)) {
+    real += IsRealBug(run, cand) ? 1 : 0;
+  }
+  return real;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vc;
+
+  // Re-fit DOK weights the way the paper does (§6): sample 40 lines per
+  // application, synthesize self-ratings from the ground-truth model plus
+  // reviewer noise, and run least squares.
+  Rng rng(0xd0f17);
+  std::vector<RatingSample> samples;
+  for (const ProjectProfile& profile : AllProfiles()) {
+    GeneratedApp app = GenerateApp(profile);
+    std::vector<std::string> files = app.repo.ListFiles();
+    for (int i = 0; i < 40 && !files.empty(); ++i) {
+      const std::string& path = files[rng.NextBelow(files.size())];
+      const auto& blame = app.repo.Blame(path);
+      if (blame.empty()) {
+        continue;
+      }
+      AuthorId author = blame[rng.NextBelow(blame.size())].author;
+      RatingSample sample;
+      sample.features = ComputeDokFeatures(app.repo, author, path);
+      sample.rating = DokScore(sample.features) + rng.NextGaussian(0.0, 0.3);
+      samples.push_back(sample);
+    }
+  }
+  std::optional<DokWeights> fitted = FitDokWeights(samples);
+
+  TableWriter weights_table({"Weight", "Paper", "Re-fit (this corpus)"});
+  if (fitted.has_value()) {
+    weights_table.AddRow({"a0", "3.1", FormatDouble(fitted->a0, 2)});
+    weights_table.AddRow({"a_FA", "1.2", FormatDouble(fitted->fa, 2)});
+    weights_table.AddRow({"a_DL", "0.2", FormatDouble(fitted->dl, 2)});
+    weights_table.AddRow({"a_AC", "0.5", FormatDouble(fitted->ac, 2)});
+  }
+  EmitTable("=== §6 calibration: DOK weights re-fit from sampled self-ratings ===",
+            weights_table, "ablation_dok_fit.csv");
+
+  // Rank with each model and compare.
+  TableWriter table({"App.", "DOK top-20 bugs", "DOK(refit) top-20", "EA top-20",
+                     "DOK top-10 prec", "EA top-10 prec"});
+  int dok_total = 0;
+  int refit_total = 0;
+  int ea_total = 0;
+  for (const ProjectProfile& profile : AllProfiles()) {
+    AppEval dok = RunApp(profile);
+
+    ValueCheckOptions refit_options;
+    if (fitted.has_value()) {
+      refit_options.ranking.weights = *fitted;
+    }
+    AppEval refit = RunApp(profile, refit_options);
+
+    ValueCheckOptions ea_options;
+    ea_options.ranking.use_ea_model = true;
+    AppEval ea = RunApp(profile, ea_options);
+
+    int dok20 = BugsInTopK(dok, 20);
+    int refit20 = BugsInTopK(refit, 20);
+    int ea20 = BugsInTopK(ea, 20);
+    dok_total += dok20;
+    refit_total += refit20;
+    ea_total += ea20;
+    table.AddRow({profile.name, std::to_string(dok20), std::to_string(refit20),
+                  std::to_string(ea20),
+                  FormatPercent(BugsInTopK(dok, 10) / 10.0),
+                  FormatPercent(BugsInTopK(ea, 10) / 10.0)});
+  }
+  table.AddRow({"Total", std::to_string(dok_total), std::to_string(refit_total),
+                std::to_string(ea_total), "", ""});
+
+  EmitTable("=== §9.2 ablation: DOK vs re-fit DOK vs EA familiarity models ===", table,
+            "ablation_models.csv");
+  std::printf("expected shape: the re-fit weights track the paper's, and EA (no developer\n"
+              "participation needed) ranks slightly worse than DOK but far better than\n"
+              "no ranking at all — the trade §9.2 describes.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 7: the 154 confirmed bugs categorized by (a) software
+// component, (b) security severity, and (c) days the bug sat in the code base
+// before detection. Ages are computed from blame — the commit that introduced
+// the defective line — exactly as the VCS substrate would answer for git.
+//
+// Paper reference: 38% file system, 17% security modules; 15% high / 59%
+// medium / 26% low severity; > 80% older than 1000 days.
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vc;
+
+  std::map<std::string, int> by_component;
+  std::map<std::string, int> by_severity;
+  std::map<std::string, int> by_age;
+  int confirmed = 0;
+  int over_1000_days = 0;
+
+  for (AppEval& run : RunAllApps()) {
+    for (const UnusedDefCandidate& finding : run.report.findings) {
+      const GtSite* site = run.app.truth.Match(finding.file, finding.def_loc.line);
+      if (site == nullptr || !site->is_real_bug) {
+        continue;
+      }
+      ++confirmed;
+      ++by_component[site->component];
+      ++by_severity[site->severity];
+
+      const std::vector<LineOrigin>& blame = run.app.repo.Blame(site->file);
+      int age_days = 0;
+      if (site->line - 1 < static_cast<int>(blame.size())) {
+        int64_t introduced = run.app.repo.GetCommit(blame[site->line - 1].commit).timestamp;
+        age_days = static_cast<int>((kCorpusNow - introduced) / kSecondsPerDay);
+      }
+      over_1000_days += age_days > 1000 ? 1 : 0;
+      const char* bucket = age_days <= 200    ? "0-200"
+                           : age_days <= 500  ? "201-500"
+                           : age_days <= 1000 ? "501-1000"
+                           : age_days <= 2000 ? "1001-2000"
+                                              : ">2000";
+      ++by_age[bucket];
+    }
+  }
+
+  auto emit = [&](const char* title, const std::map<std::string, int>& buckets,
+                  const std::string& csv) {
+    TableWriter table({"Category", "#Bugs", "%"});
+    for (const auto& [key, count] : buckets) {
+      table.AddRow({key, std::to_string(count),
+                    FormatPercent(static_cast<double>(count) / confirmed)});
+    }
+    EmitTable(title, table, csv);
+  };
+
+  std::printf("Figure 7 over %d confirmed bugs\n\n", confirmed);
+  emit("=== Figure 7a: distribution across components ===", by_component,
+       "figure_7a_components.csv");
+  std::printf("paper: 38%% file system, 17%% security modules\n\n");
+  emit("=== Figure 7b: security severity ===", by_severity, "figure_7b_severity.csv");
+  std::printf("paper: 15%% high, 59%% medium, 26%% low\n\n");
+  emit("=== Figure 7c: days before a bug is detected ===", by_age, "figure_7c_age.csv");
+  std::printf("paper: more than 80%% of bugs persisted over 1000 days — here: %s\n",
+              FormatPercent(static_cast<double>(over_1000_days) / confirmed).c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Figure 9: precision of bug detection at increasing report-count
+// cutoffs after familiarity ranking. Reporting only the top 10 findings per
+// application yields the highest precision (97.5% in the paper) and precision
+// decreases as the cutoff grows — the signal that the DOK ranking puts real
+// bugs first.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vc;
+
+  std::vector<AppEval> runs = RunAllApps();
+
+  TableWriter table({"Cutoff (per app)", "#Reported", "#Real Bugs", "Precision"});
+  for (size_t cutoff : {10u, 20u, 30u, 40u, 50u, 60u}) {
+    int reported = 0;
+    int real = 0;
+    for (const AppEval& run : runs) {
+      for (const UnusedDefCandidate& cand : run.report.Top(cutoff)) {
+        ++reported;
+        real += IsRealBug(run, cand) ? 1 : 0;
+      }
+    }
+    table.AddRow({std::to_string(cutoff), std::to_string(reported), std::to_string(real),
+                  FormatPercent(static_cast<double>(real) / reported, 1)});
+  }
+
+  EmitTable("=== Figure 9: precision vs report cutoff after familiarity ranking ===", table,
+            "figure_9_detected_bug_dok.csv");
+  std::printf("paper: 97.5%% precision at the top-10 cutoff, decreasing with larger cutoffs\n");
+  return 0;
+}

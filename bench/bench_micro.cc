@@ -1,0 +1,165 @@
+// Micro-benchmarks (google-benchmark) for the analysis substrates: parsing,
+// IR lowering, liveness fix points, Andersen's points-to, Myers diff, and
+// blame replay. These are ablation-style measurements for DESIGN.md's design
+// choices (per-function analysis, snapshot storage with diff-based blame).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/detector.h"
+#include "src/core/project.h"
+#include "src/dataflow/define_sets.h"
+#include "src/dataflow/liveness.h"
+#include "src/ir/ir_builder.h"
+#include "src/parser/parser.h"
+#include "src/pointer/andersen.h"
+#include "src/support/rng.h"
+#include "src/vcs/diff.h"
+#include "src/vcs/repository.h"
+
+namespace {
+
+// A function with `blocks` if/else diamonds and a loop, all variables used.
+std::string SyntheticFunction(int index, int blocks) {
+  std::string t = std::to_string(index);
+  std::string code = "int fn_" + t + "(int a, int b) {\n  int acc_" + t + " = a;\n";
+  for (int i = 0; i < blocks; ++i) {
+    code += "  if (acc_" + t + " > " + std::to_string(i) + ") {\n";
+    code += "    acc_" + t + " = acc_" + t + " + b;\n";
+    code += "  } else {\n";
+    code += "    acc_" + t + " = acc_" + t + " - 1;\n";
+    code += "  }\n";
+  }
+  code += "  while (acc_" + t + " > b) {\n    acc_" + t + " = acc_" + t + " - b;\n  }\n";
+  code += "  return acc_" + t + ";\n}\n";
+  return code;
+}
+
+std::string SyntheticModule(int functions, int blocks_each) {
+  std::string code;
+  for (int i = 0; i < functions; ++i) {
+    code += SyntheticFunction(i, blocks_each);
+  }
+  return code;
+}
+
+void BM_ParseModule(benchmark::State& state) {
+  std::string code = SyntheticModule(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    vc::SourceManager sm;
+    vc::DiagnosticEngine diags;
+    vc::TranslationUnit unit = vc::ParseString(sm, "bench.c", code, diags);
+    benchmark::DoNotOptimize(unit.functions.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseModule)->Arg(10)->Arg(100);
+
+void BM_LowerModule(benchmark::State& state) {
+  vc::SourceManager sm;
+  vc::DiagnosticEngine diags;
+  std::string code = SyntheticModule(static_cast<int>(state.range(0)), 6);
+  vc::TranslationUnit unit = vc::ParseString(sm, "bench.c", code, diags);
+  for (auto _ : state) {
+    auto module = vc::LowerUnit(unit);
+    benchmark::DoNotOptimize(module->functions.size());
+  }
+}
+BENCHMARK(BM_LowerModule)->Arg(10)->Arg(100);
+
+void BM_LivenessFixPoint(benchmark::State& state) {
+  vc::SourceManager sm;
+  vc::DiagnosticEngine diags;
+  std::string code = SyntheticFunction(0, static_cast<int>(state.range(0)));
+  vc::TranslationUnit unit = vc::ParseString(sm, "bench.c", code, diags);
+  auto module = vc::LowerUnit(unit);
+  const vc::IrFunction& func = *module->functions.front();
+  for (auto _ : state) {
+    vc::LivenessResult result = vc::ComputeLiveness(func);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_LivenessFixPoint)->Arg(8)->Arg(64);
+
+void BM_DefineSets(benchmark::State& state) {
+  vc::SourceManager sm;
+  vc::DiagnosticEngine diags;
+  std::string code = SyntheticFunction(0, static_cast<int>(state.range(0)));
+  vc::TranslationUnit unit = vc::ParseString(sm, "bench.c", code, diags);
+  auto module = vc::LowerUnit(unit);
+  const vc::IrFunction& func = *module->functions.front();
+  for (auto _ : state) {
+    vc::DefineSetResult result = vc::ComputeDefineSets(func);
+    benchmark::DoNotOptimize(result.iterations);
+  }
+}
+BENCHMARK(BM_DefineSets)->Arg(8)->Arg(64);
+
+void BM_AndersenPointsTo(benchmark::State& state) {
+  // Pointer-heavy function: a chain of copies and swaps.
+  std::string code = "int pf(int n) {\n  int x = 1;\n  int y = 2;\n";
+  code += "  int *p = &x;\n  int *q = &y;\n";
+  for (int i = 0; i < state.range(0); ++i) {
+    code += "  if (n > " + std::to_string(i) + ") {\n    int *t" + std::to_string(i) +
+            " = p;\n    p = q;\n    q = t" + std::to_string(i) + ";\n  }\n";
+  }
+  code += "  return *p + *q;\n}\n";
+  vc::SourceManager sm;
+  vc::DiagnosticEngine diags;
+  vc::TranslationUnit unit = vc::ParseString(sm, "bench.c", code, diags);
+  auto module = vc::LowerUnit(unit);
+  const vc::IrFunction& func = *module->functions.front();
+  for (auto _ : state) {
+    vc::PointsTo pts(func);
+    benchmark::DoNotOptimize(pts.iterations());
+  }
+}
+BENCHMARK(BM_AndersenPointsTo)->Arg(4)->Arg(32);
+
+void BM_DetectModule(benchmark::State& state) {
+  vc::Project project = vc::Project::FromSources(
+      {{"bench.c", SyntheticModule(static_cast<int>(state.range(0)), 6)}});
+  for (auto _ : state) {
+    auto candidates = vc::DetectAll(project);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_DetectModule)->Arg(10)->Arg(100);
+
+void BM_MyersDiff(benchmark::State& state) {
+  vc::Rng rng(7);
+  std::vector<std::string> a;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back("line_" + std::to_string(rng.NextInRange(0, 50)));
+  }
+  std::vector<std::string> b = a;
+  for (int i = 0; i < state.range(0) / 10 + 1; ++i) {
+    b.insert(b.begin() + static_cast<long>(rng.NextBelow(b.size() + 1)),
+             "inserted_" + std::to_string(i));
+  }
+  std::vector<std::string_view> av(a.begin(), a.end());
+  std::vector<std::string_view> bv(b.begin(), b.end());
+  for (auto _ : state) {
+    auto edits = vc::DiffLines(av, bv);
+    benchmark::DoNotOptimize(edits.size());
+  }
+}
+BENCHMARK(BM_MyersDiff)->Arg(100)->Arg(1000);
+
+void BM_BlameReplay(benchmark::State& state) {
+  vc::Repository repo;
+  vc::AuthorId author = repo.AddAuthor("dev");
+  std::string content;
+  for (int commit = 0; commit < state.range(0); ++commit) {
+    content += "line_of_commit_" + std::to_string(commit) + "\n";
+    repo.AddCommit(author, 1000 + commit, "evolve", {{"f.c", content}});
+  }
+  for (auto _ : state) {
+    auto blame = repo.BlameAt("f.c", repo.NumCommits() - 1);
+    benchmark::DoNotOptimize(blame.size());
+  }
+}
+BENCHMARK(BM_BlameReplay)->Arg(20)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Reproduces the preliminary study of §3.1 that motivates the cross-scope
+// design: snapshot a project's history at 2019 and 2021, run the original
+// (authorship-free) liveness analysis on both, diff the unused-definition
+// sets, randomly sample 60 of the removed ones, classify each by the commit
+// message that removed it, and check how many of the bug-related ones cross
+// author scopes.
+//
+// Paper reference: 325 differential unused definitions; 60 sampled; 42
+// bug-related; 39 of the 42 cross author scopes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/corpus/prelim_study.h"
+
+int main() {
+  using namespace vc;
+
+  PrelimStudySpec spec;  // paper-scale defaults
+  std::printf("Generating two-snapshot history (%d removable unused definitions)...\n",
+              spec.total_differential);
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  std::printf("  %d commits between the 2019 and 2021 markers\n\n",
+              data.snapshot_2021 - data.snapshot_2019);
+
+  PrelimStudyOutcome outcome = RunPrelimStudy(data, spec);
+
+  TableWriter table({"Metric", "Measured", "Paper"});
+  table.AddRow({"Differential unused definitions", std::to_string(outcome.differential),
+                "325"});
+  table.AddRow({"Randomly sampled", std::to_string(outcome.sampled), "60"});
+  table.AddRow({"Bug-related (fix commits)", std::to_string(outcome.bug_related), "42"});
+  table.AddRow({"...of which cross author scopes", std::to_string(outcome.cross_author),
+                "39"});
+  EmitTable("=== §3.1 preliminary study: unused definitions removed by later commits ===",
+            table, "prelim_study.csv");
+
+  double cross_fraction = outcome.bug_related > 0
+                              ? static_cast<double>(outcome.cross_author) / outcome.bug_related
+                              : 0.0;
+  std::printf("cross-scope fraction among bug fixes: %s (paper: 39/42 = 93%%)\n",
+              FormatPercent(cross_fraction).c_str());
+  std::printf("=> the observation behind ValueCheck's design: unused-definition bugs "
+              "overwhelmingly sit on authorship boundaries\n");
+  return 0;
+}

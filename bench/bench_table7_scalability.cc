@@ -1,0 +1,85 @@
+// Reproduces Table 7: whole-codebase analysis time per application plus the
+// average per-commit incremental time (§8.6). Absolute numbers are machine-
+// and substrate-dependent (the paper's own artifact says as much); the shape
+// to check is (a) full analysis scales with code size, Linux largest, and
+// (b) incremental analysis is orders of magnitude cheaper per commit.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/core/incremental.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 60.0) {
+    int minutes = static_cast<int>(seconds / 60.0);
+    return std::to_string(minutes) + "m" + vc::FormatDouble(seconds - minutes * 60, 1) + "s";
+  }
+  if (seconds >= 1.0) {
+    return vc::FormatDouble(seconds, 2) + "s";
+  }
+  return vc::FormatDouble(seconds * 1000.0, 2) + "ms";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vc;
+
+  TableWriter table({"Application", "#LOC", "#Commits", "Full Time", "Incremental Time"});
+  double total_full = 0.0;
+  double total_inc = 0.0;
+  int total_loc = 0;
+
+  for (const ProjectProfile& profile : AllProfiles()) {
+    GeneratedApp app = GenerateApp(profile);
+
+    // Full analysis: best of 3 (parse + lower + detect + authorship + prune
+    // + rank, from the repository head).
+    double best = 1e9;
+    ValueCheckReport report;
+    int loc = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      Project project = Project::FromRepository(app.repo);
+      report = RunValueCheck(project, &app.repo);
+      best = std::min(best, Seconds(start));
+      loc = project.TotalLines();
+    }
+
+    // Incremental: average over the last 20 commits (the paper uses the
+    // first 20 commits of 2022 on each application).
+    int commits = app.repo.NumCommits();
+    int first = std::max(0, commits - 20);
+    double inc_total = 0.0;
+    int inc_count = 0;
+    for (CommitId commit = first; commit < commits; ++commit) {
+      IncrementalResult result = AnalyzeCommit(app.repo, commit);
+      inc_total += result.seconds;
+      ++inc_count;
+    }
+    double inc_avg = inc_count > 0 ? inc_total / inc_count : 0.0;
+
+    table.AddRow({app.name, std::to_string(loc), std::to_string(commits),
+                  FormatSeconds(best), FormatSeconds(inc_avg)});
+    total_full += best;
+    total_inc += inc_avg;
+    total_loc += loc;
+  }
+  table.AddRow({"Total", std::to_string(total_loc), "", FormatSeconds(total_full),
+                FormatSeconds(total_inc)});
+
+  EmitTable("=== Table 7: scalability (full vs per-commit incremental analysis) ===", table,
+            "table_7_time_analysis.csv");
+  std::printf("paper (on 31.3M LOC of real code with LLVM+SVF): 50m51s full, <5s per "
+              "commit incremental.\n");
+  std::printf("The synthesized corpora are ~%dK lines, so absolute times differ; the "
+              "full/incremental\nratio and size ordering are the reproduced shape.\n",
+              total_loc / 1000);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared plumbing for the table/figure reproduction binaries: generate the
+// four calibrated applications, run the pipeline, score against ground truth,
+// and write artifact-style CSVs under result/.
+
+#ifndef VALUECHECK_BENCH_BENCH_UTIL_H_
+#define VALUECHECK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/corpus/eval.h"
+#include "src/corpus/generator.h"
+#include "src/corpus/profile.h"
+#include "src/core/valuecheck.h"
+#include "src/support/table_writer.h"
+
+namespace vc {
+
+struct AppEval {
+  GeneratedApp app;
+  Project project;
+  ValueCheckReport report;
+  ToolEval eval;  // ValueCheck scored against the ledger
+};
+
+inline AppEval RunApp(const ProjectProfile& profile,
+                      ValueCheckOptions options = ValueCheckOptions()) {
+  AppEval run;
+  run.app = GenerateApp(profile);
+  run.project = Project::FromRepository(run.app.repo);
+  run.report = RunValueCheck(run.project, &run.app.repo, options);
+  run.eval = EvaluateLocations(run.app.truth, "ValueCheck", LocationsOf(run.report));
+  return run;
+}
+
+inline std::vector<AppEval> RunAllApps(ValueCheckOptions options = ValueCheckOptions()) {
+  std::vector<AppEval> runs;
+  for (const ProjectProfile& profile : AllProfiles()) {
+    runs.push_back(RunApp(profile, options));
+  }
+  return runs;
+}
+
+// Is this reported finding a confirmed bug per the ledger?
+inline bool IsRealBug(const AppEval& run, const UnusedDefCandidate& cand) {
+  const GtSite* site = run.app.truth.Match(cand.file, cand.def_loc.line);
+  return site != nullptr && site->is_real_bug;
+}
+
+inline std::string ResultPath(const std::string& filename) {
+  std::filesystem::create_directories("result");
+  return "result/" + filename;
+}
+
+// Prints the table and writes the CSV twin under result/.
+inline void EmitTable(const std::string& title, const TableWriter& table,
+                      const std::string& csv_name) {
+  std::printf("%s\n%s", title.c_str(), table.RenderText().c_str());
+  std::string path = ResultPath(csv_name);
+  if (table.WriteCsv(path)) {
+    std::printf("(csv: %s)\n\n", path.c_str());
+  } else {
+    std::printf("(csv write to %s failed)\n\n", path.c_str());
+  }
+}
+
+}  // namespace vc
+
+#endif  // VALUECHECK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// End-to-end project analysis: synthesize an NFS-ganesha-profile application
+// (multi-file, multi-author history, injected ground truth), run the full
+// ValueCheck pipeline, print the report, and dump a CSV like the paper
+// artifact's result/<APP>/detected.csv.
+//
+// Build & run:  ./build/examples/analyze_project [scale]
+//   scale: optional population scale factor (default 1.0 = paper scale)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "src/corpus/eval.h"
+#include "src/corpus/generator.h"
+#include "src/corpus/profile.h"
+#include "src/core/valuecheck.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+
+  double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  ProjectProfile profile = NfsGaneshaProfile();
+  if (scale != 1.0) {
+    profile = profile.Scaled(scale);
+  }
+
+  std::printf("Synthesizing %s-profile application (scale %.2f)...\n", profile.name.c_str(),
+              scale);
+  GeneratedApp app = GenerateApp(profile);
+  Project project = Project::FromRepository(app.repo);
+  if (project.diags().HasErrors()) {
+    std::fprintf(stderr, "generated code failed to parse:\n%s",
+                 project.diags().Render(project.sources()).c_str());
+    return 1;
+  }
+  std::printf("  %d files, %d lines, %d commits, %d authors\n\n",
+              project.sources().NumFiles(), project.TotalLines(), app.repo.NumCommits(),
+              app.repo.NumAuthors());
+
+  ValueCheckReport report = RunValueCheck(project, &app.repo);
+
+  std::printf("Pipeline results (%.3fs):\n", report.analysis_seconds);
+  std::printf("  unused definitions (all):        %d\n",
+              static_cast<int>(report.raw_candidates.size()));
+  std::printf("  cross-scope candidates:          %d\n", report.prune_stats.original);
+  std::printf("  pruned: config=%d cursor=%d hints=%d peer=%d\n",
+              report.prune_stats.config_dependency, report.prune_stats.cursor,
+              report.prune_stats.unused_hints, report.prune_stats.peer_definition);
+  std::printf("  reported findings:               %d\n\n",
+              static_cast<int>(report.findings.size()));
+
+  // Score against the synthesized ground truth.
+  ToolEval eval = EvaluateLocations(app.truth, "ValueCheck", LocationsOf(report));
+  std::printf("Against ground truth: %d reported, %d confirmed bugs, %.0f%% false positives\n\n",
+              eval.found, eval.real, eval.FpRate() * 100.0);
+
+  // Findings by kind.
+  std::map<std::string, int> by_kind;
+  for (const UnusedDefCandidate& finding : report.findings) {
+    by_kind[CandidateKindName(finding.kind)]++;
+  }
+  std::printf("Findings by kind:\n");
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-20s %d\n", kind.c_str(), count);
+  }
+
+  std::printf("\nTop 5 by familiarity ranking:\n");
+  for (const UnusedDefCandidate& finding : report.Top(5)) {
+    std::printf("  %.2f  %s:%d  %s '%s'\n", finding.familiarity, finding.file.c_str(),
+                finding.def_loc.line, finding.function.c_str(), finding.slot_name.c_str());
+  }
+
+  const char* csv_path = "nfs_ganesha_detected.csv";
+  std::ofstream csv(csv_path);
+  csv << report.ToCsv();
+  std::printf("\nFull report written to %s\n", csv_path);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Bug-triage workflow: the intended day-to-day use of ValueCheck's ranking.
+//
+// Generates a MySQL-profile application, runs the pipeline, and walks the
+// review queue the way a developer would: top-K findings first, with the DOK
+// familiarity explanation for why each one ranks where it does, then the
+// precision curve showing how much of the reviewer's time the ranking saves.
+//
+// Build & run:  ./build/examples/bug_triage [top_k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/corpus/generator.h"
+#include "src/corpus/profile.h"
+#include "src/core/valuecheck.h"
+#include "src/familiarity/dok_model.h"
+
+int main(int argc, char** argv) {
+  using namespace vc;
+
+  int top_k = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  GeneratedApp app = GenerateApp(MysqlProfile());
+  Project project = Project::FromRepository(app.repo);
+  ValueCheckReport report = RunValueCheck(project, &app.repo);
+
+  std::printf("Review queue for %s: %d findings, showing top %d\n\n", app.name.c_str(),
+              static_cast<int>(report.findings.size()), top_k);
+  std::printf("%-4s %-6s %-28s %-24s %-9s %s\n", "#", "DOK", "location", "developer",
+              "verdict", "why it ranks here");
+
+  int rank = 0;
+  int confirmed = 0;
+  for (const UnusedDefCandidate& finding : report.Top(static_cast<size_t>(top_k))) {
+    ++rank;
+    const GtSite* site = app.truth.Match(finding.file, finding.def_loc.line);
+    bool is_bug = site != nullptr && site->is_real_bug;
+    confirmed += is_bug ? 1 : 0;
+
+    const std::string& dev = app.repo.GetAuthor(finding.responsible_author).name;
+    DokFeatures features = ComputeDokFeatures(app.repo, finding.responsible_author, finding.file);
+    char why[128];
+    std::snprintf(why, sizeof(why), "FA=%d DL=%d AC=%d in %s", features.first_authorship ? 1 : 0,
+                  features.deliveries, features.acceptances, finding.file.c_str());
+    char location[64];
+    std::snprintf(location, sizeof(location), "%s:%d (%s)", finding.function.c_str(),
+                  finding.def_loc.line, finding.slot_name.c_str());
+    std::printf("%-4d %-6.2f %-28s %-24s %-9s %s\n", rank, finding.familiarity, location,
+                dev.c_str(), is_bug ? "bug" : "benign", why);
+  }
+  std::printf("\nTop-%d precision: %.1f%%\n\n", top_k,
+              100.0 * confirmed / (rank > 0 ? rank : 1));
+
+  // Confusion matrix over the whole report.
+  int tp = 0;
+  int fp = 0;
+  for (const UnusedDefCandidate& finding : report.findings) {
+    const GtSite* site = app.truth.Match(finding.file, finding.def_loc.line);
+    if (site != nullptr && site->is_real_bug) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  int undetected_bugs = app.truth.CountRealBugs() - tp;
+  std::printf("Confusion matrix (vs ground truth):\n");
+  std::printf("  reported & real bug (TP):   %d\n", tp);
+  std::printf("  reported & benign   (FP):   %d\n", fp);
+  std::printf("  real bug, unreported (FN):  %d  (same-author bugs + pruning losses)\n\n",
+              undetected_bugs);
+
+  // How much review effort the ranking saves: bugs found per findings read.
+  std::printf("Precision at cutoffs: ");
+  for (size_t cutoff : {10u, 20u, 40u, 60u, 99u}) {
+    int real = 0;
+    size_t n = 0;
+    for (const UnusedDefCandidate& finding : report.Top(cutoff)) {
+      const GtSite* site = app.truth.Match(finding.file, finding.def_loc.line);
+      real += (site != nullptr && site->is_real_bug) ? 1 : 0;
+      ++n;
+    }
+    if (n > 0) {
+      std::printf("top-%zu=%.0f%% ", n, 100.0 * real / n);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

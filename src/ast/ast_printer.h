@@ -1,0 +1,20 @@
+// S-expression-style dumper for AST nodes, used by parser tests to assert on
+// tree shapes without poking at node internals.
+
+#ifndef VALUECHECK_SRC_AST_AST_PRINTER_H_
+#define VALUECHECK_SRC_AST_AST_PRINTER_H_
+
+#include <string>
+
+#include "src/ast/ast.h"
+
+namespace vc {
+
+std::string PrintExpr(const Expr* expr);
+std::string PrintStmt(const Stmt* stmt);
+std::string PrintFunction(const FunctionDecl* func);
+std::string PrintUnit(const TranslationUnit& unit);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_AST_AST_PRINTER_H_

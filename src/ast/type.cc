@@ -1,0 +1,59 @@
+#include "src/ast/type.h"
+
+#include "src/ast/ast.h"
+
+namespace vc {
+
+TypeTable::TypeTable() {
+  void_ = Alloc(TypeKind::kVoid);
+  int_ = Alloc(TypeKind::kInt);
+  char_ = Alloc(TypeKind::kChar);
+  bool_ = Alloc(TypeKind::kBool);
+}
+
+Type* TypeTable::Alloc(TypeKind kind) {
+  storage_.push_back(Type(kind));
+  return &storage_.back();
+}
+
+const Type* TypeTable::PointerTo(const Type* pointee) {
+  auto it = pointer_types_.find(pointee);
+  if (it != pointer_types_.end()) {
+    return it->second;
+  }
+  Type* type = Alloc(TypeKind::kPointer);
+  type->pointee_ = pointee;
+  pointer_types_[pointee] = type;
+  return type;
+}
+
+const Type* TypeTable::StructTypeFor(const StructDecl* decl) {
+  auto it = struct_types_.find(decl);
+  if (it != struct_types_.end()) {
+    return it->second;
+  }
+  Type* type = Alloc(TypeKind::kStruct);
+  type->struct_decl_ = decl;
+  struct_types_[decl] = type;
+  return type;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kChar:
+      return "char";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kStruct:
+      return "struct " + (struct_decl_ ? struct_decl_->name : std::string("<anon>"));
+    case TypeKind::kPointer:
+      return (pointee_ ? pointee_->ToString() : std::string("?")) + "*";
+  }
+  return "<bad-type>";
+}
+
+}  // namespace vc

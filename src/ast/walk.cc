@@ -1,0 +1,138 @@
+#include "src/ast/walk.h"
+
+namespace vc {
+
+void WalkExpr(const Expr* expr, const std::function<void(const Expr*)>& fn) {
+  if (expr == nullptr) {
+    return;
+  }
+  fn(expr);
+  switch (expr->kind) {
+    case ExprKind::kBinary: {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      WalkExpr(bin->lhs, fn);
+      WalkExpr(bin->rhs, fn);
+      break;
+    }
+    case ExprKind::kUnary:
+      WalkExpr(static_cast<const UnaryExpr*>(expr)->operand, fn);
+      break;
+    case ExprKind::kAssign: {
+      const auto* assign = static_cast<const AssignExpr*>(expr);
+      WalkExpr(assign->lhs, fn);
+      WalkExpr(assign->rhs, fn);
+      break;
+    }
+    case ExprKind::kCall: {
+      const auto* call = static_cast<const CallExpr*>(expr);
+      WalkExpr(call->callee, fn);
+      for (const Expr* arg : call->args) {
+        WalkExpr(arg, fn);
+      }
+      break;
+    }
+    case ExprKind::kMember:
+      WalkExpr(static_cast<const MemberExpr*>(expr)->base, fn);
+      break;
+    case ExprKind::kIndex: {
+      const auto* index = static_cast<const IndexExpr*>(expr);
+      WalkExpr(index->base, fn);
+      WalkExpr(index->index, fn);
+      break;
+    }
+    case ExprKind::kCast:
+      WalkExpr(static_cast<const CastExpr*>(expr)->operand, fn);
+      break;
+    case ExprKind::kCond: {
+      const auto* cond = static_cast<const CondExpr*>(expr);
+      WalkExpr(cond->cond, fn);
+      WalkExpr(cond->then_expr, fn);
+      WalkExpr(cond->else_expr, fn);
+      break;
+    }
+    case ExprKind::kSizeof:
+      WalkExpr(static_cast<const SizeofExpr*>(expr)->arg_expr, fn);
+      break;
+    default:
+      break;
+  }
+}
+
+void ForEachStmt(const Stmt* stmt, const std::function<void(const Stmt*)>& fn) {
+  if (stmt == nullptr) {
+    return;
+  }
+  fn(stmt);
+  switch (stmt->kind) {
+    case StmtKind::kCompound:
+      for (const Stmt* child : static_cast<const CompoundStmt*>(stmt)->body) {
+        ForEachStmt(child, fn);
+      }
+      break;
+    case StmtKind::kIf: {
+      const auto* if_stmt = static_cast<const IfStmt*>(stmt);
+      ForEachStmt(if_stmt->then_stmt, fn);
+      ForEachStmt(if_stmt->else_stmt, fn);
+      break;
+    }
+    case StmtKind::kWhile:
+      ForEachStmt(static_cast<const WhileStmt*>(stmt)->body, fn);
+      break;
+    case StmtKind::kDoWhile:
+      ForEachStmt(static_cast<const DoWhileStmt*>(stmt)->body, fn);
+      break;
+    case StmtKind::kSwitch:
+      for (const SwitchCase& arm : static_cast<const SwitchStmt*>(stmt)->cases) {
+        for (const Stmt* child : arm.body) {
+          ForEachStmt(child, fn);
+        }
+      }
+      break;
+    case StmtKind::kFor: {
+      const auto* for_stmt = static_cast<const ForStmt*>(stmt);
+      ForEachStmt(for_stmt->init, fn);
+      ForEachStmt(for_stmt->body, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ForEachExpr(const Stmt* stmt, const std::function<void(const Expr*)>& fn) {
+  ForEachStmt(stmt, [&fn](const Stmt* node) {
+    switch (node->kind) {
+      case StmtKind::kDecl:
+        WalkExpr(static_cast<const DeclStmt*>(node)->init, fn);
+        break;
+      case StmtKind::kExpr:
+        WalkExpr(static_cast<const ExprStmt*>(node)->expr, fn);
+        break;
+      case StmtKind::kIf:
+        WalkExpr(static_cast<const IfStmt*>(node)->cond, fn);
+        break;
+      case StmtKind::kWhile:
+        WalkExpr(static_cast<const WhileStmt*>(node)->cond, fn);
+        break;
+      case StmtKind::kDoWhile:
+        WalkExpr(static_cast<const DoWhileStmt*>(node)->cond, fn);
+        break;
+      case StmtKind::kSwitch:
+        WalkExpr(static_cast<const SwitchStmt*>(node)->cond, fn);
+        break;
+      case StmtKind::kFor: {
+        const auto* for_stmt = static_cast<const ForStmt*>(node);
+        WalkExpr(for_stmt->cond, fn);
+        WalkExpr(for_stmt->step, fn);
+        break;
+      }
+      case StmtKind::kReturn:
+        WalkExpr(static_cast<const ReturnStmt*>(node)->value, fn);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+}  // namespace vc

@@ -1,0 +1,25 @@
+// Generic AST traversal helpers. Callbacks see every node in source order;
+// used by the AST-level baseline analyzers (Clang-style and Smatch-style
+// checks operate on the AST, not on the IR).
+
+#ifndef VALUECHECK_SRC_AST_WALK_H_
+#define VALUECHECK_SRC_AST_WALK_H_
+
+#include <functional>
+
+#include "src/ast/ast.h"
+
+namespace vc {
+
+// Visits `stmt` and all statements beneath it (pre-order).
+void ForEachStmt(const Stmt* stmt, const std::function<void(const Stmt*)>& fn);
+
+// Visits every expression beneath `stmt` (pre-order, including subexprs).
+void ForEachExpr(const Stmt* stmt, const std::function<void(const Expr*)>& fn);
+
+// Visits every expression beneath `expr`, including `expr` itself.
+void WalkExpr(const Expr* expr, const std::function<void(const Expr*)>& fn);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_AST_WALK_H_

@@ -1,0 +1,67 @@
+// Common interface for the comparison tools of the paper's §8.4. Each
+// baseline reimplements, from scratch, the documented detection envelope of
+// the corresponding real-world tool as the paper characterizes it:
+//
+//   ClangUnused    — compiler warnings: recursive AST walk, a variable is
+//                    unused only if it is never referenced on a right-hand
+//                    side anywhere (flow-insensitive).
+//   InferUnused    — fb-infer "Dead Store": flow-sensitive intraprocedural
+//                    dead stores on whole local variables; no cross-scope
+//                    notion, no cursor/config/peer pruning, no parameters or
+//                    field definitions.
+//   SmatchUnused   — AST-pattern unused return values only; C only (reports
+//                    a compile error on the C++-heavy projects, as observed
+//                    in the paper).
+//   CoverityUnused — unused value + unchecked return value, where "should
+//                    the return value be used" is inferred from the fraction
+//                    of call sites that use it (needs >= 2 call sites).
+//
+// Every finding carries enough location information to be matched against the
+// corpus ground-truth ledger.
+
+#ifndef VALUECHECK_SRC_BASELINES_BUG_FINDER_H_
+#define VALUECHECK_SRC_BASELINES_BUG_FINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/project.h"
+#include "src/support/source_location.h"
+
+namespace vc {
+
+// Facts about the analyzed codebase that gate whether a real-world tool can
+// run on it at all (Table 5's "-*: report errors during analysis" cells).
+struct ProjectTraits {
+  // Plain C vs C++-heavy codebase: Smatch's parser only handles C.
+  bool is_pure_c = true;
+  // Kernel-style extensions (inline asm, attribute soup): break fb-infer's
+  // clang-plugin capture on Linux.
+  bool uses_kernel_extensions = false;
+};
+
+struct BaselineFinding {
+  std::string tool;
+  std::string file;
+  SourceLoc loc;
+  std::string function;
+  std::string slot;  // variable name, or callee name for ignored returns
+  std::string description;
+};
+
+struct BaselineResult {
+  bool ok = true;
+  std::string error;  // set when the tool cannot analyze the project
+  std::vector<BaselineFinding> findings;
+};
+
+class BugFinder {
+ public:
+  virtual ~BugFinder() = default;
+  virtual std::string Name() const = 0;
+  virtual BaselineResult Find(const Project& project, const ProjectTraits& traits) const = 0;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_BASELINES_BUG_FINDER_H_

@@ -1,0 +1,105 @@
+#include "src/baselines/clang_unused.h"
+
+#include <map>
+#include <set>
+
+#include "src/ast/walk.h"
+
+namespace vc {
+
+namespace {
+
+// Collects, per variable, whether it is ever read (referenced outside the
+// target position of an assignment) and whether it is ever written.
+struct VarUsage {
+  bool read = false;
+  bool written = false;
+  bool addr_taken = false;
+};
+
+void ScanFunction(const FunctionDecl* func, std::map<const VarDecl*, VarUsage>& usage) {
+  // Mark assignment targets as writes; everything else that mentions the
+  // variable is a read. The walk visits assignment LHS subtrees too, so we
+  // pre-collect the exact Expr nodes that are "pure store targets": a bare
+  // identifier on the LHS of '='.
+  std::set<const Expr*> store_targets;
+  ForEachExpr(func->body, [&store_targets](const Expr* expr) {
+    if (expr->kind == ExprKind::kAssign) {
+      const auto* assign = static_cast<const AssignExpr*>(expr);
+      if (assign->op == TokenKind::kAssign && assign->lhs != nullptr &&
+          assign->lhs->kind == ExprKind::kIdent) {
+        store_targets.insert(assign->lhs);
+      }
+    }
+  });
+
+  ForEachExpr(func->body, [&](const Expr* expr) {
+    if (expr->kind == ExprKind::kIdent) {
+      const auto* ident = static_cast<const IdentExpr*>(expr);
+      if (ident->var == nullptr) {
+        return;
+      }
+      if (store_targets.count(expr) > 0) {
+        usage[ident->var].written = true;
+      } else {
+        usage[ident->var].read = true;
+      }
+    } else if (expr->kind == ExprKind::kUnary) {
+      const auto* unary = static_cast<const UnaryExpr*>(expr);
+      if (unary->op == TokenKind::kAmp && unary->operand != nullptr &&
+          unary->operand->kind == ExprKind::kIdent) {
+        const auto* ident = static_cast<const IdentExpr*>(unary->operand);
+        if (ident->var != nullptr) {
+          usage[ident->var].addr_taken = true;
+        }
+      }
+    }
+  });
+
+  // Initializers count as writes.
+  ForEachStmt(func->body, [&usage](const Stmt* stmt) {
+    if (stmt->kind == StmtKind::kDecl) {
+      const auto* decl = static_cast<const DeclStmt*>(stmt);
+      if (decl->init != nullptr) {
+        usage[decl->var].written = true;
+      } else {
+        usage.try_emplace(decl->var);  // declared, maybe never touched
+      }
+    }
+  });
+}
+
+}  // namespace
+
+BaselineResult ClangUnused::Find(const Project& project, const ProjectTraits& traits) const {
+  BaselineResult result;
+  for (const TranslationUnit& unit : project.units()) {
+    for (const FunctionDecl* func : unit.functions) {
+      if (!func->IsDefined()) {
+        continue;
+      }
+      std::map<const VarDecl*, VarUsage> usage;
+      ScanFunction(func, usage);
+      for (const auto& [var, info] : usage) {
+        if (var->is_global || var->is_param || var->has_unused_attr) {
+          continue;
+        }
+        if (info.read || info.addr_taken) {
+          continue;  // referenced somewhere: not reported (flow-insensitive)
+        }
+        BaselineFinding finding;
+        finding.tool = Name();
+        finding.file = project.sources().Path(var->loc.file);
+        finding.loc = var->loc;
+        finding.function = func->name;
+        finding.slot = var->name;
+        finding.description =
+            info.written ? "variable set but never used" : "unused variable";
+        result.findings.push_back(std::move(finding));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vc

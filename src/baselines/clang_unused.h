@@ -1,0 +1,22 @@
+// Clang-style unused warnings (-Wunused-variable / -Wunused-but-set-variable)
+// as characterized in §8.4.1: a recursive AST walk that flags a local only
+// when it is never referenced on a right-hand side at all. Flow-insensitive,
+// so any read anywhere — even one that precedes the dead definition — makes
+// the variable "used".
+
+#ifndef VALUECHECK_SRC_BASELINES_CLANG_UNUSED_H_
+#define VALUECHECK_SRC_BASELINES_CLANG_UNUSED_H_
+
+#include "src/baselines/bug_finder.h"
+
+namespace vc {
+
+class ClangUnused : public BugFinder {
+ public:
+  std::string Name() const override { return "Clang"; }
+  BaselineResult Find(const Project& project, const ProjectTraits& traits) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_BASELINES_CLANG_UNUSED_H_

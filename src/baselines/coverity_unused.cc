@@ -1,0 +1,106 @@
+#include "src/baselines/coverity_unused.h"
+
+#include <map>
+
+namespace vc {
+
+namespace {
+
+// Block-local dead-store scan: a store is flagged only when a second store to
+// the same slot follows in the same basic block with no intervening read.
+// This captures the conservative, low-noise envelope of the commercial
+// UNUSED_VALUE checker — it will not chase a kill across branches, which is
+// why cross-block overwrites (e.g. `ret = f(); if (...) {...} ret = g();`)
+// escape it while a full liveness analysis catches them.
+void ScanUnusedValue(const IrFunction& func, const Project& project,
+                     std::vector<BaselineFinding>& findings, const std::string& tool) {
+  for (const auto& block : func.blocks) {
+    std::map<SlotId, const Instruction*> pending;
+    for (const Instruction& inst : block->insts) {
+      switch (inst.op) {
+        case Opcode::kLoad:
+        case Opcode::kAddrSlot:
+          pending.erase(inst.slot);
+          break;
+        case Opcode::kStore: {
+          const Slot& slot = func.slots[inst.slot];
+          auto it = pending.find(inst.slot);
+          if (it != pending.end()) {
+            const Instruction* dead = it->second;
+            BaselineFinding finding;
+            finding.tool = tool;
+            finding.file = project.sources().Path(dead->loc.file);
+            finding.loc = dead->loc;
+            finding.function = func.name;
+            finding.slot = slot.name;
+            finding.description = "UNUSED_VALUE: assigned value is not used";
+            findings.push_back(std::move(finding));
+          }
+          // Eligibility for being reported later: whole local variables only,
+          // no formals, no cursor-shaped stores, no sentinel initializers,
+          // no attribute-suppressed variables.
+          bool eligible = !slot.is_synthetic && !slot.IsFieldSlot() && slot.var != nullptr &&
+                          !slot.var->is_param && !slot.var->is_global &&
+                          !slot.var->has_unused_attr && !inst.is_increment &&
+                          !(inst.is_decl_init && inst.is_const_store && inst.const_value == 0);
+          if (eligible) {
+            pending[inst.slot] = &inst;
+          } else {
+            pending.erase(inst.slot);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BaselineResult CoverityUnused::Find(const Project& project, const ProjectTraits& traits) const {
+  BaselineResult result;
+
+  // --- UNUSED_VALUE ---------------------------------------------------------
+  for (const auto& module : project.modules()) {
+    for (const auto& func : module->functions) {
+      ScanUnusedValue(*func, project, result.findings, Name());
+    }
+  }
+
+  // --- CHECKED_RETURN: usage-ratio inference over call sites ---------------
+  // Count, per callee, how many call sites consume the result. A site whose
+  // assigned variable is itself a dead store still counts as "used" here —
+  // the checker keys on the syntactic consumption, which is exactly why it
+  // misses the paper's Fig. 8 bug.
+  for (const auto& [name, info] : project.function_index()) {
+    int total = static_cast<int>(info.call_sites.size());
+    if (total < kMinCallSites) {
+      continue;
+    }
+    int used = 0;
+    for (const CallSite& site : info.call_sites) {
+      used += site.result_assigned ? 1 : 0;
+    }
+    if (static_cast<double>(used) < kCheckedFraction * static_cast<double>(total)) {
+      continue;
+    }
+    for (const CallSite& site : info.call_sites) {
+      if (site.result_assigned) {
+        continue;
+      }
+      BaselineFinding finding;
+      finding.tool = Name();
+      finding.file = project.sources().Path(site.loc.file);
+      finding.loc = site.loc;
+      finding.function = site.caller != nullptr ? site.caller->name : "";
+      finding.slot = name;
+      finding.description = "CHECKED_RETURN: callers usually use the value";
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+}  // namespace vc

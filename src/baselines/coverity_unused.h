@@ -1,0 +1,34 @@
+// Coverity-Scan-style baseline (§8.4.4): two checkers.
+//
+//   UNUSED_VALUE    — flow-sensitive dead stores on whole local variables
+//                     (cursor-shaped stores are recognized and skipped; the
+//                     commercial tool models pointer-walk idioms).
+//   CHECKED_RETURN  — a call site ignoring a return value is flagged when the
+//                     callee has at least `min_call_sites` call sites and at
+//                     least `checked_fraction` of them use the result. A
+//                     function called only once can never be flagged — the
+//                     paper's Fig. 8 miss.
+//
+// No authorship and no intent pruning: unused definitions intentionally left
+// in code surface as findings (the source of Coverity-unused's 62% FP rate).
+
+#ifndef VALUECHECK_SRC_BASELINES_COVERITY_UNUSED_H_
+#define VALUECHECK_SRC_BASELINES_COVERITY_UNUSED_H_
+
+#include "src/baselines/bug_finder.h"
+
+namespace vc {
+
+class CoverityUnused : public BugFinder {
+ public:
+  std::string Name() const override { return "Coverity-unused"; }
+  BaselineResult Find(const Project& project, const ProjectTraits& traits) const override;
+
+  // CHECKED_RETURN thresholds.
+  static constexpr int kMinCallSites = 2;
+  static constexpr double kCheckedFraction = 0.8;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_BASELINES_COVERITY_UNUSED_H_

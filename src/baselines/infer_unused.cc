@@ -1,0 +1,54 @@
+#include "src/baselines/infer_unused.h"
+
+#include "src/core/detector.h"
+
+namespace vc {
+
+BaselineResult InferUnused::Find(const Project& project, const ProjectTraits& traits) const {
+  BaselineResult result;
+  if (traits.uses_kernel_extensions) {
+    result.ok = false;
+    result.error = "capture failed: unsupported compiler extensions";
+    return result;
+  }
+
+  // Same flow-sensitive liveness engine, different envelope: infer's dead
+  // store reports explicit assignments to whole local variables only.
+  for (const UnusedDefCandidate& cand : DetectAll(project)) {
+    if (cand.is_param || cand.is_synthetic || cand.is_field_slot) {
+      continue;  // outside the Dead Store checker's scope
+    }
+    if (cand.var == nullptr || cand.var->has_unused_attr) {
+      continue;  // attribute suppression works in infer
+    }
+    if (cand.var->is_param) {
+      continue;  // stores to formals are not reported by the Dead Store check
+    }
+    // Sentinel-value whitelist: `int x = 0;`-style defensive initializers
+    // are not flagged by the real tool.
+    const Instruction* store = nullptr;
+    for (const auto& block : cand.ir_func->blocks) {
+      for (const Instruction& inst : block->insts) {
+        if (inst.op == Opcode::kStore && inst.slot == cand.slot && inst.loc == cand.def_loc) {
+          store = &inst;
+        }
+      }
+    }
+    if (store != nullptr && store->is_decl_init && store->is_const_store &&
+        store->const_value == 0) {
+      continue;
+    }
+
+    BaselineFinding finding;
+    finding.tool = Name();
+    finding.file = cand.file;
+    finding.loc = cand.def_loc;
+    finding.function = cand.function;
+    finding.slot = cand.slot_name;
+    finding.description = "dead store: value written is never read";
+    result.findings.push_back(std::move(finding));
+  }
+  return result;
+}
+
+}  // namespace vc

@@ -1,0 +1,28 @@
+// fb-infer "Dead Store" baseline (§8.4.2): flow-sensitive intraprocedural
+// dead-store detection on whole local variables. Compared to ValueCheck it
+//
+//   * has no cross-scope notion — same-author redundant stores are reported;
+//   * does not prune cursors, config-guarded uses, or peer-ignored returns;
+//   * misses overwritten/ignored parameters and field definitions;
+//   * skips attribute-marked variables and trivial zero initializers (the
+//     real tool's sentinel-value whitelist).
+//
+// Capture fails on kernel-extension-heavy codebases (Table 5's "-*" cell for
+// Linux).
+
+#ifndef VALUECHECK_SRC_BASELINES_INFER_UNUSED_H_
+#define VALUECHECK_SRC_BASELINES_INFER_UNUSED_H_
+
+#include "src/baselines/bug_finder.h"
+
+namespace vc {
+
+class InferUnused : public BugFinder {
+ public:
+  std::string Name() const override { return "Infer-unused"; }
+  BaselineResult Find(const Project& project, const ProjectTraits& traits) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_BASELINES_INFER_UNUSED_H_

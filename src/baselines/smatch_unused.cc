@@ -1,0 +1,104 @@
+#include "src/baselines/smatch_unused.h"
+
+#include <map>
+#include <set>
+
+#include "src/ast/walk.h"
+
+namespace vc {
+
+BaselineResult SmatchUnused::Find(const Project& project, const ProjectTraits& traits) const {
+  BaselineResult result;
+  if (!traits.is_pure_c) {
+    result.ok = false;
+    result.error = "sparse parse error: C++ constructs not supported";
+    return result;
+  }
+
+  for (const TranslationUnit& unit : project.units()) {
+    for (const FunctionDecl* func : unit.functions) {
+      if (!func->IsDefined()) {
+        continue;
+      }
+
+      // Flow-insensitive read set (same notion as the AST-walk warnings: any
+      // non-store reference counts, wherever it appears).
+      std::set<const VarDecl*> read;
+      std::set<const Expr*> store_targets;
+      ForEachExpr(func->body, [&store_targets](const Expr* expr) {
+        if (expr->kind == ExprKind::kAssign) {
+          const auto* assign = static_cast<const AssignExpr*>(expr);
+          if (assign->op == TokenKind::kAssign && assign->lhs != nullptr &&
+              assign->lhs->kind == ExprKind::kIdent) {
+            store_targets.insert(assign->lhs);
+          }
+        }
+      });
+      ForEachExpr(func->body, [&](const Expr* expr) {
+        if (expr->kind == ExprKind::kIdent && store_targets.count(expr) == 0) {
+          const auto* ident = static_cast<const IdentExpr*>(expr);
+          if (ident->var != nullptr) {
+            read.insert(ident->var);
+          }
+        }
+      });
+
+      auto report = [&](const VarDecl* var, SourceLoc loc, const std::string& what) {
+        BaselineFinding finding;
+        finding.tool = Name();
+        finding.file = project.sources().Path(loc.file);
+        finding.loc = loc;
+        finding.function = func->name;
+        finding.slot = var != nullptr ? var->name : what;
+        finding.description = "return value is never used";
+        result.findings.push_back(std::move(finding));
+      };
+
+      // Pattern 1: `v = call(...)` (or `type v = call(...)`) where v is never
+      // referenced on a right-hand side anywhere in the function.
+      ForEachStmt(func->body, [&](const Stmt* stmt) {
+        if (stmt->kind == StmtKind::kDecl) {
+          const auto* decl = static_cast<const DeclStmt*>(stmt);
+          if (decl->init != nullptr && decl->init->kind == ExprKind::kCall &&
+              read.count(decl->var) == 0 && !decl->var->has_unused_attr) {
+            report(decl->var, decl->loc, decl->var->name);
+          }
+        } else if (stmt->kind == StmtKind::kExpr) {
+          const auto* expr_stmt = static_cast<const ExprStmt*>(stmt);
+          const Expr* expr = expr_stmt->expr;
+          if (expr == nullptr) {
+            return;
+          }
+          if (expr->kind == ExprKind::kAssign) {
+            const auto* assign = static_cast<const AssignExpr*>(expr);
+            if (assign->op == TokenKind::kAssign && assign->lhs != nullptr &&
+                assign->lhs->kind == ExprKind::kIdent &&
+                assign->rhs != nullptr && assign->rhs->kind == ExprKind::kCall) {
+              const auto* ident = static_cast<const IdentExpr*>(assign->lhs);
+              if (ident->var != nullptr && read.count(ident->var) == 0 &&
+                  !ident->var->has_unused_attr) {
+                report(ident->var, assign->loc, ident->var->name);
+              }
+            }
+          } else if (expr->kind == ExprKind::kCall) {
+            // Pattern 2: bare ignored call to a project-internal non-void
+            // function (the kernel-style "must check" heuristic; externs are
+            // whitelisted as ignorable).
+            const auto* call = static_cast<const CallExpr*>(expr);
+            if (call->resolved != nullptr && !call->resolved->is_implicit &&
+                call->resolved->return_type != nullptr &&
+                !call->resolved->return_type->IsVoid()) {
+              const FunctionInfo* info = project.FindFunction(call->resolved->name);
+              if (info != nullptr && info->InProject()) {
+                report(nullptr, call->loc, call->resolved->name);
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+  return result;
+}
+
+}  // namespace vc

@@ -1,0 +1,23 @@
+// Smatch "unused return value" baseline (§8.4.3): AST-pattern matching, not
+// control-flow analysis. A variable assigned from a call is reported when it
+// is never referenced on a right-hand side anywhere in the function — which
+// is both imprecise (a later `if (ret)` anywhere hides an earlier dead
+// assignment, the paper's Fig. 8 miss) and noisy (no peer/intent pruning).
+// Smatch's C parser cannot process C++ codebases (Table 5's "-*" cells).
+
+#ifndef VALUECHECK_SRC_BASELINES_SMATCH_UNUSED_H_
+#define VALUECHECK_SRC_BASELINES_SMATCH_UNUSED_H_
+
+#include "src/baselines/bug_finder.h"
+
+namespace vc {
+
+class SmatchUnused : public BugFinder {
+ public:
+  std::string Name() const override { return "Smatch-unused"; }
+  BaselineResult Find(const Project& project, const ProjectTraits& traits) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_BASELINES_SMATCH_UNUSED_H_

@@ -1,0 +1,119 @@
+#include "src/core/authorship.h"
+
+namespace vc {
+
+AuthorId AuthorshipAnalyzer::AuthorOfLoc(const SourceLoc& loc) const {
+  if (repo_ == nullptr || !loc.IsValid() || loc.file >= project_.sources().NumFiles()) {
+    return kInvalidAuthor;
+  }
+  const std::string& path = project_.sources().Path(loc.file);
+  const std::vector<LineOrigin>* blame_ptr;
+  if (at_commit_ == kInvalidCommit) {
+    blame_ptr = &repo_->Blame(path);
+  } else {
+    auto it = blame_cache_.find(path);
+    if (it == blame_cache_.end()) {
+      it = blame_cache_.emplace(path, repo_->BlameAt(path, at_commit_)).first;
+    }
+    blame_ptr = &it->second;
+  }
+  const std::vector<LineOrigin>& blame = *blame_ptr;
+  int index = loc.line - 1;
+  if (index < 0 || index >= static_cast<int>(blame.size())) {
+    return kInvalidAuthor;
+  }
+  return blame[index].author;
+}
+
+bool AuthorshipAnalyzer::AllDifferent(AuthorId author,
+                                      const std::vector<AuthorId>& others) const {
+  if (author == kInvalidAuthor || others.empty()) {
+    return false;
+  }
+  for (AuthorId other : others) {
+    if (other == author || other == kInvalidAuthor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AuthorshipAnalyzer::Classify(UnusedDefCandidate& cand) const {
+  cand.def_author = AuthorOfLoc(cand.def_loc);
+  cand.cross_scope = false;
+  cand.kind = CandidateKind::kPlainUnused;
+  cand.responsible_author = cand.def_author;
+
+  if (cand.is_param) {
+    // Scenario 2. The "inside" author is whoever ignores or overwrites the
+    // caller-provided value: the overwriting store's author when the
+    // parameter is overwritten, otherwise the parameter's own author.
+    AuthorId inside = cand.def_author;
+    if (cand.overwritten && !cand.overwriter_locs.empty()) {
+      inside = AuthorOfLoc(cand.overwriter_locs.front());
+      cand.kind = CandidateKind::kOverwrittenParam;
+    } else {
+      cand.kind = CandidateKind::kUnusedParam;
+    }
+    cand.responsible_author = inside;
+
+    const FunctionInfo* info = project_.FindFunction(cand.function);
+    if (info == nullptr || inside == kInvalidAuthor) {
+      return;
+    }
+    for (const CallSite& site : info->call_sites) {
+      AuthorId caller = AuthorOfLoc(site.loc);
+      if (caller != kInvalidAuthor && caller != inside) {
+        cand.cross_scope = true;
+        break;
+      }
+    }
+    if (!cand.cross_scope) {
+      cand.kind = CandidateKind::kPlainUnused;
+    }
+    return;
+  }
+
+  // Scenario 3: overwritten by other developers on all successor paths.
+  bool overwritten_cross = false;
+  if (cand.overwritten) {
+    std::vector<AuthorId> overwriters;
+    overwriters.reserve(cand.overwriter_locs.size());
+    for (const SourceLoc& loc : cand.overwriter_locs) {
+      overwriters.push_back(AuthorOfLoc(loc));
+    }
+    overwritten_cross = AllDifferent(cand.def_author, overwriters);
+    if (overwritten_cross) {
+      cand.responsible_author = overwriters.front();
+    }
+  }
+
+  // Scenario 1: return value written by other developers (all return
+  // statements of the callee), or by a library outside the project.
+  bool retval_cross = false;
+  if (cand.FromCall()) {
+    const FunctionInfo* callee =
+        cand.origin_callee != nullptr ? project_.FindFunction(cand.origin_callee->name) : nullptr;
+    if (callee == nullptr || !callee->InProject() || callee->ir == nullptr) {
+      // Library call: the implementer is by definition a different author.
+      retval_cross = cand.def_author != kInvalidAuthor;
+    } else {
+      std::vector<AuthorId> ret_authors;
+      for (const SourceLoc& loc : callee->ir->return_locs) {
+        ret_authors.push_back(AuthorOfLoc(loc));
+      }
+      retval_cross = AllDifferent(cand.def_author, ret_authors);
+    }
+  }
+
+  if (overwritten_cross) {
+    cand.cross_scope = true;
+    cand.kind = CandidateKind::kOverwrittenDef;
+  } else if (retval_cross) {
+    cand.cross_scope = true;
+    cand.kind = CandidateKind::kUnusedRetVal;
+    cand.responsible_author = cand.def_author;
+  }
+}
+
+}  // namespace vc

@@ -1,0 +1,57 @@
+// Inter-procedural authorship analysis (§4.2): classifies each detected
+// unused definition as cross-scope or not by comparing line-level authorship
+// (from the repository's blame) across the developer-interaction boundary:
+//
+//   1. unused return value  — call-site author vs the authors of every return
+//      statement in the callee (library callees count as a different author);
+//   2. unused/overwritten parameter — call-site authors vs the parameter's
+//      author (or the author of the store that overwrites it in the callee);
+//   3. overwritten definition — the definition's author vs the authors of the
+//      nearest overwriting definitions on all successor paths (DefineSet).
+
+#ifndef VALUECHECK_SRC_CORE_AUTHORSHIP_H_
+#define VALUECHECK_SRC_CORE_AUTHORSHIP_H_
+
+#include <vector>
+
+#include "src/core/project.h"
+#include "src/core/unused_def.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+class AuthorshipAnalyzer {
+ public:
+  // `repo` may be null; every author is then unknown and nothing classifies
+  // as cross-scope except library return values. When `at_commit` is given,
+  // blame is evaluated at that commit instead of head (incremental analysis
+  // sees the history as of the commit under analysis).
+  AuthorshipAnalyzer(const Project& project, const Repository* repo,
+                     CommitId at_commit = kInvalidCommit)
+      : project_(project), repo_(repo), at_commit_(at_commit) {}
+
+  // Author of the line containing `loc` per blame, or kInvalidAuthor.
+  AuthorId AuthorOfLoc(const SourceLoc& loc) const;
+
+  // Fills cross_scope / kind / def_author / responsible_author.
+  void Classify(UnusedDefCandidate& cand) const;
+
+  void ClassifyAll(std::vector<UnusedDefCandidate>& candidates) const {
+    for (UnusedDefCandidate& cand : candidates) {
+      Classify(cand);
+    }
+  }
+
+ private:
+  bool AllDifferent(AuthorId author, const std::vector<AuthorId>& others) const;
+
+  const Project& project_;
+  const Repository* repo_;
+  CommitId at_commit_ = kInvalidCommit;
+  // Historical blame results are recomputed per path, so cache them.
+  mutable std::map<std::string, std::vector<LineOrigin>> blame_cache_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_AUTHORSHIP_H_

@@ -1,0 +1,31 @@
+// Unused-definition detection — the analysis core of the paper's Fig. 4.
+//
+// Per function: run backward liveness and the DefineSet analysis to their fix
+// points, then replay each block from its out-state. A store whose slot is
+// not live at that point is an unused definition; the DefineSet at the same
+// point names the overwriting definitions. After the replay, any parameter
+// absent from the entry live-in set is an unused parameter. Address-taken
+// slots are suppressed (the paper's alias rule), as are globals (out of
+// scope, §3.1) and synthetic temps that did not come from ignored calls.
+
+#ifndef VALUECHECK_SRC_CORE_DETECTOR_H_
+#define VALUECHECK_SRC_CORE_DETECTOR_H_
+
+#include <vector>
+
+#include "src/core/project.h"
+#include "src/core/unused_def.h"
+
+namespace vc {
+
+// Detects candidates in one lowered function. `file` is the unit's file id
+// (for paths in the report).
+std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
+                                                 const IrFunction& func);
+
+// Detects candidates across every function of every unit.
+std::vector<UnusedDefCandidate> DetectAll(const Project& project);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_DETECTOR_H_

@@ -1,0 +1,83 @@
+#include "src/core/incremental.h"
+
+#include <chrono>
+#include <set>
+
+#include "src/core/authorship.h"
+#include "src/core/detector.h"
+
+namespace vc {
+
+IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
+                                const ValueCheckOptions& options, Config config) {
+  auto start = std::chrono::steady_clock::now();
+  IncrementalResult result;
+  const Commit& commit = repo.GetCommit(commit_id);
+
+  // Only the files the commit touched are recompiled.
+  std::vector<std::pair<std::string, std::string>> files;
+  std::vector<std::vector<int>> changed_lines;
+  for (const auto& [path, content] : commit.files) {
+    files.emplace_back(path, content);
+    changed_lines.push_back(repo.ChangedLines(path, commit_id));
+  }
+  result.files_analyzed = static_cast<int>(files.size());
+  if (files.empty()) {
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+  }
+
+  Project project = Project::FromSources(files, std::move(config));
+
+  // Detect only in functions whose range overlaps a changed line.
+  std::vector<UnusedDefCandidate> candidates;
+  for (size_t i = 0; i < project.units().size(); ++i) {
+    const TranslationUnit& unit = project.units()[i];
+    const std::vector<int>& lines = changed_lines[i];
+    std::set<std::string> affected;
+    for (const FunctionDecl* func : unit.functions) {
+      if (!func->IsDefined()) {
+        continue;
+      }
+      for (int line : lines) {
+        if (func->range.ContainsLine(line)) {
+          affected.insert(func->name);
+          break;
+        }
+      }
+    }
+    result.functions_analyzed += static_cast<int>(affected.size());
+    for (const auto& func : project.modules()[i]->functions) {
+      if (affected.count(func->name) == 0) {
+        continue;
+      }
+      std::vector<UnusedDefCandidate> found =
+          DetectInFunction(project, project.modules()[i]->file, *func);
+      for (auto& cand : found) {
+        candidates.push_back(std::move(cand));
+      }
+    }
+  }
+
+  AuthorshipAnalyzer authorship(project, &repo, commit_id);
+  authorship.ClassifyAll(candidates);
+  RunPruning(project, candidates, options.prune, nullptr, &repo);
+
+  for (const UnusedDefCandidate& cand : candidates) {
+    if (cand.pruned_by != PruneReason::kNone) {
+      continue;
+    }
+    if (options.cross_scope_only && !cand.cross_scope) {
+      continue;
+    }
+    result.findings.push_back(cand);
+  }
+  RankCandidates(result.findings, &repo, options.ranking);
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace vc

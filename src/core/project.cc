@@ -1,0 +1,100 @@
+#include "src/core/project.h"
+
+#include "src/ir/ir_builder.h"
+#include "src/parser/parser.h"
+#include "src/support/string_util.h"
+
+namespace vc {
+
+Project Project::FromRepository(const Repository& repo, Config config) {
+  Project project;
+  for (const std::string& path : repo.ListFiles()) {
+    std::optional<std::string> content = repo.Head(path);
+    if (content.has_value()) {
+      project.AddAndCompile(path, *content, config);
+    }
+  }
+  project.BuildIndex();
+  return project;
+}
+
+Project Project::FromRepositoryAt(const Repository& repo, CommitId commit, Config config) {
+  Project project;
+  for (const std::string& path : repo.ListFiles()) {
+    std::optional<std::string> content = repo.FileAt(path, commit);
+    if (content.has_value()) {
+      project.AddAndCompile(path, *content, config);
+    }
+  }
+  project.BuildIndex();
+  return project;
+}
+
+Project Project::FromSources(const std::vector<std::pair<std::string, std::string>>& files,
+                             Config config) {
+  Project project;
+  for (const auto& [path, content] : files) {
+    project.AddAndCompile(path, content, config);
+  }
+  project.BuildIndex();
+  return project;
+}
+
+void Project::AddAndCompile(const std::string& path, const std::string& content,
+                            const Config& config) {
+  FileId file = sm_.AddFile(path, content);
+  pp_[file] = Preprocess(sm_.Content(file), config);
+  for (const std::string& error : pp_[file].errors) {
+    diags_.Error({file, 1, 1}, "preprocessor: " + error);
+  }
+  TranslationUnit unit = ParseFile(sm_, file, config, diags_);
+  modules_.push_back(LowerUnit(unit));
+  units_.push_back(std::move(unit));
+}
+
+void Project::BuildIndex() {
+  // Pass 1: definitions.
+  for (size_t i = 0; i < units_.size(); ++i) {
+    const TranslationUnit& unit = units_[i];
+    for (const FunctionDecl* func : unit.functions) {
+      if (!func->IsDefined()) {
+        continue;
+      }
+      FunctionInfo& info = index_[func->name];
+      info.name = func->name;
+      info.def_decl = func;
+      info.def_file = unit.file;
+      info.ir = modules_[i]->FindFunction(func->name);
+    }
+  }
+  // Pass 2: call sites (both to project functions and to externs).
+  for (const auto& module : modules_) {
+    for (const auto& func : module->functions) {
+      for (const CallSite& site : func->call_sites) {
+        if (site.callee == nullptr) {
+          continue;  // indirect call; resolved separately via points-to
+        }
+        FunctionInfo& info = index_[site.callee->name];
+        if (info.name.empty()) {
+          info.name = site.callee->name;
+        }
+        info.call_sites.push_back(site);
+      }
+    }
+  }
+}
+
+int Project::TotalLines() const {
+  int total = 0;
+  for (int i = 0; i < sm_.NumFiles(); ++i) {
+    int lines = sm_.NumLines(i);
+    for (int line = 1; line <= lines; ++line) {
+      if (!Trim(sm_.Line(i, line)).empty()) {
+        ++total;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace vc

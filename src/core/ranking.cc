@@ -1,0 +1,45 @@
+#include "src/core/ranking.h"
+
+#include <algorithm>
+
+#include "src/familiarity/ea_model.h"
+
+namespace vc {
+
+namespace {
+
+// Candidates with no attributable author sort last: they carry no familiarity
+// signal, so they should not displace scored candidates.
+constexpr double kUnknownFamiliarity = 1e9;
+
+}  // namespace
+
+void RankCandidates(std::vector<UnusedDefCandidate>& candidates, const Repository* repo,
+                    const RankingOptions& options) {
+  if (!options.enabled) {
+    return;
+  }
+  for (UnusedDefCandidate& cand : candidates) {
+    if (repo == nullptr || cand.responsible_author == kInvalidAuthor) {
+      cand.familiarity = kUnknownFamiliarity;
+      continue;
+    }
+    if (options.use_ea_model) {
+      cand.familiarity = EaScoreFor(*repo, cand.responsible_author, cand.file);
+    } else {
+      cand.familiarity = DokScoreFor(*repo, cand.responsible_author, cand.file, options.weights);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const UnusedDefCandidate& a, const UnusedDefCandidate& b) {
+                     if (a.familiarity != b.familiarity) {
+                       return a.familiarity < b.familiarity;
+                     }
+                     if (a.file != b.file) {
+                       return a.file < b.file;
+                     }
+                     return a.def_loc < b.def_loc;
+                   });
+}
+
+}  // namespace vc

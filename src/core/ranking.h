@@ -1,0 +1,32 @@
+// Familiarity-based ranking (§6): candidates introduced by developers with
+// low familiarity in the containing file are reviewed first. The default
+// model is DOK; the EA model (§9.2) can be substituted, and individual DOK
+// factors can be zeroed for the Table 6 ablations.
+
+#ifndef VALUECHECK_SRC_CORE_RANKING_H_
+#define VALUECHECK_SRC_CORE_RANKING_H_
+
+#include <vector>
+
+#include "src/core/unused_def.h"
+#include "src/familiarity/dok_model.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+struct RankingOptions {
+  bool enabled = true;
+  DokWeights weights;
+  bool use_ea_model = false;
+};
+
+// Computes familiarity for each candidate's responsible author and sorts the
+// list by ascending familiarity (ties broken by file, then line, for
+// determinism). With ranking disabled, candidates keep detection order and
+// familiarity stays 0.
+void RankCandidates(std::vector<UnusedDefCandidate>& candidates, const Repository* repo,
+                    const RankingOptions& options = RankingOptions());
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_RANKING_H_

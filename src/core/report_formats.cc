@@ -1,0 +1,136 @@
+#include "src/core/report_formats.h"
+
+#include "src/support/json_writer.h"
+
+namespace vc {
+
+namespace {
+
+void WriteFinding(JsonWriter& json, const UnusedDefCandidate& cand, const Repository* repo) {
+  json.BeginObject();
+  json.String("file", cand.file);
+  json.Int("line", cand.def_loc.line);
+  json.Int("column", cand.def_loc.column);
+  json.String("function", cand.function);
+  json.String("variable", cand.slot_name);
+  json.String("kind", CandidateKindName(cand.kind));
+  json.Bool("cross_scope", cand.cross_scope);
+  json.Bool("is_parameter", cand.is_param);
+  json.Bool("ignored_call_result", cand.is_synthetic);
+  json.Bool("field_sensitive", cand.is_field_slot);
+  if (!cand.callee_name.empty()) {
+    json.String("value_from_call", cand.callee_name);
+  }
+  if (!cand.overwriter_locs.empty()) {
+    json.Key("overwritten_at").BeginArray();
+    for (const SourceLoc& loc : cand.overwriter_locs) {
+      json.IntValue(loc.line);
+    }
+    json.EndArray();
+  }
+  if (repo != nullptr && cand.def_author != kInvalidAuthor) {
+    json.String("defined_by", repo->GetAuthor(cand.def_author).name);
+  }
+  if (repo != nullptr && cand.responsible_author != kInvalidAuthor) {
+    json.String("responsible", repo->GetAuthor(cand.responsible_author).name);
+  }
+  json.Double("familiarity", cand.familiarity);
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string ReportToJson(const ValueCheckReport& report, const Repository* repo) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("tool", "valuecheck");
+  json.Double("analysis_seconds", report.analysis_seconds);
+
+  json.Key("prune_stats").BeginObject();
+  json.Int("candidates", report.prune_stats.original);
+  json.Int("config_dependency", report.prune_stats.config_dependency);
+  json.Int("cursor", report.prune_stats.cursor);
+  json.Int("unused_hints", report.prune_stats.unused_hints);
+  json.Int("peer_definition", report.prune_stats.peer_definition);
+  json.Int("stale_code", report.prune_stats.stale_code);
+  json.Int("remaining", report.prune_stats.remaining);
+  json.EndObject();
+
+  json.Int("non_cross_scope", report.non_cross_scope);
+  json.Key("findings").BeginArray();
+  for (const UnusedDefCandidate& cand : report.findings) {
+    WriteFinding(json, cand, repo);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string ReportToSarif(const ValueCheckReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("$schema",
+              "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+              "sarif-schema-2.1.0.json");
+  json.String("version", "2.1.0");
+  json.Key("runs").BeginArray().BeginObject();
+
+  json.Key("tool").BeginObject().Key("driver").BeginObject();
+  json.String("name", "valuecheck");
+  json.String("informationUri", "https://github.com/FloridSleeves/ValueCheck");
+  json.String("version", "1.0.0");
+  json.Key("rules").BeginArray();
+  const char* rule_ids[] = {"overwritten-def", "unused-retval", "unused-param",
+                            "overwritten-param", "plain-unused"};
+  const char* rule_text[] = {
+      "Definition overwritten by another developer before any use",
+      "Function return value ignored or overwritten across author scopes",
+      "Caller-provided argument value never used by the callee",
+      "Caller-provided argument value overwritten inside the callee",
+      "Unused definition (not on an authorship boundary)"};
+  for (size_t i = 0; i < 5; ++i) {
+    json.BeginObject();
+    json.String("id", rule_ids[i]);
+    json.Key("shortDescription").BeginObject();
+    json.String("text", rule_text[i]);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();    // rules
+  json.EndObject();   // driver
+  json.EndObject();   // tool
+
+  json.Key("results").BeginArray();
+  for (const UnusedDefCandidate& cand : report.findings) {
+    json.BeginObject();
+    json.String("ruleId", CandidateKindName(cand.kind));
+    json.String("level", "warning");
+    json.Key("message").BeginObject();
+    json.String("text", "Unused definition of '" + cand.slot_name + "' in function '" +
+                            cand.function + "' (" + CandidateKindName(cand.kind) + ")");
+    json.EndObject();
+    json.Key("locations").BeginArray().BeginObject();
+    json.Key("physicalLocation").BeginObject();
+    json.Key("artifactLocation").BeginObject();
+    json.String("uri", cand.file);
+    json.EndObject();
+    json.Key("region").BeginObject();
+    json.Int("startLine", cand.def_loc.line);
+    json.Int("startColumn", cand.def_loc.column > 0 ? cand.def_loc.column : 1);
+    json.EndObject();
+    json.EndObject();   // physicalLocation
+    json.EndObject().EndArray();  // locations
+    json.Key("properties").BeginObject();
+    json.Double("familiarity", cand.familiarity);
+    json.Bool("crossScope", cand.cross_scope);
+    json.EndObject();
+    json.EndObject();  // result
+  }
+  json.EndArray();   // results
+  json.EndObject();  // run
+  json.EndArray();   // runs
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace vc

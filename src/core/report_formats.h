@@ -1,0 +1,25 @@
+// Machine-readable exports of a ValueCheck report:
+//
+//   * JSON — the full finding records (locations, kinds, authorship,
+//     familiarity, prune statistics) for downstream triage tooling;
+//   * SARIF 2.1.0 — the interchange format CI code-scanning UIs ingest
+//     (one result per finding, rule ids per candidate kind).
+
+#ifndef VALUECHECK_SRC_CORE_REPORT_FORMATS_H_
+#define VALUECHECK_SRC_CORE_REPORT_FORMATS_H_
+
+#include <string>
+
+#include "src/core/valuecheck.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+// `repo` resolves author ids to names; pass null to omit author names.
+std::string ReportToJson(const ValueCheckReport& report, const Repository* repo = nullptr);
+
+std::string ReportToSarif(const ValueCheckReport& report);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_REPORT_FORMATS_H_

@@ -1,0 +1,87 @@
+// The unit of work flowing through ValueCheck's pipeline: one unused
+// definition candidate, from detection (locations only), through authorship
+// classification (cross-scope or not), pruning (reason recorded), to ranking
+// (familiarity score attached).
+
+#ifndef VALUECHECK_SRC_CORE_UNUSED_DEF_H_
+#define VALUECHECK_SRC_CORE_UNUSED_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/support/source_location.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+// The cross-scope scenarios of §3.1 plus the non-cross-scope leftover.
+enum class CandidateKind {
+  kOverwrittenDef,    // scenario 3: definition overwritten by other authors
+  kUnusedRetVal,      // scenario 1: ignored/overwritten function return value
+  kUnusedParam,       // scenario 2: argument value never used in the callee
+  kOverwrittenParam,  // scenario 2 variant: argument overwritten in the callee
+  kPlainUnused,       // unused, but not one of the cross-scope shapes
+};
+
+const char* CandidateKindName(CandidateKind kind);
+
+enum class PruneReason {
+  kNone,
+  kConfigDependency,
+  kCursor,
+  kUnusedHint,
+  kPeerDefinition,
+  // Extension (paper §9.1 future work): legacy/debugging code identified
+  // from commit history. Off by default.
+  kStaleCode,
+};
+
+const char* PruneReasonName(PruneReason reason);
+
+struct UnusedDefCandidate {
+  // --- Filled by the detector ---
+  std::string function;   // containing function name
+  std::string slot_name;  // "v", "v#2", "_tmp0"
+  std::string file;       // path of the containing file
+  SourceLoc def_loc;      // the unused store (or the parameter declaration)
+  const IrFunction* ir_func = nullptr;
+  SlotId slot = kInvalidSlot;
+  const VarDecl* var = nullptr;  // null for synthetic temps
+
+  bool is_param = false;      // unused parameter (checked at function entry)
+  bool is_synthetic = false;  // ignored call result
+  bool is_field_slot = false;
+  bool overwritten = false;   // a later definition kills this one on all paths
+  std::vector<SourceLoc> overwriter_locs;
+
+  // Set when the stored value came straight from a call; the callee is the
+  // project-wide name (definition may live in another file).
+  const FunctionDecl* origin_callee = nullptr;
+  // Self-contained copy of origin_callee->name (reports outlive the AST).
+  std::string callee_name;
+
+  // Cursor-shape info for pruning.
+  bool is_increment = false;
+  long long increment_amount = 0;
+
+  // --- Filled by the authorship phase ---
+  bool cross_scope = false;
+  CandidateKind kind = CandidateKind::kPlainUnused;
+  AuthorId def_author = kInvalidAuthor;
+  // The developer on the ignoring/overwriting side of the boundary — whose
+  // familiarity the ranking stage scores (§6).
+  AuthorId responsible_author = kInvalidAuthor;
+
+  // --- Filled by pruning ---
+  PruneReason pruned_by = PruneReason::kNone;
+
+  // --- Filled by ranking ---
+  double familiarity = 0.0;
+
+  bool FromCall() const { return origin_callee != nullptr || is_synthetic; }
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_UNUSED_DEF_H_

@@ -1,0 +1,71 @@
+#include "src/corpus/eval.h"
+
+#include <algorithm>
+
+namespace vc {
+
+ToolEval EvaluateLocations(const GroundTruth& truth, const std::string& tool,
+                           const std::vector<std::pair<std::string, int>>& locations) {
+  ToolEval eval;
+  eval.tool = tool;
+  std::set<std::pair<std::string, int>> deduped(locations.begin(), locations.end());
+  std::set<int> matched_sites;
+  for (const auto& [file, line] : deduped) {
+    const GtSite* site = truth.Match(file, line);
+    if (site == nullptr) {
+      ++eval.unmatched;
+      ++eval.found;
+      continue;
+    }
+    if (matched_sites.insert(site->id).second) {
+      ++eval.found;
+      if (site->is_real_bug) {
+        ++eval.real;
+        eval.real_site_ids.insert(site->id);
+      }
+    }
+  }
+  return eval;
+}
+
+std::vector<std::pair<std::string, int>> LocationsOf(const ValueCheckReport& report) {
+  std::vector<std::pair<std::string, int>> locations;
+  locations.reserve(report.findings.size());
+  for (const UnusedDefCandidate& cand : report.findings) {
+    locations.emplace_back(cand.file, cand.def_loc.line);
+  }
+  return locations;
+}
+
+std::vector<std::pair<std::string, int>> LocationsOf(const BaselineResult& result) {
+  std::vector<std::pair<std::string, int>> locations;
+  locations.reserve(result.findings.size());
+  for (const BaselineFinding& finding : result.findings) {
+    locations.emplace_back(finding.file, finding.loc.line);
+  }
+  return locations;
+}
+
+std::vector<std::pair<std::string, int>> LocationsOf(
+    const std::vector<UnusedDefCandidate>& candidates) {
+  std::vector<std::pair<std::string, int>> locations;
+  locations.reserve(candidates.size());
+  for (const UnusedDefCandidate& cand : candidates) {
+    locations.emplace_back(cand.file, cand.def_loc.line);
+  }
+  return locations;
+}
+
+ToolEval EvaluateBaseline(const GroundTruth& truth, const std::string& tool,
+                          const BaselineResult& result) {
+  if (!result.ok) {
+    ToolEval eval;
+    eval.tool = tool;
+    eval.ok = false;
+    eval.error = result.error;
+    return eval;
+  }
+  return EvaluateLocations(truth, tool, LocationsOf(result));
+}
+
+}  // namespace vc

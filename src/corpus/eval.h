@@ -1,0 +1,48 @@
+// Scoring helpers: match tool findings against the ground-truth ledger and
+// compute the found / real / false-positive-rate triples the paper's Table 5
+// reports, plus the category-level breakdowns behind Tables 2-4.
+
+#ifndef VALUECHECK_SRC_CORPUS_EVAL_H_
+#define VALUECHECK_SRC_CORPUS_EVAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/baselines/bug_finder.h"
+#include "src/core/valuecheck.h"
+#include "src/corpus/ground_truth.h"
+
+namespace vc {
+
+struct ToolEval {
+  std::string tool;
+  bool ok = true;
+  std::string error;
+  int found = 0;      // deduplicated reported locations
+  int real = 0;       // reports matching a real-bug site
+  int unmatched = 0;  // reports matching no ledger site (generator escapees)
+  std::set<int> real_site_ids;
+
+  double FpRate() const {
+    return found > 0 ? 1.0 - static_cast<double>(real) / static_cast<double>(found) : 0.0;
+  }
+};
+
+// Scores a deduplicated set of (file, line) report locations.
+ToolEval EvaluateLocations(const GroundTruth& truth, const std::string& tool,
+                           const std::vector<std::pair<std::string, int>>& locations);
+
+// Location extraction.
+std::vector<std::pair<std::string, int>> LocationsOf(const ValueCheckReport& report);
+std::vector<std::pair<std::string, int>> LocationsOf(const BaselineResult& result);
+std::vector<std::pair<std::string, int>> LocationsOf(
+    const std::vector<UnusedDefCandidate>& candidates);
+
+// Scores a baseline run end to end (propagates tool errors).
+ToolEval EvaluateBaseline(const GroundTruth& truth, const std::string& tool,
+                          const BaselineResult& result);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORPUS_EVAL_H_

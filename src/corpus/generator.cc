@@ -1,0 +1,941 @@
+#include "src/corpus/generator.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/corpus/synthetic_file.h"
+#include "src/support/rng.h"
+
+namespace vc {
+
+namespace {
+
+// Survivor-site kinds that get interleaved across shared files (so detection
+// order mixes real bugs and false positives, as in a real codebase).
+enum class EmitKind {
+  kRetvalIgnored,
+  kRetvalIgnoredChecked,
+  kOverwrittenSameBlock,
+  kOverwrittenCrossBlock,
+  kParamOverwritten,
+  kParamPlain,
+  kFieldOverwritten,
+  kSameAuthorOverwrite,
+  kMinorDefect,
+  kDebugDefect,
+  kInferBait,
+  kCoverityBaitOverwrite,
+  kCoverityBaitChecked,
+  kDefensiveInit,
+  kFiller,
+};
+
+std::string AppPrefix(const std::string& name) {
+  std::string prefix;
+  for (char c : name) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      prefix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (prefix.size() == 3) {
+      break;
+    }
+  }
+  return prefix.empty() ? "app" : prefix;
+}
+
+class AppGenerator {
+ public:
+  explicit AppGenerator(const ProjectProfile& profile)
+      : profile_(profile), counts_(profile.counts), rng_(profile.seed) {
+    app_.name = profile.name;
+    app_.traits = profile.traits;
+    prefix_ = AppPrefix(profile.name);
+    for (int i = 0; i < counts_.maintainers; ++i) {
+      app_.maintainers.push_back(
+          app_.repo.AddAuthor(prefix_ + "_maint_" + std::to_string(i)));
+    }
+    for (int i = 0; i < counts_.drive_by; ++i) {
+      app_.drive_by.push_back(app_.repo.AddAuthor(prefix_ + "_dev_" + std::to_string(i)));
+    }
+  }
+
+  GeneratedApp Run() {
+    EmitInterleavedSites();
+    EmitCursorSites();
+    EmitConfigSites();
+    EmitHintParamSites();
+    EmitHintVarSites();
+    EmitPeerSites();
+    CloseFile();
+    return std::move(app_);
+  }
+
+ private:
+  // --- Author selection ----------------------------------------------------
+
+  AuthorId Maintainer() { return app_.maintainers[rng_.NextBelow(app_.maintainers.size())]; }
+  AuthorId DriveBy() { return app_.drive_by[rng_.NextBelow(app_.drive_by.size())]; }
+
+  // The developer on the ignoring side of a confirmed bug: predominantly a
+  // low-familiarity contributor (this is what makes the DOK ranking work,
+  // §6 / Fig. 9).
+  AuthorId PickBugResponsible() { return rng_.NextBool(0.85) ? DriveBy() : Maintainer(); }
+
+  // The developer responsible for an intentional/minor unused definition:
+  // predominantly a maintainer with high familiarity.
+  AuthorId PickCalmResponsible() { return rng_.NextBool(0.90) ? Maintainer() : DriveBy(); }
+
+  // Authors of non-cross-scope sites (defensive inits, baits). With
+  // probability `non_cross_drive_by_fraction` the author is a low-familiarity
+  // newcomer (these compete with real bugs for the top ranks when the
+  // authorship filter is ablated, §8.5.1 / Table 6); otherwise the site
+  // belongs to the file's founding maintainer, whose first-authorship and
+  // delivery counts push it far down the DOK ranking.
+  AuthorId PickNonCrossAuthor() {
+    return rng_.NextBool(counts_.non_cross_drive_by_fraction) ? DriveBy() : owner_;
+  }
+
+  AuthorId DifferentFrom(AuthorId other, bool maintainer_pool) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      AuthorId candidate = maintainer_pool ? Maintainer() : DriveBy();
+      if (candidate != other) {
+        return candidate;
+      }
+    }
+    // Pools always have >= 2 members; fall back to a linear scan.
+    const std::vector<AuthorId>& pool = maintainer_pool ? app_.maintainers : app_.drive_by;
+    for (AuthorId candidate : pool) {
+      if (candidate != other) {
+        return candidate;
+      }
+    }
+    return other;
+  }
+
+  // --- File management -------------------------------------------------------
+
+  void OpenFile() {
+    CloseFile();
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s_src/f%04d.c", prefix_.c_str(), file_seq_++);
+    file_ = std::make_unique<SyntheticFile>(name);
+    // Randomized size budget: file commit counts (and so every author's AC
+    // value) vary across files, like real modules.
+    file_budget_ = static_cast<int>(rng_.NextInRange(380, 650));
+    // 82% of files carry old history (bugs older than 1000 days, Fig. 7c).
+    age_days_ = rng_.NextBool(0.82) ? rng_.NextInRange(1400, 2400) : rng_.NextInRange(120, 900);
+    owner_ = Maintainer();
+    int round = NewRound(owner_, "create " + file_->path());
+    file_->AddLine(round, "/* " + profile_.name + " synthesized module " + file_->path() + " */");
+    file_->AddLine(round, "int g_sink;");
+  }
+
+  void CloseFile() {
+    if (file_ != nullptr) {
+      file_->CommitTo(app_.repo);
+      file_.reset();
+    }
+  }
+
+  void RotateIfLarge() {
+    if (file_ == nullptr || file_->NumLines() > file_budget_) {
+      OpenFile();
+    }
+  }
+
+  int NewRound(AuthorId author, const std::string& message) {
+    age_days_ -= rng_.NextInRange(4, 18);
+    if (age_days_ < 20) {
+      age_days_ = 20;
+    }
+    last_round_age_ = age_days_;
+    return file_->AddRound(author, kCorpusNow - age_days_ * kSecondsPerDay, message);
+  }
+
+  int NextId() { return site_counter_++; }
+
+  std::string Tag(int id) { return std::to_string(id); }
+
+  // --- Ground-truth helpers ---------------------------------------------------
+
+  GtSite BaseSite(SiteCategory category, int line) {
+    GtSite site;
+    site.category = category;
+    site.file = file_->path();
+    site.line = line;
+    site.age_days = last_round_age_;
+    return site;
+  }
+
+  void LabelBug(GtSite& site, bool missing_check) {
+    site.is_real_bug = true;
+    site.missing_check = missing_check;
+    static const std::vector<std::string> kComponents = {
+        "file-system", "security", "driver", "network", "memory", "other"};
+    static const std::vector<double> kComponentWeights = {0.38, 0.17, 0.15, 0.12, 0.08, 0.10};
+    static const std::vector<std::string> kSeverities = {"high", "medium", "low"};
+    static const std::vector<double> kSeverityWeights = {0.15, 0.59, 0.26};
+    site.component = kComponents[rng_.NextWeighted(kComponentWeights)];
+    site.severity = kSeverities[rng_.NextWeighted(kSeverityWeights)];
+    // The prior-bug recall set (§8.3.2) only contains bugs ValueCheck's
+    // envelope can reach: cross-scope and not pruned.
+    if (site.is_real_bug && site.expect_cross_scope && !site.expect_pruned &&
+        prior_detected_left_ > 0) {
+      site.prior_bug = true;
+      --prior_detected_left_;
+    }
+  }
+
+  void LabelMinor(GtSite& site) {
+    site.is_real_bug = false;
+    site.component = "other";
+    site.severity = "low";
+  }
+
+  // --- Interleaved survivor sites ----------------------------------------------
+
+  void EmitInterleavedSites() {
+    prior_detected_left_ = counts_.prior_bugs_detected;
+    minor_low_dok_left_ = counts_.minor_low_dok;
+    std::vector<EmitKind> plan;
+    auto add = [&plan](EmitKind kind, int count) {
+      for (int i = 0; i < count; ++i) {
+        plan.push_back(kind);
+      }
+    };
+    add(EmitKind::kRetvalIgnored, counts_.retval_ignored);
+    add(EmitKind::kRetvalIgnoredChecked, counts_.retval_ignored_checked);
+    add(EmitKind::kOverwrittenSameBlock, counts_.retval_overwritten_same_block);
+    add(EmitKind::kOverwrittenCrossBlock, counts_.retval_overwritten_cross_block);
+    add(EmitKind::kParamOverwritten, (counts_.param_unused + 1) / 2);
+    add(EmitKind::kParamPlain, counts_.param_unused / 2);
+    add(EmitKind::kFieldOverwritten, counts_.field_overwritten);
+    add(EmitKind::kSameAuthorOverwrite, counts_.same_author_overwrite);
+    add(EmitKind::kMinorDefect, counts_.minor_defects);
+    add(EmitKind::kDebugDefect, counts_.debug_defects);
+    add(EmitKind::kInferBait, counts_.infer_bait);
+    add(EmitKind::kCoverityBaitOverwrite, counts_.coverity_bait_overwrite);
+    add(EmitKind::kCoverityBaitChecked, counts_.coverity_bait_checked);
+    // Defensive initializers share the interleaved files so their authors'
+    // AC values are drawn from the same distribution as the bug authors' —
+    // the w/o-Authorship ablation then mixes the populations exactly as the
+    // paper observes.
+    add(EmitKind::kDefensiveInit, counts_.defensive_init);
+    add(EmitKind::kFiller, counts_.filler_functions);
+    rng_.Shuffle(plan);
+
+    for (EmitKind kind : plan) {
+      RotateIfLarge();
+      switch (kind) {
+        case EmitKind::kRetvalIgnored:
+          EmitRetvalIgnored();
+          break;
+        case EmitKind::kRetvalIgnoredChecked:
+          EmitRetvalIgnoredChecked();
+          break;
+        case EmitKind::kOverwrittenSameBlock:
+          EmitOverwritten(/*cross_block=*/false, SiteCategory::kRealRetvalOverwrittenSameBlock);
+          break;
+        case EmitKind::kOverwrittenCrossBlock:
+          EmitOverwritten(/*cross_block=*/true, SiteCategory::kRealRetvalOverwrittenCrossBlock);
+          break;
+        case EmitKind::kParamOverwritten:
+          EmitParamBug(/*overwritten=*/true);
+          break;
+        case EmitKind::kParamPlain:
+          EmitParamBug(/*overwritten=*/false);
+          break;
+        case EmitKind::kFieldOverwritten:
+          EmitFieldOverwritten();
+          break;
+        case EmitKind::kSameAuthorOverwrite:
+          EmitSameAuthorOverwrite();
+          break;
+        case EmitKind::kMinorDefect:
+          EmitMinorOrDebug(SiteCategory::kMinorDefect);
+          break;
+        case EmitKind::kDebugDefect:
+          EmitMinorOrDebug(SiteCategory::kDebugCodeDefect);
+          break;
+        case EmitKind::kInferBait:
+          EmitInferBait();
+          break;
+        case EmitKind::kCoverityBaitOverwrite:
+          EmitCoverityBaitOverwrite();
+          break;
+        case EmitKind::kCoverityBaitChecked:
+          EmitCoverityBaitChecked();
+          break;
+        case EmitKind::kDefensiveInit:
+          EmitDefensiveInit();
+          break;
+        case EmitKind::kFiller:
+          EmitFiller();
+          break;
+      }
+    }
+  }
+
+  // Scenario 1 bug: a status-returning callee, implemented by one developer,
+  // whose result a different developer ignores at the (single) call site.
+  void EmitRetvalIgnored() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_y = PickCalmResponsible();
+    AuthorId author_x = PickBugResponsible();
+    if (author_x == author_y) {
+      author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+    }
+    int ry = NewRound(author_y, "add " + prefix_ + "_dev_status_" + t);
+    file_->AddLine(ry, "static int " + prefix_ + "_dev_status_" + t + "(int code) {");
+    file_->AddLine(ry, "  if (code > " + std::to_string(id % 5) + ") {");
+    file_->AddLine(ry, "    return code + " + std::to_string(id % 7 + 1) + ";");
+    file_->AddLine(ry, "  }");
+    file_->AddLine(ry, "  return 0 - code;");
+    file_->AddLine(ry, "}");
+    int rx = NewRound(author_x, "handle request path " + t);
+    file_->AddLine(rx, "int " + prefix_ + "_handle_req_" + t + "(int req) {");
+    int site_line = file_->AddLine(rx, "  " + prefix_ + "_dev_status_" + t + "(req);");
+    file_->AddLine(rx, "  g_sink = req + " + std::to_string(id % 9) + ";");
+    file_->AddLine(rx, "  return req * 2;");
+    file_->AddLine(rx, "}");
+
+    GtSite site = BaseSite(SiteCategory::kRealRetvalIgnored, site_line);
+    site.expect_cross_scope = true;
+    LabelBug(site, /*missing_check=*/true);
+    app_.truth.Add(site);
+  }
+
+  // Scenario 1 bug variant whose callee is checked at 9 other call sites —
+  // visible to Coverity's CHECKED_RETURN ratio inference.
+  void EmitRetvalIgnoredChecked() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_y = PickCalmResponsible();
+    AuthorId author_x = PickBugResponsible();
+    if (author_x == author_y) {
+      author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+    }
+    int ry = NewRound(author_y, "add init stage " + t);
+    file_->AddLine(ry, "static int " + prefix_ + "_init_stage_" + t + "(int v) {");
+    file_->AddLine(ry, "  if (v > 1) {");
+    file_->AddLine(ry, "    return v;");
+    file_->AddLine(ry, "  }");
+    file_->AddLine(ry, "  return 1;");
+    file_->AddLine(ry, "}");
+    int rc = NewRound(author_y, "wire init stage callers " + t);
+    for (int k = 0; k < 9; ++k) {
+      const std::string tk = t + "_" + std::to_string(k);
+      file_->AddLine(rc, "int " + prefix_ + "_warm_" + tk + "(int v) {");
+      file_->AddLine(rc, "  int st_" + tk + " = " + prefix_ + "_init_stage_" + t + "(v);");
+      file_->AddLine(rc, "  if (st_" + tk + " > 0) {");
+      file_->AddLine(rc, "    return st_" + tk + ";");
+      file_->AddLine(rc, "  }");
+      file_->AddLine(rc, "  return 0;");
+      file_->AddLine(rc, "}");
+    }
+    int rx = NewRound(author_x, "fast path skips init check " + t);
+    file_->AddLine(rx, "int " + prefix_ + "_fast_path_" + t + "(int v) {");
+    int site_line = file_->AddLine(rx, "  " + prefix_ + "_init_stage_" + t + "(v);");
+    file_->AddLine(rx, "  return v + 3;");
+    file_->AddLine(rx, "}");
+
+    GtSite site = BaseSite(SiteCategory::kRealRetvalIgnoredChecked, site_line);
+    site.expect_cross_scope = true;
+    LabelBug(site, /*missing_check=*/true);
+    app_.truth.Add(site);
+  }
+
+  // Scenario 3 bug (paper Fig. 8): one developer's `ret = f(...)` definition
+  // is later shadowed by another developer's `ret = g(...)`; the subsequent
+  // `if (ret)` now checks the wrong status.
+  void EmitOverwritten(bool cross_block, SiteCategory category) {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_x = PickCalmResponsible();
+    AuthorId author_b = PickBugResponsible();
+    if (author_b == author_x) {
+      author_b = DifferentFrom(author_x, /*maintainer_pool=*/false);
+    }
+    int ra = NewRound(author_x, "add permset helpers " + t);
+    file_->AddLine(ra, "static int " + prefix_ + "_get_permset_" + t + "(int en) {");
+    file_->AddLine(ra, "  return en + " + std::to_string(id % 5 + 1) + ";");
+    file_->AddLine(ra, "}");
+    file_->AddLine(ra, "static int " + prefix_ + "_calc_mask_" + t + "(int m) {");
+    file_->AddLine(ra, "  return m * 2;");
+    file_->AddLine(ra, "}");
+    file_->AddLine(ra, "int " + prefix_ + "_acl_build_" + t + "(int en, int m) {");
+    int site_line =
+        file_->AddLine(ra, "  int ret_" + t + " = " + prefix_ + "_get_permset_" + t + "(en);");
+    if (cross_block) {
+      file_->AddLine(ra, "  if (en > 9) {");
+      file_->AddLine(ra, "    m = m + en;");
+      file_->AddLine(ra, "  }");
+    }
+    int rb = NewRound(author_b, "recompute mask in acl build " + t);
+    file_->AddLine(rb, "  ret_" + t + " = " + prefix_ + "_calc_mask_" + t + "(m);");
+    file_->AddLine(ra, "  if (ret_" + t + ") {");
+    file_->AddLine(ra, "    return 0;");
+    file_->AddLine(ra, "  }");
+    file_->AddLine(ra, "  return 1;");
+    file_->AddLine(ra, "}");
+
+    GtSite site = BaseSite(category, site_line);
+    site.expect_cross_scope = true;
+    LabelBug(site, /*missing_check=*/true);
+    app_.truth.Add(site);
+  }
+
+  // Scenario 2 bug (paper Fig. 1b): the callee overwrites (or ignores) a
+  // caller-provided argument, silently voiding the caller's configuration.
+  void EmitParamBug(bool overwritten) {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_y = PickBugResponsible();  // the callee implementer
+    AuthorId author_x = Maintainer();
+    if (author_x == author_y) {
+      author_x = DifferentFrom(author_y, /*maintainer_pool=*/true);
+    }
+    int ry = NewRound(author_y, "implement module open " + t);
+    int header_line;
+    if (overwritten) {
+      header_line = file_->AddLine(
+          ry, "int " + prefix_ + "_log_open_" + t + "(int lpath, int bufsz_" + t + ") {");
+      file_->AddLine(ry, "  bufsz_" + t + " = 1400;");
+      file_->AddLine(ry, "  if (bufsz_" + t + " > lpath) {");
+      file_->AddLine(ry, "    return bufsz_" + t + ";");
+      file_->AddLine(ry, "  }");
+      file_->AddLine(ry, "  return lpath;");
+      file_->AddLine(ry, "}");
+    } else {
+      header_line = file_->AddLine(
+          ry, "int " + prefix_ + "_log_open_" + t + "(int lpath, int flags_" + t + ") {");
+      file_->AddLine(ry, "  g_sink = lpath;");
+      file_->AddLine(ry, "  return lpath + 5;");
+      file_->AddLine(ry, "}");
+    }
+    int rx = NewRound(author_x, "open headers log " + t);
+    file_->AddLine(rx, "int " + prefix_ + "_open_hdr_" + t + "(int p1) {");
+    file_->AddLine(rx, "  int h_" + t + " = " + prefix_ + "_log_open_" + t + "(p1, 0);");
+    file_->AddLine(rx, "  return h_" + t + ";");
+    file_->AddLine(rx, "}");
+
+    GtSite site = BaseSite(SiteCategory::kRealParamUnused, header_line);
+    site.expect_cross_scope = true;
+    LabelBug(site, /*missing_check=*/true);
+    app_.truth.Add(site);
+  }
+
+  // Field-sensitive semantic bug (paper Fig. 6b shape): a struct field is
+  // assigned a meaningful value that a later reset (by another developer)
+  // clobbers before use.
+  void EmitFieldOverwritten() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_x = PickCalmResponsible();
+    AuthorId author_b = PickBugResponsible();
+    if (author_b == author_x) {
+      author_b = DifferentFrom(author_x, /*maintainer_pool=*/false);
+    }
+    int rx = NewRound(author_x, "add security context setup " + t);
+    file_->AddLine(rx, "struct " + prefix_ + "_ctx_" + t + " { int host; int port; };");
+    file_->AddLine(rx, "int " + prefix_ + "_setup_" + t + "(int hv, int pv) {");
+    file_->AddLine(rx, "  struct " + prefix_ + "_ctx_" + t + " sc_" + t + ";");
+    int site_line = file_->AddLine(rx, "  sc_" + t + ".host = hv;");
+    int rb = NewRound(author_b, "reset host before send " + t);
+    file_->AddLine(rb, "  sc_" + t + ".host = 0;");
+    file_->AddLine(rx, "  sc_" + t + ".port = pv;");
+    file_->AddLine(rx, "  return sc_" + t + ".host + sc_" + t + ".port;");
+    file_->AddLine(rx, "}");
+
+    GtSite site = BaseSite(SiteCategory::kRealFieldOverwritten, site_line);
+    site.expect_cross_scope = true;
+    LabelBug(site, /*missing_check=*/false);
+    app_.truth.Add(site);
+  }
+
+  // A real bug entirely inside one developer's code: outside ValueCheck's
+  // cross-scope envelope (§8.4.5) but visible to Coverity's UNUSED_VALUE.
+  void EmitSameAuthorOverwrite() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_z = PickNonCrossAuthor();
+    int rz = NewRound(author_z, "bus read/write path " + t);
+    file_->AddLine(rz, "static int " + prefix_ + "_bus_rd_" + t + "(int a) {");
+    file_->AddLine(rz, "  return a + 2;");
+    file_->AddLine(rz, "}");
+    file_->AddLine(rz, "static int " + prefix_ + "_bus_wr_" + t + "(int b) {");
+    file_->AddLine(rz, "  return b + 4;");
+    file_->AddLine(rz, "}");
+    file_->AddLine(rz, "int " + prefix_ + "_bus_xfer_" + t + "(int a, int b) {");
+    int site_line =
+        file_->AddLine(rz, "  int bst_" + t + " = " + prefix_ + "_bus_rd_" + t + "(a);");
+    file_->AddLine(rz, "  bst_" + t + " = " + prefix_ + "_bus_wr_" + t + "(b);");
+    file_->AddLine(rz, "  if (bst_" + t + ") {");
+    file_->AddLine(rz, "    return 1;");
+    file_->AddLine(rz, "  }");
+    file_->AddLine(rz, "  return 0;");
+    file_->AddLine(rz, "}");
+
+    GtSite site = BaseSite(SiteCategory::kRealSameAuthorOverwrite, site_line);
+    site.expect_cross_scope = false;
+    LabelBug(site, /*missing_check=*/true);
+    app_.truth.Add(site);
+  }
+
+  // ValueCheck false positives (§8.3.1): unused definitions developers admit
+  // but will not fix. Shape depends on the application (see profile.h).
+  void EmitMinorOrDebug(SiteCategory category) {
+    int id = NextId();
+    const std::string t = Tag(id);
+    // The developer who leaves the intentional unused definition is the
+    // file's founder: first authorship plus accumulated deliveries keep these
+    // out of the top ranks (and make the FA factor load-bearing for the
+    // Table 6 w/o-FA ablation). A profile-controlled handful are left by
+    // newcomers instead — the rare false positive near the top of Fig. 9.
+    // Half founder (FA-backed rank), half heavy contributor (DL-backed rank):
+    // zeroing either DOK factor in the Table 6 ablations then demotes the
+    // corresponding half of these false positives into the bug range.
+    bool heavy = rng_.NextBool(0.5);
+    AuthorId author_b = heavy ? DifferentFrom(owner_, /*maintainer_pool=*/true) : owner_;
+    if (minor_low_dok_left_ > 0) {
+      author_b = DriveBy();
+      heavy = false;
+      --minor_low_dok_left_;
+    }
+    AuthorId author_x = PickCalmResponsible();
+    if (author_b == author_x) {
+      author_x = DifferentFrom(author_b, /*maintainer_pool=*/true);
+    }
+    const bool is_debug = category == SiteCategory::kDebugCodeDefect;
+    const std::string msg_tag = is_debug ? "add debug counters " : "";
+    int site_line;
+    if (counts_.minor_defects_overwrite_shape) {
+      // Same-block overwrite, cross-author (the overwriter is a maintainer
+      // who knows the first call cannot fail in this context).
+      int ra = NewRound(author_x, msg_tag.empty() ? "probe helpers " + t : msg_tag + t);
+      file_->AddLine(ra, "static int " + prefix_ + "_probe_a_" + t + "(int a) {");
+      file_->AddLine(ra, "  return a + 1;");
+      file_->AddLine(ra, "}");
+      file_->AddLine(ra, "static int " + prefix_ + "_probe_b_" + t + "(int b) {");
+      file_->AddLine(ra, "  return b + 3;");
+      file_->AddLine(ra, "}");
+      file_->AddLine(ra, "int " + prefix_ + "_mon_" + t + "(int a, int b) {");
+      site_line =
+          file_->AddLine(ra, "  int mst_" + t + " = " + prefix_ + "_probe_a_" + t + "(a);");
+      int rb = NewRound(author_b, "prefer probe_b status " + t);
+      file_->AddLine(rb, "  mst_" + t + " = " + prefix_ + "_probe_b_" + t + "(b);");
+      file_->AddLine(ra, "  if (mst_" + t + ") {");
+      file_->AddLine(ra, "    return 1;");
+      file_->AddLine(ra, "  }");
+      file_->AddLine(ra, "  return 0;");
+      file_->AddLine(ra, "}");
+    } else {
+      // Rarely-checked ignored return: a 2-call-site callee where the other
+      // site checks; the ignoring site is intentional ("cannot fail here").
+      AuthorId author_y = author_x;  // callee implementer
+      int ry = NewRound(author_y, "add refresh helper " + t);
+      file_->AddLine(ry, "static int " + prefix_ + "_refresh_" + t + "(int v) {");
+      file_->AddLine(ry, "  if (v > 2) {");
+      file_->AddLine(ry, "    return v - 2;");
+      file_->AddLine(ry, "  }");
+      file_->AddLine(ry, "  return 0;");
+      file_->AddLine(ry, "}");
+      file_->AddLine(ry, "int " + prefix_ + "_refresh_chk_" + t + "(int v) {");
+      file_->AddLine(ry, "  int rst_" + t + " = " + prefix_ + "_refresh_" + t + "(v);");
+      file_->AddLine(ry, "  if (rst_" + t + " > 0) {");
+      file_->AddLine(ry, "    return rst_" + t + ";");
+      file_->AddLine(ry, "  }");
+      file_->AddLine(ry, "  return 0;");
+      file_->AddLine(ry, "}");
+      int rx = NewRound(author_b, msg_tag.empty() ? "periodic tick " + t : msg_tag + t);
+      file_->AddLine(rx, "int " + prefix_ + "_tick_" + t + "(int v) {");
+      site_line = file_->AddLine(rx, "  " + prefix_ + "_refresh_" + t + "(v);");
+      file_->AddLine(rx, "  return v + 9;");
+      file_->AddLine(rx, "}");
+    }
+
+    if (heavy) {
+      // Several additional deliveries to this file give the contributor a
+      // high DL count without first authorship.
+      for (int k = 0; k < 6; ++k) {
+        int extra = NextId();
+        int rh = NewRound(author_b, "maintenance pass " + Tag(extra));
+        file_->AddLine(rh, "int " + prefix_ + "_mx_" + Tag(extra) + "(int av) {");
+        file_->AddLine(rh, "  return av + " + std::to_string(k + 1) + ";");
+        file_->AddLine(rh, "}");
+      }
+    }
+
+    GtSite site = BaseSite(category, site_line);
+    site.expect_cross_scope = true;
+    LabelMinor(site);
+    if (category == SiteCategory::kDebugCodeDefect) {
+      site.component = "debug";
+    }
+    app_.truth.Add(site);
+  }
+
+  // Same-author cross-block overwrite: invisible to ValueCheck (authorship)
+  // and Coverity (block-local), a false positive for fb-infer's dead store.
+  void EmitInferBait() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_z = PickNonCrossAuthor();
+    int rz = NewRound(author_z, "scan position handling " + t);
+    file_->AddLine(rz, "int " + prefix_ + "_scan_" + t + "(int av) {");
+    int site_line = file_->AddLine(rz, "  int pos_" + t + " = av + 1;");
+    file_->AddLine(rz, "  if (av > 3) {");
+    file_->AddLine(rz, "    g_sink = av;");
+    file_->AddLine(rz, "  }");
+    file_->AddLine(rz, "  pos_" + t + " = av + 2;");
+    file_->AddLine(rz, "  return pos_" + t + ";");
+    file_->AddLine(rz, "}");
+
+    GtSite site = BaseSite(SiteCategory::kInferBait, site_line);
+    site.expect_cross_scope = false;
+    LabelMinor(site);
+    app_.truth.Add(site);
+  }
+
+  // Same-author same-block overwrite: Coverity UNUSED_VALUE false positive.
+  void EmitCoverityBaitOverwrite() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_z = PickNonCrossAuthor();
+    int rz = NewRound(author_z, "staged computation " + t);
+    file_->AddLine(rz, "int " + prefix_ + "_cbo_" + t + "(int av, int bv) {");
+    int site_line = file_->AddLine(rz, "  int cst_" + t + " = av + 1;");
+    file_->AddLine(rz, "  cst_" + t + " = bv + 2;");
+    file_->AddLine(rz, "  if (cst_" + t + " > av) {");
+    file_->AddLine(rz, "    return cst_" + t + ";");
+    file_->AddLine(rz, "  }");
+    file_->AddLine(rz, "  return bv;");
+    file_->AddLine(rz, "}");
+
+    GtSite site = BaseSite(SiteCategory::kCoverityBaitOverwrite, site_line);
+    site.expect_cross_scope = false;
+    LabelMinor(site);
+    app_.truth.Add(site);
+  }
+
+  // One intentional ignore of a same-author callee that 9 sibling call sites
+  // check: a CHECKED_RETURN false positive, same-author so ValueCheck is
+  // silent.
+  void EmitCoverityBaitChecked() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author_z = PickNonCrossAuthor();
+    int rz = NewRound(author_z, "retry helpers " + t);
+    file_->AddLine(rz, "static int " + prefix_ + "_try_" + t + "(int v) {");
+    file_->AddLine(rz, "  if (v > 0) {");
+    file_->AddLine(rz, "    return v;");
+    file_->AddLine(rz, "  }");
+    file_->AddLine(rz, "  return 1;");
+    file_->AddLine(rz, "}");
+    for (int k = 0; k < 9; ++k) {
+      const std::string tk = t + "_" + std::to_string(k);
+      file_->AddLine(rz, "int " + prefix_ + "_retry_" + tk + "(int v) {");
+      file_->AddLine(rz, "  int ts_" + tk + " = " + prefix_ + "_try_" + t + "(v);");
+      file_->AddLine(rz, "  if (ts_" + tk + " > 0) {");
+      file_->AddLine(rz, "    return ts_" + tk + ";");
+      file_->AddLine(rz, "  }");
+      file_->AddLine(rz, "  return 0;");
+      file_->AddLine(rz, "}");
+    }
+    file_->AddLine(rz, "int " + prefix_ + "_fire_" + t + "(int v) {");
+    int site_line = file_->AddLine(rz, "  " + prefix_ + "_try_" + t + "(v);");
+    file_->AddLine(rz, "  return v + 1;");
+    file_->AddLine(rz, "}");
+
+    GtSite site = BaseSite(SiteCategory::kCoverityBaitChecked, site_line);
+    site.expect_cross_scope = false;
+    LabelMinor(site);
+    app_.truth.Add(site);
+  }
+
+  // Clean background code: every definition is used.
+  void EmitFiller() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author = PickCalmResponsible();
+    int r = NewRound(author, "utility " + t);
+    file_->AddLine(r, "int " + prefix_ + "_util_" + t + "(int av, int bv) {");
+    file_->AddLine(r, "  int t_" + t + " = av * 2 + bv;");
+    file_->AddLine(r, "  if (t_" + t + " > bv) {");
+    file_->AddLine(r, "    t_" + t + " = t_" + t + " - bv;");
+    file_->AddLine(r, "  }");
+    file_->AddLine(r, "  return t_" + t + ";");
+    file_->AddLine(r, "}");
+  }
+
+  // --- Bulk pruned populations ---------------------------------------------
+
+  // §5.2 cursors: cross-author (the reset that overwrites the final increment
+  // was added later by a different developer), so they reach the pruning
+  // stage and are charged to the cursor pattern.
+  void EmitCursorSites() {
+    for (int i = 0; i < counts_.cursor; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_x = PickCalmResponsible();
+      AuthorId author_b = DifferentFrom(author_x, /*maintainer_pool=*/false);
+      int rx = NewRound(author_x, "buffer formatter " + t);
+      file_->AddLine(rx, "void " + prefix_ + "_fmt_" + t + "(char *co_" + t + ", char *cb_" + t +
+                             ", int cv) {");
+      file_->AddLine(rx, "  *co_" + t + " = cv;");
+      file_->AddLine(rx, "  co_" + t + " = co_" + t + " + 1;");
+      file_->AddLine(rx, "  *co_" + t + " = 0;");
+      int site_line = file_->AddLine(rx, "  co_" + t + " = co_" + t + " + 1;");
+      int rb = NewRound(author_b, "second pass over buffer " + t);
+      file_->AddLine(rb, "  co_" + t + " = cb_" + t + ";");
+      file_->AddLine(rb, "  *co_" + t + " = 9;");
+      file_->AddLine(rx, "}");
+
+      GtSite site = BaseSite(SiteCategory::kBenignCursor, site_line);
+      site.expect_cross_scope = true;
+      site.expect_pruned = true;
+      site.expect_prune_reason = PruneReason::kCursor;
+      LabelMinor(site);
+      app_.truth.Add(site);
+    }
+  }
+
+  // §5.1 configuration dependency: the only use of the definition lives in a
+  // conditional region that the analyzed configuration disables.
+  void EmitConfigSites() {
+    for (int i = 0; i < counts_.config; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_y = Maintainer();
+      AuthorId author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+      int ry = NewRound(author_y, "host helper " + t);
+      file_->AddLine(ry, "static int " + prefix_ + "_mk_host_" + t + "(int x) {");
+      file_->AddLine(ry, "  return x + 11;");
+      file_->AddLine(ry, "}");
+      int rx = NewRound(author_x, "icmp probe " + t);
+      file_->AddLine(rx, "struct " + prefix_ + "_nc_" + t + " { int host; int flags; };");
+      file_->AddLine(rx, "int " + prefix_ + "_netprobe_" + t + "(int xv) {");
+      file_->AddLine(rx, "  struct " + prefix_ + "_nc_" + t + " ncv_" + t + ";");
+      int site_line =
+          file_->AddLine(rx, "  ncv_" + t + ".host = " + prefix_ + "_mk_host_" + t + "(xv);");
+      file_->AddLine(rx, "  ncv_" + t + ".flags = xv + 1;");
+      file_->AddLine(rx, "#if CONFIG_" + prefix_ + "_ICMP_" + t);
+      file_->AddLine(rx, "  xv = icmp_ping_" + t + "(ncv_" + t + ".host);");
+      file_->AddLine(rx, "#endif");
+      file_->AddLine(rx, "  return ncv_" + t + ".flags + xv;");
+      file_->AddLine(rx, "}");
+
+      GtSite site = BaseSite(SiteCategory::kBenignConfig, site_line);
+      site.expect_cross_scope = true;
+      site.expect_pruned = true;
+      site.expect_prune_reason = PruneReason::kConfigDependency;
+      LabelMinor(site);
+      app_.truth.Add(site);
+    }
+  }
+
+  // §5.3 unused hints, parameter form: compatibility callbacks whose extra
+  // parameter is attribute-marked.
+  void EmitHintParamSites() {
+    int remaining = counts_.hint_param;
+    while (remaining > 0) {
+      RotateIfLarge();
+      int batch = std::min(remaining, 20);
+      remaining -= batch;
+      AuthorId author_y = Maintainer();
+      AuthorId author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+      int ry = NewRound(author_y, "compat callbacks batch");
+      std::vector<std::string> names;
+      for (int k = 0; k < batch; ++k) {
+        int id = NextId();
+        const std::string t = Tag(id);
+        const std::string name = prefix_ + "_hcb_" + t;
+        int header = file_->AddLine(
+            ry, "void " + name + "(int av, int bv_" + t + " [[maybe_unused]]) {");
+        file_->AddLine(ry, "  g_sink = av;");
+        file_->AddLine(ry, "}");
+        names.push_back(name);
+
+        GtSite site = BaseSite(SiteCategory::kBenignHintParam, header);
+        site.expect_cross_scope = true;
+        site.expect_pruned = true;
+        site.expect_prune_reason = PruneReason::kUnusedHint;
+        LabelMinor(site);
+        app_.truth.Add(site);
+      }
+      int rx = NewRound(author_x, "register compat callbacks");
+      int id = NextId();
+      file_->AddLine(rx, "void " + prefix_ + "_hreg_" + Tag(id) + "(int rv) {");
+      for (size_t k = 0; k < names.size(); ++k) {
+        file_->AddLine(rx, "  " + names[k] + "(rv, " + std::to_string(k) + ");");
+      }
+      file_->AddLine(rx, "}");
+    }
+  }
+
+  // §5.3 unused hints, variable form: attribute-marked results of library
+  // probes.
+  void EmitHintVarSites() {
+    int remaining = counts_.hint_var;
+    while (remaining > 0) {
+      RotateIfLarge();
+      int batch = std::min(remaining, 8);
+      remaining -= batch;
+      AuthorId author = PickCalmResponsible();
+      int r = NewRound(author, "probe block");
+      int fn_id = NextId();
+      file_->AddLine(r, "int " + prefix_ + "_hv_fn_" + Tag(fn_id) + "(int v) {");
+      for (int k = 0; k < batch; ++k) {
+        int id = NextId();
+        const std::string t = Tag(id);
+        int line = file_->AddLine(
+            r, "  int hv_" + t + " [[maybe_unused]] = ext_probe_" + prefix_ + "_" + t + "(v);");
+        GtSite site = BaseSite(SiteCategory::kBenignHintVar, line);
+        site.expect_cross_scope = true;  // library return value
+        site.expect_pruned = true;
+        site.expect_prune_reason = PruneReason::kUnusedHint;
+        LabelMinor(site);
+        app_.truth.Add(site);
+      }
+      file_->AddLine(r, "  return v + 1;");
+      file_->AddLine(r, "}");
+    }
+  }
+
+  // §5.4 peer definitions: logging/trace helpers whose return value nearly
+  // every call site ignores. Internal groups (project-defined callee) feed
+  // Smatch's false positives on Linux; external groups model libc-style
+  // callees. A slice of the external sites are real bugs that peer pruning
+  // wrongly drops (§8.3.2's recall misses, §8.3.4's pruning false negatives).
+  void EmitPeerSites() {
+    EmitPeerGroups(counts_.peer_internal, /*internal=*/true, /*real_slice=*/0);
+    EmitPeerGroups(counts_.peer_external + counts_.pruned_real, /*internal=*/false,
+                   /*real_slice=*/counts_.pruned_real);
+  }
+
+  void EmitPeerGroups(int total_sites, bool internal, int real_slice) {
+    int remaining = total_sites;
+    int real_left = real_slice;
+    int prior_pruned_left = counts_.prior_bugs_pruned;
+    while (remaining > 0) {
+      RotateIfLarge();
+      // Each group: one callee with > 10 call sites, nearly all ignoring the
+      // result. Groups smaller than 12 are padded with *checking* call sites
+      // (used results are not candidates, so the Table 4 counts stay exact,
+      // and the unused fraction stays above the 0.5 threshold).
+      int group_sites = std::min(remaining, 36);
+      remaining -= group_sites;
+      int pad = group_sites < 12 ? 12 - group_sites : 0;
+      int id = NextId();
+      const std::string g = Tag(id);
+      std::string callee;
+      AuthorId author_y = Maintainer();
+      if (internal) {
+        callee = prefix_ + "_klog_" + g;
+        int ry = NewRound(author_y, "logging helper " + g);
+        file_->AddLine(ry, "int " + callee + "(int lvl) {");
+        file_->AddLine(ry, "  g_sink = lvl;");
+        file_->AddLine(ry, "  return lvl;");
+        file_->AddLine(ry, "}");
+      } else {
+        callee = "ext_trace_" + prefix_ + "_" + g;
+      }
+      int emitted = 0;
+      while (emitted < group_sites) {
+        AuthorId author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+        int rx = NewRound(author_x, "instrument path " + g + "_" + std::to_string(emitted));
+        int fn_id = NextId();
+        file_->AddLine(rx, "void " + prefix_ + "_pth_" + Tag(fn_id) + "(int v) {");
+        int calls = std::min(6, group_sites - emitted);
+        for (int k = 0; k < calls; ++k) {
+          int line =
+              file_->AddLine(rx, "  " + callee + "(v + " + std::to_string(emitted) + ");");
+          ++emitted;
+          GtSite site = BaseSite(internal ? SiteCategory::kBenignPeerInternal
+                                          : SiteCategory::kBenignPeerExternal,
+                                 line);
+          site.expect_cross_scope = true;
+          site.expect_pruned = true;
+          site.expect_prune_reason = PruneReason::kPeerDefinition;
+          if (real_left > 0) {
+            site.category = SiteCategory::kPrunedRealBug;
+            site.is_real_bug = true;
+            site.missing_check = true;
+            site.component = "other";
+            site.severity = "medium";
+            --real_left;
+            if (prior_pruned_left > 0) {
+              site.prior_bug = true;
+              --prior_pruned_left;
+            }
+          } else {
+            LabelMinor(site);
+          }
+          app_.truth.Add(site);
+        }
+        file_->AddLine(rx, "}");
+      }
+      if (pad > 0) {
+        // Checking call sites: consume the result so they never become
+        // candidates, while keeping the group above the occurrence threshold.
+        AuthorId author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+        int rx = NewRound(author_x, "checked instrumentation " + g);
+        for (int k = 0; k < pad; ++k) {
+          const std::string tk = g + "p" + std::to_string(k);
+          file_->AddLine(rx, "int " + prefix_ + "_pchk_" + tk + "(int v) {");
+          file_->AddLine(rx, "  int pcv_" + tk + " = " + callee + "(v);");
+          file_->AddLine(rx, "  return pcv_" + tk + ";");
+          file_->AddLine(rx, "}");
+        }
+      }
+    }
+  }
+
+  // Non-cross-scope survivors: defensive zero initializers overwritten by the
+  // same author. Invisible to every baseline (sentinel whitelists) and to
+  // cross-scope ValueCheck; they flood the w/o-Authorship ablation (§8.5.1).
+  void EmitDefensiveInit() {
+    int id = NextId();
+    const std::string t = Tag(id);
+    AuthorId author = PickNonCrossAuthor();
+    int r = NewRound(author, "compute helper " + t);
+    file_->AddLine(r, "int " + prefix_ + "_dcalc_" + t + "(int av, int bv) {");
+    int site_line = file_->AddLine(r, "  int dres_" + t + " = 0;");
+    file_->AddLine(r, "  dres_" + t + " = av * 3 + bv;");
+    file_->AddLine(r, "  return dres_" + t + ";");
+    file_->AddLine(r, "}");
+
+    GtSite site = BaseSite(SiteCategory::kDefensiveInit, site_line);
+    site.expect_cross_scope = false;
+    LabelMinor(site);
+    app_.truth.Add(site);
+  }
+
+  const ProjectProfile& profile_;
+  const ProfileCounts& counts_;
+  Rng rng_;
+  GeneratedApp app_;
+  std::string prefix_;
+
+  std::unique_ptr<SyntheticFile> file_;
+  int file_budget_ = 520;
+  int file_seq_ = 0;
+  AuthorId owner_ = kInvalidAuthor;
+  int64_t age_days_ = 2400;
+  int64_t last_round_age_ = 2400;
+  int site_counter_ = 0;
+  int prior_detected_left_ = 0;
+  int minor_low_dok_left_ = 0;
+};
+
+}  // namespace
+
+GeneratedApp GenerateApp(const ProjectProfile& profile) {
+  AppGenerator generator(profile);
+  return generator.Run();
+}
+
+}  // namespace vc

@@ -1,0 +1,37 @@
+// Synthesizes one application: Mini-C source files, a multi-author commit
+// history, and the exact ground-truth ledger of every injected site. See
+// profile.h for what gets injected and DESIGN.md §1 for why synthesis is the
+// right substitution for the paper's real codebases.
+
+#ifndef VALUECHECK_SRC_CORPUS_GENERATOR_H_
+#define VALUECHECK_SRC_CORPUS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/bug_finder.h"
+#include "src/corpus/ground_truth.h"
+#include "src/corpus/profile.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+struct GeneratedApp {
+  std::string name;
+  Repository repo;
+  GroundTruth truth;
+  ProjectTraits traits;
+  std::vector<AuthorId> maintainers;
+  std::vector<AuthorId> drive_by;
+};
+
+// Deterministic for a given profile (counts + seed).
+GeneratedApp GenerateApp(const ProjectProfile& profile);
+
+// Reference timestamp used as "now" when computing bug ages (paper Fig. 7c).
+inline constexpr int64_t kCorpusNow = 1782000000;  // 2026-06-21 UTC
+inline constexpr int64_t kSecondsPerDay = 86400;
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORPUS_GENERATOR_H_

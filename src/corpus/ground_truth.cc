@@ -1,0 +1,82 @@
+#include "src/corpus/ground_truth.h"
+
+namespace vc {
+
+const char* SiteCategoryName(SiteCategory category) {
+  switch (category) {
+    case SiteCategory::kRealRetvalIgnored:
+      return "real-retval-ignored";
+    case SiteCategory::kRealRetvalIgnoredChecked:
+      return "real-retval-ignored-checked";
+    case SiteCategory::kRealRetvalOverwrittenSameBlock:
+      return "real-retval-overwritten-same-block";
+    case SiteCategory::kRealRetvalOverwrittenCrossBlock:
+      return "real-retval-overwritten-cross-block";
+    case SiteCategory::kRealParamUnused:
+      return "real-param-unused";
+    case SiteCategory::kRealFieldOverwritten:
+      return "real-field-overwritten";
+    case SiteCategory::kRealSameAuthorOverwrite:
+      return "real-same-author-overwrite";
+    case SiteCategory::kMinorDefect:
+      return "minor-defect";
+    case SiteCategory::kDebugCodeDefect:
+      return "debug-code-defect";
+    case SiteCategory::kBenignCursor:
+      return "benign-cursor";
+    case SiteCategory::kBenignConfig:
+      return "benign-config";
+    case SiteCategory::kBenignHintParam:
+      return "benign-hint-param";
+    case SiteCategory::kBenignHintVar:
+      return "benign-hint-var";
+    case SiteCategory::kBenignPeerInternal:
+      return "benign-peer-internal";
+    case SiteCategory::kBenignPeerExternal:
+      return "benign-peer-external";
+    case SiteCategory::kPrunedRealBug:
+      return "pruned-real-bug";
+    case SiteCategory::kDefensiveInit:
+      return "defensive-init";
+    case SiteCategory::kInferBait:
+      return "infer-bait";
+    case SiteCategory::kCoverityBaitOverwrite:
+      return "coverity-bait-overwrite";
+    case SiteCategory::kCoverityBaitChecked:
+      return "coverity-bait-checked";
+  }
+  return "unknown";
+}
+
+int GroundTruth::Add(GtSite site) {
+  site.id = static_cast<int>(sites_.size());
+  by_location_[{site.file, site.line}] = site.id;
+  if (site.alt_line > 0) {
+    by_location_[{site.file, site.alt_line}] = site.id;
+  }
+  sites_.push_back(std::move(site));
+  return sites_.back().id;
+}
+
+const GtSite* GroundTruth::Match(const std::string& file, int line) const {
+  auto it = by_location_.find({file, line});
+  return it == by_location_.end() ? nullptr : &sites_[it->second];
+}
+
+int GroundTruth::CountCategory(SiteCategory category) const {
+  int count = 0;
+  for (const GtSite& site : sites_) {
+    count += site.category == category ? 1 : 0;
+  }
+  return count;
+}
+
+int GroundTruth::CountRealBugs() const {
+  int count = 0;
+  for (const GtSite& site : sites_) {
+    count += site.is_real_bug ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace vc

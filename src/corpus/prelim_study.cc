@@ -1,0 +1,238 @@
+#include "src/corpus/prelim_study.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/core/authorship.h"
+#include "src/core/detector.h"
+#include "src/core/project.h"
+#include "src/support/rng.h"
+
+namespace vc {
+
+namespace {
+
+constexpr int64_t kDay = 86400;
+constexpr int64_t k2019 = 1546300800;  // 2019-01-01
+constexpr int64_t k2021 = 1609459200;  // 2021-01-01
+
+struct SitePlan {
+  bool bug_fix = false;
+  bool cross_author = false;
+  int file = 0;
+};
+
+}  // namespace
+
+PrelimStudyData GeneratePrelimStudy(const PrelimStudySpec& spec) {
+  PrelimStudyData data;
+  Rng rng(spec.seed);
+
+  std::vector<AuthorId> authors;
+  for (int i = 0; i < 10; ++i) {
+    authors.push_back(data.repo.AddAuthor("hist_dev_" + std::to_string(i)));
+  }
+  auto pick = [&](AuthorId not_this = kInvalidAuthor) {
+    AuthorId who = authors[rng.NextBelow(authors.size())];
+    while (who == not_this) {
+      who = authors[rng.NextBelow(authors.size())];
+    }
+    return who;
+  };
+
+  // Plan the population.
+  std::vector<SitePlan> plans(static_cast<size_t>(spec.total_differential));
+  const int num_files = std::max(1, spec.total_differential / 40);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    plans[i].bug_fix = static_cast<int>(i) < spec.bug_fix_removals;
+    plans[i].cross_author = plans[i].bug_fix && rng.NextBool(spec.cross_author_fraction);
+    plans[i].file = static_cast<int>(i) % num_files;
+  }
+  rng.Shuffle(plans);
+
+  // Build the 2019 files. Each site is a small function with one unused
+  // definition: `int r_N = helper_N(m);` immediately overwritten. For
+  // cross-author sites the overwrite line lands in a second, later commit by
+  // a different developer.
+  struct FileState {
+    std::vector<std::string> lines;       // content at 2019
+    std::vector<int> site_ids;            // sites hosted by this file
+  };
+  std::vector<FileState> files(static_cast<size_t>(num_files));
+  std::map<int, std::pair<int, int>> site_line_span;  // site -> [begin,end) in its file
+
+  for (size_t site = 0; site < plans.size(); ++site) {
+    FileState& file = files[static_cast<size_t>(plans[site].file)];
+    const std::string t = std::to_string(site);
+    int begin = static_cast<int>(file.lines.size());
+    file.lines.push_back("static int hist_helper_" + t + "(int m) {");
+    file.lines.push_back("  return m + " + std::to_string(site % 7 + 1) + ";");
+    file.lines.push_back("}");
+    file.lines.push_back("int hist_op_" + t + "(int m) {");
+    file.lines.push_back("  int hr_" + t + " = hist_helper_" + t + "(m);");
+    file.lines.push_back("  hr_" + t + " = m * 2;");
+    file.lines.push_back("  return hr_" + t + ";");
+    file.lines.push_back("}");
+    site_line_span[static_cast<int>(site)] = {begin, static_cast<int>(file.lines.size())};
+    file.site_ids.push_back(static_cast<int>(site));
+  }
+
+  auto path_of = [](int file_index) {
+    return "hist/f" + std::to_string(file_index) + ".c";
+  };
+  auto content_of = [](const FileState& file) {
+    std::string content;
+    for (const std::string& line : file.lines) {
+      content += line + "\n";
+    }
+    return content;
+  };
+
+  // Commit wave 1 (2018): base versions. Cross-author sites first appear
+  // WITHOUT the overwrite line; it arrives in wave 2 by a different author.
+  std::map<int, AuthorId> base_author;
+  {
+    int64_t ts = k2019 - 200 * kDay;
+    for (int f = 0; f < num_files; ++f) {
+      FileState base = files[static_cast<size_t>(f)];
+      // Strip the overwrite lines of cross-author sites.
+      std::vector<std::string> stripped;
+      for (size_t i = 0; i < base.lines.size(); ++i) {
+        bool drop = false;
+        for (int site : base.site_ids) {
+          if (!plans[static_cast<size_t>(site)].cross_author) {
+            continue;
+          }
+          auto [begin, end] = site_line_span[site];
+          if (static_cast<int>(i) == begin + 5) {  // the overwrite line
+            drop = true;
+          }
+        }
+        if (!drop) {
+          stripped.push_back(base.lines[i]);
+        }
+      }
+      std::string content;
+      for (const std::string& line : stripped) {
+        content += line + "\n";
+      }
+      AuthorId author = pick();
+      for (int site : base.site_ids) {
+        base_author[site] = author;
+      }
+      data.repo.AddCommit(author, ts, "add module " + path_of(f), {{path_of(f), content}});
+      ts += kDay;
+    }
+    // Wave 2: insert cross-author overwrites, each by a different developer.
+    for (int f = 0; f < num_files; ++f) {
+      bool any = false;
+      for (int site : files[static_cast<size_t>(f)].site_ids) {
+        any |= plans[static_cast<size_t>(site)].cross_author;
+      }
+      if (!any) {
+        continue;
+      }
+      AuthorId other = pick(base_author[files[static_cast<size_t>(f)].site_ids.front()]);
+      data.repo.AddCommit(other, ts, "rework result handling in " + path_of(f),
+                          {{path_of(f), content_of(files[static_cast<size_t>(f)])}});
+      ts += kDay;
+    }
+    data.snapshot_2019 = data.repo.AddCommit(pick(), k2019, "snapshot 2019 marker", {});
+  }
+
+  // Removal wave (2019-2020): every site's unused definition disappears —
+  // bug sites via "fix:" commits that start using the helper's value,
+  // cleanup sites via "cleanup:" commits that drop the redundant call.
+  {
+    int64_t ts = k2019 + 30 * kDay;
+    for (size_t site = 0; site < plans.size(); ++site) {
+      FileState& file = files[static_cast<size_t>(plans[site].file)];
+      auto [begin, end] = site_line_span[static_cast<int>(site)];
+      const std::string t = std::to_string(site);
+      if (plans[site].bug_fix) {
+        // The fix makes the first definition's value flow into the result.
+        file.lines[static_cast<size_t>(begin) + 5] =
+            "  hr_" + t + " = hr_" + t + " + m;";
+      } else {
+        // Cleanup: drop the redundant call entirely; both remaining
+        // definitions are used, so no unused definition survives.
+        file.lines[static_cast<size_t>(begin) + 4] = "  int hr_" + t + " = m * 2 + 1;";
+        file.lines[static_cast<size_t>(begin) + 5] = "  hr_" + t + " = hr_" + t + " - 1;";
+      }
+      std::string message =
+          plans[site].bug_fix
+              ? "fix: use hist_helper_" + t + " status in hist_op_" + t
+              : "cleanup: drop redundant hist_helper_" + t + " call in hist_op_" + t;
+      data.repo.AddCommit(pick(), ts, message,
+                          {{path_of(plans[site].file),
+                            content_of(file)}});
+      ts += kDay / 4;
+    }
+    data.snapshot_2021 = data.repo.AddCommit(pick(), k2021, "snapshot 2021 marker", {});
+  }
+
+  return data;
+}
+
+PrelimStudyOutcome RunPrelimStudy(const PrelimStudyData& data, const PrelimStudySpec& spec) {
+  PrelimStudyOutcome outcome;
+
+  // 1. Plain liveness on both snapshots (no authorship filter, no pruning:
+  //    the paper used the "original liveness analysis" here).
+  Project old_project = Project::FromRepositoryAt(data.repo, data.snapshot_2019);
+  Project new_project = Project::FromRepositoryAt(data.repo, data.snapshot_2021);
+  std::vector<UnusedDefCandidate> old_candidates = DetectAll(old_project);
+  std::vector<UnusedDefCandidate> new_candidates = DetectAll(new_project);
+
+  // 2. Differential comparison keyed by (function, slot): line numbers shift
+  //    across two years of commits, function identities do not.
+  std::set<std::pair<std::string, std::string>> still_present;
+  for (const UnusedDefCandidate& cand : new_candidates) {
+    still_present.insert({cand.function, cand.slot_name});
+  }
+  std::vector<const UnusedDefCandidate*> removed;
+  for (const UnusedDefCandidate& cand : old_candidates) {
+    if (still_present.count({cand.function, cand.slot_name}) == 0) {
+      removed.push_back(&cand);
+    }
+  }
+  outcome.differential = static_cast<int>(removed.size());
+
+  // 3. Random sample (the paper: serial numbers + random draw).
+  Rng rng(spec.seed ^ 0x5a5a5a5a);
+  std::vector<const UnusedDefCandidate*> sample = removed;
+  rng.Shuffle(sample);
+  if (static_cast<int>(sample.size()) > spec.sample_size) {
+    sample.resize(static_cast<size_t>(spec.sample_size));
+  }
+  outcome.sampled = static_cast<int>(sample.size());
+
+  // 4. Commit-message inspection: find the commit that removed the unused
+  //    definition (the first commit after the 2019 snapshot whose message
+  //    names the function) and classify it.
+  AuthorshipAnalyzer authorship(old_project, &data.repo, data.snapshot_2019);
+  for (const UnusedDefCandidate* cand : sample) {
+    bool bug_fix = false;
+    for (CommitId id = data.snapshot_2019 + 1; id < data.repo.NumCommits(); ++id) {
+      const Commit& commit = data.repo.GetCommit(id);
+      if (commit.message.find(cand->function + " ") != std::string::npos ||
+          commit.message.rfind(cand->function) ==
+              commit.message.size() - cand->function.size()) {
+        bug_fix = commit.message.rfind("fix:", 0) == 0;
+        break;
+      }
+    }
+    if (!bug_fix) {
+      continue;
+    }
+    ++outcome.bug_related;
+    // 5. Cross-scope classification at the old snapshot.
+    UnusedDefCandidate classified = *cand;
+    authorship.Classify(classified);
+    outcome.cross_author += classified.cross_scope ? 1 : 0;
+  }
+  return outcome;
+}
+
+}  // namespace vc

@@ -1,0 +1,210 @@
+#include "src/corpus/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vc {
+
+namespace {
+
+int Scale(int value, double factor) {
+  if (value == 0) {
+    return 0;
+  }
+  return std::max(1, static_cast<int>(std::lround(value * factor)));
+}
+
+}  // namespace
+
+ProjectProfile ProjectProfile::Scaled(double factor) const {
+  ProjectProfile scaled = *this;
+  ProfileCounts& c = scaled.counts;
+  c.retval_ignored = Scale(c.retval_ignored, factor);
+  c.retval_ignored_checked = Scale(c.retval_ignored_checked, factor);
+  c.retval_overwritten_same_block = Scale(c.retval_overwritten_same_block, factor);
+  c.retval_overwritten_cross_block = Scale(c.retval_overwritten_cross_block, factor);
+  c.param_unused = Scale(c.param_unused, factor);
+  c.field_overwritten = Scale(c.field_overwritten, factor);
+  c.same_author_overwrite = Scale(c.same_author_overwrite, factor);
+  c.minor_defects = Scale(c.minor_defects, factor);
+  c.debug_defects = Scale(c.debug_defects, factor);
+  c.cursor = Scale(c.cursor, factor);
+  c.config = Scale(c.config, factor);
+  c.hint_param = Scale(c.hint_param, factor);
+  c.hint_var = Scale(c.hint_var, factor);
+  // Peer groups need > 10 occurrences for the pruning threshold to be
+  // reachable, so nonzero peer populations never scale below one full group.
+  c.peer_internal = c.peer_internal > 0 ? std::max(12, Scale(c.peer_internal, factor)) : 0;
+  c.peer_external = c.peer_external > 0 ? std::max(12, Scale(c.peer_external, factor)) : 0;
+  c.pruned_real = Scale(c.pruned_real, factor);
+  c.defensive_init = Scale(c.defensive_init, factor);
+  c.infer_bait = Scale(c.infer_bait, factor);
+  c.coverity_bait_overwrite = Scale(c.coverity_bait_overwrite, factor);
+  c.coverity_bait_checked = Scale(c.coverity_bait_checked, factor);
+  c.filler_functions = Scale(c.filler_functions, factor);
+  c.prior_bugs_detected = std::min(c.prior_bugs_detected,
+                                   c.retval_ignored + c.retval_overwritten_same_block);
+  return scaled;
+}
+
+// Calibration notes (see DESIGN.md §4 and the header comment):
+//   confirmed = retval_ignored + retval_ignored_checked + same-/cross-block
+//               overwrites + param_unused + field_overwritten   (Table 2)
+//   VC found  = confirmed + minor_defects + debug_defects       (Table 5)
+//   pre-prune = VC found + cursor + config + hints + peer totals (Table 4)
+//   peer prune charge = peer_internal + peer_external + pruned_real
+
+ProjectProfile LinuxProfile() {
+  ProjectProfile p;
+  p.name = "Linux";
+  p.seed = 0x11c01;
+  p.traits.is_pure_c = true;                  // Smatch runs
+  p.traits.uses_kernel_extensions = true;     // fb-infer capture fails
+  ProfileCounts& c = p.counts;
+  c.retval_ignored = 25;
+  c.retval_ignored_checked = 3;
+  c.retval_overwritten_same_block = 6;
+  c.retval_overwritten_cross_block = 3;
+  c.param_unused = 4;
+  c.field_overwritten = 3;                    // confirmed: 44
+  c.same_author_overwrite = 47;               // Coverity-only real bugs
+  c.minor_defects = 17;
+  c.debug_defects = 2;                        // VC found: 63, FP 30%
+  c.minor_defects_overwrite_shape = true;     // Coverity sees them (FP source)
+  c.cursor = 22;
+  c.config = 1;
+  c.hint_param = 32;
+  c.hint_var = 14;                            // hints: 46
+  c.peer_internal = 119;                      // Smatch FP source
+  c.peer_external = 4;
+  c.pruned_real = 4;                          // peer charge: 127; orig: 259
+  c.defensive_init = 663;
+  c.infer_bait = 0;
+  c.coverity_bait_overwrite = 82;             // Coverity found: 157
+  c.coverity_bait_checked = 0;
+  c.filler_functions = 60;
+  c.maintainers = 6;
+  c.drive_by = 24;
+  c.prior_bugs_detected = 15;
+  c.prior_bugs_pruned = 0;
+  c.non_cross_drive_by_fraction = 0.022;
+  return p;
+}
+
+ProjectProfile NfsGaneshaProfile() {
+  ProjectProfile p;
+  p.name = "NFS-ganesha";
+  p.seed = 0x4f51;
+  p.traits.is_pure_c = false;  // Smatch's build interception fails here
+  p.traits.uses_kernel_extensions = false;
+  ProfileCounts& c = p.counts;
+  c.retval_ignored = 10;
+  c.retval_ignored_checked = 1;
+  c.retval_overwritten_same_block = 2;
+  c.retval_overwritten_cross_block = 0;
+  c.param_unused = 3;
+  c.field_overwritten = 2;                    // confirmed: 18
+  c.same_author_overwrite = 0;
+  c.minor_defects = 4;
+  c.debug_defects = 0;                        // VC found: 22, FP 18%
+  c.minor_defects_overwrite_shape = false;
+  c.cursor = 7;
+  c.config = 7;
+  c.hint_param = 600;
+  c.hint_var = 239;                           // hints: 839
+  c.peer_internal = 0;
+  c.peer_external = 21;
+  c.pruned_real = 2;                          // peer charge: 23; orig: 898
+  c.defensive_init = 150;
+  c.infer_bait = 6;                           // infer: 8 found / 2 real
+  c.coverity_bait_overwrite = 0;
+  c.coverity_bait_checked = 0;                // Coverity: 3/3
+  c.filler_functions = 30;
+  c.maintainers = 4;
+  c.drive_by = 14;
+  c.prior_bugs_detected = 5;
+  c.prior_bugs_pruned = 2;                    // §8.3.2's two recall misses
+  c.non_cross_drive_by_fraction = 1.0;
+  return p;
+}
+
+ProjectProfile MysqlProfile() {
+  ProjectProfile p;
+  p.name = "MySQL";
+  p.seed = 0x5157;
+  p.traits.is_pure_c = false;  // C++ codebase: Smatch cannot parse it
+  p.traits.uses_kernel_extensions = false;
+  ProfileCounts& c = p.counts;
+  c.retval_ignored = 45;
+  c.retval_ignored_checked = 0;
+  c.retval_overwritten_same_block = 1;
+  c.retval_overwritten_cross_block = 8;
+  c.param_unused = 12;
+  c.field_overwritten = 8;                    // confirmed: 74
+  c.same_author_overwrite = 0;
+  c.minor_defects = 22;
+  c.debug_defects = 3;                        // VC found: 99, FP 25%
+  c.minor_defects_overwrite_shape = false;
+  c.cursor = 83;
+  c.config = 37;
+  c.hint_param = 2200;
+  c.hint_var = 831;                           // hints: 3031
+  c.peer_internal = 0;
+  c.peer_external = 4264;
+  c.pruned_real = 229;                        // peer charge: 4493; orig: 7743
+  c.defensive_init = 800;
+  c.infer_bait = 36;                          // infer: 45 found / 9 real
+  c.coverity_bait_overwrite = 0;
+  c.coverity_bait_checked = 3;                // Coverity: 4 found / 1 real
+  c.filler_functions = 80;
+  c.maintainers = 6;
+  c.drive_by = 20;
+  c.prior_bugs_detected = 12;
+  c.prior_bugs_pruned = 0;
+  c.non_cross_drive_by_fraction = 0.073;
+  return p;
+}
+
+ProjectProfile OpensslProfile() {
+  ProjectProfile p;
+  p.name = "OpenSSL";
+  p.seed = 0x055e;
+  p.traits.is_pure_c = false;  // Smatch build interception fails
+  p.traits.uses_kernel_extensions = false;
+  ProfileCounts& c = p.counts;
+  c.retval_ignored = 9;
+  c.retval_ignored_checked = 2;
+  c.retval_overwritten_same_block = 2;
+  c.retval_overwritten_cross_block = 1;
+  c.param_unused = 2;
+  c.field_overwritten = 2;                    // confirmed: 18
+  c.same_author_overwrite = 0;
+  c.minor_defects = 8;
+  c.debug_defects = 0;                        // VC found: 26, FP 31%
+  c.minor_defects_overwrite_shape = false;
+  c.cursor = 74;
+  c.config = 18;
+  c.hint_param = 230;
+  c.hint_var = 92;                            // hints: 322
+  c.peer_internal = 0;
+  c.peer_external = 196;
+  c.pruned_real = 6;                          // peer charge: 202; orig: 642
+  c.defensive_init = 250;
+  c.infer_bait = 10;                          // infer: 13 found / 3 real
+  c.coverity_bait_overwrite = 0;
+  c.coverity_bait_checked = 2;                // Coverity: 6 found / 4 real
+  c.minor_low_dok = 1;
+  c.filler_functions = 30;
+  c.maintainers = 4;
+  c.drive_by = 14;
+  c.prior_bugs_detected = 5;
+  c.prior_bugs_pruned = 0;
+  c.non_cross_drive_by_fraction = 1.0;
+  return p;
+}
+
+std::vector<ProjectProfile> AllProfiles() {
+  return {LinuxProfile(), NfsGaneshaProfile(), MysqlProfile(), OpensslProfile()};
+}
+
+}  // namespace vc

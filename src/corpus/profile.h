@@ -1,0 +1,94 @@
+// Per-application corpus profiles. Counts are calibrated so the synthesized
+// populations reproduce the paper's measured structure:
+//
+//   * Table 2 / Table 5: #detected and #confirmed per application and the
+//     per-tool detection envelopes;
+//   * Table 4: pre-prune cross-scope candidates and the per-pattern prune
+//     breakdown;
+//   * §8.5.1: the ~2259 post-prune candidates when the authorship filter is
+//     ablated (defensive-init and bait populations);
+//   * §8.3.2 / §8.3.4: recall on prior bugs and pruning false negatives.
+//
+// The generator only plants *populations*; every reported number in the
+// benches is computed by actually running the analyses over the generated
+// code and history.
+
+#ifndef VALUECHECK_SRC_CORPUS_PROFILE_H_
+#define VALUECHECK_SRC_CORPUS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/baselines/bug_finder.h"
+
+namespace vc {
+
+struct ProfileCounts {
+  // Cross-scope real bugs (ValueCheck findings, confirmed).
+  int retval_ignored = 0;
+  int retval_ignored_checked = 0;
+  int retval_overwritten_same_block = 0;
+  int retval_overwritten_cross_block = 0;
+  int param_unused = 0;
+  int field_overwritten = 0;
+  // Real bugs outside the cross-scope envelope.
+  int same_author_overwrite = 0;
+  // ValueCheck false positives.
+  int minor_defects = 0;
+  int debug_defects = 0;
+  // Whether minor/debug defects take the same-block-overwrite shape (visible
+  // to Coverity's UNUSED_VALUE, as on Linux) or the rarely-checked-ignored-
+  // return shape (invisible to every baseline).
+  bool minor_defects_overwrite_shape = false;
+  // Pruned populations (cross-scope; Table 4 columns).
+  int cursor = 0;
+  int config = 0;
+  int hint_param = 0;
+  int hint_var = 0;
+  int peer_internal = 0;
+  int peer_external = 0;
+  int pruned_real = 0;  // real bugs lost to peer pruning (recall misses)
+  // Non-cross-scope populations.
+  int defensive_init = 0;
+  int infer_bait = 0;
+  int coverity_bait_overwrite = 0;
+  int coverity_bait_checked = 0;
+  // Background.
+  int filler_functions = 0;
+  // Author pool sizes.
+  int maintainers = 4;
+  int drive_by = 12;
+  // Number of minor defects whose responsible developer is nonetheless a
+  // low-familiarity newcomer — the occasional false positive that cracks the
+  // top of the ranking (Fig. 9's 97.5% rather than 100% at cutoff 10).
+  int minor_low_dok = 0;
+  // Prior-bug recall set contribution (drawn from the confirmed categories).
+  int prior_bugs_detected = 0;  // plus pruned_real sites flagged prior when
+  int prior_bugs_pruned = 0;    // this is nonzero
+  // Fraction of defensive-init/bait sites authored by drive-by developers
+  // (governs how hard the w/o-Authorship ablation gets flooded, Table 6).
+  double non_cross_drive_by_fraction = 0.5;
+};
+
+struct ProjectProfile {
+  std::string name;
+  ProfileCounts counts;
+  ProjectTraits traits;
+  uint64_t seed = 1;
+
+  // Scales every population count by `factor` (minimum 1 where nonzero), for
+  // fast unit tests. Table-reproducing benches use scale 1.
+  ProjectProfile Scaled(double factor) const;
+};
+
+// The four evaluated applications (§8.1.1), calibrated to the paper.
+ProjectProfile LinuxProfile();
+ProjectProfile NfsGaneshaProfile();
+ProjectProfile MysqlProfile();
+ProjectProfile OpensslProfile();
+std::vector<ProjectProfile> AllProfiles();
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORPUS_PROFILE_H_

@@ -1,0 +1,36 @@
+#include "src/corpus/synthetic_file.h"
+
+namespace vc {
+
+int SyntheticFile::AddRound(AuthorId author, int64_t timestamp, std::string message) {
+  rounds_.push_back({author, timestamp, std::move(message)});
+  return static_cast<int>(rounds_.size()) - 1;
+}
+
+int SyntheticFile::AddLine(int round, std::string text) {
+  lines_.push_back({round, std::move(text)});
+  return static_cast<int>(lines_.size());
+}
+
+void SyntheticFile::CommitTo(Repository& repo) const {
+  for (size_t r = 0; r < rounds_.size(); ++r) {
+    bool has_lines = false;
+    std::string content;
+    for (const Line& line : lines_) {
+      if (line.round <= static_cast<int>(r)) {
+        content += line.text;
+        content += '\n';
+      }
+      if (line.round == static_cast<int>(r)) {
+        has_lines = true;
+      }
+    }
+    if (!has_lines) {
+      continue;  // no-op rounds are skipped
+    }
+    repo.AddCommit(rounds_[r].author, rounds_[r].timestamp, rounds_[r].message,
+                   {{path_, content}});
+  }
+}
+
+}  // namespace vc

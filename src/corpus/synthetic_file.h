@@ -1,0 +1,57 @@
+// Builds one source file together with its commit history.
+//
+// Lines are appended in final (head) order, each tagged with the round that
+// introduces it; version r of the file consists of the lines with round <= r
+// in order. Committing replays the rounds into the Repository so blame
+// attributes every line to its round's author — giving the generator exact
+// control over line-level authorship, which the cross-scope sites depend on.
+
+#ifndef VALUECHECK_SRC_CORPUS_SYNTHETIC_FILE_H_
+#define VALUECHECK_SRC_CORPUS_SYNTHETIC_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+class SyntheticFile {
+ public:
+  explicit SyntheticFile(std::string path) : path_(std::move(path)) {}
+
+  // Rounds must be added with non-decreasing timestamps.
+  int AddRound(AuthorId author, int64_t timestamp, std::string message);
+
+  // Appends a line introduced in `round`; returns its 1-based head line
+  // number. Critical lines (definitions, overwrites, call sites) must be
+  // textually unique within the file so the diff-based blame replay cannot
+  // mis-attribute them; the generator guarantees this via per-site naming.
+  int AddLine(int round, std::string text);
+
+  int NumLines() const { return static_cast<int>(lines_.size()); }
+  int NumRounds() const { return static_cast<int>(rounds_.size()); }
+  const std::string& path() const { return path_; }
+
+  // Emits one commit per non-empty round.
+  void CommitTo(Repository& repo) const;
+
+ private:
+  struct Round {
+    AuthorId author;
+    int64_t timestamp;
+    std::string message;
+  };
+  struct Line {
+    int round;
+    std::string text;
+  };
+
+  std::string path_;
+  std::vector<Round> rounds_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORPUS_SYNTHETIC_FILE_H_

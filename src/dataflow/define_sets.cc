@@ -1,0 +1,45 @@
+#include "src/dataflow/define_sets.h"
+
+namespace vc {
+
+void ApplyDefineTransfer(const IrFunction& func, const Instruction& inst, DefineMap& defs) {
+  if (inst.op != Opcode::kStore) {
+    return;
+  }
+  defs.Replace(inst.slot, inst.loc);
+}
+
+DefineSetResult ComputeDefineSets(const IrFunction& func) {
+  DefineSetResult result;
+  const size_t num_blocks = func.blocks.size();
+  result.in.assign(num_blocks, DefineMap());
+  result.out.assign(num_blocks, DefineMap());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    for (size_t i = num_blocks; i-- > 0;) {
+      const BasicBlock& block = *func.blocks[i];
+      DefineMap out;
+      for (BlockId succ : block.succs) {
+        out.UnionWith(result.in[succ]);
+      }
+      DefineMap in = out;
+      for (size_t j = block.insts.size(); j-- > 0;) {
+        ApplyDefineTransfer(func, block.insts[j], in);
+      }
+      if (!(out == result.out[i])) {
+        result.out[i] = std::move(out);
+        changed = true;
+      }
+      if (!(in == result.in[i])) {
+        result.in[i] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace vc

@@ -1,0 +1,67 @@
+// Degree-of-Knowledge (DOK) code-familiarity model (Fritz et al.), as used by
+// ValueCheck's ranking stage (paper §6):
+//
+//   DOK = a0 + a_FA * FA + a_DL * DL - a_AC * ln(1 + AC)
+//
+//   FA — first authorship: 1 if the developer created the file;
+//   DL — deliveries: number of commits by the developer to the file;
+//   AC — acceptances: number of commits to the file by other developers.
+//
+// Weights default to the paper's fitted values (a0 = 3.1, a_FA = 1.2,
+// a_DL = 0.2, a_AC = 0.5). FitDokWeights reproduces the fitting procedure:
+// least squares over sampled (features, self-rating) pairs.
+
+#ifndef VALUECHECK_SRC_FAMILIARITY_DOK_MODEL_H_
+#define VALUECHECK_SRC_FAMILIARITY_DOK_MODEL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+struct DokWeights {
+  double a0 = 3.1;
+  double fa = 1.2;
+  double dl = 0.2;
+  double ac = 0.5;
+
+  // Ablation helpers (Table 6's w/o FA / w/o DL / w/o AC groups).
+  DokWeights WithoutFa() const { return {a0, 0.0, dl, ac}; }
+  DokWeights WithoutDl() const { return {a0, fa, 0.0, ac}; }
+  DokWeights WithoutAc() const { return {a0, fa, dl, 0.0}; }
+};
+
+struct DokFeatures {
+  bool first_authorship = false;  // FA
+  int deliveries = 0;             // DL
+  int acceptances = 0;            // AC
+};
+
+// Extracts FA/DL/AC for (author, file) from the repository's commit log.
+// Commit counts are used rather than line counts, as in the paper (§6).
+DokFeatures ComputeDokFeatures(const Repository& repo, AuthorId author, const std::string& path);
+
+// Evaluates the linear model.
+double DokScore(const DokFeatures& features, const DokWeights& weights = DokWeights());
+
+// Convenience: features + score in one call.
+double DokScoreFor(const Repository& repo, AuthorId author, const std::string& path,
+                   const DokWeights& weights = DokWeights());
+
+// One sampled line for weight fitting: the developer's self-rated familiarity
+// (1-5) plus the features of (line author, file).
+struct RatingSample {
+  DokFeatures features;
+  double rating = 0.0;
+};
+
+// Least-squares fit of the four weights. Returns nullopt when the sample is
+// degenerate. Note the AC weight is returned positive (the model subtracts).
+std::optional<DokWeights> FitDokWeights(const std::vector<RatingSample>& samples);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_FAMILIARITY_DOK_MODEL_H_

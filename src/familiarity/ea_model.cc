@@ -1,0 +1,52 @@
+#include "src/familiarity/ea_model.h"
+
+#include <cmath>
+
+#include "src/support/string_util.h"
+
+namespace vc {
+
+CommitKind ClassifyCommitMessage(const std::string& message) {
+  if (ContainsIgnoreCase(message, "fix") || ContainsIgnoreCase(message, "bug")) {
+    return CommitKind::kBugFix;
+  }
+  if (ContainsIgnoreCase(message, "refactor") || ContainsIgnoreCase(message, "cleanup") ||
+      ContainsIgnoreCase(message, "clean up")) {
+    return CommitKind::kRefactor;
+  }
+  if (ContainsIgnoreCase(message, "add") || ContainsIgnoreCase(message, "implement") ||
+      ContainsIgnoreCase(message, "feature") || ContainsIgnoreCase(message, "support")) {
+    return CommitKind::kFeature;
+  }
+  return CommitKind::kOther;
+}
+
+double EaScoreFor(const Repository& repo, AuthorId author, const std::string& path,
+                  const EaWeights& weights) {
+  double own = 0.0;
+  int others = 0;
+  for (CommitId commit_id : repo.LogOf(path)) {
+    const Commit& commit = repo.GetCommit(commit_id);
+    if (commit.author != author) {
+      ++others;
+      continue;
+    }
+    switch (ClassifyCommitMessage(commit.message)) {
+      case CommitKind::kBugFix:
+        own += weights.bug_fix;
+        break;
+      case CommitKind::kRefactor:
+        own += weights.refactor;
+        break;
+      case CommitKind::kFeature:
+        own += weights.feature;
+        break;
+      case CommitKind::kOther:
+        own += weights.other;
+        break;
+    }
+  }
+  return own - 0.5 * std::log(1.0 + static_cast<double>(others));
+}
+
+}  // namespace vc

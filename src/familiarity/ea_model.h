@@ -1,0 +1,41 @@
+// Expertise-Atlas-style (EA) familiarity model — the alternative the paper
+// discusses in §9.2: instead of self-rating-calibrated DOK, it weights a
+// developer's commits to a file by commit type inferred from the message
+// (bug fix / refactoring / new functionality), requiring no developer input.
+
+#ifndef VALUECHECK_SRC_FAMILIARITY_EA_MODEL_H_
+#define VALUECHECK_SRC_FAMILIARITY_EA_MODEL_H_
+
+#include <string>
+
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+enum class CommitKind {
+  kBugFix,
+  kRefactor,
+  kFeature,
+  kOther,
+};
+
+// Classifies a commit message by keyword ("fix"/"bug" -> bug fix,
+// "refactor"/"cleanup" -> refactor, "add"/"implement"/"feature" -> feature).
+CommitKind ClassifyCommitMessage(const std::string& message);
+
+struct EaWeights {
+  double bug_fix = 1.0;    // fixing code demonstrates the deepest knowledge
+  double refactor = 0.8;
+  double feature = 0.6;
+  double other = 0.3;
+};
+
+// Expertise of `author` on `path`: sum of type-weighted commits by the author,
+// damped by ln(1 + others' commits) like DOK's AC term so that heavily shared
+// files score lower for everyone.
+double EaScoreFor(const Repository& repo, AuthorId author, const std::string& path,
+                  const EaWeights& weights = EaWeights());
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_FAMILIARITY_EA_MODEL_H_

@@ -1,0 +1,155 @@
+#include "src/ir/ir.h"
+
+namespace vc {
+
+SlotId SlotTable::ForVar(const VarDecl* var) { return ForField(var, -1); }
+
+SlotId SlotTable::ForField(const VarDecl* var, int field_index) {
+  auto key = std::make_pair(var, field_index);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  Slot slot;
+  slot.var = var;
+  slot.field_index = field_index;
+  slot.name = var->name;
+  if (field_index >= 0) {
+    slot.name += "#" + std::to_string(field_index);
+  } else {
+    slot.is_param = var->is_param;
+  }
+  SlotId id = static_cast<SlotId>(slots_.size());
+  slots_.push_back(std::move(slot));
+  index_[key] = id;
+  return id;
+}
+
+SlotId SlotTable::NewSyntheticTemp() {
+  Slot slot;
+  slot.name = "_tmp" + std::to_string(next_temp_++);
+  slot.is_synthetic = true;
+  SlotId id = static_cast<SlotId>(slots_.size());
+  slots_.push_back(std::move(slot));
+  return id;
+}
+
+void IrFunction::ComputeEdges() {
+  for (auto& block : blocks) {
+    block->succs.clear();
+    block->preds.clear();
+  }
+  for (auto& block : blocks) {
+    const Instruction* term = block->Terminator();
+    if (term == nullptr) {
+      continue;
+    }
+    if (term->op == Opcode::kBr) {
+      block->succs.push_back(term->succ0);
+    } else if (term->op == Opcode::kCondBr) {
+      block->succs.push_back(term->succ0);
+      block->succs.push_back(term->succ1);
+    }
+  }
+  for (auto& block : blocks) {
+    for (BlockId succ : block->succs) {
+      blocks[succ]->preds.push_back(block->id);
+    }
+  }
+}
+
+namespace {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+      return "const";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kLoadInd:
+      return "loadind";
+    case Opcode::kStoreInd:
+      return "storeind";
+    case Opcode::kAddrSlot:
+      return "addrslot";
+    case Opcode::kAddrFunc:
+      return "addrfunc";
+    case Opcode::kFieldPtr:
+      return "fieldptr";
+    case Opcode::kBinOp:
+      return "binop";
+    case Opcode::kUnOp:
+      return "unop";
+    case Opcode::kCall:
+      return "call";
+    case Opcode::kRet:
+      return "ret";
+    case Opcode::kBr:
+      return "br";
+    case Opcode::kCondBr:
+      return "condbr";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string IrFunction::Dump() const {
+  std::string out = "function " + name + ":\n";
+  for (const auto& block : blocks) {
+    out += "bb" + std::to_string(block->id) + ":";
+    if (!block->succs.empty()) {
+      out += "  ; succs:";
+      for (BlockId succ : block->succs) {
+        out += " bb" + std::to_string(succ);
+      }
+    }
+    out += "\n";
+    for (const Instruction& inst : block->insts) {
+      out += "  ";
+      if (inst.result != kNoValue) {
+        out += "%" + std::to_string(inst.result) + " = ";
+      }
+      out += OpcodeName(inst.op);
+      if (inst.slot != kInvalidSlot) {
+        out += " @" + slots[inst.slot].name;
+      }
+      if (inst.op == Opcode::kConst) {
+        out += " " + std::to_string(inst.const_value);
+      }
+      if (inst.callee != nullptr) {
+        out += " " + inst.callee->name;
+      }
+      for (ValueId operand : inst.operands) {
+        out += " %" + std::to_string(operand);
+      }
+      if (inst.op == Opcode::kBr) {
+        out += " bb" + std::to_string(inst.succ0);
+      }
+      if (inst.op == Opcode::kCondBr) {
+        out += " bb" + std::to_string(inst.succ0) + " bb" + std::to_string(inst.succ1);
+      }
+      if (inst.is_synthetic_store) {
+        out += "  ; ignored-result";
+      }
+      if (inst.is_increment) {
+        out += "  ; increment " + std::to_string(inst.increment_amount);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+IrFunction* IrModule::FindFunction(const std::string& name) const {
+  for (const auto& func : functions) {
+    if (func->name == name) {
+      return func.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace vc

@@ -1,0 +1,528 @@
+#include "src/lexer/lexer.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+namespace vc {
+
+namespace {
+
+const std::map<std::string, TokenKind>& KeywordTable() {
+  static const std::map<std::string, TokenKind> kTable = {
+      {"void", TokenKind::kKwVoid},         {"int", TokenKind::kKwInt},
+      {"char", TokenKind::kKwChar},         {"long", TokenKind::kKwLong},
+      {"bool", TokenKind::kKwBool},         {"unsigned", TokenKind::kKwUnsigned},
+      {"size_t", TokenKind::kKwSizeT},      {"struct", TokenKind::kKwStruct},
+      {"enum", TokenKind::kKwEnum},         {"typedef", TokenKind::kKwTypedef},
+      {"const", TokenKind::kKwConst},       {"static", TokenKind::kKwStatic},
+      {"if", TokenKind::kKwIf},             {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},       {"for", TokenKind::kKwFor},
+      {"do", TokenKind::kKwDo},             {"switch", TokenKind::kKwSwitch},
+      {"case", TokenKind::kKwCase},         {"default", TokenKind::kKwDefault},
+      {"return", TokenKind::kKwReturn},     {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue}, {"sizeof", TokenKind::kKwSizeof},
+      {"true", TokenKind::kKwTrue},         {"false", TokenKind::kKwFalse},
+      {"NULL", TokenKind::kKwNull},         {"nullptr", TokenKind::kKwNull},
+  };
+  return kTable;
+}
+
+// Per-line scanner that carries block-comment state across lines.
+class LineScanner {
+ public:
+  LineScanner(const SourceManager& sm, FileId file, const PreprocessResult& pp,
+              DiagnosticEngine& diags)
+      : sm_(sm), file_(file), pp_(pp), diags_(diags) {}
+
+  std::vector<Token> Run() {
+    const int num_lines = sm_.NumLines(file_);
+    for (int line = 1; line <= num_lines; ++line) {
+      if (!pp_.LineActive(line)) {
+        continue;
+      }
+      ScanLine(line, sm_.Line(file_, line));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.loc = {file_, num_lines, 1};
+    tokens_.push_back(std::move(eof));
+    return std::move(tokens_);
+  }
+
+ private:
+  void Emit(TokenKind kind, int line, int col, std::string text = {}, long long value = 0) {
+    Token tok;
+    tok.kind = kind;
+    tok.loc = {file_, line, col};
+    tok.text = std::move(text);
+    tok.int_value = value;
+    tokens_.push_back(std::move(tok));
+  }
+
+  void ScanLine(int line, std::string_view text) {
+    size_t i = 0;
+    const size_t n = text.size();
+    while (i < n) {
+      if (in_block_comment_) {
+        size_t close = text.find("*/", i);
+        if (close == std::string_view::npos) {
+          return;  // comment continues on the next line
+        }
+        i = close + 2;
+        in_block_comment_ = false;
+        continue;
+      }
+
+      char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      const int col = static_cast<int>(i) + 1;
+
+      // Comments.
+      if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+        return;
+      }
+      if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+        in_block_comment_ = true;
+        i += 2;
+        continue;
+      }
+
+      // Attributes: [[...]]
+      if (c == '[' && i + 1 < n && text[i + 1] == '[') {
+        size_t close = text.find("]]", i + 2);
+        if (close == std::string_view::npos) {
+          diags_.Error({file_, line, col}, "unterminated [[attribute]]");
+          return;
+        }
+        Emit(TokenKind::kAttribute, line, col, std::string(text.substr(i, close + 2 - i)));
+        i = close + 2;
+        continue;
+      }
+
+      // Attributes: __attribute__((...))
+      if (c == '_' && text.substr(i).rfind("__attribute__", 0) == 0) {
+        size_t open = text.find("((", i);
+        size_t close = (open == std::string_view::npos) ? std::string_view::npos
+                                                        : text.find("))", open);
+        if (close == std::string_view::npos) {
+          diags_.Error({file_, line, col}, "unterminated __attribute__");
+          return;
+        }
+        Emit(TokenKind::kAttribute, line, col, std::string(text.substr(i, close + 2 - i)));
+        i = close + 2;
+        continue;
+      }
+
+      // Identifiers and keywords.
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) {
+          ++i;
+        }
+        std::string word(text.substr(start, i - start));
+        auto it = KeywordTable().find(word);
+        if (it != KeywordTable().end()) {
+          Emit(it->second, line, col);
+        } else {
+          Emit(TokenKind::kIdentifier, line, col, std::move(word));
+        }
+        continue;
+      }
+
+      // Numeric literals (decimal or 0x hex).
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        if (c == '0' && i + 1 < n && (text[i + 1] == 'x' || text[i + 1] == 'X')) {
+          i += 2;
+          while (i < n && std::isxdigit(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          }
+        } else {
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            ++i;
+          }
+        }
+        // Integer suffixes (u, l, ul, ...) are accepted and ignored.
+        while (i < n && (text[i] == 'u' || text[i] == 'U' || text[i] == 'l' || text[i] == 'L')) {
+          ++i;
+        }
+        std::string spelling(text.substr(start, i - start));
+        long long value = std::strtoll(spelling.c_str(), nullptr, 0);
+        Emit(TokenKind::kIntLiteral, line, col, std::move(spelling), value);
+        continue;
+      }
+
+      // Character literal.
+      if (c == '\'') {
+        size_t j = i + 1;
+        long long value = 0;
+        if (j < n && text[j] == '\\' && j + 1 < n) {
+          switch (text[j + 1]) {
+            case 'n':
+              value = '\n';
+              break;
+            case 't':
+              value = '\t';
+              break;
+            case '0':
+              value = 0;
+              break;
+            case '\\':
+              value = '\\';
+              break;
+            case '\'':
+              value = '\'';
+              break;
+            default:
+              value = text[j + 1];
+              break;
+          }
+          j += 2;
+        } else if (j < n) {
+          value = text[j];
+          j += 1;
+        }
+        if (j >= n || text[j] != '\'') {
+          diags_.Error({file_, line, col}, "unterminated character literal");
+          return;
+        }
+        Emit(TokenKind::kCharLiteral, line, col, std::string(text.substr(i, j + 1 - i)), value);
+        i = j + 1;
+        continue;
+      }
+
+      // String literal.
+      if (c == '"') {
+        size_t j = i + 1;
+        while (j < n && text[j] != '"') {
+          if (text[j] == '\\' && j + 1 < n) {
+            ++j;
+          }
+          ++j;
+        }
+        if (j >= n) {
+          diags_.Error({file_, line, col}, "unterminated string literal");
+          return;
+        }
+        Emit(TokenKind::kStringLiteral, line, col, std::string(text.substr(i + 1, j - i - 1)));
+        i = j + 1;
+        continue;
+      }
+
+      // Operators and punctuation (longest match first).
+      auto two = (i + 1 < n) ? text.substr(i, 2) : std::string_view{};
+      TokenKind kind = TokenKind::kEof;
+      int len = 0;
+      if (two == "->") {
+        kind = TokenKind::kArrow;
+        len = 2;
+      } else if (two == "++") {
+        kind = TokenKind::kPlusPlus;
+        len = 2;
+      } else if (two == "--") {
+        kind = TokenKind::kMinusMinus;
+        len = 2;
+      } else if (two == "+=") {
+        kind = TokenKind::kPlusAssign;
+        len = 2;
+      } else if (two == "-=") {
+        kind = TokenKind::kMinusAssign;
+        len = 2;
+      } else if (two == "*=") {
+        kind = TokenKind::kStarAssign;
+        len = 2;
+      } else if (two == "/=") {
+        kind = TokenKind::kSlashAssign;
+        len = 2;
+      } else if (two == "&=") {
+        kind = TokenKind::kAmpAssign;
+        len = 2;
+      } else if (two == "|=") {
+        kind = TokenKind::kPipeAssign;
+        len = 2;
+      } else if (two == "==") {
+        kind = TokenKind::kEq;
+        len = 2;
+      } else if (two == "!=") {
+        kind = TokenKind::kNe;
+        len = 2;
+      } else if (two == "<=") {
+        kind = TokenKind::kLe;
+        len = 2;
+      } else if (two == ">=") {
+        kind = TokenKind::kGe;
+        len = 2;
+      } else if (two == "&&") {
+        kind = TokenKind::kAmpAmp;
+        len = 2;
+      } else if (two == "||") {
+        kind = TokenKind::kPipePipe;
+        len = 2;
+      } else if (two == "<<") {
+        kind = TokenKind::kShl;
+        len = 2;
+      } else if (two == ">>") {
+        kind = TokenKind::kShr;
+        len = 2;
+      } else {
+        len = 1;
+        switch (c) {
+          case '(':
+            kind = TokenKind::kLParen;
+            break;
+          case ')':
+            kind = TokenKind::kRParen;
+            break;
+          case '{':
+            kind = TokenKind::kLBrace;
+            break;
+          case '}':
+            kind = TokenKind::kRBrace;
+            break;
+          case '[':
+            kind = TokenKind::kLBracket;
+            break;
+          case ']':
+            kind = TokenKind::kRBracket;
+            break;
+          case ';':
+            kind = TokenKind::kSemi;
+            break;
+          case ',':
+            kind = TokenKind::kComma;
+            break;
+          case '.':
+            kind = TokenKind::kDot;
+            break;
+          case '+':
+            kind = TokenKind::kPlus;
+            break;
+          case '-':
+            kind = TokenKind::kMinus;
+            break;
+          case '*':
+            kind = TokenKind::kStar;
+            break;
+          case '/':
+            kind = TokenKind::kSlash;
+            break;
+          case '%':
+            kind = TokenKind::kPercent;
+            break;
+          case '&':
+            kind = TokenKind::kAmp;
+            break;
+          case '|':
+            kind = TokenKind::kPipe;
+            break;
+          case '^':
+            kind = TokenKind::kCaret;
+            break;
+          case '~':
+            kind = TokenKind::kTilde;
+            break;
+          case '!':
+            kind = TokenKind::kBang;
+            break;
+          case '=':
+            kind = TokenKind::kAssign;
+            break;
+          case '<':
+            kind = TokenKind::kLt;
+            break;
+          case '>':
+            kind = TokenKind::kGt;
+            break;
+          case '?':
+            kind = TokenKind::kQuestion;
+            break;
+          case ':':
+            kind = TokenKind::kColon;
+            break;
+          default:
+            diags_.Error({file_, line, col},
+                         std::string("unexpected character '") + c + "'");
+            ++i;
+            continue;
+        }
+      }
+      Emit(kind, line, col);
+      i += len;
+    }
+  }
+
+  const SourceManager& sm_;
+  FileId file_;
+  const PreprocessResult& pp_;
+  DiagnosticEngine& diags_;
+  std::vector<Token> tokens_;
+  bool in_block_comment_ = false;
+};
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "eof";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "int-literal";
+    case TokenKind::kCharLiteral:
+      return "char-literal";
+    case TokenKind::kStringLiteral:
+      return "string-literal";
+    case TokenKind::kAttribute:
+      return "attribute";
+    case TokenKind::kKwVoid:
+      return "void";
+    case TokenKind::kKwInt:
+      return "int";
+    case TokenKind::kKwChar:
+      return "char";
+    case TokenKind::kKwLong:
+      return "long";
+    case TokenKind::kKwBool:
+      return "bool";
+    case TokenKind::kKwUnsigned:
+      return "unsigned";
+    case TokenKind::kKwSizeT:
+      return "size_t";
+    case TokenKind::kKwStruct:
+      return "struct";
+    case TokenKind::kKwEnum:
+      return "enum";
+    case TokenKind::kKwTypedef:
+      return "typedef";
+    case TokenKind::kKwConst:
+      return "const";
+    case TokenKind::kKwStatic:
+      return "static";
+    case TokenKind::kKwIf:
+      return "if";
+    case TokenKind::kKwElse:
+      return "else";
+    case TokenKind::kKwWhile:
+      return "while";
+    case TokenKind::kKwDo:
+      return "do";
+    case TokenKind::kKwSwitch:
+      return "switch";
+    case TokenKind::kKwCase:
+      return "case";
+    case TokenKind::kKwDefault:
+      return "default";
+    case TokenKind::kKwFor:
+      return "for";
+    case TokenKind::kKwReturn:
+      return "return";
+    case TokenKind::kKwBreak:
+      return "break";
+    case TokenKind::kKwContinue:
+      return "continue";
+    case TokenKind::kKwSizeof:
+      return "sizeof";
+    case TokenKind::kKwTrue:
+      return "true";
+    case TokenKind::kKwFalse:
+      return "false";
+    case TokenKind::kKwNull:
+      return "NULL";
+    case TokenKind::kLParen:
+      return "(";
+    case TokenKind::kRParen:
+      return ")";
+    case TokenKind::kLBrace:
+      return "{";
+    case TokenKind::kRBrace:
+      return "}";
+    case TokenKind::kLBracket:
+      return "[";
+    case TokenKind::kRBracket:
+      return "]";
+    case TokenKind::kSemi:
+      return ";";
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kArrow:
+      return "->";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kAmp:
+      return "&";
+    case TokenKind::kPipe:
+      return "|";
+    case TokenKind::kCaret:
+      return "^";
+    case TokenKind::kTilde:
+      return "~";
+    case TokenKind::kBang:
+      return "!";
+    case TokenKind::kAssign:
+      return "=";
+    case TokenKind::kPlusAssign:
+      return "+=";
+    case TokenKind::kMinusAssign:
+      return "-=";
+    case TokenKind::kStarAssign:
+      return "*=";
+    case TokenKind::kSlashAssign:
+      return "/=";
+    case TokenKind::kAmpAssign:
+      return "&=";
+    case TokenKind::kPipeAssign:
+      return "|=";
+    case TokenKind::kPlusPlus:
+      return "++";
+    case TokenKind::kMinusMinus:
+      return "--";
+    case TokenKind::kEq:
+      return "==";
+    case TokenKind::kNe:
+      return "!=";
+    case TokenKind::kLt:
+      return "<";
+    case TokenKind::kGt:
+      return ">";
+    case TokenKind::kLe:
+      return "<=";
+    case TokenKind::kGe:
+      return ">=";
+    case TokenKind::kAmpAmp:
+      return "&&";
+    case TokenKind::kPipePipe:
+      return "||";
+    case TokenKind::kShl:
+      return "<<";
+    case TokenKind::kShr:
+      return ">>";
+    case TokenKind::kQuestion:
+      return "?";
+    case TokenKind::kColon:
+      return ":";
+  }
+  return "unknown";
+}
+
+std::vector<Token> Lex(const SourceManager& sm, FileId file, const PreprocessResult& pp,
+                       DiagnosticEngine& diags) {
+  LineScanner scanner(sm, file, pp, diags);
+  return scanner.Run();
+}
+
+}  // namespace vc

@@ -1,0 +1,24 @@
+// Tokenizer for Mini-C. Operates on a file registered with a SourceManager
+// plus the preprocessing result: only active, non-directive lines produce
+// tokens; comments are skipped but remain available as raw text for the
+// unused-hints pruning pass.
+
+#ifndef VALUECHECK_SRC_LEXER_LEXER_H_
+#define VALUECHECK_SRC_LEXER_LEXER_H_
+
+#include <vector>
+
+#include "src/lexer/preprocessor.h"
+#include "src/lexer/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_manager.h"
+
+namespace vc {
+
+// Lexes the whole file into a token vector terminated by a kEof token.
+std::vector<Token> Lex(const SourceManager& sm, FileId file, const PreprocessResult& pp,
+                       DiagnosticEngine& diags);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_LEXER_LEXER_H_

@@ -1,0 +1,173 @@
+#include "src/lexer/preprocessor.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/support/string_util.h"
+
+namespace vc {
+
+namespace {
+
+struct Frame {
+  int begin_line = 0;
+  std::string condition;
+  bool parent_active = true;
+  bool branch_active = false;   // current branch truth value
+  bool any_taken = false;       // some branch already taken (for #else)
+  bool first_branch_taken = false;
+};
+
+// Evaluates the restricted #if expression grammar:
+//   expr := "0" | "1" | <int> | NAME | defined(NAME) | !defined(NAME) | !NAME
+bool EvalCondition(std::string_view expr, const Config& config) {
+  std::string_view trimmed = Trim(expr);
+  bool negate = false;
+  while (!trimmed.empty() && trimmed.front() == '!') {
+    negate = !negate;
+    trimmed = Trim(trimmed.substr(1));
+  }
+  bool value = false;
+  if (trimmed.empty()) {
+    value = false;
+  } else if (std::isdigit(static_cast<unsigned char>(trimmed.front()))) {
+    value = std::strtoll(std::string(trimmed).c_str(), nullptr, 0) != 0;
+  } else if (trimmed.rfind("defined", 0) == 0) {
+    std::string_view rest = Trim(trimmed.substr(7));
+    if (!rest.empty() && rest.front() == '(') {
+      rest = Trim(rest.substr(1));
+      size_t close = rest.find(')');
+      if (close != std::string_view::npos) {
+        rest = Trim(rest.substr(0, close));
+      }
+    }
+    value = config.IsDefined(std::string(rest));
+  } else {
+    // Bare macro name: defined with nonzero value.
+    std::string name(trimmed);
+    value = config.IsDefined(name) && config.ValueOf(name) != 0;
+  }
+  return negate ? !value : value;
+}
+
+}  // namespace
+
+PreprocessResult Preprocess(std::string_view content, const Config& config) {
+  PreprocessResult result;
+  Config local = config;
+  std::vector<Frame> stack;
+
+  std::vector<std::string_view> raw_lines = Split(content, '\n');
+  // A trailing newline produces one empty trailing entry; drop it so line
+  // counts match SourceManager::NumLines.
+  if (!raw_lines.empty() && raw_lines.back().empty() && !content.empty() &&
+      content.back() == '\n') {
+    raw_lines.pop_back();
+  }
+  result.lines.resize(raw_lines.size());
+
+  auto enclosing_active = [&stack]() {
+    for (const Frame& frame : stack) {
+      if (!frame.branch_active) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    std::string_view trimmed = Trim(raw_lines[i]);
+    PreprocessedLine& info = result.lines[i];
+
+    if (trimmed.empty() || trimmed.front() != '#') {
+      info.active = enclosing_active();
+      continue;
+    }
+
+    info.directive = true;
+    info.active = false;
+    std::string_view directive = Trim(trimmed.substr(1));
+
+    if (directive.rfind("define", 0) == 0) {
+      if (enclosing_active()) {
+        std::string_view rest = Trim(directive.substr(6));
+        size_t name_end = 0;
+        while (name_end < rest.size() && IsIdentChar(rest[name_end])) {
+          ++name_end;
+        }
+        std::string name(rest.substr(0, name_end));
+        std::string_view value_text = Trim(rest.substr(name_end));
+        long long value = 1;
+        if (!value_text.empty()) {
+          value = std::strtoll(std::string(value_text).c_str(), nullptr, 0);
+        }
+        if (!name.empty()) {
+          local.Define(std::move(name), value);
+        }
+      }
+    } else if (directive.rfind("ifdef", 0) == 0 || directive.rfind("ifndef", 0) == 0 ||
+               directive.rfind("if", 0) == 0) {
+      Frame frame;
+      frame.begin_line = line_no;
+      frame.parent_active = enclosing_active();
+      bool cond;
+      if (directive.rfind("ifdef", 0) == 0) {
+        frame.condition = std::string(Trim(directive.substr(5)));
+        cond = local.IsDefined(frame.condition);
+      } else if (directive.rfind("ifndef", 0) == 0) {
+        frame.condition = std::string(Trim(directive.substr(6)));
+        cond = !local.IsDefined(frame.condition);
+      } else {
+        frame.condition = std::string(Trim(directive.substr(2)));
+        cond = EvalCondition(frame.condition, local);
+      }
+      frame.branch_active = cond;
+      frame.any_taken = cond;
+      frame.first_branch_taken = cond;
+      stack.push_back(std::move(frame));
+    } else if (directive.rfind("else", 0) == 0) {
+      if (stack.empty()) {
+        result.errors.push_back("line " + std::to_string(line_no) + ": #else without #if");
+      } else {
+        Frame& frame = stack.back();
+        frame.branch_active = !frame.any_taken;
+        frame.any_taken = true;
+      }
+    } else if (directive.rfind("endif", 0) == 0) {
+      if (stack.empty()) {
+        result.errors.push_back("line " + std::to_string(line_no) + ": #endif without #if");
+      } else {
+        Frame frame = stack.back();
+        stack.pop_back();
+        CondRegion region;
+        region.begin_line = frame.begin_line;
+        region.end_line = line_no;
+        region.condition = frame.condition;
+        region.taken = frame.first_branch_taken;
+        result.regions.push_back(std::move(region));
+      }
+    } else if (directive.rfind("include", 0) == 0) {
+      // Includes are resolved by the Project layer (all files of a project are
+      // parsed together); the directive itself is inert here.
+    } else {
+      result.errors.push_back("line " + std::to_string(line_no) + ": unknown directive '#" +
+                              std::string(directive) + "'");
+    }
+  }
+
+  for (const Frame& frame : stack) {
+    result.errors.push_back("line " + std::to_string(frame.begin_line) +
+                            ": unterminated conditional");
+    CondRegion region;
+    region.begin_line = frame.begin_line;
+    region.end_line = static_cast<int>(raw_lines.size());
+    region.condition = frame.condition;
+    region.taken = frame.first_branch_taken;
+    result.regions.push_back(std::move(region));
+  }
+
+  return result;
+}
+
+}  // namespace vc

@@ -1,0 +1,73 @@
+// Line-based preprocessor for Mini-C.
+//
+// Supports the conditional-compilation subset ValueCheck's configuration-
+// dependency pruning depends on (#if/#ifdef/#ifndef/#else/#endif/#define).
+// The preprocessor decides which lines are active under a given Config and,
+// crucially, records every conditional region so the pruning pass can scan
+// disabled text for uses of a definition — exactly the source-level check the
+// paper performs (§5.1): uses guarded by a disabled #if never reach the IR, so
+// the raw region text is the only place they can be found.
+
+#ifndef VALUECHECK_SRC_LEXER_PREPROCESSOR_H_
+#define VALUECHECK_SRC_LEXER_PREPROCESSOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+// Compilation configuration: macro name -> value. Presence means defined;
+// value 0 still counts as defined for #ifdef but is false under #if.
+class Config {
+ public:
+  void Define(std::string name, long long value = 1) { macros_[std::move(name)] = value; }
+  void Undefine(const std::string& name) { macros_.erase(name); }
+  bool IsDefined(const std::string& name) const { return macros_.count(name) > 0; }
+  long long ValueOf(const std::string& name) const {
+    auto it = macros_.find(name);
+    return it == macros_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::string, long long> macros_;
+};
+
+// One #if/#ifdef/#ifndef ... #endif block. Lines are 1-based and inclusive of
+// the directive lines themselves.
+struct CondRegion {
+  int begin_line = 0;  // line of the opening directive
+  int end_line = 0;    // line of the matching #endif
+  std::string condition;
+  bool taken = false;  // whether the first branch was active
+};
+
+struct PreprocessedLine {
+  bool active = true;       // reaches the lexer
+  bool directive = false;   // is a preprocessor directive line
+};
+
+struct PreprocessResult {
+  std::vector<PreprocessedLine> lines;  // index 0 is line 1
+  std::vector<CondRegion> regions;
+  std::vector<std::string> errors;  // unterminated blocks, stray #endif, ...
+
+  bool LineActive(int line) const {
+    int idx = line - 1;
+    if (idx < 0 || idx >= static_cast<int>(lines.size())) {
+      return false;
+    }
+    return lines[idx].active && !lines[idx].directive;
+  }
+};
+
+// Runs conditional processing over `content` under `config`. #define lines in
+// the file update a local copy of the config for subsequent conditionals
+// (object-like macros are not textually expanded; Mini-C code spells constants
+// directly, matching how the corpus generator emits code).
+PreprocessResult Preprocess(std::string_view content, const Config& config);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_LEXER_PREPROCESSOR_H_

@@ -1,0 +1,29 @@
+// Recursive-descent parser for Mini-C. Produces a fully resolved
+// TranslationUnit: identifier expressions are bound to their VarDecl /
+// FunctionDecl, member expressions to FieldDecls, and every expression carries
+// a best-effort type. Parse errors are reported to the DiagnosticEngine and
+// recovered at statement boundaries so one bad construct does not sink a file.
+
+#ifndef VALUECHECK_SRC_PARSER_PARSER_H_
+#define VALUECHECK_SRC_PARSER_PARSER_H_
+
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/lexer/preprocessor.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_manager.h"
+
+namespace vc {
+
+// Preprocesses, lexes, and parses one file. The returned unit owns its AST.
+TranslationUnit ParseFile(const SourceManager& sm, FileId file, const Config& config,
+                          DiagnosticEngine& diags);
+
+// Convenience for tests: parses from a bare string (registers it in `sm`).
+TranslationUnit ParseString(SourceManager& sm, const std::string& path, const std::string& code,
+                            DiagnosticEngine& diags);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_PARSER_PARSER_H_

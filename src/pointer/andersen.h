@@ -1,0 +1,66 @@
+// Field-sensitive Andersen-style (inclusion-based) points-to analysis,
+// standing in for SVF in the paper's pipeline (§4.1, §7). ValueCheck uses
+// points-to information for three things, all of which this module provides:
+//
+//   1. alias awareness — which slots are reachable through pointer values
+//      (the detector suppresses candidates on address-taken slots, and tests
+//      use the per-value points-to sets to validate that rule);
+//   2. indirect call resolution — which functions a function-pointer value
+//      may target, so unused-return-value authorship can look up the actual
+//      callee (§4.1 "Indirect Function Call");
+//   3. the value-flow graph's indirect def-use edges.
+//
+// The analysis is intraprocedural (ValueCheck analyzes local variables only;
+// §3.1). Abstract objects are the function's memory slots plus a distinguished
+// "unknown" object for anything that escapes the model (call results, field
+// addresses of unmodeled objects).
+
+#ifndef VALUECHECK_SRC_POINTER_ANDERSEN_H_
+#define VALUECHECK_SRC_POINTER_ANDERSEN_H_
+
+#include <set>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace vc {
+
+class PointsTo {
+ public:
+  explicit PointsTo(const IrFunction& func);
+
+  // Slots that `value` may point to.
+  const std::set<SlotId>& SlotsPointedBy(ValueId value) const;
+
+  // Functions that `value` may target (for indirect calls).
+  const std::set<const FunctionDecl*>& FunctionsPointedBy(ValueId value) const;
+
+  // True when `value` may point outside the modeled object space.
+  bool PointsToUnknown(ValueId value) const;
+
+  // True when some pointer value in the function may point to `slot`.
+  bool SlotIsPointee(SlotId slot) const;
+
+  int iterations() const { return iterations_; }
+
+ private:
+  struct NodeState {
+    std::set<SlotId> slots;
+    std::set<const FunctionDecl*> funcs;
+    bool unknown = false;
+  };
+
+  void Solve(const IrFunction& func);
+
+  std::vector<NodeState> values_;  // indexed by ValueId
+  std::vector<NodeState> slots_;   // indexed by SlotId: what the slot CONTAINS
+  std::set<SlotId> pointee_slots_;
+  int iterations_ = 0;
+
+  static const std::set<SlotId> kEmptySlots;
+  static const std::set<const FunctionDecl*> kEmptyFuncs;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_POINTER_ANDERSEN_H_

@@ -1,0 +1,50 @@
+#include "src/support/diagnostics.h"
+
+#include <utility>
+
+#include "src/support/source_manager.h"
+
+namespace vc {
+
+namespace {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void DiagnosticEngine::Report(Severity severity, SourceLoc loc, std::string message) {
+  if (severity == Severity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back({severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::Render(const SourceManager& sm) const {
+  std::string out;
+  for (const Diagnostic& diag : diagnostics_) {
+    out += sm.Render(diag.loc);
+    out += ": ";
+    out += SeverityName(diag.severity);
+    out += ": ";
+    out += diag.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace vc

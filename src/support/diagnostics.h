@@ -1,0 +1,55 @@
+// Diagnostic collection for the front end. The parser and lexer report
+// problems here instead of aborting; callers check ErrorCount() after a parse.
+
+#ifndef VALUECHECK_SRC_SUPPORT_DIAGNOSTICS_H_
+#define VALUECHECK_SRC_SUPPORT_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace vc {
+
+class SourceManager;
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  void Report(Severity severity, SourceLoc loc, std::string message);
+
+  void Error(SourceLoc loc, std::string message) {
+    Report(Severity::kError, loc, std::move(message));
+  }
+  void Warning(SourceLoc loc, std::string message) {
+    Report(Severity::kWarning, loc, std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int ErrorCount() const { return error_count_; }
+  bool HasErrors() const { return error_count_ > 0; }
+
+  // Renders all diagnostics as "path:line:col: severity: message" lines.
+  std::string Render(const SourceManager& sm) const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int error_count_ = 0;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_DIAGNOSTICS_H_

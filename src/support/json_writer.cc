@@ -1,0 +1,129 @@
+#include "src/support/json_writer.h"
+
+#include <cstdio>
+
+namespace vc {
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the value follows its key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& key, const std::string& value) {
+  Key(key);
+  return StringValue(value);
+}
+
+JsonWriter& JsonWriter::Int(const std::string& key, int64_t value) {
+  Key(key);
+  return IntValue(value);
+}
+
+JsonWriter& JsonWriter::Double(const std::string& key, double value) {
+  Key(key);
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(const std::string& key, bool value) {
+  Key(key);
+  Separate();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::StringValue(const std::string& value) {
+  Separate();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::IntValue(int64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+}  // namespace vc

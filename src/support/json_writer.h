@@ -1,0 +1,46 @@
+// Minimal streaming JSON writer used by the report exporters. Handles
+// escaping and comma placement; nesting is the caller's responsibility
+// (Begin/End calls must pair).
+
+#ifndef VALUECHECK_SRC_SUPPORT_JSON_WRITER_H_
+#define VALUECHECK_SRC_SUPPORT_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object-member forms.
+  JsonWriter& Key(const std::string& key);
+  JsonWriter& String(const std::string& key, const std::string& value);
+  JsonWriter& Int(const std::string& key, int64_t value);
+  JsonWriter& Double(const std::string& key, double value);
+  JsonWriter& Bool(const std::string& key, bool value);
+
+  // Array-element forms.
+  JsonWriter& StringValue(const std::string& value);
+  JsonWriter& IntValue(int64_t value);
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& text);
+
+ private:
+  void Separate();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one frame per open object/array
+  bool pending_key_ = false;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_JSON_WRITER_H_

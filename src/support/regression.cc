@@ -1,0 +1,101 @@
+#include "src/support/regression.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace vc {
+
+namespace {
+
+// Solves A * x = b in place with partial pivoting. Returns false if singular.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a, std::vector<double>& b) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return false;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col) {
+        continue;
+      }
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    b[i] /= a[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<RegressionResult> FitLeastSquares(const std::vector<Observation>& data) {
+  if (data.empty()) {
+    return std::nullopt;
+  }
+  const size_t k = data[0].x.size();
+  const size_t dims = k + 1;  // intercept + features
+  if (data.size() < dims) {
+    return std::nullopt;
+  }
+
+  // Build normal equations X^T X beta = X^T y with X's first column = 1.
+  std::vector<std::vector<double>> xtx(dims, std::vector<double>(dims, 0.0));
+  std::vector<double> xty(dims, 0.0);
+  for (const Observation& obs : data) {
+    if (obs.x.size() != k) {
+      return std::nullopt;
+    }
+    std::vector<double> row(dims);
+    row[0] = 1.0;
+    for (size_t i = 0; i < k; ++i) {
+      row[i + 1] = obs.x[i];
+    }
+    for (size_t i = 0; i < dims; ++i) {
+      for (size_t j = 0; j < dims; ++j) {
+        xtx[i][j] += row[i] * row[j];
+      }
+      xty[i] += row[i] * obs.y;
+    }
+  }
+
+  if (!SolveLinearSystem(xtx, xty)) {
+    return std::nullopt;
+  }
+
+  RegressionResult result;
+  result.coefficients = xty;
+
+  // R^2 against the mean model.
+  double mean = 0.0;
+  for (const Observation& obs : data) {
+    mean += obs.y;
+  }
+  mean /= static_cast<double>(data.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (const Observation& obs : data) {
+    double pred = result.coefficients[0];
+    for (size_t i = 0; i < k; ++i) {
+      pred += result.coefficients[i + 1] * obs.x[i];
+    }
+    ss_res += (obs.y - pred) * (obs.y - pred);
+    ss_tot += (obs.y - mean) * (obs.y - mean);
+  }
+  result.r_squared = (ss_tot > 1e-12) ? 1.0 - ss_res / ss_tot : 1.0;
+  return result;
+}
+
+}  // namespace vc

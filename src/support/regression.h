@@ -1,0 +1,31 @@
+// Ordinary least-squares linear regression via normal equations. Used to fit
+// the DOK familiarity model weights from sampled developer self-ratings, the
+// same procedure the paper follows (§6, after Fritz et al.'s original study).
+
+#ifndef VALUECHECK_SRC_SUPPORT_REGRESSION_H_
+#define VALUECHECK_SRC_SUPPORT_REGRESSION_H_
+
+#include <optional>
+#include <vector>
+
+namespace vc {
+
+// One observation: feature vector x (without intercept term) and target y.
+struct Observation {
+  std::vector<double> x;
+  double y = 0.0;
+};
+
+struct RegressionResult {
+  // coefficients[0] is the intercept; coefficients[i] pairs with x[i-1].
+  std::vector<double> coefficients;
+  double r_squared = 0.0;
+};
+
+// Fits y = b0 + b1*x1 + ... + bk*xk. Returns nullopt when the system is
+// singular (e.g. fewer observations than features or collinear features).
+std::optional<RegressionResult> FitLeastSquares(const std::vector<Observation>& data);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_REGRESSION_H_

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generator (splitmix64 core). The corpus
+// synthesizer must produce identical projects for a given seed across runs and
+// platforms, so we avoid std::mt19937's distribution-implementation variance
+// by implementing the distributions we need directly.
+
+#ifndef VALUECHECK_SRC_SUPPORT_RNG_H_
+#define VALUECHECK_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Approximately normal via sum of uniforms (Irwin–Hall with 12 terms).
+  double NextGaussian(double mean, double stddev) {
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      sum += NextDouble();
+    }
+    return mean + (sum - 6.0) * stddev;
+  }
+
+  // Index drawn from unnormalized weights. Empty or all-zero weights yield 0.
+  size_t NextWeighted(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      total += w;
+    }
+    if (total <= 0.0) {
+      return 0;
+    }
+    double target = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (target < acc) {
+        return i;
+      }
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,64 @@
+// Source locations and ranges used throughout the front end, IR, and reports.
+//
+// A SourceLoc pins a point in a file registered with a SourceManager; line and
+// column are 1-based (line 0 means "unknown"). Every IR instruction carries a
+// SourceLoc so later pipeline stages (authorship lookup, pruning, ranking) can
+// map analysis results back to source lines and, through the VCS, to authors.
+
+#ifndef VALUECHECK_SRC_SUPPORT_SOURCE_LOCATION_H_
+#define VALUECHECK_SRC_SUPPORT_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace vc {
+
+// Identifies a file registered with a SourceManager. Values are dense indices.
+using FileId = int32_t;
+
+inline constexpr FileId kInvalidFileId = -1;
+
+// A point in a source file. Line/column are 1-based; a default-constructed
+// SourceLoc is invalid (no file).
+struct SourceLoc {
+  FileId file = kInvalidFileId;
+  int32_t line = 0;
+  int32_t column = 0;
+
+  bool IsValid() const { return file != kInvalidFileId && line > 0; }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.file == b.file && a.line == b.line && a.column == b.column;
+  }
+  friend bool operator!=(const SourceLoc& a, const SourceLoc& b) { return !(a == b); }
+  friend bool operator<(const SourceLoc& a, const SourceLoc& b) {
+    return std::tie(a.file, a.line, a.column) < std::tie(b.file, b.line, b.column);
+  }
+};
+
+// A half-open [begin, end) span in a single file. `end` points one past the
+// last token of the construct. Used to attach extents to AST nodes so that
+// pruning passes can scan the raw source text of a declaration or function.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  bool IsValid() const { return begin.IsValid(); }
+
+  // True if `line` (in the same file) falls inside the range, inclusive of
+  // both endpoints' lines. Line-granular because pruning works on lines.
+  bool ContainsLine(int32_t line) const {
+    if (!IsValid()) {
+      return false;
+    }
+    return line >= begin.line && line <= end.line;
+  }
+};
+
+// Debug formatting, e.g. "file3:12:7". The SourceManager renders the path.
+std::string ToString(const SourceLoc& loc);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_SOURCE_LOCATION_H_

@@ -1,0 +1,71 @@
+#include "src/support/source_manager.h"
+
+#include <utility>
+
+namespace vc {
+
+std::string ToString(const SourceLoc& loc) {
+  if (!loc.IsValid()) {
+    return "<invalid>";
+  }
+  return "file" + std::to_string(loc.file) + ":" + std::to_string(loc.line) + ":" +
+         std::to_string(loc.column);
+}
+
+FileId SourceManager::AddFile(std::string path, std::string content) {
+  File file;
+  file.path = std::move(path);
+  file.content = std::move(content);
+  file.line_starts.push_back(0);
+  for (size_t i = 0; i < file.content.size(); ++i) {
+    if (file.content[i] == '\n' && i + 1 < file.content.size()) {
+      file.line_starts.push_back(i + 1);
+    }
+  }
+  files_.push_back(std::move(file));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+FileId SourceManager::FindByPath(std::string_view path) const {
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].path == path) {
+      return static_cast<FileId>(i);
+    }
+  }
+  return kInvalidFileId;
+}
+
+int SourceManager::NumLines(FileId id) const {
+  const File& file = files_[id];
+  if (file.content.empty()) {
+    return 0;
+  }
+  return static_cast<int>(file.line_starts.size());
+}
+
+std::string_view SourceManager::Line(FileId id, int line) const {
+  const File& file = files_[id];
+  if (line < 1 || line > NumLines(id)) {
+    return {};
+  }
+  size_t start = file.line_starts[line - 1];
+  size_t end = (line < static_cast<int>(file.line_starts.size()))
+                   ? file.line_starts[line] - 1  // exclude the '\n'
+                   : file.content.size();
+  // A file ending exactly at '\n' leaves `end` at content.size(); strip a
+  // trailing newline if present.
+  std::string_view view(file.content.data() + start, end - start);
+  if (!view.empty() && view.back() == '\n') {
+    view.remove_suffix(1);
+  }
+  return view;
+}
+
+std::string SourceManager::Render(const SourceLoc& loc) const {
+  if (!loc.IsValid() || loc.file >= NumFiles()) {
+    return "<invalid>";
+  }
+  return Path(loc.file) + ":" + std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace vc

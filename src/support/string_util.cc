@@ -1,0 +1,89 @@
+#include "src/support/string_util.h"
+
+#include <cctype>
+
+namespace vc {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ContainsWord(std::string_view text, std::string_view word) {
+  if (word.empty()) {
+    return false;
+  }
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t after = pos + word.size();
+    bool right_ok = after >= text.size() || !IsIdentChar(text[after]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+bool ContainsIgnoreCase(std::string_view text, std::string_view needle) {
+  if (needle.empty()) {
+    return true;
+  }
+  if (text.size() < needle.size()) {
+    return false;
+  }
+  auto lower = [](char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); };
+  for (size_t i = 0; i + needle.size() <= text.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      if (lower(text[i + j]) != lower(needle[j])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vc

@@ -1,0 +1,37 @@
+// Small string helpers shared by the lexer, pruning passes, and report
+// writers. Everything operates on std::string_view and allocates only when
+// returning owned strings.
+
+#ifndef VALUECHECK_SRC_SUPPORT_STRING_UTIL_H_
+#define VALUECHECK_SRC_SUPPORT_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+// Splits on a single-character separator; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `text` contains `word` delimited by non-identifier characters on
+// both sides. Identifier characters are [A-Za-z0-9_]. Used by source-level
+// pruning to find variable uses in raw lines (including disabled #if regions).
+bool ContainsWord(std::string_view text, std::string_view word);
+
+// Case-insensitive substring search (ASCII). The unused-hints pruning pattern
+// matches the keyword "unused" regardless of case.
+bool ContainsIgnoreCase(std::string_view text, std::string_view needle);
+
+// True if the character can appear in a Mini-C identifier.
+bool IsIdentChar(char c);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_STRING_UTIL_H_

@@ -1,0 +1,41 @@
+// Formats evaluation results as aligned console tables and CSV files. Every
+// bench binary prints the rows of the paper table it reproduces through this
+// writer so outputs are uniform and machine-readable.
+
+#ifndef VALUECHECK_SRC_SUPPORT_TABLE_WRITER_H_
+#define VALUECHECK_SRC_SUPPORT_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace vc {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders an aligned ASCII table with a header separator.
+  std::string RenderText() const;
+
+  // Renders RFC-4180-ish CSV (fields containing commas or quotes are quoted).
+  std::string RenderCsv() const;
+
+  // Writes the CSV form to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Convenience numeric formatting used by the benches.
+std::string FormatPercent(double fraction, int decimals = 0);  // 0.26 -> "26%"
+std::string FormatDouble(double value, int decimals = 2);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_TABLE_WRITER_H_

@@ -1,0 +1,42 @@
+// Line-oriented diff using Myers' O(ND) greedy algorithm. The repository uses
+// it to replay history for blame (line-level authorship) and to compute the
+// changed-line sets that drive incremental analysis (§8.6).
+
+#ifndef VALUECHECK_SRC_VCS_DIFF_H_
+#define VALUECHECK_SRC_VCS_DIFF_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+enum class EditOp {
+  kKeep,    // line unchanged: old_index and new_index both valid
+  kDelete,  // line removed from the old side: old_index valid
+  kInsert,  // line added on the new side: new_index valid
+};
+
+struct Edit {
+  EditOp op = EditOp::kKeep;
+  int old_index = -1;  // 0-based index into the old line vector
+  int new_index = -1;  // 0-based index into the new line vector
+};
+
+// Splits content into lines without trailing newlines. "a\nb\n" -> {"a","b"}.
+std::vector<std::string_view> SplitLines(std::string_view content);
+
+// Computes a minimal edit script from `a` to `b`. The script covers every
+// line of both sides exactly once, in order.
+std::vector<Edit> DiffLines(const std::vector<std::string_view>& a,
+                            const std::vector<std::string_view>& b);
+
+// Applies an edit script produced by DiffLines(a, b) back onto `a`, returning
+// b's lines; used by the property tests to validate round-tripping.
+std::vector<std::string> ApplyEdits(const std::vector<std::string_view>& a,
+                                    const std::vector<std::string_view>& b,
+                                    const std::vector<Edit>& edits);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_VCS_DIFF_H_

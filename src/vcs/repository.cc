@@ -1,0 +1,182 @@
+#include "src/vcs/repository.h"
+
+#include <utility>
+
+namespace vc {
+
+AuthorId Repository::AddAuthor(std::string name) {
+  authors_.push_back({std::move(name)});
+  return static_cast<AuthorId>(authors_.size() - 1);
+}
+
+AuthorId Repository::FindAuthor(const std::string& name) const {
+  for (size_t i = 0; i < authors_.size(); ++i) {
+    if (authors_[i].name == name) {
+      return static_cast<AuthorId>(i);
+    }
+  }
+  return kInvalidAuthor;
+}
+
+CommitId Repository::AddCommit(AuthorId author, int64_t timestamp, std::string message,
+                               std::map<std::string, std::string> changed_files,
+                               std::set<std::string> deleted_files) {
+  Commit commit;
+  commit.id = static_cast<CommitId>(commits_.size());
+  commit.author = author;
+  commit.timestamp = timestamp;
+  commit.message = std::move(message);
+  commit.files = std::move(changed_files);
+  commit.deleted = std::move(deleted_files);
+  for (const auto& [path, content] : commit.files) {
+    file_log_[path].push_back(commit.id);
+    blame_cache_.erase(path);
+  }
+  for (const std::string& path : commit.deleted) {
+    file_log_[path].push_back(commit.id);
+    blame_cache_.erase(path);
+  }
+  commits_.push_back(std::move(commit));
+  return commits_.back().id;
+}
+
+std::optional<std::string> Repository::FileAt(const std::string& path, CommitId commit) const {
+  auto it = file_log_.find(path);
+  if (it == file_log_.end()) {
+    return std::nullopt;
+  }
+  // Walk the per-file log backwards to the newest touch <= commit.
+  const std::vector<CommitId>& log = it->second;
+  for (size_t i = log.size(); i-- > 0;) {
+    if (log[i] > commit) {
+      continue;
+    }
+    const Commit& c = commits_[log[i]];
+    if (c.deleted.count(path) > 0) {
+      return std::nullopt;
+    }
+    auto file_it = c.files.find(path);
+    if (file_it != c.files.end()) {
+      return file_it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Repository::Head(const std::string& path) const {
+  if (commits_.empty()) {
+    return std::nullopt;
+  }
+  return FileAt(path, static_cast<CommitId>(commits_.size() - 1));
+}
+
+std::vector<std::string> Repository::ListFiles() const {
+  std::vector<std::string> files;
+  for (const auto& [path, log] : file_log_) {
+    if (Head(path).has_value()) {
+      files.push_back(path);
+    }
+  }
+  return files;
+}
+
+std::vector<CommitId> Repository::LogOf(const std::string& path) const {
+  auto it = file_log_.find(path);
+  return it == file_log_.end() ? std::vector<CommitId>{} : it->second;
+}
+
+std::vector<LineOrigin> Repository::ReplayBlame(const std::string& path, CommitId up_to) const {
+  auto it = file_log_.find(path);
+  if (it == file_log_.end()) {
+    return {};
+  }
+
+  std::vector<LineOrigin> attribution;
+  std::string current;  // current file content during the replay
+  bool exists = false;
+
+  for (CommitId commit_id : it->second) {
+    if (commit_id > up_to) {
+      break;
+    }
+    const Commit& commit = commits_[commit_id];
+    if (commit.deleted.count(path) > 0) {
+      attribution.clear();
+      current.clear();
+      exists = false;
+      continue;
+    }
+    auto file_it = commit.files.find(path);
+    if (file_it == commit.files.end()) {
+      continue;
+    }
+    const std::string& next = file_it->second;
+    if (!exists) {
+      // (Re)creation: every line belongs to this commit.
+      attribution.assign(SplitLines(next).size(), {commit_id, commit.author});
+      current = next;
+      exists = true;
+      continue;
+    }
+    std::vector<std::string_view> old_lines = SplitLines(current);
+    std::vector<std::string_view> new_lines = SplitLines(next);
+    std::vector<Edit> edits = DiffLines(old_lines, new_lines);
+    std::vector<LineOrigin> next_attr;
+    next_attr.reserve(new_lines.size());
+    for (const Edit& edit : edits) {
+      if (edit.op == EditOp::kKeep) {
+        next_attr.push_back(attribution[edit.old_index]);
+      } else if (edit.op == EditOp::kInsert) {
+        next_attr.push_back({commit_id, commit.author});
+      }
+    }
+    attribution = std::move(next_attr);
+    current = next;
+  }
+  return attribution;
+}
+
+const std::vector<LineOrigin>& Repository::Blame(const std::string& path) const {
+  auto cached = blame_cache_.find(path);
+  if (cached != blame_cache_.end()) {
+    return cached->second;
+  }
+  CommitId head = commits_.empty() ? kInvalidCommit : static_cast<CommitId>(commits_.size() - 1);
+  auto [it, inserted] = blame_cache_.emplace(path, ReplayBlame(path, head));
+  return it->second;
+}
+
+std::vector<LineOrigin> Repository::BlameAt(const std::string& path, CommitId commit) const {
+  return ReplayBlame(path, commit);
+}
+
+std::vector<int> Repository::ChangedLines(const std::string& path, CommitId commit) const {
+  const Commit& c = commits_[commit];
+  auto file_it = c.files.find(path);
+  if (file_it == c.files.end()) {
+    return {};
+  }
+  // Find the previous content.
+  std::optional<std::string> prev;
+  if (commit > 0) {
+    prev = FileAt(path, commit - 1);
+  }
+  std::vector<std::string_view> new_lines = SplitLines(file_it->second);
+  if (!prev.has_value()) {
+    std::vector<int> all(new_lines.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<int>(i) + 1;
+    }
+    return all;
+  }
+  std::vector<std::string_view> old_lines = SplitLines(*prev);
+  std::vector<int> changed;
+  for (const Edit& edit : DiffLines(old_lines, new_lines)) {
+    if (edit.op == EditOp::kInsert) {
+      changed.push_back(edit.new_index + 1);
+    }
+  }
+  return changed;
+}
+
+}  // namespace vc

@@ -1,0 +1,94 @@
+// In-memory version-control store — the reproduction's stand-in for git.
+//
+// ValueCheck's authorship lookup and DOK familiarity metrics (§4.2, §6) need
+// two capabilities from version control: line-level authorship of the current
+// file contents (git blame) and per-file commit logs (who delivered how many
+// commits to which file). The repository stores snapshot-based commits and
+// reconstructs blame by replaying the history with Myers diffs: unchanged
+// lines keep their attribution, inserted lines are attributed to the commit
+// that introduced them.
+
+#ifndef VALUECHECK_SRC_VCS_REPOSITORY_H_
+#define VALUECHECK_SRC_VCS_REPOSITORY_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/vcs/diff.h"
+
+namespace vc {
+
+using AuthorId = int32_t;
+using CommitId = int32_t;
+inline constexpr AuthorId kInvalidAuthor = -1;
+inline constexpr CommitId kInvalidCommit = -1;
+
+struct Author {
+  std::string name;
+};
+
+struct Commit {
+  CommitId id = kInvalidCommit;
+  AuthorId author = kInvalidAuthor;
+  int64_t timestamp = 0;  // seconds; drives "days before detected" (Fig. 7c)
+  std::string message;
+  // Full new content of every file changed by this commit.
+  std::map<std::string, std::string> files;
+  std::set<std::string> deleted;
+};
+
+// Line-level authorship: which commit (and author) introduced each line.
+struct LineOrigin {
+  CommitId commit = kInvalidCommit;
+  AuthorId author = kInvalidAuthor;
+};
+
+class Repository {
+ public:
+  AuthorId AddAuthor(std::string name);
+  const Author& GetAuthor(AuthorId id) const { return authors_[id]; }
+  int NumAuthors() const { return static_cast<int>(authors_.size()); }
+  AuthorId FindAuthor(const std::string& name) const;
+
+  CommitId AddCommit(AuthorId author, int64_t timestamp, std::string message,
+                     std::map<std::string, std::string> changed_files,
+                     std::set<std::string> deleted_files = {});
+  const Commit& GetCommit(CommitId id) const { return commits_[id]; }
+  int NumCommits() const { return static_cast<int>(commits_.size()); }
+
+  // File contents as of `commit` (inclusive); nullopt if absent or deleted.
+  std::optional<std::string> FileAt(const std::string& path, CommitId commit) const;
+  std::optional<std::string> Head(const std::string& path) const;
+  std::vector<std::string> ListFiles() const;
+
+  // Commits that changed `path`, oldest first.
+  std::vector<CommitId> LogOf(const std::string& path) const;
+
+  // Line attribution for head (or historical) contents. One entry per line.
+  // Results for head are cached; the cache is invalidated by AddCommit.
+  const std::vector<LineOrigin>& Blame(const std::string& path) const;
+  std::vector<LineOrigin> BlameAt(const std::string& path, CommitId commit) const;
+
+  // 1-based line numbers (in the post-commit file) that `commit` introduced
+  // or modified in `path`; empty when the commit did not touch the path.
+  // Feeds incremental analysis: only functions overlapping these lines need
+  // re-analysis after the commit.
+  std::vector<int> ChangedLines(const std::string& path, CommitId commit) const;
+
+ private:
+  std::vector<LineOrigin> ReplayBlame(const std::string& path, CommitId up_to) const;
+
+  std::vector<Author> authors_;
+  std::vector<Commit> commits_;
+  // Per path: ids of commits touching it (including deletions), oldest first.
+  std::map<std::string, std::vector<CommitId>> file_log_;
+  mutable std::map<std::string, std::vector<LineOrigin>> blame_cache_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_VCS_REPOSITORY_H_

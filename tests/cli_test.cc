@@ -1,0 +1,215 @@
+// Integration tests for the `valuecheck` CLI binary: runs the real executable
+// (path injected by CMake) against fixtures written to a temp directory and
+// checks exit codes and output.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#ifndef VALUECHECK_CLI_PATH
+#define VALUECHECK_CLI_PATH "valuecheck"
+#endif
+
+namespace vc {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunCli(const std::string& args) {
+  std::string command = std::string(VALUECHECK_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer;
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vc_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    std::filesystem::path path = dir_ / name;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << content;
+    return path.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+constexpr const char* kBuggy =
+    "int get_status(int entry) {\n"
+    "  return entry + 1;\n"
+    "}\n"
+    "int handle(int entry, int mode) {\n"
+    "  int ret = get_status(entry);\n"
+    "  ret = mode * 2;\n"
+    "  if (ret) {\n"
+    "    return 0;\n"
+    "  }\n"
+    "  return 1;\n"
+    "}\n";
+
+constexpr const char* kClean =
+    "int add(int a, int b) {\n"
+    "  int s = a + b;\n"
+    "  return s;\n"
+    "}\n";
+
+TEST_F(CliTest, CleanFileExitsZero) {
+  std::string path = Write("clean.c", kClean);
+  RunResult result = RunCli(path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("0 unused definition(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, FindingExitsOneWithWarning) {
+  std::string path = Write("buggy.c", kBuggy);
+  RunResult result = RunCli(path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("buggy.c:5: warning:"), std::string::npos);
+  EXPECT_NE(result.output.find("'ret' is overwritten before use"), std::string::npos);
+}
+
+TEST_F(CliTest, DirectoryModeScansRecursively) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  Write("ignored.txt", "not c code {{{");
+  RunResult result = RunCli(dir_.string());
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("1 unused definition(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonFormat) {
+  std::string path = Write("buggy.c", kBuggy);
+  RunResult result = RunCli(path + " --format=json");
+  EXPECT_NE(result.output.find("\"variable\":\"ret\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"value_from_call\":\"get_status\""), std::string::npos);
+}
+
+TEST_F(CliTest, SarifFormat) {
+  std::string path = Write("buggy.c", kBuggy);
+  RunResult result = RunCli(path + " --format=sarif");
+  EXPECT_NE(result.output.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"startLine\":5"), std::string::npos);
+}
+
+TEST_F(CliTest, DefineFlagControlsConfig) {
+  std::string code =
+      "int mk(int);\n"
+      "int f(int x) {\n"
+      "  int host = mk(x);\n"
+      "  int n = 1;\n"
+      "#if USE_ICMP\n"
+      "  n = host;\n"
+      "#endif\n"
+      "  return n;\n"
+      "}\n";
+  std::string path = Write("cfg.c", code);
+  // Feature off: the candidate is config-pruned -> exit 0.
+  RunResult off = RunCli(path);
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_NE(off.output.find("1 config"), std::string::npos);
+  // With config pruning disabled, the finding depends on the configuration:
+  // feature off leaves 'host' dead, feature on leaves the 'n = 1' initializer
+  // dead (the guarded line both uses host and overwrites n).
+  RunResult off_noprune = RunCli(path + " --no-prune-config");
+  EXPECT_EQ(off_noprune.exit_code, 1) << off_noprune.output;
+  EXPECT_NE(off_noprune.output.find("'host'"), std::string::npos);
+  RunResult on_noprune = RunCli(path + " --define=USE_ICMP --no-prune-config");
+  EXPECT_EQ(on_noprune.exit_code, 1) << on_noprune.output;
+  EXPECT_NE(on_noprune.output.find("'n'"), std::string::npos);
+}
+
+TEST_F(CliTest, HistoryModeRanksAndAttributes) {
+  std::string hist =
+      "commit\nauthor alice\ntime 1000\nmessage add handler\nwrite h.c\n<<<\n"
+      "int get_status(int entry) {\n"
+      "  return entry + 1;\n"
+      "}\n"
+      "int handle(int entry, int mode) {\n"
+      "  int ret = get_status(entry);\n"
+      "  if (ret) {\n"
+      "    return 0;\n"
+      "  }\n"
+      "  return mode;\n"
+      "}\n"
+      ">>>\nend\n"
+      "commit\nauthor bob\ntime 2000\nmessage recompute\nwrite h.c\n<<<\n"
+      "int get_status(int entry) {\n"
+      "  return entry + 1;\n"
+      "}\n"
+      "int handle(int entry, int mode) {\n"
+      "  int ret = get_status(entry);\n"
+      "  ret = mode * 2;\n"
+      "  if (ret) {\n"
+      "    return 0;\n"
+      "  }\n"
+      "  return mode;\n"
+      "}\n"
+      ">>>\nend\n";
+  std::string path = Write("proj.vchist", hist);
+  RunResult result = RunCli("--history=" + path);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("introduced by bob"), std::string::npos);
+  EXPECT_NE(result.output.find("familiarity"), std::string::npos);
+}
+
+TEST_F(CliTest, BadHistoryReportsError) {
+  std::string path = Write("bad.vchist", "not a history\n");
+  RunResult result = RunCli("--history=" + path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("line 1"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  RunResult result = RunCli("--bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, ParseErrorExitsTwo) {
+  std::string path = Write("broken.c", "int f( {{{\n");
+  RunResult result = RunCli(path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, TopLimitsTextOutput) {
+  std::string code;
+  for (int i = 0; i < 5; ++i) {
+    code += "int g" + std::to_string(i) + "(int);\n";
+    code += "int f" + std::to_string(i) + "(int x) {\n";
+    code += "  int r" + std::to_string(i) + " = g" + std::to_string(i) + "(x);\n";
+    code += "  r" + std::to_string(i) + " = x;\n";
+    code += "  return r" + std::to_string(i) + ";\n}\n";
+  }
+  std::string path = Write("many.c", code);
+  RunResult result = RunCli(path + " --top=2");
+  EXPECT_NE(result.output.find("... 3 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vc

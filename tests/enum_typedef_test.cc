@@ -1,0 +1,201 @@
+// Tests for enum and typedef support: constants in expressions and case
+// labels, named and anonymous typedef structs, typedef-name declarations, and
+// the detector through enum-shaped code.
+
+#include <gtest/gtest.h>
+
+#include "src/core/detector.h"
+#include "src/parser/parser.h"
+
+namespace vc {
+namespace {
+
+struct Parsed {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  TranslationUnit unit;
+};
+
+std::unique_ptr<Parsed> Parse(const std::string& code) {
+  auto parsed = std::make_unique<Parsed>();
+  parsed->unit = ParseString(parsed->sm, "test.c", code, parsed->diags);
+  EXPECT_FALSE(parsed->diags.HasErrors()) << parsed->diags.Render(parsed->sm);
+  return parsed;
+}
+
+TEST(EnumParse, EnumeratorValuesSequenceAndOverride) {
+  auto parsed = Parse(
+      "enum color { RED, GREEN = 5, BLUE };\n"
+      "int f(void) { return RED + GREEN + BLUE; }\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  // RED=0, GREEN=5, BLUE=6: the return expression folds to literals.
+  Project project = Project::FromSources(
+      {{"t.c",
+        "enum color { RED, GREEN = 5, BLUE };\n"
+        "int f(void) { return RED + GREEN + BLUE; }\n"}});
+  EXPECT_FALSE(project.diags().HasErrors());
+}
+
+TEST(EnumParse, NegativeAndChainedValues) {
+  auto parsed = Parse(
+      "enum status { ERR = -2, WARN, OK = WARN, FINE };\n"
+      "int f(void) { return ERR; }\n");
+  EXPECT_NE(parsed->unit.FindFunction("f"), nullptr);
+}
+
+TEST(EnumParse, AnonymousEnum) {
+  auto parsed = Parse(
+      "enum { FLAG_A = 1, FLAG_B = 2 };\n"
+      "int f(int x) { return x & FLAG_A; }\n");
+  EXPECT_NE(parsed->unit.FindFunction("f"), nullptr);
+}
+
+TEST(EnumParse, EnumTypedVariables) {
+  auto parsed = Parse(
+      "enum color { RED, GREEN };\n"
+      "int f(enum color c) {\n"
+      "  enum color other = GREEN;\n"
+      "  return c + other;\n"
+      "}\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  EXPECT_TRUE(func->params[0]->type->IsInt());
+}
+
+TEST(EnumParse, EnumConstantsInCaseLabels) {
+  Project project = Project::FromSources(
+      {{"t.c",
+        "enum op { OP_READ = 10, OP_WRITE = 20 };\n"
+        "int f(int x) {\n"
+        "  int r = 0;\n"
+        "  switch (x) {\n"
+        "    case OP_READ:\n"
+        "      r = 1;\n"
+        "      break;\n"
+        "    case OP_WRITE:\n"
+        "      r = 2;\n"
+        "      break;\n"
+        "  }\n"
+        "  return r;\n"
+        "}\n"}});
+  EXPECT_FALSE(project.diags().HasErrors())
+      << project.diags().Render(project.sources());
+  EXPECT_TRUE(DetectAll(project).empty());
+}
+
+TEST(EnumParse, LocalShadowsEnumerator) {
+  auto parsed = Parse(
+      "enum { LIMIT = 9 };\n"
+      "int f(int LIMIT) { return LIMIT + 1; }\n");
+  // The parameter shadows the enumerator: LIMIT in the body is a variable
+  // reference, so the parameter is used.
+  Project project = Project::FromSources(
+      {{"t.c", "enum { LIMIT = 9 };\nint f(int LIMIT) { return LIMIT + 1; }\n"}});
+  EXPECT_TRUE(DetectAll(project).empty());
+}
+
+TEST(TypedefParse, SimpleAlias) {
+  auto parsed = Parse(
+      "typedef int status_t;\n"
+      "status_t f(status_t s) { return s + 1; }\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  EXPECT_TRUE(func->return_type->IsInt());
+  EXPECT_TRUE(func->params[0]->type->IsInt());
+}
+
+TEST(TypedefParse, PointerAlias) {
+  auto parsed = Parse(
+      "typedef char *cstr;\n"
+      "char f(cstr s) { return *s; }\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  EXPECT_TRUE(func->params[0]->type->IsPointer());
+  EXPECT_EQ(func->params[0]->type->pointee()->kind(), TypeKind::kChar);
+}
+
+TEST(TypedefParse, NamedStructTypedef) {
+  auto parsed = Parse(
+      "typedef struct node { int v; int next; } node_t;\n"
+      "int f(node_t n) { return n.v; }\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  EXPECT_TRUE(func->params[0]->type->IsStruct());
+  ASSERT_EQ(parsed->unit.structs.size(), 1u);
+  EXPECT_EQ(parsed->unit.structs[0]->name, "node");
+}
+
+TEST(TypedefParse, AnonymousStructTypedef) {
+  auto parsed = Parse(
+      "typedef struct { int host; int port; } addr_t;\n"
+      "int f(addr_t a) { return a.host + a.port; }\n");
+  const FunctionDecl* func = parsed->unit.FindFunction("f");
+  ASSERT_NE(func, nullptr);
+  EXPECT_TRUE(func->params[0]->type->IsStruct());
+}
+
+TEST(TypedefParse, LocalDeclarationWithTypedefName) {
+  Project project = Project::FromSources(
+      {{"t.c",
+        "typedef int err_t;\n"
+        "int g(int);\n"
+        "int f(int x) {\n"
+        "  err_t rc = g(x);\n"
+        "  rc = g(x + 1);\n"
+        "  return rc;\n"
+        "}\n"}});
+  EXPECT_FALSE(project.diags().HasErrors())
+      << project.diags().Render(project.sources());
+  std::vector<UnusedDefCandidate> candidates = DetectAll(project);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].slot_name, "rc");
+  EXPECT_EQ(candidates[0].def_loc.line, 4);
+}
+
+TEST(TypedefParse, TypedefNameAsCallIsNotADecl) {
+  // An identifier that is NOT a typedef followed by '(' parses as a call even
+  // when a typedef with a different name exists.
+  auto parsed = Parse(
+      "typedef int err_t;\n"
+      "int work(int x) { return x; }\n"
+      "int f(int x) { return work(x); }\n");
+  EXPECT_NE(parsed->unit.FindFunction("f"), nullptr);
+}
+
+TEST(TypedefParse, FieldSensitiveThroughTypedefStruct) {
+  Project project = Project::FromSources(
+      {{"t.c",
+        "typedef struct { int host; int port; } addr_t;\n"
+        "int f(int h, int p) {\n"
+        "  addr_t a;\n"
+        "  a.host = h;\n"
+        "  a.host = 0;\n"
+        "  a.port = p;\n"
+        "  return a.host + a.port;\n"
+        "}\n"}});
+  EXPECT_FALSE(project.diags().HasErrors())
+      << project.diags().Render(project.sources());
+  std::vector<UnusedDefCandidate> candidates = DetectAll(project);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_TRUE(candidates[0].is_field_slot);
+  EXPECT_EQ(candidates[0].def_loc.line, 4);
+}
+
+TEST(TypedefParse, ForLoopWithTypedefName) {
+  Project project = Project::FromSources(
+      {{"t.c",
+        "typedef int idx_t;\n"
+        "int f(int n) {\n"
+        "  int s = 0;\n"
+        "  for (idx_t i = 0; i < n; i = i + 1) {\n"
+        "    s = s + i;\n"
+        "  }\n"
+        "  return s;\n"
+        "}\n"}});
+  EXPECT_FALSE(project.diags().HasErrors());
+  EXPECT_TRUE(DetectAll(project).empty());
+}
+
+}  // namespace
+}  // namespace vc

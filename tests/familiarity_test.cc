@@ -1,0 +1,148 @@
+// DOK and EA familiarity model tests: feature extraction from commit logs,
+// the linear model, weight fitting (the paper's §6 calibration procedure),
+// and the commit-type classifier behind the EA alternative (§9.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/familiarity/dok_model.h"
+#include "src/familiarity/ea_model.h"
+#include "src/support/rng.h"
+
+namespace vc {
+namespace {
+
+Repository MakeRepo(AuthorId* alice, AuthorId* bob) {
+  Repository repo;
+  *alice = repo.AddAuthor("alice");
+  *bob = repo.AddAuthor("bob");
+  return repo;
+}
+
+TEST(DokModel, FeaturesFromLog) {
+  AuthorId alice;
+  AuthorId bob;
+  Repository repo = MakeRepo(&alice, &bob);
+  repo.AddCommit(alice, 1, "create", {{"f.c", "1\n"}});
+  repo.AddCommit(alice, 2, "more", {{"f.c", "1\n2\n"}});
+  repo.AddCommit(bob, 3, "tweak", {{"f.c", "1\n2\n3\n"}});
+
+  DokFeatures alice_f = ComputeDokFeatures(repo, alice, "f.c");
+  EXPECT_TRUE(alice_f.first_authorship);
+  EXPECT_EQ(alice_f.deliveries, 2);
+  EXPECT_EQ(alice_f.acceptances, 1);
+
+  DokFeatures bob_f = ComputeDokFeatures(repo, bob, "f.c");
+  EXPECT_FALSE(bob_f.first_authorship);
+  EXPECT_EQ(bob_f.deliveries, 1);
+  EXPECT_EQ(bob_f.acceptances, 2);
+}
+
+TEST(DokModel, FeaturesForUntouchedFile) {
+  AuthorId alice;
+  AuthorId bob;
+  Repository repo = MakeRepo(&alice, &bob);
+  repo.AddCommit(alice, 1, "create", {{"f.c", "1\n"}});
+  DokFeatures bob_f = ComputeDokFeatures(repo, bob, "f.c");
+  EXPECT_FALSE(bob_f.first_authorship);
+  EXPECT_EQ(bob_f.deliveries, 0);
+  EXPECT_EQ(bob_f.acceptances, 1);
+}
+
+TEST(DokModel, ScoreMatchesFormula) {
+  DokFeatures features;
+  features.first_authorship = true;
+  features.deliveries = 3;
+  features.acceptances = 7;
+  DokWeights weights;  // paper values: 3.1, 1.2, 0.2, 0.5
+  double expected = 3.1 + 1.2 * 1.0 + 0.2 * 3.0 - 0.5 * std::log(8.0);
+  EXPECT_DOUBLE_EQ(DokScore(features, weights), expected);
+}
+
+TEST(DokModel, FounderOutranksDriveBy) {
+  AuthorId alice;
+  AuthorId bob;
+  Repository repo = MakeRepo(&alice, &bob);
+  std::string content = "1\n";
+  repo.AddCommit(alice, 1, "create", {{"f.c", content}});
+  for (int i = 0; i < 8; ++i) {
+    content += std::to_string(i) + "\n";
+    repo.AddCommit(alice, 2 + i, "evolve", {{"f.c", content}});
+  }
+  repo.AddCommit(bob, 100, "drive by", {{"f.c", content + "z\n"}});
+  EXPECT_GT(DokScoreFor(repo, alice, "f.c"), DokScoreFor(repo, bob, "f.c"));
+}
+
+TEST(DokModel, AblationWeights) {
+  DokWeights w;
+  EXPECT_EQ(w.WithoutFa().fa, 0.0);
+  EXPECT_EQ(w.WithoutFa().dl, w.dl);
+  EXPECT_EQ(w.WithoutDl().dl, 0.0);
+  EXPECT_EQ(w.WithoutAc().ac, 0.0);
+}
+
+TEST(DokModel, FitRecoversPlantedWeights) {
+  // Reproduce the paper's calibration: sample lines, synthesize self-ratings
+  // from a ground-truth linear model plus noise, fit, and recover weights
+  // close to the planted ones.
+  const DokWeights truth{3.1, 1.2, 0.2, 0.5};
+  Rng rng(2024);
+  std::vector<RatingSample> samples;
+  for (int i = 0; i < 160; ++i) {  // 40 lines x 4 applications
+    RatingSample sample;
+    sample.features.first_authorship = rng.NextBool(0.3);
+    sample.features.deliveries = static_cast<int>(rng.NextInRange(0, 12));
+    sample.features.acceptances = static_cast<int>(rng.NextInRange(0, 40));
+    sample.rating = DokScore(sample.features, truth) + rng.NextGaussian(0.0, 0.25);
+    samples.push_back(sample);
+  }
+  auto fit = FitDokWeights(samples);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->a0, truth.a0, 0.25);
+  EXPECT_NEAR(fit->fa, truth.fa, 0.2);
+  EXPECT_NEAR(fit->dl, truth.dl, 0.1);
+  EXPECT_NEAR(fit->ac, truth.ac, 0.15);
+}
+
+TEST(DokModel, FitRejectsDegenerateSample) {
+  std::vector<RatingSample> samples(3);  // fewer samples than coefficients
+  EXPECT_FALSE(FitDokWeights(samples).has_value());
+}
+
+// --- EA model -----------------------------------------------------------------
+
+TEST(EaModel, CommitClassification) {
+  EXPECT_EQ(ClassifyCommitMessage("fix null deref in acl path"), CommitKind::kBugFix);
+  EXPECT_EQ(ClassifyCommitMessage("Refactor buffer handling"), CommitKind::kRefactor);
+  EXPECT_EQ(ClassifyCommitMessage("add support for v4 attributes"), CommitKind::kFeature);
+  EXPECT_EQ(ClassifyCommitMessage("bump version"), CommitKind::kOther);
+  // "fix" outranks "add" when both appear.
+  EXPECT_EQ(ClassifyCommitMessage("add test for fix"), CommitKind::kBugFix);
+}
+
+TEST(EaModel, BugFixersScoreHigher) {
+  AuthorId alice;
+  AuthorId bob;
+  Repository repo = MakeRepo(&alice, &bob);
+  repo.AddCommit(alice, 1, "fix race in lookup", {{"f.c", "1\n"}});
+  repo.AddCommit(alice, 2, "fix leak", {{"f.c", "1\n2\n"}});
+  repo.AddCommit(bob, 3, "bump copyright", {{"f.c", "1\n2\n3\n"}});
+  repo.AddCommit(bob, 4, "bump again", {{"f.c", "1\n2\n3\n4\n"}});
+  EXPECT_GT(EaScoreFor(repo, alice, "f.c"), EaScoreFor(repo, bob, "f.c"));
+}
+
+TEST(EaModel, OthersCommitsDampScore) {
+  AuthorId alice;
+  AuthorId bob;
+  Repository repo = MakeRepo(&alice, &bob);
+  repo.AddCommit(alice, 1, "fix it", {{"solo.c", "1\n"}});
+  repo.AddCommit(alice, 2, "fix it", {{"shared.c", "1\n"}});
+  for (int i = 0; i < 10; ++i) {
+    repo.AddCommit(bob, 3 + i, "churn", {{"shared.c", "1\n" + std::to_string(i) + "\n"}});
+  }
+  EXPECT_GT(EaScoreFor(repo, alice, "solo.c"), EaScoreFor(repo, alice, "shared.c"));
+}
+
+}  // namespace
+}  // namespace vc

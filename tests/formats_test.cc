@@ -1,0 +1,138 @@
+// Tests for the JSON writer and the JSON/SARIF report exporters.
+
+#include <gtest/gtest.h>
+
+#include "src/core/report_formats.h"
+#include "src/support/json_writer.h"
+
+namespace vc {
+namespace {
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriter, ObjectsAndArrays) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("name", "x");
+  json.Int("count", 3);
+  json.Bool("flag", true);
+  json.Key("items").BeginArray().IntValue(1).IntValue(2).EndArray();
+  json.Key("nested").BeginObject().Double("pi", 3.5).EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"x\",\"count\":3,\"flag\":true,\"items\":[1,2],"
+            "\"nested\":{\"pi\":3.5}}");
+}
+
+TEST(JsonWriter, Escaping) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("empty_arr").BeginArray().EndArray();
+  json.Key("empty_obj").BeginObject().EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"empty_arr\":[],\"empty_obj\":{}}");
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  JsonWriter json;
+  json.BeginArray();
+  json.BeginObject().Int("a", 1).EndObject();
+  json.BeginObject().Int("a", 2).EndObject();
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[{\"a\":1},{\"a\":2}]");
+}
+
+TEST(JsonWriter, StringValuesInArray) {
+  JsonWriter json;
+  json.BeginArray().StringValue("x").StringValue("y").EndArray();
+  EXPECT_EQ(json.str(), "[\"x\",\"y\"]");
+}
+
+// --- Report exporters ----------------------------------------------------------
+
+struct Exported {
+  Repository repo;
+  ValueCheckReport report;
+};
+
+Exported MakeReport() {
+  Exported e;
+  AuthorId alice = e.repo.AddAuthor("alice");
+  AuthorId bob = e.repo.AddAuthor("bob");
+  std::string v1 =
+      "int helper(int x) {\n"
+      "  return x + 1;\n"
+      "}\n"
+      "int work(int x) {\n"
+      "  int ret = helper(x);\n"
+      "  return ret;\n"
+      "}\n";
+  e.repo.AddCommit(alice, 1, "create", {{"w.c", v1}});
+  std::string v2 = v1;
+  v2.replace(v2.find("  return ret;"), 13, "  ret = helper(x + 2);\n  return ret;");
+  e.repo.AddCommit(bob, 2, "tweak", {{"w.c", v2}});
+  e.report = RunValueCheckOnRepository(e.repo);
+  return e;
+}
+
+TEST(ReportFormats, JsonContainsFindingFields) {
+  Exported e = MakeReport();
+  ASSERT_EQ(e.report.findings.size(), 1u);
+  std::string json = ReportToJson(e.report, &e.repo);
+  EXPECT_NE(json.find("\"file\":\"w.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"overwritten-def\""), std::string::npos);
+  EXPECT_NE(json.find("\"defined_by\":\"alice\""), std::string::npos);
+  EXPECT_NE(json.find("\"responsible\":\"bob\""), std::string::npos);
+  EXPECT_NE(json.find("\"value_from_call\":\"helper\""), std::string::npos);
+  EXPECT_NE(json.find("\"overwritten_at\":[6]"), std::string::npos);
+}
+
+TEST(ReportFormats, JsonWithoutRepoOmitsAuthors) {
+  Exported e = MakeReport();
+  std::string json = ReportToJson(e.report, nullptr);
+  EXPECT_EQ(json.find("defined_by"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\":["), std::string::npos);
+}
+
+TEST(ReportFormats, SarifStructure) {
+  Exported e = MakeReport();
+  std::string sarif = ReportToSarif(e.report);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"valuecheck\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"overwritten-def\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"w.c\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":5"), std::string::npos);
+  // Balanced braces/brackets (structural sanity).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < sarif.size(); ++i) {
+    char c = sarif[i];
+    if (c == '"' && (i == 0 || sarif[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (in_string) {
+      continue;
+    }
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportFormats, EmptyReport) {
+  ValueCheckReport report;
+  std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+  std::string sarif = ReportToSarif(report);
+  EXPECT_NE(sarif.find("\"results\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vc

@@ -1,0 +1,72 @@
+// Tests of the §3.1 preliminary-study reproduction: two-snapshot differential
+// comparison, sampling, commit-message classification, cross-scope fraction.
+
+#include <gtest/gtest.h>
+
+#include "src/core/detector.h"
+#include "src/corpus/prelim_study.h"
+
+namespace vc {
+namespace {
+
+TEST(PrelimStudy, DifferentialMatchesPopulation) {
+  PrelimStudySpec spec;
+  spec.total_differential = 60;
+  spec.bug_fix_removals = 42;
+  spec.sample_size = 60;  // sample everything: exact population counts
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  PrelimStudyOutcome outcome = RunPrelimStudy(data, spec);
+  EXPECT_EQ(outcome.differential, 60);
+  EXPECT_EQ(outcome.sampled, 60);
+  EXPECT_EQ(outcome.bug_related, 42);
+  // ~93% of bug fixes cross author scopes.
+  EXPECT_GE(outcome.cross_author, 36);
+  EXPECT_LE(outcome.cross_author, 42);
+}
+
+TEST(PrelimStudy, OldSnapshotHasTheUnusedDefs) {
+  PrelimStudySpec spec;
+  spec.total_differential = 30;
+  spec.bug_fix_removals = 20;
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  Project old_project = Project::FromRepositoryAt(data.repo, data.snapshot_2019);
+  EXPECT_FALSE(old_project.diags().HasErrors())
+      << old_project.diags().Render(old_project.sources()).substr(0, 1000);
+  EXPECT_EQ(DetectAll(old_project).size(), 30u);
+}
+
+TEST(PrelimStudy, NewSnapshotIsClean) {
+  PrelimStudySpec spec;
+  spec.total_differential = 30;
+  spec.bug_fix_removals = 20;
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  Project new_project = Project::FromRepositoryAt(data.repo, data.snapshot_2021);
+  EXPECT_FALSE(new_project.diags().HasErrors());
+  EXPECT_TRUE(DetectAll(new_project).empty());
+}
+
+TEST(PrelimStudy, SampleSizeCapped) {
+  PrelimStudySpec spec;
+  spec.total_differential = 40;
+  spec.bug_fix_removals = 28;
+  spec.sample_size = 15;
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  PrelimStudyOutcome outcome = RunPrelimStudy(data, spec);
+  EXPECT_EQ(outcome.sampled, 15);
+  EXPECT_LE(outcome.bug_related, 15);
+}
+
+TEST(PrelimStudy, PaperScaleRunsAndMatchesShape) {
+  // Full 325-site study: ~70% of a 60-sample should be bug-related, and the
+  // overwhelming majority of those cross author scopes (paper: 42 and 39).
+  PrelimStudySpec spec;  // defaults are the paper-scale numbers
+  PrelimStudyData data = GeneratePrelimStudy(spec);
+  PrelimStudyOutcome outcome = RunPrelimStudy(data, spec);
+  EXPECT_EQ(outcome.differential, 325);
+  EXPECT_EQ(outcome.sampled, 60);
+  EXPECT_NEAR(outcome.bug_related, 42, 6);
+  EXPECT_GT(outcome.cross_author, outcome.bug_related * 0.8);
+}
+
+}  // namespace
+}  // namespace vc

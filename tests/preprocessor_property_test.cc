@@ -1,0 +1,151 @@
+// Property tests for the conditional preprocessor: random nested #if/#else
+// structures checked against an independent evaluation oracle that tracks
+// the directive stack directly.
+
+#include <gtest/gtest.h>
+
+#include "src/lexer/preprocessor.h"
+#include "src/support/rng.h"
+#include "src/support/string_util.h"
+#include "src/vcs/diff.h"
+
+namespace vc {
+namespace {
+
+struct GeneratedPp {
+  std::string text;
+  std::vector<bool> expected_active;  // oracle, per line (directives = false)
+  int region_count = 0;
+};
+
+// Emits a random structure of code lines and (possibly nested) conditionals,
+// computing expected activeness with an explicit stack as it goes.
+class PpGen {
+ public:
+  PpGen(uint64_t seed, const Config& config) : rng_(seed), config_(config) {}
+
+  GeneratedPp Generate() {
+    Emit(/*depth=*/0, /*budget=*/30);
+    return std::move(out_);
+  }
+
+ private:
+  struct Frame {
+    bool branch_active;
+    bool any_taken;
+  };
+
+  bool EnclosingActive() const {
+    for (const Frame& frame : stack_) {
+      if (!frame.branch_active) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Line(const std::string& text, bool directive) {
+    out_.text += text + "\n";
+    out_.expected_active.push_back(!directive && EnclosingActive());
+  }
+
+  void Emit(int depth, int budget) {
+    while (budget-- > 0) {
+      switch (rng_.NextBelow(depth >= 3 ? 2 : 4)) {
+        case 0:
+        case 1:
+          Line("code_" + std::to_string(serial_++) + ";", /*directive=*/false);
+          break;
+        case 2: {
+          // #if MACRO_k ... [#else ...] #endif
+          int macro = static_cast<int>(rng_.NextBelow(4));
+          std::string name = "MACRO_" + std::to_string(macro);
+          bool truth = config_.IsDefined(name) && config_.ValueOf(name) != 0;
+          bool ifdef = rng_.NextBool(0.3);
+          if (ifdef) {
+            truth = config_.IsDefined(name);
+            Line("#ifdef " + name, /*directive=*/true);
+          } else {
+            Line("#if " + name, /*directive=*/true);
+          }
+          stack_.push_back({truth, truth});
+          Emit(depth + 1, static_cast<int>(rng_.NextInRange(1, 4)));
+          if (rng_.NextBool(0.5)) {
+            Line("#else", /*directive=*/true);
+            stack_.back().branch_active = !stack_.back().any_taken;
+            stack_.back().any_taken = true;
+            Emit(depth + 1, static_cast<int>(rng_.NextInRange(1, 3)));
+          }
+          Line("#endif", /*directive=*/true);
+          stack_.pop_back();
+          ++out_.region_count;
+          break;
+        }
+        default:
+          Line("", /*directive=*/false);  // blank line, inherits activeness
+          break;
+      }
+    }
+  }
+
+  Rng rng_;
+  Config config_;
+  GeneratedPp out_;
+  std::vector<Frame> stack_;
+  int serial_ = 0;
+};
+
+struct PreprocessorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreprocessorProperty, ActivenessMatchesOracle) {
+  Config config;
+  config.Define("MACRO_0");
+  config.Define("MACRO_1", 0);  // defined-but-false: #if vs #ifdef divergence
+  // MACRO_2 / MACRO_3 undefined.
+
+  PpGen gen(static_cast<uint64_t>(GetParam()) * 48271 + 11, config);
+  GeneratedPp expected = gen.Generate();
+  PreprocessResult pp = Preprocess(expected.text, config);
+
+  EXPECT_TRUE(pp.errors.empty());
+  EXPECT_EQ(static_cast<int>(pp.regions.size()), expected.region_count);
+  ASSERT_EQ(pp.lines.size(), expected.expected_active.size());
+  for (size_t i = 0; i < expected.expected_active.size(); ++i) {
+    bool is_blank = Trim(SplitLines(expected.text)[i]).empty();
+    if (is_blank) {
+      continue;  // blank lines never reach the lexer either way
+    }
+    EXPECT_EQ(pp.LineActive(static_cast<int>(i) + 1), expected.expected_active[i])
+        << "line " << i + 1 << " of:\n"
+        << expected.text;
+  }
+}
+
+TEST_P(PreprocessorProperty, RegionsNestProperly) {
+  Config config;
+  config.Define("MACRO_0");
+  PpGen gen(static_cast<uint64_t>(GetParam()) * 16807 + 3, config);
+  GeneratedPp expected = gen.Generate();
+  PreprocessResult pp = Preprocess(expected.text, config);
+  // Every region is well-formed and regions are either disjoint or nested.
+  for (const CondRegion& region : pp.regions) {
+    EXPECT_LT(region.begin_line, region.end_line);
+  }
+  for (size_t i = 0; i < pp.regions.size(); ++i) {
+    for (size_t j = i + 1; j < pp.regions.size(); ++j) {
+      const CondRegion& a = pp.regions[i];
+      const CondRegion& b = pp.regions[j];
+      bool disjoint = a.end_line < b.begin_line || b.end_line < a.begin_line;
+      bool a_in_b = b.begin_line <= a.begin_line && a.end_line <= b.end_line;
+      bool b_in_a = a.begin_line <= b.begin_line && b.end_line <= a.end_line;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << "regions [" << a.begin_line << "," << a.end_line << "] and [" << b.begin_line
+          << "," << b.end_line << "] overlap improperly";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessorProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace vc

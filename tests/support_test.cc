@@ -1,0 +1,278 @@
+// Unit tests for the support layer: string utilities, source manager,
+// diagnostics, table writer, least-squares regression, deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/support/regression.h"
+#include "src/support/rng.h"
+#include "src/support/source_manager.h"
+#include "src/support/string_util.h"
+#include "src/support/table_writer.h"
+
+namespace vc {
+namespace {
+
+// --- string_util -----------------------------------------------------------
+
+TEST(StringUtil, SplitBasic) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitNoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, SplitEmpty) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(Trim("  x y \t"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a"), "a");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtil, ContainsWordMatchesIdentifierBoundaries) {
+  EXPECT_TRUE(ContainsWord("n = lookup(host);", "host"));
+  EXPECT_TRUE(ContainsWord("host = 1;", "host"));
+  EXPECT_TRUE(ContainsWord("use(nc.host)", "nc"));
+  EXPECT_FALSE(ContainsWord("hostname = 1;", "host"));
+  EXPECT_FALSE(ContainsWord("the_host = 1;", "host"));
+  EXPECT_FALSE(ContainsWord("", "host"));
+  EXPECT_FALSE(ContainsWord("x", ""));
+}
+
+TEST(StringUtil, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("int x [[MAYBE_UNUSED]];", "unused"));
+  EXPECT_TRUE(ContainsIgnoreCase("/* Unused on purpose */", "unused"));
+  EXPECT_FALSE(ContainsIgnoreCase("int used = 1;", "unused"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+// --- SourceManager ----------------------------------------------------------
+
+TEST(SourceManager, LineAccess) {
+  SourceManager sm;
+  FileId id = sm.AddFile("a.c", "first\nsecond\nthird");
+  EXPECT_EQ(sm.NumLines(id), 3);
+  EXPECT_EQ(sm.Line(id, 1), "first");
+  EXPECT_EQ(sm.Line(id, 2), "second");
+  EXPECT_EQ(sm.Line(id, 3), "third");
+  EXPECT_EQ(sm.Line(id, 4), "");
+  EXPECT_EQ(sm.Line(id, 0), "");
+}
+
+TEST(SourceManager, TrailingNewlineDoesNotAddLine) {
+  SourceManager sm;
+  FileId id = sm.AddFile("a.c", "one\ntwo\n");
+  EXPECT_EQ(sm.NumLines(id), 2);
+  EXPECT_EQ(sm.Line(id, 2), "two");
+}
+
+TEST(SourceManager, FindByPath) {
+  SourceManager sm;
+  sm.AddFile("x.c", "");
+  FileId y = sm.AddFile("y.c", "a");
+  EXPECT_EQ(sm.FindByPath("y.c"), y);
+  EXPECT_EQ(sm.FindByPath("z.c"), kInvalidFileId);
+}
+
+TEST(SourceManager, Render) {
+  SourceManager sm;
+  FileId id = sm.AddFile("dir/file.c", "x\n");
+  EXPECT_EQ(sm.Render({id, 1, 5}), "dir/file.c:1:5");
+  EXPECT_EQ(sm.Render(SourceLoc{}), "<invalid>");
+}
+
+// --- SourceLoc/SourceRange ---------------------------------------------------
+
+TEST(SourceLocation, Ordering) {
+  SourceLoc a{0, 1, 1};
+  SourceLoc b{0, 2, 1};
+  SourceLoc c{1, 1, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (SourceLoc{0, 1, 1}));
+}
+
+TEST(SourceLocation, RangeContainsLine) {
+  SourceRange range{{0, 10, 1}, {0, 20, 1}};
+  EXPECT_TRUE(range.ContainsLine(10));
+  EXPECT_TRUE(range.ContainsLine(15));
+  EXPECT_TRUE(range.ContainsLine(20));
+  EXPECT_FALSE(range.ContainsLine(9));
+  EXPECT_FALSE(range.ContainsLine(21));
+  EXPECT_FALSE(SourceRange{}.ContainsLine(1));
+}
+
+// --- Diagnostics -------------------------------------------------------------
+
+TEST(Diagnostics, CountsAndRender) {
+  SourceManager sm;
+  FileId id = sm.AddFile("a.c", "x\n");
+  DiagnosticEngine diags;
+  diags.Warning({id, 1, 1}, "w");
+  EXPECT_FALSE(diags.HasErrors());
+  diags.Error({id, 1, 2}, "e");
+  EXPECT_TRUE(diags.HasErrors());
+  EXPECT_EQ(diags.ErrorCount(), 1);
+  std::string rendered = diags.Render(sm);
+  EXPECT_NE(rendered.find("a.c:1:1: warning: w"), std::string::npos);
+  EXPECT_NE(rendered.find("a.c:1:2: error: e"), std::string::npos);
+  diags.Clear();
+  EXPECT_EQ(diags.ErrorCount(), 0);
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+// --- TableWriter ---------------------------------------------------------------
+
+TEST(TableWriter, TextAlignment) {
+  TableWriter table({"App", "Bugs"});
+  table.AddRow({"Linux", "63"});
+  table.AddRow({"NFS-ganesha", "22"});
+  std::string text = table.RenderText();
+  EXPECT_NE(text.find("| App         | Bugs |"), std::string::npos);
+  EXPECT_NE(text.find("| Linux       | 63   |"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter table({"a", "b"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"with\"quote", "x"});
+  std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("plain,\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",x"), std::string::npos);
+}
+
+TEST(TableWriter, ShortRowsPadded) {
+  TableWriter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.NumRows(), 1u);
+  EXPECT_NE(table.RenderCsv().find("1,,"), std::string::npos);
+}
+
+TEST(TableWriter, Formatting) {
+  EXPECT_EQ(FormatPercent(0.26), "26%");
+  EXPECT_EQ(FormatPercent(0.975, 1), "97.5%");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+// --- Regression ------------------------------------------------------------------
+
+TEST(Regression, RecoversExactLinearModel) {
+  // y = 2 + 3*x1 - 0.5*x2, no noise.
+  std::vector<Observation> data;
+  for (int i = 0; i < 20; ++i) {
+    double x1 = i * 0.7;
+    double x2 = (i % 5) * 1.3;
+    data.push_back({{x1, x2}, 2.0 + 3.0 * x1 - 0.5 * x2});
+  }
+  auto fit = FitLeastSquares(data);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[2], -0.5, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(Regression, SingularSystemRejected) {
+  // Two identical feature columns: collinear.
+  std::vector<Observation> data;
+  for (int i = 0; i < 10; ++i) {
+    double x = i;
+    data.push_back({{x, x}, 2.0 * x});
+  }
+  EXPECT_FALSE(FitLeastSquares(data).has_value());
+}
+
+TEST(Regression, TooFewObservationsRejected) {
+  std::vector<Observation> data = {{{1.0, 2.0}, 3.0}};
+  EXPECT_FALSE(FitLeastSquares(data).has_value());
+}
+
+TEST(Regression, EmptyRejected) { EXPECT_FALSE(FitLeastSquares({}).has_value()); }
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng rng(11);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, GaussianRoughMoments) {
+  Rng rng(99);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace vc

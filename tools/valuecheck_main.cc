@@ -1,0 +1,254 @@
+// valuecheck — the command-line front end.
+//
+// Two modes:
+//
+//   1. Directory/file mode (no version history): analyzes Mini-C sources from
+//      disk. Without authorship the cross-scope filter cannot run, so the
+//      tool reports every unused definition (the "w/o Authorship" behavior),
+//      unranked. Useful as a precise dead-store checker.
+//
+//        valuecheck src/ extra.c
+//
+//   2. History mode: loads a .vchist commit history (see
+//      src/vcs/history_io.h for the format), reconstructs line authorship,
+//      and runs the full pipeline — cross-scope filtering, pruning, and DOK
+//      familiarity ranking.
+//
+//        valuecheck --history project.vchist
+//
+// Output formats: --format=text (default), json, sarif, csv.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report_formats.h"
+#include "src/core/valuecheck.h"
+#include "src/vcs/history_io.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: valuecheck [options] <file.c|dir>... | --history <file.vchist>\n"
+    "\n"
+    "options:\n"
+    "  --history=FILE     load a vchist commit history (enables authorship,\n"
+    "                     cross-scope filtering, and familiarity ranking)\n"
+    "  --format=FMT       text (default), json, sarif, csv\n"
+    "  --top=N            print only the N highest-ranked findings (text mode)\n"
+    "  --all-scopes       keep non-cross-scope findings even in history mode\n"
+    "  --define=NAME[=V]  define a preprocessor macro for #if evaluation\n"
+    "  --no-prune-config / --no-prune-cursor / --no-prune-hints /\n"
+    "  --no-prune-peer    disable a pruning pattern\n"
+    "  --stale-code       enable commit-history stale-code pruning (needs history)\n"
+    "  --ea-model         rank with the EA familiarity model instead of DOK\n";
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "valuecheck: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Options {
+  std::string history_path;
+  std::string format = "text";
+  int top = -1;
+  bool all_scopes = false;
+  vc::ValueCheckOptions pipeline;
+  vc::Config config;
+  std::vector<std::string> inputs;
+};
+
+bool ParseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (arg.rfind("--history=", 0) == 0) {
+      options.history_path = value_of("--history=");
+    } else if (arg == "--history" && i + 1 < argc) {
+      options.history_path = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      options.format = value_of("--format=");
+    } else if (arg.rfind("--top=", 0) == 0) {
+      options.top = std::atoi(value_of("--top=").c_str());
+    } else if (arg == "--all-scopes") {
+      options.all_scopes = true;
+    } else if (arg.rfind("--define=", 0) == 0) {
+      std::string def = value_of("--define=");
+      size_t eq = def.find('=');
+      if (eq == std::string::npos) {
+        options.config.Define(def);
+      } else {
+        options.config.Define(def.substr(0, eq),
+                              std::strtoll(def.c_str() + eq + 1, nullptr, 0));
+      }
+    } else if (arg == "--no-prune-config") {
+      options.pipeline.prune.config_dependency = false;
+    } else if (arg == "--no-prune-cursor") {
+      options.pipeline.prune.cursor = false;
+    } else if (arg == "--no-prune-hints") {
+      options.pipeline.prune.unused_hints = false;
+    } else if (arg == "--no-prune-peer") {
+      options.pipeline.prune.peer_definition = false;
+    } else if (arg == "--stale-code") {
+      options.pipeline.prune.stale_code = true;
+    } else if (arg == "--ea-model") {
+      options.pipeline.ranking.use_ea_model = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "valuecheck: unknown option %s\n%s", arg.c_str(), kUsage);
+      return false;
+    } else {
+      options.inputs.push_back(arg);
+    }
+  }
+  if (options.history_path.empty() && options.inputs.empty()) {
+    std::fputs(kUsage, stderr);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> CollectSources(
+    const std::vector<std::string>& inputs) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const std::string& input : inputs) {
+    std::filesystem::path path(input);
+    if (std::filesystem::is_directory(path)) {
+      std::vector<std::string> found;
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".c") {
+          found.push_back(entry.path().string());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      for (const std::string& file : found) {
+        files.emplace_back(file, ReadFileOrDie(file));
+      }
+    } else {
+      files.emplace_back(input, ReadFileOrDie(input));
+    }
+  }
+  return files;
+}
+
+void PrintText(const vc::ValueCheckReport& report, const vc::Repository* repo, int top,
+               bool ranked) {
+  using namespace vc;
+  std::printf("valuecheck: %d unused definition(s)", static_cast<int>(report.findings.size()));
+  if (report.prune_stats.TotalPruned() > 0) {
+    std::printf(" (%d pruned: %d config, %d cursor, %d hints, %d peer, %d stale)",
+                report.prune_stats.TotalPruned(), report.prune_stats.config_dependency,
+                report.prune_stats.cursor, report.prune_stats.unused_hints,
+                report.prune_stats.peer_definition, report.prune_stats.stale_code);
+  }
+  std::printf("\n");
+  int shown = 0;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    if (top >= 0 && shown >= top) {
+      std::printf("... %d more (raise --top)\n",
+                  static_cast<int>(report.findings.size()) - shown);
+      break;
+    }
+    ++shown;
+    std::printf("%s:%d: warning: ", cand.file.c_str(), cand.def_loc.line);
+    switch (cand.kind) {
+      case CandidateKind::kOverwrittenDef:
+        std::printf("value of '%s' is overwritten before use", cand.slot_name.c_str());
+        break;
+      case CandidateKind::kUnusedRetVal:
+        std::printf("return value%s is never used",
+                    !cand.callee_name.empty()
+                        ? (" of '" + cand.callee_name + "'").c_str()
+                        : "");
+        break;
+      case CandidateKind::kUnusedParam:
+        std::printf("parameter '%s' value is never used", cand.slot_name.c_str());
+        break;
+      case CandidateKind::kOverwrittenParam:
+        std::printf("parameter '%s' is overwritten before use", cand.slot_name.c_str());
+        break;
+      case CandidateKind::kPlainUnused:
+        if (cand.overwritten) {
+          std::printf("value of '%s' is overwritten before use", cand.slot_name.c_str());
+        } else {
+          std::printf("value of '%s' is never used", cand.slot_name.c_str());
+        }
+        break;
+    }
+    std::printf(" [in %s]", cand.function.c_str());
+    if (repo != nullptr && cand.responsible_author != kInvalidAuthor && ranked) {
+      std::printf(" (introduced by %s, familiarity %.2f)",
+                  repo->GetAuthor(cand.responsible_author).name.c_str(), cand.familiarity);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vc;
+  Options options;
+  if (!ParseArgs(argc, argv, options)) {
+    return 2;
+  }
+
+  Repository repo;
+  bool has_history = !options.history_path.empty();
+  Project project;
+  if (has_history) {
+    std::string error;
+    std::optional<Repository> loaded =
+        LoadHistory(ReadFileOrDie(options.history_path), &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "valuecheck: %s: %s\n", options.history_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    repo = std::move(*loaded);
+    project = Project::FromRepository(repo, options.config);
+  } else {
+    // No authorship: fall back to reporting all scopes, unranked.
+    options.pipeline.cross_scope_only = false;
+    options.pipeline.ranking.enabled = false;
+    project = Project::FromSources(CollectSources(options.inputs), options.config);
+  }
+  if (options.all_scopes) {
+    options.pipeline.cross_scope_only = false;
+  }
+
+  if (project.diags().HasErrors()) {
+    std::fputs(project.diags().Render(project.sources()).c_str(), stderr);
+    return 2;
+  }
+
+  ValueCheckReport report =
+      RunValueCheck(project, has_history ? &repo : nullptr, options.pipeline);
+
+  if (options.format == "json") {
+    std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr).c_str());
+  } else if (options.format == "sarif") {
+    std::printf("%s\n", ReportToSarif(report).c_str());
+  } else if (options.format == "csv") {
+    std::fputs(report.ToCsv().c_str(), stdout);
+  } else {
+    PrintText(report, has_history ? &repo : nullptr, options.top,
+              options.pipeline.ranking.enabled);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
