@@ -10,10 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "src/core/analysis.h"
+#include "src/core/valuecheck.h"  // legacy aliases for benches still on ValueCheckOptions
 #include "src/corpus/eval.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
-#include "src/core/valuecheck.h"
 #include "src/support/table_writer.h"
 
 namespace vc {
@@ -21,21 +22,22 @@ namespace vc {
 struct AppEval {
   GeneratedApp app;
   Project project;
-  ValueCheckReport report;
+  AnalysisReport report;
   ToolEval eval;  // ValueCheck scored against the ledger
 };
 
 inline AppEval RunApp(const ProjectProfile& profile,
-                      ValueCheckOptions options = ValueCheckOptions()) {
+                      AnalysisOptions options = AnalysisOptions()) {
   AppEval run;
   run.app = GenerateApp(profile);
-  run.project = Project::FromRepository(run.app.repo);
-  run.report = RunValueCheck(run.project, &run.app.repo, options);
+  Analysis analysis(options);
+  run.project = analysis.BuildFromRepository(run.app.repo);
+  run.report = analysis.Run(run.project, &run.app.repo);
   run.eval = EvaluateLocations(run.app.truth, "ValueCheck", LocationsOf(run.report));
   return run;
 }
 
-inline std::vector<AppEval> RunAllApps(ValueCheckOptions options = ValueCheckOptions()) {
+inline std::vector<AppEval> RunAllApps(AnalysisOptions options = AnalysisOptions()) {
   std::vector<AppEval> runs;
   for (const ProjectProfile& profile : AllProfiles()) {
     runs.push_back(RunApp(profile, options));

@@ -1,0 +1,118 @@
+#include "src/core/analysis.h"
+
+#include <chrono>
+
+#include "src/core/authorship.h"
+#include "src/core/detector.h"
+#include "src/support/table_writer.h"
+#include "src/support/thread_pool.h"
+
+namespace vc {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+AnalysisReport Analysis::Run(const Project& project, const Repository* repo) const {
+  auto start = std::chrono::steady_clock::now();
+  AnalysisReport report;
+  report.jobs = ResolveJobs(options_.jobs);
+
+  // 1. Detect every unused definition (parallel per function; merged in
+  // deterministic module/function order).
+  auto detect_start = std::chrono::steady_clock::now();
+  std::vector<UnusedDefCandidate> candidates = DetectAll(project, options_.jobs);
+  report.detect_seconds = SecondsSince(detect_start);
+
+  // 2. Classify authorship (cross-scope scenarios of §3.1).
+  AuthorshipAnalyzer authorship(project, repo);
+  authorship.ClassifyAll(candidates);
+  report.raw_candidates = candidates;
+
+  // 3. Cross-scope filter: only definitions on developer-interaction
+  // boundaries continue (unless the ablation disables the filter).
+  std::vector<UnusedDefCandidate> pool;
+  for (const UnusedDefCandidate& cand : candidates) {
+    if (options_.cross_scope_only && !cand.cross_scope) {
+      ++report.non_cross_scope;
+      continue;
+    }
+    pool.push_back(cand);
+  }
+
+  // 4. Prune intentional patterns. Peer statistics always use the complete
+  // candidate set: whether a value is customarily ignored is a property of
+  // the codebase, not of the cross-scope subset.
+  report.prune_stats = RunPruning(project, pool, options_.prune, &candidates, repo);
+
+  for (const UnusedDefCandidate& cand : pool) {
+    if (cand.pruned_by == PruneReason::kNone) {
+      report.findings.push_back(cand);
+    }
+  }
+
+  // 5. Rank by code familiarity.
+  RankCandidates(report.findings, repo, options_.ranking);
+
+  report.analysis_seconds = SecondsSince(start);
+  return report;
+}
+
+AnalysisReport Analysis::RunOnRepository(const Repository& repo) const {
+  auto start = std::chrono::steady_clock::now();
+  auto project = std::make_shared<Project>(BuildFromRepository(repo));
+  double parse_seconds = SecondsSince(start);
+  AnalysisReport report = Run(*project, &repo);
+  report.parse_seconds = parse_seconds;
+  report.analysis_seconds += parse_seconds;
+  report.owned_project = std::move(project);
+  return report;
+}
+
+AnalysisReport Analysis::RunOnRepositoryAt(const Repository& repo, CommitId commit) const {
+  auto start = std::chrono::steady_clock::now();
+  auto project = std::make_shared<Project>(
+      Project::FromRepositoryAt(repo, commit, options_.config, options_.jobs));
+  double parse_seconds = SecondsSince(start);
+  AnalysisReport report = Run(*project, &repo);
+  report.parse_seconds = parse_seconds;
+  report.analysis_seconds += parse_seconds;
+  report.owned_project = std::move(project);
+  return report;
+}
+
+AnalysisReport Analysis::RunOnSources(
+    const std::vector<std::pair<std::string, std::string>>& files) const {
+  auto start = std::chrono::steady_clock::now();
+  auto project = std::make_shared<Project>(BuildFromSources(files));
+  double parse_seconds = SecondsSince(start);
+  AnalysisReport report = Run(*project, nullptr);
+  report.parse_seconds = parse_seconds;
+  report.analysis_seconds += parse_seconds;
+  report.owned_project = std::move(project);
+  return report;
+}
+
+Project Analysis::BuildFromRepository(const Repository& repo) const {
+  return Project::FromRepository(repo, options_.config, options_.jobs);
+}
+
+Project Analysis::BuildFromSources(
+    const std::vector<std::pair<std::string, std::string>>& files) const {
+  return Project::FromSources(files, options_.config, options_.jobs);
+}
+
+std::string AnalysisReport::ToCsv() const {
+  TableWriter table({"file", "line", "function", "slot", "kind", "familiarity"});
+  for (const UnusedDefCandidate& cand : findings) {
+    table.AddRow({cand.file, std::to_string(cand.def_loc.line), cand.function, cand.slot_name,
+                  CandidateKindName(cand.kind), FormatDouble(cand.familiarity, 3)});
+  }
+  return table.RenderCsv();
+}
+
+}  // namespace vc

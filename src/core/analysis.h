@@ -1,0 +1,134 @@
+// The unified analysis API: one options struct, one facade.
+//
+// vc::Analysis fronts the full ValueCheck pipeline of Fig. 2 —
+//
+//   parse + lower                       (Project construction, parallel)
+//       → detect unused definitions     (detector, parallel per function)
+//       → classify authorship           (§3.1 cross-scope scenarios)
+//       → prune false positives         (pruning pipeline)
+//       → rank by code familiarity      (ranking)
+//       → report
+//
+// and AnalysisOptions is the single knob surface: the cross-scope filter,
+// every pruning pattern, the ranking model, the preprocessor configuration,
+// and the `jobs` parallelism degree. The parallel stages (parse/lower and
+// detection) merge their per-unit results in deterministic order, so findings
+// and ranking are byte-identical at any job count.
+//
+// The pre-facade entry points (RunValueCheck, RunValueCheckOnRepository,
+// AnalyzeCommit) survive as thin deprecated shims over this class; see
+// valuecheck.h and incremental.h.
+
+#ifndef VALUECHECK_SRC_CORE_ANALYSIS_H_
+#define VALUECHECK_SRC_CORE_ANALYSIS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/project.h"
+#include "src/core/pruning.h"
+#include "src/core/ranking.h"
+#include "src/core/unused_def.h"
+#include "src/vcs/repository.h"
+
+namespace vc {
+
+// Every stage of the pipeline, configured in one place. The evaluation
+// benches run the paper's ablations (Table 6) by toggling these, and the
+// baselines section isolates capabilities the same way.
+struct AnalysisOptions {
+  // Keep only cross-scope candidates after authorship classification (§3.1).
+  // Disabling reproduces the "w/o Authorship" ablation group.
+  bool cross_scope_only = true;
+  PruneOptions prune;
+  RankingOptions ranking;
+  // Preprocessor macro configuration used when the facade parses sources.
+  Config config;
+  // Parallel worker lanes for parse/lower and detection. 1 = serial,
+  // 0 = all hardware threads. Results are identical at any value.
+  int jobs = 1;
+};
+
+struct AnalysisReport {
+  // Final, ranked findings (pruned and, by default, cross-scope only).
+  std::vector<UnusedDefCandidate> findings;
+  // All candidates as detected, before authorship filtering and pruning
+  // (pruned_by records what pruned each one).
+  std::vector<UnusedDefCandidate> raw_candidates;
+  PruneStats prune_stats;
+  // Candidates surviving pruning but dropped by the cross-scope filter.
+  int non_cross_scope = 0;
+  // Wall-clock timings: the whole pipeline, the parse+lower phase (when the
+  // facade built the project), and the detection phase.
+  double analysis_seconds = 0.0;
+  double parse_seconds = 0.0;
+  double detect_seconds = 0.0;
+  // Worker lanes the report was produced with (after 0 → hardware resolution).
+  int jobs = 1;
+  // Set by the repository entry points: keeps the analyzed project (and with
+  // it the AST/IR that finding pointers reference) alive as long as the
+  // report.
+  std::shared_ptr<Project> owned_project;
+
+  // The first `k` findings (the report cutoff of Fig. 9).
+  std::vector<UnusedDefCandidate> Top(size_t k) const {
+    if (k >= findings.size()) {
+      return findings;
+    }
+    return {findings.begin(), findings.begin() + static_cast<long>(k)};
+  }
+
+  // CSV rows: file, line, function, slot, kind, familiarity.
+  std::string ToCsv() const;
+};
+
+// Result of per-commit incremental analysis (§8.6).
+struct IncrementalResult {
+  // Findings within the functions affected by the commit.
+  std::vector<UnusedDefCandidate> findings;
+  int files_analyzed = 0;
+  int functions_analyzed = 0;
+  double seconds = 0.0;
+};
+
+class Analysis {
+ public:
+  Analysis() = default;
+  explicit Analysis(AnalysisOptions options) : options_(std::move(options)) {}
+
+  AnalysisOptions& options() { return options_; }
+  const AnalysisOptions& options() const { return options_; }
+
+  // Runs the pipeline over an already-built project. `repo` supplies
+  // authorship and familiarity; pass null to skip both (all candidates then
+  // count as non-cross-scope unless cross_scope_only is disabled).
+  AnalysisReport Run(const Project& project, const Repository* repo = nullptr) const;
+
+  // Builds the project (parallel parse/lower under options().jobs and
+  // options().config), then runs; the report owns the project.
+  AnalysisReport RunOnRepository(const Repository& repo) const;
+  AnalysisReport RunOnRepositoryAt(const Repository& repo, CommitId commit) const;
+  AnalysisReport RunOnSources(
+      const std::vector<std::pair<std::string, std::string>>& files) const;
+
+  // Per-commit incremental analysis: re-analyzes only the files `commit`
+  // touched and, within them, only the functions overlapping the changed
+  // lines. Authorship uses blame at that commit (not head), so results match
+  // what a CI hook would have seen.
+  IncrementalResult RunOnCommit(const Repository& repo, CommitId commit) const;
+
+  // Project construction alone (no detection) with this analysis's config
+  // and jobs — for callers that inspect diagnostics before running.
+  Project BuildFromRepository(const Repository& repo) const;
+  Project BuildFromSources(
+      const std::vector<std::pair<std::string, std::string>>& files) const;
+
+ private:
+  AnalysisOptions options_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_ANALYSIS_H_

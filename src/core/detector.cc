@@ -2,6 +2,7 @@
 
 #include "src/dataflow/define_sets.h"
 #include "src/dataflow/liveness.h"
+#include "src/support/thread_pool.h"
 
 namespace vc {
 
@@ -106,14 +107,30 @@ std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId 
   return candidates;
 }
 
-std::vector<UnusedDefCandidate> DetectAll(const Project& project) {
-  std::vector<UnusedDefCandidate> all;
+std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
+  // Flatten the iteration space so the pool can balance uneven functions,
+  // then merge per-function results in the serial visit order (the
+  // determinism barrier: output never depends on worker scheduling).
+  struct WorkItem {
+    FileId file;
+    const IrFunction* func;
+  };
+  std::vector<WorkItem> work;
   for (const auto& module : project.modules()) {
     for (const auto& func : module->functions) {
-      std::vector<UnusedDefCandidate> found = DetectInFunction(project, module->file, *func);
-      for (auto& cand : found) {
-        all.push_back(std::move(cand));
-      }
+      work.push_back({module->file, func.get()});
+    }
+  }
+
+  std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
+  ParallelFor(jobs, work.size(), [&](size_t i) {
+    per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+  });
+
+  std::vector<UnusedDefCandidate> all;
+  for (auto& found : per_function) {
+    for (auto& cand : found) {
+      all.push_back(std::move(cand));
     }
   }
   return all;

@@ -23,8 +23,11 @@ namespace vc {
 std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
                                                  const IrFunction& func);
 
-// Detects candidates across every function of every unit.
-std::vector<UnusedDefCandidate> DetectAll(const Project& project);
+// Detects candidates across every function of every unit. Functions are
+// analyzed independently across `jobs` worker lanes (1 = serial, 0 = all
+// hardware threads); per-function results are merged in module/function
+// order, so the output is identical at any job count.
+std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs = 1);
 
 }  // namespace vc
 

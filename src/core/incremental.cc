@@ -5,11 +5,11 @@
 
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
+#include "src/support/thread_pool.h"
 
 namespace vc {
 
-IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
-                                const ValueCheckOptions& options, Config config) {
+IncrementalResult Analysis::RunOnCommit(const Repository& repo, CommitId commit_id) const {
   auto start = std::chrono::steady_clock::now();
   IncrementalResult result;
   const Commit& commit = repo.GetCommit(commit_id);
@@ -28,10 +28,17 @@ IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
     return result;
   }
 
-  Project project = Project::FromSources(files, std::move(config));
+  Project project = Project::FromSources(files, options_.config, options_.jobs);
 
-  // Detect only in functions whose range overlaps a changed line.
-  std::vector<UnusedDefCandidate> candidates;
+  // Detect only in functions whose range overlaps a changed line. The work
+  // list is gathered serially (in unit/function order) and the per-function
+  // results merged in that same order, so findings are deterministic at any
+  // job count.
+  struct WorkItem {
+    FileId file;
+    const IrFunction* func;
+  };
+  std::vector<WorkItem> work;
   for (size_t i = 0; i < project.units().size(); ++i) {
     const TranslationUnit& unit = project.units()[i];
     const std::vector<int>& lines = changed_lines[i];
@@ -52,32 +59,46 @@ IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
       if (affected.count(func->name) == 0) {
         continue;
       }
-      std::vector<UnusedDefCandidate> found =
-          DetectInFunction(project, project.modules()[i]->file, *func);
-      for (auto& cand : found) {
-        candidates.push_back(std::move(cand));
-      }
+      work.push_back({project.modules()[i]->file, func.get()});
+    }
+  }
+
+  std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
+  ParallelFor(options_.jobs, work.size(), [&](size_t i) {
+    per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+  });
+  std::vector<UnusedDefCandidate> candidates;
+  for (auto& found : per_function) {
+    for (auto& cand : found) {
+      candidates.push_back(std::move(cand));
     }
   }
 
   AuthorshipAnalyzer authorship(project, &repo, commit_id);
   authorship.ClassifyAll(candidates);
-  RunPruning(project, candidates, options.prune, nullptr, &repo);
+  RunPruning(project, candidates, options_.prune, nullptr, &repo);
 
   for (const UnusedDefCandidate& cand : candidates) {
     if (cand.pruned_by != PruneReason::kNone) {
       continue;
     }
-    if (options.cross_scope_only && !cand.cross_scope) {
+    if (options_.cross_scope_only && !cand.cross_scope) {
       continue;
     }
     result.findings.push_back(cand);
   }
-  RankCandidates(result.findings, &repo, options.ranking);
+  RankCandidates(result.findings, &repo, options_.ranking);
 
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
+}
+
+IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
+                                const ValueCheckOptions& options, Config config) {
+  AnalysisOptions merged = options;
+  merged.config = std::move(config);
+  return Analysis(std::move(merged)).RunOnCommit(repo, commit_id);
 }
 
 }  // namespace vc

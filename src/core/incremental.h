@@ -2,29 +2,21 @@
 // whose line ranges intersect the commit's changed lines need re-analysis.
 // This is what makes ValueCheck cheap enough to run in a development loop
 // (the paper measures < 5 s per commit vs minutes for a full run).
+//
+// The implementation lives behind the vc::Analysis facade
+// (Analysis::RunOnCommit, src/core/analysis.h — which also defines
+// IncrementalResult); the free function below is a deprecated shim.
 
 #ifndef VALUECHECK_SRC_CORE_INCREMENTAL_H_
 #define VALUECHECK_SRC_CORE_INCREMENTAL_H_
 
-#include <vector>
-
-#include "src/core/unused_def.h"
 #include "src/core/valuecheck.h"
 #include "src/vcs/repository.h"
 
 namespace vc {
 
-struct IncrementalResult {
-  // Findings within the functions affected by the commit.
-  std::vector<UnusedDefCandidate> findings;
-  int files_analyzed = 0;
-  int functions_analyzed = 0;
-  double seconds = 0.0;
-};
-
-// Re-analyzes only the files `commit` touched and, within them, only the
-// functions overlapping the changed lines. Authorship uses blame at that
-// commit (not head), so results match what a CI hook would have seen.
+// Deprecated: use Analysis(options).RunOnCommit(repo, commit). The separate
+// `config` parameter overrides options.config.
 IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit,
                                 const ValueCheckOptions& options = ValueCheckOptions(),
                                 Config config = Config());

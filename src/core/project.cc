@@ -3,53 +3,74 @@
 #include "src/ir/ir_builder.h"
 #include "src/parser/parser.h"
 #include "src/support/string_util.h"
+#include "src/support/thread_pool.h"
 
 namespace vc {
 
-Project Project::FromRepository(const Repository& repo, Config config) {
+Project Project::FromRepository(const Repository& repo, Config config, int jobs) {
   Project project;
+  std::vector<std::pair<std::string, std::string>> files;
   for (const std::string& path : repo.ListFiles()) {
     std::optional<std::string> content = repo.Head(path);
     if (content.has_value()) {
-      project.AddAndCompile(path, *content, config);
+      files.emplace_back(path, std::move(*content));
     }
   }
-  project.BuildIndex();
+  project.CompileAll(std::move(files), config, jobs);
   return project;
 }
 
-Project Project::FromRepositoryAt(const Repository& repo, CommitId commit, Config config) {
+Project Project::FromRepositoryAt(const Repository& repo, CommitId commit, Config config,
+                                  int jobs) {
   Project project;
+  std::vector<std::pair<std::string, std::string>> files;
   for (const std::string& path : repo.ListFiles()) {
     std::optional<std::string> content = repo.FileAt(path, commit);
     if (content.has_value()) {
-      project.AddAndCompile(path, *content, config);
+      files.emplace_back(path, std::move(*content));
     }
   }
-  project.BuildIndex();
+  project.CompileAll(std::move(files), config, jobs);
   return project;
 }
 
 Project Project::FromSources(const std::vector<std::pair<std::string, std::string>>& files,
-                             Config config) {
+                             Config config, int jobs) {
   Project project;
-  for (const auto& [path, content] : files) {
-    project.AddAndCompile(path, content, config);
-  }
-  project.BuildIndex();
+  project.CompileAll(files, config, jobs);
   return project;
 }
 
-void Project::AddAndCompile(const std::string& path, const std::string& content,
-                            const Config& config) {
-  FileId file = sm_.AddFile(path, content);
-  pp_[file] = Preprocess(sm_.Content(file), config);
-  for (const std::string& error : pp_[file].errors) {
-    diags_.Error({file, 1, 1}, "preprocessor: " + error);
+void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
+                         const Config& config, int jobs) {
+  // File ids are assigned sequentially before any parallel work so ids (and
+  // everything keyed on them) do not depend on worker scheduling.
+  const size_t n = files.size();
+  for (auto& [path, content] : files) {
+    sm_.AddFile(path, std::move(content));
   }
-  TranslationUnit unit = ParseFile(sm_, file, config, diags_);
-  modules_.push_back(LowerUnit(unit));
-  units_.push_back(std::move(unit));
+  units_.resize(n);
+  modules_.resize(n);
+  pp_.resize(n);
+
+  // Each file compiles into its own slot with a private diagnostics engine;
+  // the SourceManager is only read. Merging the engines in file order below
+  // reproduces the serial diagnostic stream exactly.
+  std::vector<DiagnosticEngine> file_diags(n);
+  ParallelFor(jobs, n, [&](size_t i) {
+    FileId file = static_cast<FileId>(i);
+    pp_[i] = Preprocess(sm_.Content(file), config);
+    for (const std::string& error : pp_[i].errors) {
+      file_diags[i].Error({file, 1, 1}, "preprocessor: " + error);
+    }
+    TranslationUnit unit = ParseFile(sm_, file, config, file_diags[i]);
+    modules_[i] = LowerUnit(unit);
+    units_[i] = std::move(unit);
+  });
+  for (const DiagnosticEngine& engine : file_diags) {
+    diags_.Append(engine);
+  }
+  BuildIndex();
 }
 
 void Project::BuildIndex() {

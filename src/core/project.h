@@ -7,6 +7,12 @@
 // implementation note (§7) that each source object is compiled to a separate
 // bitcode file — and the FunctionIndex stitches the per-file views together
 // by function name for authorship lookup and peer-definition pruning.
+//
+// That independence makes construction embarrassingly parallel: file ids are
+// assigned sequentially up front, then preprocess/parse/lower runs across
+// `jobs` worker lanes into per-file slots, and per-file diagnostics are
+// merged in file order — so the resulting Project is byte-identical at any
+// job count.
 
 #ifndef VALUECHECK_SRC_CORE_PROJECT_H_
 #define VALUECHECK_SRC_CORE_PROJECT_H_
@@ -44,18 +50,20 @@ class Project {
   Project(Project&&) = default;
   Project& operator=(Project&&) = default;
 
-  // Parses and lowers the head snapshot of every file in `repo`.
-  static Project FromRepository(const Repository& repo, Config config = Config());
+  // Parses and lowers the head snapshot of every file in `repo`. `jobs` is
+  // the number of parallel worker lanes (1 = serial, 0 = all hardware
+  // threads); results are identical at any value.
+  static Project FromRepository(const Repository& repo, Config config = Config(), int jobs = 1);
 
   // Same, but at a historical commit (used by the preliminary-study
   // reproduction, which compares two snapshots years apart).
   static Project FromRepositoryAt(const Repository& repo, CommitId commit,
-                                  Config config = Config());
+                                  Config config = Config(), int jobs = 1);
 
   // Parses and lowers explicit (path, content) pairs; no repository attached
   // (authorship-dependent stages then treat every author as unknown).
   static Project FromSources(const std::vector<std::pair<std::string, std::string>>& files,
-                             Config config = Config());
+                             Config config = Config(), int jobs = 1);
 
   SourceManager& sources() { return sm_; }
   const SourceManager& sources() const { return sm_; }
@@ -75,14 +83,15 @@ class Project {
   int TotalLines() const;
 
  private:
-  void AddAndCompile(const std::string& path, const std::string& content, const Config& config);
+  void CompileAll(std::vector<std::pair<std::string, std::string>> files, const Config& config,
+                  int jobs);
   void BuildIndex();
 
   SourceManager sm_;
   DiagnosticEngine diags_;
   std::vector<TranslationUnit> units_;
   std::vector<std::unique_ptr<IrModule>> modules_;
-  std::map<FileId, PreprocessResult> pp_;
+  std::vector<PreprocessResult> pp_;  // indexed by FileId
   std::map<std::string, FunctionInfo> index_;
 };
 

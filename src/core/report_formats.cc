@@ -44,7 +44,14 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   JsonWriter json;
   json.BeginObject();
   json.String("tool", "valuecheck");
+  // Schema history: v1 had no version field; v2 adds schema_version plus the
+  // timing/parallelism block (jobs, parse_seconds, detect_seconds). See
+  // DESIGN.md §"JSON report schema" for the documented contract.
+  json.Int("schema_version", 2);
   json.Double("analysis_seconds", report.analysis_seconds);
+  json.Double("parse_seconds", report.parse_seconds);
+  json.Double("detect_seconds", report.detect_seconds);
+  json.Int("jobs", report.jobs);
 
   json.Key("prune_stats").BeginObject();
   json.Int("candidates", report.prune_stats.original);

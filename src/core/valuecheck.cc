@@ -1,71 +1,17 @@
 #include "src/core/valuecheck.h"
 
-#include <chrono>
-
-#include "src/core/authorship.h"
-#include "src/core/detector.h"
-#include "src/support/table_writer.h"
-
 namespace vc {
 
 ValueCheckReport RunValueCheck(const Project& project, const Repository* repo,
                                const ValueCheckOptions& options) {
-  auto start = std::chrono::steady_clock::now();
-  ValueCheckReport report;
-
-  // 1. Detect every unused definition.
-  std::vector<UnusedDefCandidate> candidates = DetectAll(project);
-
-  // 2. Classify authorship (cross-scope scenarios of §3.1).
-  AuthorshipAnalyzer authorship(project, repo);
-  authorship.ClassifyAll(candidates);
-  report.raw_candidates = candidates;
-
-  // 3. Cross-scope filter: only definitions on developer-interaction
-  // boundaries continue (unless the ablation disables the filter).
-  std::vector<UnusedDefCandidate> pool;
-  for (const UnusedDefCandidate& cand : candidates) {
-    if (options.cross_scope_only && !cand.cross_scope) {
-      ++report.non_cross_scope;
-      continue;
-    }
-    pool.push_back(cand);
-  }
-
-  // 4. Prune intentional patterns. Peer statistics always use the complete
-  // candidate set: whether a value is customarily ignored is a property of
-  // the codebase, not of the cross-scope subset.
-  report.prune_stats = RunPruning(project, pool, options.prune, &candidates, repo);
-
-  for (const UnusedDefCandidate& cand : pool) {
-    if (cand.pruned_by == PruneReason::kNone) {
-      report.findings.push_back(cand);
-    }
-  }
-
-  // 5. Rank by code familiarity.
-  RankCandidates(report.findings, repo, options.ranking);
-
-  report.analysis_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return report;
+  return Analysis(options).Run(project, repo);
 }
 
 ValueCheckReport RunValueCheckOnRepository(const Repository& repo,
                                            const ValueCheckOptions& options, Config config) {
-  auto project = std::make_shared<Project>(Project::FromRepository(repo, std::move(config)));
-  ValueCheckReport report = RunValueCheck(*project, &repo, options);
-  report.owned_project = std::move(project);
-  return report;
-}
-
-std::string ValueCheckReport::ToCsv() const {
-  TableWriter table({"file", "line", "function", "slot", "kind", "familiarity"});
-  for (const UnusedDefCandidate& cand : findings) {
-    table.AddRow({cand.file, std::to_string(cand.def_loc.line), cand.function, cand.slot_name,
-                  CandidateKindName(cand.kind), FormatDouble(cand.familiarity, 3)});
-  }
-  return table.RenderCsv();
+  AnalysisOptions merged = options;
+  merged.config = std::move(config);
+  return Analysis(std::move(merged)).RunOnRepository(repo);
 }
 
 }  // namespace vc

@@ -1,70 +1,35 @@
-// Public entry point: the full ValueCheck pipeline of Fig. 2 —
+// Deprecated entry points, kept as thin shims over the unified vc::Analysis
+// facade (src/core/analysis.h). New code should construct an Analysis with
+// AnalysisOptions and call Run/RunOnRepository/RunOnSources directly:
 //
-//   detect cross-scope unused definitions  (detector + authorship)
-//       → prune false positives            (pruning pipeline)
-//       → rank by code familiarity         (ranking)
-//       → report
+//   vc::AnalysisOptions options;
+//   options.jobs = 0;  // all hardware threads
+//   vc::AnalysisReport report = vc::Analysis(options).RunOnRepository(repo);
 //
-// Every stage can be reconfigured or disabled through Options, which is how
-// the evaluation benches run the paper's ablations (Table 6) and how the
-// baselines section isolates capabilities.
+// ValueCheckOptions and ValueCheckReport are aliases of the Analysis types
+// (AnalysisOptions is a strict superset of the old struct — it additionally
+// carries the preprocessor Config and the `jobs` parallelism degree), so
+// existing call sites keep compiling unchanged.
 
 #ifndef VALUECHECK_SRC_CORE_VALUECHECK_H_
 #define VALUECHECK_SRC_CORE_VALUECHECK_H_
 
-#include <memory>
-#include <string>
-#include <vector>
-
-#include "src/core/project.h"
-#include "src/core/pruning.h"
-#include "src/core/ranking.h"
-#include "src/core/unused_def.h"
-#include "src/vcs/repository.h"
+#include "src/core/analysis.h"
 
 namespace vc {
 
-struct ValueCheckOptions {
-  // Keep only cross-scope candidates after authorship classification (§3.1).
-  // Disabling reproduces the "w/o Authorship" ablation group.
-  bool cross_scope_only = true;
-  PruneOptions prune;
-  RankingOptions ranking;
-};
+// Deprecated: use AnalysisOptions.
+using ValueCheckOptions = AnalysisOptions;
+// Deprecated: use AnalysisReport.
+using ValueCheckReport = AnalysisReport;
 
-struct ValueCheckReport {
-  // Final, ranked findings (pruned and, by default, cross-scope only).
-  std::vector<UnusedDefCandidate> findings;
-  // All candidates as detected, before authorship filtering and pruning
-  // (pruned_by records what pruned each one).
-  std::vector<UnusedDefCandidate> raw_candidates;
-  PruneStats prune_stats;
-  // Candidates surviving pruning but dropped by the cross-scope filter.
-  int non_cross_scope = 0;
-  double analysis_seconds = 0.0;
-  // Set by RunValueCheckOnRepository: keeps the analyzed project (and with it
-  // the AST/IR that finding pointers reference) alive as long as the report.
-  std::shared_ptr<Project> owned_project;
-
-  // The first `k` findings (the report cutoff of Fig. 9).
-  std::vector<UnusedDefCandidate> Top(size_t k) const {
-    if (k >= findings.size()) {
-      return findings;
-    }
-    return {findings.begin(), findings.begin() + static_cast<long>(k)};
-  }
-
-  // CSV rows: file, line, function, slot, kind, familiarity.
-  std::string ToCsv() const;
-};
-
-// Runs the pipeline over an already-built project. `repo` supplies authorship
-// and familiarity; pass null to skip both (all candidates then count as
-// non-cross-scope unless cross_scope_only is disabled).
+// Deprecated: use Analysis(options).Run(project, repo).
 ValueCheckReport RunValueCheck(const Project& project, const Repository* repo,
                                const ValueCheckOptions& options = ValueCheckOptions());
 
-// Convenience: builds the project from the repository head, then runs.
+// Deprecated: use Analysis(options).RunOnRepository(repo). The separate
+// `config` parameter overrides options.config (the pre-facade signature kept
+// them apart).
 ValueCheckReport RunValueCheckOnRepository(const Repository& repo,
                                            const ValueCheckOptions& options = ValueCheckOptions(),
                                            Config config = Config());

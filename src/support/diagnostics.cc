@@ -29,6 +29,11 @@ void DiagnosticEngine::Report(Severity severity, SourceLoc loc, std::string mess
   diagnostics_.push_back({severity, loc, std::move(message)});
 }
 
+void DiagnosticEngine::Append(const DiagnosticEngine& other) {
+  diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(), other.diagnostics_.end());
+  error_count_ += other.error_count_;
+}
+
 std::string DiagnosticEngine::Render(const SourceManager& sm) const {
   std::string out;
   for (const Diagnostic& diag : diagnostics_) {

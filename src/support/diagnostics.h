@@ -36,6 +36,12 @@ class DiagnosticEngine {
     Report(Severity::kWarning, loc, std::move(message));
   }
 
+  // Appends another engine's diagnostics (in their original order). The
+  // parallel pipeline gives each worker a private engine and merges them in
+  // file order afterwards, so rendered output is deterministic at any job
+  // count without locking on the hot path.
+  void Append(const DiagnosticEngine& other);
+
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   int ErrorCount() const { return error_count_; }
   bool HasErrors() const { return error_count_ > 0; }

@@ -1,0 +1,234 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace vc {
+
+namespace {
+
+// Set while a thread is executing ParallelFor lanes; nested loops run inline.
+thread_local bool tls_in_parallel_region = false;
+
+// One chunk of the iteration space: [begin, end).
+using Chunk = std::pair<size_t, size_t>;
+
+// Shared state of one ParallelFor. Kept alive by shared_ptr captures so lane
+// tasks that start after the loop already completed find an empty (but valid)
+// state and return immediately.
+struct ForState {
+  struct Lane {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  explicit ForState(size_t lane_count, size_t total,
+                    const std::function<void(size_t)>& body_fn)
+      : body(body_fn), remaining(total) {
+    lanes.reserve(lane_count);
+    for (size_t i = 0; i < lane_count; ++i) {
+      lanes.push_back(std::make_unique<Lane>());
+    }
+  }
+
+  // Pops from the lane's own deque front; on miss, steals from the back of
+  // the lane currently holding the most chunks. Returns false only when every
+  // deque is empty (all work claimed).
+  bool PopOrSteal(size_t self, Chunk& out) {
+    {
+      Lane& lane = *lanes[self];
+      std::lock_guard<std::mutex> lock(lane.mutex);
+      if (!lane.chunks.empty()) {
+        out = lane.chunks.front();
+        lane.chunks.pop_front();
+        return true;
+      }
+    }
+    while (true) {
+      size_t victim = lanes.size();
+      size_t victim_load = 0;
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        if (i == self) {
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(lanes[i]->mutex);
+        if (lanes[i]->chunks.size() > victim_load) {
+          victim_load = lanes[i]->chunks.size();
+          victim = i;
+        }
+      }
+      if (victim == lanes.size()) {
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(lanes[victim]->mutex);
+      if (lanes[victim]->chunks.empty()) {
+        continue;  // raced with another thief; rescan
+      }
+      out = lanes[victim]->chunks.back();
+      lanes[victim]->chunks.pop_back();
+      return true;
+    }
+  }
+
+  // Claims chunks until none remain anywhere, running the body over each.
+  // Every popped chunk is credited to `remaining` whether it ran fully or was
+  // skipped after an abort, so completion is always reached.
+  void RunLane(size_t self) {
+    bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    Chunk chunk;
+    while (PopOrSteal(self, chunk)) {
+      size_t len = chunk.second - chunk.first;
+      if (!abort.load(std::memory_order_relaxed)) {
+        try {
+          for (size_t i = chunk.first; i < chunk.second; ++i) {
+            if (abort.load(std::memory_order_relaxed)) {
+              break;
+            }
+            body(i);
+          }
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!error) {
+              error = std::current_exception();
+            }
+          }
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (remaining.fetch_sub(len) == len) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+    tls_in_parallel_region = was_in_region;
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [this] { return remaining.load() == 0; });
+  }
+
+  const std::function<void(size_t)>& body;
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::atomic<size_t> remaining;
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
+
+}  // namespace
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) {
+    return jobs;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int count = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Workers in addition to the calling thread (which runs lane 0 itself), so
+  // a fully parallel loop occupies exactly the hardware.
+  static ThreadPool pool(std::max(1, ResolveJobs(0) - 1));
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int jobs, size_t n,
+                             const std::function<void(size_t)>& body) {
+  jobs = ResolveJobs(jobs);
+  if (n == 0) {
+    return;
+  }
+  if (jobs <= 1 || n == 1 || tls_in_parallel_region) {
+    // Serial request, trivial loop, or a nested loop: run inline.
+    bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    try {
+      for (size_t i = 0; i < n; ++i) {
+        body(i);
+      }
+    } catch (...) {
+      tls_in_parallel_region = was_in_region;
+      throw;
+    }
+    tls_in_parallel_region = was_in_region;
+    return;
+  }
+
+  size_t lane_count = std::min(static_cast<size_t>(jobs), n);
+  auto state = std::make_shared<ForState>(lane_count, n, body);
+
+  // Chunks several times smaller than a lane's fair share keep the stealing
+  // granular without swamping the deques for huge n.
+  size_t chunk_size = std::max<size_t>(1, n / (lane_count * 8));
+  size_t lane = 0;
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    size_t end = std::min(n, begin + chunk_size);
+    state->lanes[lane]->chunks.push_back({begin, end});
+    lane = (lane + 1) % lane_count;
+  }
+
+  for (size_t i = 1; i < lane_count; ++i) {
+    Submit([state, i] { state->RunLane(i); });
+  }
+  state->RunLane(0);
+  state->WaitDone();
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& body) {
+  ThreadPool::Global().ParallelFor(jobs, n, body);
+}
+
+}  // namespace vc

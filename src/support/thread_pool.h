@@ -1,0 +1,75 @@
+// Work-stealing thread pool backing the parallel analysis pipeline.
+//
+// The pipeline's unit of parallelism is the data-parallel loop: per-file
+// parse/lower in Project construction and per-function detection in the
+// detector. ParallelFor covers both: the iteration space is split into
+// contiguous chunks dealt round-robin onto per-lane deques; each lane pops
+// from the front of its own deque and, when empty, steals from the back of
+// the busiest other lane. The calling thread always runs lane 0 itself, so a
+// ParallelFor makes progress even when every pool worker is busy elsewhere.
+//
+// Guarantees:
+//   * body(i) is invoked exactly once for every i in [0, n) (or until the
+//     first exception aborts the loop);
+//   * the first exception thrown by any lane is rethrown on the caller;
+//   * nested ParallelFor calls (from inside a body) execute inline on the
+//     calling lane — correct, never deadlocks, no thread oversubscription;
+//   * result ordering is the caller's responsibility: workers should write
+//     into pre-sized slots indexed by i, which makes any downstream merge
+//     deterministic regardless of execution order.
+
+#ifndef VALUECHECK_SRC_SUPPORT_THREAD_POOL_H_
+#define VALUECHECK_SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vc {
+
+// Resolves a --jobs style request: values <= 0 mean "all hardware threads";
+// anything else is taken as-is.
+int ResolveJobs(int jobs);
+
+class ThreadPool {
+ public:
+  // Starts `threads` persistent workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // Process-wide pool sized to the hardware, started on first use. All
+  // ParallelFor lanes beyond the caller run here, so the total is bounded by
+  // hardware_concurrency regardless of how many loops run concurrently.
+  static ThreadPool& Global();
+
+  // Runs body(i) for every i in [0, n) across up to `jobs` lanes (the caller
+  // plus pool workers). Blocks until every iteration has finished; rethrows
+  // the first exception raised by any lane. jobs <= 1 runs inline.
+  void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over ThreadPool::Global().
+void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& body);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_THREAD_POOL_H_

@@ -1,0 +1,142 @@
+// Unit tests for the work-stealing ThreadPool / ParallelFor in src/support.
+
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace vc {
+namespace {
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(8, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+
+  ThreadPool pool(2);
+  pool.ParallelFor(4, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(8, kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialJobsRunInline) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  ParallelFor(1, seen.size(), [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (std::thread::id id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ThreadPool, ZeroJobsMeansHardwareThreads) {
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_EQ(ResolveJobs(3), 3);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 64, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(
+      ParallelFor(4, 100,
+                  [](size_t i) {
+                    if (i == 37) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+
+  // The pool stays usable after an aborted loop.
+  std::atomic<int> calls{0};
+  ParallelFor(4, 100, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionMessageSurvives) {
+  try {
+    ParallelFor(4, 8, [](size_t) { throw std::runtime_error("specific message"); });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForIsCorrect) {
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 16;
+  std::atomic<int> total{0};
+  ParallelFor(4, kOuter, [&](size_t) {
+    // Nested loops execute inline on the owning lane; results must still be
+    // complete and exceptions must still propagate.
+    ParallelFor(4, kInner, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothLoops) {
+  EXPECT_THROW(ParallelFor(4, 4,
+                           [](size_t) {
+                             ParallelFor(4, 4, [](size_t j) {
+                               if (j == 2) {
+                                 throw std::logic_error("inner");
+                               }
+                             });
+                           }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, WorkRunsOnPoolThreads) {
+  // Sleep-bound lanes overlap even on a single hardware core: 8 lanes of
+  // 20 ms finish far sooner than the 160 ms a serial loop needs.
+  ThreadPool pool(8);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(8, 8, [&](size_t) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ids.insert(std::this_thread::get_id());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(ids.size(), 1u);
+  EXPECT_LT(elapsed_ms, 120.0);
+}
+
+TEST(ThreadPool, ManyMoreChunksThanLanesBalances) {
+  // Uneven iteration cost exercises stealing: lane 0's deque drains first and
+  // it must steal the heavy tail chunks parked on other lanes.
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> counts(kN);
+  ThreadPool pool(4);
+  pool.ParallelFor(4, kN, [&](size_t i) {
+    if (i % 17 == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    counts[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vc

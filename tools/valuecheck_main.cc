@@ -1,4 +1,4 @@
-// valuecheck — the command-line front end.
+// valuecheck — the command-line front end over the vc::Analysis facade.
 //
 // Two modes:
 //
@@ -7,7 +7,7 @@
 //      tool reports every unused definition (the "w/o Authorship" behavior),
 //      unranked. Useful as a precise dead-store checker.
 //
-//        valuecheck src/ extra.c
+//        valuecheck --jobs=0 src/ extra.c
 //
 //   2. History mode: loads a .vchist commit history (see
 //      src/vcs/history_io.h for the format), reconstructs line authorship,
@@ -16,10 +16,14 @@
 //
 //        valuecheck --history project.vchist
 //
-// Output formats: --format=text (default), json, sarif, csv.
+// Every flag maps onto a vc::AnalysisOptions field (or a report/output
+// control); the flag table below is the single source of truth and also
+// renders --help.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -27,26 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "src/core/analysis.h"
 #include "src/core/report_formats.h"
-#include "src/core/valuecheck.h"
+#include "src/support/thread_pool.h"
 #include "src/vcs/history_io.h"
 
 namespace {
-
-constexpr const char* kUsage =
-    "usage: valuecheck [options] <file.c|dir>... | --history <file.vchist>\n"
-    "\n"
-    "options:\n"
-    "  --history=FILE     load a vchist commit history (enables authorship,\n"
-    "                     cross-scope filtering, and familiarity ranking)\n"
-    "  --format=FMT       text (default), json, sarif, csv\n"
-    "  --top=N            print only the N highest-ranked findings (text mode)\n"
-    "  --all-scopes       keep non-cross-scope findings even in history mode\n"
-    "  --define=NAME[=V]  define a preprocessor macro for #if evaluation\n"
-    "  --no-prune-config / --no-prune-cursor / --no-prune-hints /\n"
-    "  --no-prune-peer    disable a pruning pattern\n"
-    "  --stale-code       enable commit-history stale-code pruning (needs history)\n"
-    "  --ea-model         rank with the EA familiarity model instead of DOK\n";
 
 std::string ReadFileOrDie(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -59,65 +49,206 @@ std::string ReadFileOrDie(const std::string& path) {
   return buffer.str();
 }
 
-struct Options {
+struct CliOptions {
   std::string history_path;
   std::string format = "text";
   int top = -1;
   bool all_scopes = false;
-  vc::ValueCheckOptions pipeline;
-  vc::Config config;
+  vc::AnalysisOptions analysis;
   std::vector<std::string> inputs;
 };
 
-bool ParseArgs(int argc, char** argv, Options& options) {
+// One registered command-line flag. `value_name` is empty for boolean
+// switches; `maps_to` names the AnalysisOptions field (or output control) the
+// flag drives, and is rendered in --help so the CLI surface documents the
+// API surface.
+struct FlagSpec {
+  const char* name;        // without the value part, e.g. "--jobs"
+  const char* value_name;  // e.g. "N"; nullptr for switches
+  const char* maps_to;     // e.g. "AnalysisOptions::jobs"
+  const char* help;
+  // Applies the flag; returns false (after printing to stderr) on a bad value.
+  bool (*apply)(CliOptions&, const std::string& value);
+};
+
+const FlagSpec kFlags[] = {
+    {"--history", "FILE", "input mode",
+     "load a vchist commit history (enables authorship, cross-scope\n"
+     "filtering, and familiarity ranking)",
+     [](CliOptions& o, const std::string& v) {
+       o.history_path = v;
+       return true;
+     }},
+    {"--jobs", "N", "AnalysisOptions::jobs",
+     "parallel worker lanes for parse/lower and detection\n"
+     "(default 1; 0 = all hardware threads; output is identical\n"
+     "at any value)",
+     [](CliOptions& o, const std::string& v) {
+       char* end = nullptr;
+       long jobs = std::strtol(v.c_str(), &end, 10);
+       if (end == v.c_str() || *end != '\0' || jobs < 0) {
+         std::fprintf(stderr, "valuecheck: --jobs expects a non-negative integer, got '%s'\n",
+                      v.c_str());
+         return false;
+       }
+       o.analysis.jobs = static_cast<int>(jobs);
+       return true;
+     }},
+    {"--format", "FMT", "output control",
+     "output format: text (default), csv, json, sarif",
+     [](CliOptions& o, const std::string& v) {
+       if (v != "text" && v != "csv" && v != "json" && v != "sarif") {
+         std::fprintf(stderr, "valuecheck: unknown format '%s' (expected text, csv, json, sarif)\n",
+                      v.c_str());
+         return false;
+       }
+       o.format = v;
+       return true;
+     }},
+    {"--top", "K", "output control",
+     "print only the K highest-ranked findings (text mode)",
+     [](CliOptions& o, const std::string& v) {
+       o.top = std::atoi(v.c_str());
+       return true;
+     }},
+    {"--all-scopes", nullptr, "AnalysisOptions::cross_scope_only",
+     "keep non-cross-scope findings even in history mode",
+     [](CliOptions& o, const std::string&) {
+       o.all_scopes = true;
+       return true;
+     }},
+    {"--define", "NAME[=V]", "AnalysisOptions::config",
+     "define a preprocessor macro for #if evaluation",
+     [](CliOptions& o, const std::string& v) {
+       size_t eq = v.find('=');
+       if (eq == std::string::npos) {
+         o.analysis.config.Define(v);
+       } else {
+         o.analysis.config.Define(v.substr(0, eq),
+                                  std::strtoll(v.c_str() + eq + 1, nullptr, 0));
+       }
+       return true;
+     }},
+    {"--no-prune-config", nullptr, "AnalysisOptions::prune.config_dependency",
+     "disable configuration-dependency pruning",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.prune.config_dependency = false;
+       return true;
+     }},
+    {"--no-prune-cursor", nullptr, "AnalysisOptions::prune.cursor",
+     "disable cursor-pattern pruning",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.prune.cursor = false;
+       return true;
+     }},
+    {"--no-prune-hints", nullptr, "AnalysisOptions::prune.unused_hints",
+     "disable unused-hint pruning",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.prune.unused_hints = false;
+       return true;
+     }},
+    {"--no-prune-peer", nullptr, "AnalysisOptions::prune.peer_definition",
+     "disable peer-definition pruning",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.prune.peer_definition = false;
+       return true;
+     }},
+    {"--stale-code", nullptr, "AnalysisOptions::prune.stale_code",
+     "enable commit-history stale-code pruning (needs history)",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.prune.stale_code = true;
+       return true;
+     }},
+    {"--ea-model", nullptr, "AnalysisOptions::ranking.use_ea_model",
+     "rank with the EA familiarity model instead of DOK",
+     [](CliOptions& o, const std::string&) {
+       o.analysis.ranking.use_ea_model = true;
+       return true;
+     }},
+};
+
+void PrintUsage(FILE* out) {
+  std::fputs("usage: valuecheck [options] <file.c|dir>... | --history <file.vchist>\n\noptions:\n",
+             out);
+  for (const FlagSpec& flag : kFlags) {
+    std::string head = flag.name;
+    if (flag.value_name != nullptr) {
+      head += "=";
+      head += flag.value_name;
+    }
+    std::fprintf(out, "  %-21s", head.c_str());
+    if (head.size() > 21) {
+      std::fprintf(out, "\n  %-21s", "");
+    }
+    // Help text may span lines; keep continuation lines aligned.
+    const char* text = flag.help;
+    bool first = true;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (!first) {
+        std::fprintf(out, "  %-21s", "");
+      }
+      std::fprintf(out, "%s\n", line.c_str());
+      first = false;
+    }
+    std::fprintf(out, "  %-21s[%s]\n", "", flag.maps_to);
+  }
+  std::fputs("  --help, -h           print this summary\n", out);
+}
+
+const FlagSpec* FindFlag(const std::string& name) {
+  for (const FlagSpec& flag : kFlags) {
+    if (name == flag.name) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    auto value_of = [&arg](const char* prefix) {
-      return arg.substr(std::strlen(prefix));
-    };
     if (arg == "--help" || arg == "-h") {
-      std::fputs(kUsage, stdout);
+      PrintUsage(stdout);
       std::exit(0);
-    } else if (arg.rfind("--history=", 0) == 0) {
-      options.history_path = value_of("--history=");
-    } else if (arg == "--history" && i + 1 < argc) {
-      options.history_path = argv[++i];
-    } else if (arg.rfind("--format=", 0) == 0) {
-      options.format = value_of("--format=");
-    } else if (arg.rfind("--top=", 0) == 0) {
-      options.top = std::atoi(value_of("--top=").c_str());
-    } else if (arg == "--all-scopes") {
-      options.all_scopes = true;
-    } else if (arg.rfind("--define=", 0) == 0) {
-      std::string def = value_of("--define=");
-      size_t eq = def.find('=');
-      if (eq == std::string::npos) {
-        options.config.Define(def);
-      } else {
-        options.config.Define(def.substr(0, eq),
-                              std::strtoll(def.c_str() + eq + 1, nullptr, 0));
-      }
-    } else if (arg == "--no-prune-config") {
-      options.pipeline.prune.config_dependency = false;
-    } else if (arg == "--no-prune-cursor") {
-      options.pipeline.prune.cursor = false;
-    } else if (arg == "--no-prune-hints") {
-      options.pipeline.prune.unused_hints = false;
-    } else if (arg == "--no-prune-peer") {
-      options.pipeline.prune.peer_definition = false;
-    } else if (arg == "--stale-code") {
-      options.pipeline.prune.stale_code = true;
-    } else if (arg == "--ea-model") {
-      options.pipeline.ranking.use_ea_model = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "valuecheck: unknown option %s\n%s", arg.c_str(), kUsage);
-      return false;
-    } else {
+    }
+    if (arg.rfind("--", 0) != 0) {
       options.inputs.push_back(arg);
+      continue;
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const FlagSpec* flag = FindFlag(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "valuecheck: unknown option %s\n", arg.c_str());
+      PrintUsage(stderr);
+      return false;
+    }
+    if (flag->value_name != nullptr && !has_value) {
+      // Allow the "--flag VALUE" spelling.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "valuecheck: %s expects a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    } else if (flag->value_name == nullptr && has_value) {
+      std::fprintf(stderr, "valuecheck: %s does not take a value\n", name.c_str());
+      return false;
+    }
+    if (!flag->apply(options, value)) {
+      return false;
     }
   }
   if (options.history_path.empty() && options.inputs.empty()) {
-    std::fputs(kUsage, stderr);
+    PrintUsage(stderr);
     return false;
   }
   return true;
@@ -146,7 +277,7 @@ std::vector<std::pair<std::string, std::string>> CollectSources(
   return files;
 }
 
-void PrintText(const vc::ValueCheckReport& report, const vc::Repository* repo, int top,
+void PrintText(const vc::AnalysisReport& report, const vc::Repository* repo, int top,
                bool ranked) {
   using namespace vc;
   std::printf("valuecheck: %d unused definition(s)", static_cast<int>(report.findings.size()));
@@ -203,14 +334,13 @@ void PrintText(const vc::ValueCheckReport& report, const vc::Repository* repo, i
 
 int main(int argc, char** argv) {
   using namespace vc;
-  Options options;
+  CliOptions options;
   if (!ParseArgs(argc, argv, options)) {
     return 2;
   }
 
   Repository repo;
   bool has_history = !options.history_path.empty();
-  Project project;
   if (has_history) {
     std::string error;
     std::optional<Repository> loaded =
@@ -221,24 +351,31 @@ int main(int argc, char** argv) {
       return 2;
     }
     repo = std::move(*loaded);
-    project = Project::FromRepository(repo, options.config);
   } else {
     // No authorship: fall back to reporting all scopes, unranked.
-    options.pipeline.cross_scope_only = false;
-    options.pipeline.ranking.enabled = false;
-    project = Project::FromSources(CollectSources(options.inputs), options.config);
+    options.analysis.cross_scope_only = false;
+    options.analysis.ranking.enabled = false;
   }
   if (options.all_scopes) {
-    options.pipeline.cross_scope_only = false;
+    options.analysis.cross_scope_only = false;
   }
+
+  Analysis analysis(options.analysis);
+  auto parse_start = std::chrono::steady_clock::now();
+  Project project = has_history
+                        ? analysis.BuildFromRepository(repo)
+                        : analysis.BuildFromSources(CollectSources(options.inputs));
+  double parse_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - parse_start).count();
 
   if (project.diags().HasErrors()) {
     std::fputs(project.diags().Render(project.sources()).c_str(), stderr);
     return 2;
   }
 
-  ValueCheckReport report =
-      RunValueCheck(project, has_history ? &repo : nullptr, options.pipeline);
+  AnalysisReport report = analysis.Run(project, has_history ? &repo : nullptr);
+  report.parse_seconds = parse_seconds;
+  report.analysis_seconds += parse_seconds;
 
   if (options.format == "json") {
     std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr).c_str());
@@ -248,7 +385,7 @@ int main(int argc, char** argv) {
     std::fputs(report.ToCsv().c_str(), stdout);
   } else {
     PrintText(report, has_history ? &repo : nullptr, options.top,
-              options.pipeline.ranking.enabled);
+              options.analysis.ranking.enabled);
   }
   return report.findings.empty() ? 0 : 1;
 }
