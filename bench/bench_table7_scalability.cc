@@ -10,6 +10,7 @@
 // on a single-core container every jobs value measures ~1x; on an N-core
 // machine parse/lower and detection scale with min(jobs, N).
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -36,20 +37,44 @@ std::string FormatSeconds(double seconds) {
   return vc::FormatDouble(seconds * 1000.0, 2) + "ms";
 }
 
-// One full pipeline pass (parse + lower + detect + authorship + prune + rank)
-// over every application at the given jobs degree; returns total wall-clock.
-double FullCorpusSeconds(const std::vector<vc::GeneratedApp>& apps, int jobs) {
+// One full pipeline pass over every application at the given jobs degree.
+// Timing comes from the pipeline's own StageMetrics (collect_metrics) rather
+// than bench-side timers, so the sweep reports exactly what the tool reports.
+struct SweepPoint {
+  double seconds = 0.0;        // corpus total of per-run analysis_seconds
+  double parse_seconds = 0.0;
+  double detect_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double rank_seconds = 0.0;
+  vc::ThreadPoolStats pool;    // corpus total pool activity (flows summed)
+};
+
+SweepPoint FullCorpusPoint(const std::vector<vc::GeneratedApp>& apps, int jobs) {
   vc::AnalysisOptions options;
   options.jobs = jobs;
+  options.collect_metrics = true;
   vc::Analysis analysis(options);
-  auto start = std::chrono::steady_clock::now();
+  SweepPoint point;
   for (const vc::GeneratedApp& app : apps) {
     vc::AnalysisReport report = analysis.RunOnRepository(app.repo);
     if (report.findings.empty() && report.raw_candidates.empty()) {
       std::printf("(unexpected empty report)\n");
     }
+    point.seconds += report.analysis_seconds;
+    point.parse_seconds += report.stage.parse_seconds;
+    point.detect_seconds += report.stage.detect_seconds;
+    point.prune_seconds += report.stage.prune_seconds;
+    point.rank_seconds += report.stage.rank_seconds;
+    point.pool.parallel_fors += report.stage.pool.parallel_fors;
+    point.pool.tasks_executed += report.stage.pool.tasks_executed;
+    point.pool.chunks_executed += report.stage.pool.chunks_executed;
+    point.pool.steals += report.stage.pool.steals;
+    point.pool.queue_depth_hwm =
+        std::max(point.pool.queue_depth_hwm, report.stage.pool.queue_depth_hwm);
+    point.pool.worker_idle_seconds += report.stage.pool.worker_idle_seconds;
+    point.pool.workers = report.stage.pool.workers;
   }
-  return Seconds(start);
+  return point;
 }
 
 }  // namespace
@@ -112,28 +137,49 @@ int main() {
 
   // --- Parallel engine sweep -------------------------------------------------
   int hardware = ResolveJobs(0);
-  TableWriter sweep_table({"jobs", "Full Time", "Speedup vs jobs=1"});
+  TableWriter sweep_table(
+      {"jobs", "Full Time", "Speedup vs jobs=1", "parse", "detect", "steals", "idle"});
   JsonWriter json;
   json.BeginObject();
   json.String("bench", "scalability");
-  json.Int("schema_version", 1);
+  // v1 carried only jobs/seconds/speedup per sweep point; v2 adds the
+  // pipeline's own per-stage seconds and thread-pool activity (StageMetrics).
+  json.Int("schema_version", 2);
   json.Int("hardware_threads", hardware);
   json.Int("total_loc", total_loc);
   json.Key("sweep").BeginArray();
 
   double serial_seconds = 0.0;
   for (int jobs : {1, 2, 4, 8}) {
-    double seconds = FullCorpusSeconds(apps, jobs);
+    SweepPoint point = FullCorpusPoint(apps, jobs);
     if (jobs == 1) {
-      serial_seconds = seconds;
+      serial_seconds = point.seconds;
     }
-    double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
-    sweep_table.AddRow({std::to_string(jobs), FormatSeconds(seconds),
-                        FormatDouble(speedup, 2) + "x"});
+    double speedup = point.seconds > 0.0 ? serial_seconds / point.seconds : 0.0;
+    sweep_table.AddRow({std::to_string(jobs), FormatSeconds(point.seconds),
+                        FormatDouble(speedup, 2) + "x", FormatSeconds(point.parse_seconds),
+                        FormatSeconds(point.detect_seconds),
+                        std::to_string(point.pool.steals),
+                        FormatSeconds(point.pool.worker_idle_seconds)});
     json.BeginObject();
     json.Int("jobs", jobs);
-    json.Double("seconds", seconds);
+    json.Double("seconds", point.seconds);
     json.Double("speedup", speedup);
+    json.Key("stages").BeginObject();
+    json.Double("parse_seconds", point.parse_seconds);
+    json.Double("detect_seconds", point.detect_seconds);
+    json.Double("prune_seconds", point.prune_seconds);
+    json.Double("rank_seconds", point.rank_seconds);
+    json.EndObject();
+    json.Key("thread_pool").BeginObject();
+    json.Int("workers", point.pool.workers);
+    json.Int("parallel_fors", static_cast<int64_t>(point.pool.parallel_fors));
+    json.Int("tasks_executed", static_cast<int64_t>(point.pool.tasks_executed));
+    json.Int("chunks_executed", static_cast<int64_t>(point.pool.chunks_executed));
+    json.Int("steals", static_cast<int64_t>(point.pool.steals));
+    json.Int("queue_depth_hwm", static_cast<int64_t>(point.pool.queue_depth_hwm));
+    json.Double("worker_idle_seconds", point.pool.worker_idle_seconds);
+    json.EndObject();
     json.EndObject();
   }
   json.EndArray();

@@ -4,8 +4,11 @@
 
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
 #include "src/support/table_writer.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace vc {
 
@@ -15,39 +18,80 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+// Mirrors one stage's wall-clock into the registry histogram that aggregates
+// across runs (the per-run value lives in StageMetrics).
+void RecordStageSeconds(const char* stage, double seconds) {
+  MetricsRegistry::Global()
+      .GetHistogram(std::string("pipeline.") + stage + "_seconds")
+      .Record(seconds);
+}
+
 }  // namespace
 
 AnalysisReport Analysis::Run(const Project& project, const Repository* repo) const {
+  const bool collect = options_.collect_metrics;
+  if (collect) {
+    // The registry switch is what instrumentation sites deeper in the
+    // pipeline (detector, pruning, ranking, thread pool) consult; flipping it
+    // here makes one facade option govern the whole layer.
+    MetricsRegistry::Global().Enable();
+  }
+  TraceSpan run_span("analysis.run", "pipeline");
   auto start = std::chrono::steady_clock::now();
   AnalysisReport report;
   report.jobs = ResolveJobs(options_.jobs);
+  report.stage.collected = collect;
+  ThreadPoolStats pool_before = collect ? ThreadPool::Global().stats() : ThreadPoolStats();
+
+  report.diagnostic_warnings = project.diags().WarningCount();
+  report.diagnostic_errors = project.diags().ErrorCount();
 
   // 1. Detect every unused definition (parallel per function; merged in
   // deterministic module/function order).
   auto detect_start = std::chrono::steady_clock::now();
-  std::vector<UnusedDefCandidate> candidates = DetectAll(project, options_.jobs);
+  std::vector<UnusedDefCandidate> candidates;
+  {
+    TraceSpan span("detect", "pipeline");
+    candidates = DetectAll(project, options_.jobs);
+    span.Arg("candidates", static_cast<int64_t>(candidates.size()));
+  }
   report.detect_seconds = SecondsSince(detect_start);
 
   // 2. Classify authorship (cross-scope scenarios of §3.1).
-  AuthorshipAnalyzer authorship(project, repo);
-  authorship.ClassifyAll(candidates);
+  auto authorship_start = std::chrono::steady_clock::now();
+  {
+    TraceSpan span("authorship", "pipeline");
+    AuthorshipAnalyzer authorship(project, repo);
+    authorship.ClassifyAll(candidates);
+  }
+  double authorship_seconds = SecondsSince(authorship_start);
   report.raw_candidates = candidates;
 
   // 3. Cross-scope filter: only definitions on developer-interaction
   // boundaries continue (unless the ablation disables the filter).
+  auto filter_start = std::chrono::steady_clock::now();
   std::vector<UnusedDefCandidate> pool;
-  for (const UnusedDefCandidate& cand : candidates) {
-    if (options_.cross_scope_only && !cand.cross_scope) {
-      ++report.non_cross_scope;
-      continue;
+  {
+    TraceSpan span("cross_scope_filter", "pipeline");
+    for (const UnusedDefCandidate& cand : candidates) {
+      if (options_.cross_scope_only && !cand.cross_scope) {
+        ++report.non_cross_scope;
+        continue;
+      }
+      pool.push_back(cand);
     }
-    pool.push_back(cand);
   }
+  double filter_seconds = SecondsSince(filter_start);
 
   // 4. Prune intentional patterns. Peer statistics always use the complete
   // candidate set: whether a value is customarily ignored is a property of
   // the codebase, not of the cross-scope subset.
-  report.prune_stats = RunPruning(project, pool, options_.prune, &candidates, repo);
+  auto prune_start = std::chrono::steady_clock::now();
+  {
+    TraceSpan span("prune", "pipeline");
+    report.prune_stats = RunPruning(project, pool, options_.prune, &candidates, repo);
+  }
+  double prune_seconds = SecondsSince(prune_start);
 
   for (const UnusedDefCandidate& cand : pool) {
     if (cand.pruned_by == PruneReason::kNone) {
@@ -56,9 +100,44 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   }
 
   // 5. Rank by code familiarity.
-  RankCandidates(report.findings, repo, options_.ranking);
+  auto rank_start = std::chrono::steady_clock::now();
+  RankStats rank_stats;
+  {
+    TraceSpan span("rank", "pipeline");
+    RankCandidates(report.findings, repo, options_.ranking, &rank_stats);
+  }
+  double rank_seconds = SecondsSince(rank_start);
 
   report.analysis_seconds = SecondsSince(start);
+
+  if (collect) {
+    StageMetrics& stage = report.stage;
+    stage.detect_seconds = report.detect_seconds;
+    stage.authorship_seconds = authorship_seconds;
+    stage.filter_seconds = filter_seconds;
+    stage.prune_seconds = prune_seconds;
+    stage.rank_seconds = rank_seconds;
+    stage.files_parsed = project.units().size();
+    for (const auto& module : project.modules()) {
+      stage.functions_analyzed += module->functions.size();
+    }
+    stage.candidates_detected = candidates.size();
+    stage.rank_scored = rank_stats.scored;
+    stage.rank_unknown = rank_stats.unknown;
+    stage.rank_model_seconds = rank_stats.model_seconds;
+    stage.pool = ThreadPool::Global().stats().Delta(pool_before);
+    RecordStageSeconds("detect", stage.detect_seconds);
+    RecordStageSeconds("authorship", stage.authorship_seconds);
+    RecordStageSeconds("filter", stage.filter_seconds);
+    RecordStageSeconds("prune", stage.prune_seconds);
+    RecordStageSeconds("rank", stage.rank_seconds);
+    if (LogEnabled(LogLevel::kDebug)) {
+      VC_LOG_DEBUG("pipeline: " + std::to_string(stage.candidates_detected) +
+                   " candidate(s) across " + std::to_string(stage.functions_analyzed) +
+                   " function(s); " + std::to_string(report.findings.size()) +
+                   " finding(s) after filter+prune");
+    }
+  }
   return report;
 }
 
@@ -69,18 +148,24 @@ AnalysisReport Analysis::RunOnRepository(const Repository& repo) const {
   AnalysisReport report = Run(*project, &repo);
   report.parse_seconds = parse_seconds;
   report.analysis_seconds += parse_seconds;
+  FinishParseMetrics(report, parse_seconds);
   report.owned_project = std::move(project);
   return report;
 }
 
 AnalysisReport Analysis::RunOnRepositoryAt(const Repository& repo, CommitId commit) const {
   auto start = std::chrono::steady_clock::now();
-  auto project = std::make_shared<Project>(
-      Project::FromRepositoryAt(repo, commit, options_.config, options_.jobs));
+  std::shared_ptr<Project> project;
+  {
+    TraceSpan span("parse", "pipeline");
+    project = std::make_shared<Project>(
+        Project::FromRepositoryAt(repo, commit, options_.config, options_.jobs));
+  }
   double parse_seconds = SecondsSince(start);
   AnalysisReport report = Run(*project, &repo);
   report.parse_seconds = parse_seconds;
   report.analysis_seconds += parse_seconds;
+  FinishParseMetrics(report, parse_seconds);
   report.owned_project = std::move(project);
   return report;
 }
@@ -93,16 +178,33 @@ AnalysisReport Analysis::RunOnSources(
   AnalysisReport report = Run(*project, nullptr);
   report.parse_seconds = parse_seconds;
   report.analysis_seconds += parse_seconds;
+  FinishParseMetrics(report, parse_seconds);
   report.owned_project = std::move(project);
   return report;
 }
 
+void Analysis::FinishParseMetrics(AnalysisReport& report, double parse_seconds) const {
+  if (!report.stage.collected) {
+    return;
+  }
+  report.stage.parse_seconds = parse_seconds;
+  RecordStageSeconds("parse", parse_seconds);
+}
+
 Project Analysis::BuildFromRepository(const Repository& repo) const {
+  if (options_.collect_metrics) {
+    MetricsRegistry::Global().Enable();
+  }
+  TraceSpan span("parse", "pipeline");
   return Project::FromRepository(repo, options_.config, options_.jobs);
 }
 
 Project Analysis::BuildFromSources(
     const std::vector<std::pair<std::string, std::string>>& files) const {
+  if (options_.collect_metrics) {
+    MetricsRegistry::Global().Enable();
+  }
+  TraceSpan span("parse", "pipeline");
   return Project::FromSources(files, options_.config, options_.jobs);
 }
 

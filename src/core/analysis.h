@@ -31,6 +31,7 @@
 #include "src/core/pruning.h"
 #include "src/core/ranking.h"
 #include "src/core/unused_def.h"
+#include "src/support/thread_pool.h"
 #include "src/vcs/repository.h"
 
 namespace vc {
@@ -49,6 +50,38 @@ struct AnalysisOptions {
   // Parallel worker lanes for parse/lower and detection. 1 = serial,
   // 0 = all hardware threads. Results are identical at any value.
   int jobs = 1;
+  // Populate AnalysisReport::stage (per-stage wall-clock, per-pattern prune
+  // counters, thread-pool activity) and feed the global MetricsRegistry.
+  // Findings are byte-identical with the switch on or off; the cost when off
+  // is a handful of relaxed atomic loads per run.
+  bool collect_metrics = false;
+};
+
+// Per-stage observability block (see DESIGN.md §"Observability"). Stage
+// seconds are wall-clock; counters aggregate in slot-indexed merge order like
+// the findings merge, so every field except raw timings is deterministic at
+// any job count.
+struct StageMetrics {
+  // False when the producing run had collect_metrics off; consumers (the JSON
+  // report, the CLI --metrics table) skip the block entirely.
+  bool collected = false;
+  double parse_seconds = 0.0;       // parse + lower (facade-built projects)
+  double detect_seconds = 0.0;
+  double authorship_seconds = 0.0;
+  double filter_seconds = 0.0;      // cross-scope filter
+  double prune_seconds = 0.0;
+  double rank_seconds = 0.0;
+  uint64_t files_parsed = 0;
+  uint64_t functions_analyzed = 0;
+  uint64_t candidates_detected = 0;
+  // Ranking detail: candidates scored by the familiarity model vs. assigned
+  // the unknown-author sentinel, and time inside model evaluation alone.
+  uint64_t rank_scored = 0;
+  uint64_t rank_unknown = 0;
+  double rank_model_seconds = 0.0;
+  // Global-pool activity attributable to this run (delta of two snapshots;
+  // approximate if other analyses share the pool concurrently).
+  ThreadPoolStats pool;
 };
 
 struct AnalysisReport {
@@ -67,6 +100,12 @@ struct AnalysisReport {
   double detect_seconds = 0.0;
   // Worker lanes the report was produced with (after 0 → hardware resolution).
   int jobs = 1;
+  // Front-end diagnostics of the analyzed project (merged across workers in
+  // file order), surfaced so callers no longer need the Project to see them.
+  int diagnostic_warnings = 0;
+  int diagnostic_errors = 0;
+  // Observability block; populated when AnalysisOptions::collect_metrics.
+  StageMetrics stage;
   // Set by the repository entry points: keeps the analyzed project (and with
   // it the AST/IR that finding pointers reference) alive as long as the
   // report.
@@ -126,6 +165,9 @@ class Analysis {
       const std::vector<std::pair<std::string, std::string>>& files) const;
 
  private:
+  // Folds the facade-measured parse phase into the report's StageMetrics.
+  void FinishParseMetrics(AnalysisReport& report, double parse_seconds) const;
+
   AnalysisOptions options_;
 };
 

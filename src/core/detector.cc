@@ -2,7 +2,9 @@
 
 #include "src/dataflow/define_sets.h"
 #include "src/dataflow/liveness.h"
+#include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace vc {
 
@@ -122,8 +124,17 @@ std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
     }
   }
 
+  // Observability: one span + histogram sample per function. The histogram
+  // reference is resolved once out here (registration locks); per-function
+  // clock reads only happen while metrics collection is on.
+  Histogram* fn_histogram =
+      MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("detect.function_seconds")
+                       : nullptr;
   std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
   ParallelFor(jobs, work.size(), [&](size_t i) {
+    TraceSpan span("detect_fn", "detect");
+    span.Arg("function", work[i].func->name);
+    ScopedTimer timer(nullptr, fn_histogram);
     per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
   });
 
@@ -132,6 +143,11 @@ std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
     for (auto& cand : found) {
       all.push_back(std::move(cand));
     }
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("detect.functions").Add(work.size());
+    registry.GetCounter("detect.candidates").Add(all.size());
   }
   return all;
 }

@@ -2,8 +2,11 @@
 
 #include "src/ir/ir_builder.h"
 #include "src/parser/parser.h"
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
 #include "src/support/string_util.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 
 namespace vc {
 
@@ -56,9 +59,15 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
   // Each file compiles into its own slot with a private diagnostics engine;
   // the SourceManager is only read. Merging the engines in file order below
   // reproduces the serial diagnostic stream exactly.
+  Histogram* file_histogram =
+      MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("parse.file_seconds")
+                       : nullptr;
   std::vector<DiagnosticEngine> file_diags(n);
   ParallelFor(jobs, n, [&](size_t i) {
     FileId file = static_cast<FileId>(i);
+    TraceSpan span("parse_lower", "parse");
+    span.Arg("file", sm_.Path(file));
+    ScopedTimer timer(nullptr, file_histogram);
     pp_[i] = Preprocess(sm_.Content(file), config);
     for (const std::string& error : pp_[i].errors) {
       file_diags[i].Error({file, 1, 1}, "preprocessor: " + error);
@@ -70,7 +79,18 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
   for (const DiagnosticEngine& engine : file_diags) {
     diags_.Append(engine);
   }
-  BuildIndex();
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetCounter("parse.files").Add(n);
+  }
+  {
+    TraceSpan span("build_index", "parse");
+    BuildIndex();
+  }
+  if (LogEnabled(LogLevel::kInfo)) {
+    VC_LOG_INFO("parsed " + std::to_string(n) + " file(s), " +
+                std::to_string(diags_.ErrorCount()) + " error(s), " +
+                std::to_string(diags_.WarningCount()) + " warning(s)");
+  }
 }
 
 void Project::BuildIndex() {

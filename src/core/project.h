@@ -68,6 +68,7 @@ class Project {
   SourceManager& sources() { return sm_; }
   const SourceManager& sources() const { return sm_; }
   DiagnosticEngine& diags() { return diags_; }
+  const DiagnosticEngine& diags() const { return diags_; }
 
   const std::vector<TranslationUnit>& units() const { return units_; }
   const std::vector<std::unique_ptr<IrModule>>& modules() const { return modules_; }

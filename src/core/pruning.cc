@@ -9,7 +9,9 @@
 
 #include "src/pointer/andersen.h"
 #include "src/pointer/value_flow.h"
+#include "src/support/metrics.h"
 #include "src/support/string_util.h"
+#include "src/support/trace.h"
 #include "src/vcs/repository.h"
 
 namespace vc {
@@ -296,40 +298,83 @@ PruneStats RunPruning(const Project& project, std::vector<UnusedDefCandidate>& c
   stats.original = static_cast<int>(candidates.size());
 
   CursorMatcher cursor;
-  PeerMatcher peers(project, peer_universe != nullptr ? *peer_universe : candidates, options);
   StaleCodeMatcher stale(project, repo, options);
+  std::unique_ptr<PeerMatcher> peers;
+  {
+    TraceSpan span("prune.peer_stats", "pipeline");
+    peers = std::make_unique<PeerMatcher>(
+        project, peer_universe != nullptr ? *peer_universe : candidates, options);
+  }
 
+  TraceSpan span("prune.match", "pipeline");
+  span.Arg("candidates", static_cast<int64_t>(candidates.size()));
   for (UnusedDefCandidate& cand : candidates) {
     if (cand.pruned_by != PruneReason::kNone) {
       continue;
     }
-    if (options.config_dependency && MatchesConfigDependency(project, cand)) {
-      cand.pruned_by = PruneReason::kConfigDependency;
-      ++stats.config_dependency;
-      continue;
+    if (options.config_dependency) {
+      ++stats.config_tested;
+      if (MatchesConfigDependency(project, cand)) {
+        cand.pruned_by = PruneReason::kConfigDependency;
+        ++stats.config_dependency;
+        continue;
+      }
     }
-    if (options.cursor && cursor.Matches(cand)) {
-      cand.pruned_by = PruneReason::kCursor;
-      ++stats.cursor;
-      continue;
+    if (options.cursor) {
+      ++stats.cursor_tested;
+      if (cursor.Matches(cand)) {
+        cand.pruned_by = PruneReason::kCursor;
+        ++stats.cursor;
+        continue;
+      }
     }
-    if (options.unused_hints && MatchesUnusedHint(project, cand)) {
-      cand.pruned_by = PruneReason::kUnusedHint;
-      ++stats.unused_hints;
-      continue;
+    if (options.unused_hints) {
+      ++stats.hints_tested;
+      if (MatchesUnusedHint(project, cand)) {
+        cand.pruned_by = PruneReason::kUnusedHint;
+        ++stats.unused_hints;
+        continue;
+      }
     }
-    if (options.peer_definition && peers.Matches(cand, project)) {
-      cand.pruned_by = PruneReason::kPeerDefinition;
-      ++stats.peer_definition;
-      continue;
+    if (options.peer_definition) {
+      ++stats.peer_tested;
+      if (peers->Matches(cand, project)) {
+        cand.pruned_by = PruneReason::kPeerDefinition;
+        ++stats.peer_definition;
+        continue;
+      }
     }
-    if (options.stale_code && stale.Matches(cand)) {
-      cand.pruned_by = PruneReason::kStaleCode;
-      ++stats.stale_code;
-      continue;
+    if (options.stale_code) {
+      ++stats.stale_tested;
+      if (stale.Matches(cand)) {
+        cand.pruned_by = PruneReason::kStaleCode;
+        ++stats.stale_code;
+        continue;
+      }
     }
   }
   stats.remaining = stats.original - stats.TotalPruned();
+
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    struct {
+      const char* name;
+      int tested;
+      int matched;
+    } patterns[] = {
+        {"config_dependency", stats.config_tested, stats.config_dependency},
+        {"cursor", stats.cursor_tested, stats.cursor},
+        {"unused_hints", stats.hints_tested, stats.unused_hints},
+        {"peer_definition", stats.peer_tested, stats.peer_definition},
+        {"stale_code", stats.stale_tested, stats.stale_code},
+    };
+    for (const auto& pattern : patterns) {
+      registry.GetCounter(std::string("prune.") + pattern.name + ".tested")
+          .Add(static_cast<uint64_t>(pattern.tested));
+      registry.GetCounter(std::string("prune.") + pattern.name + ".pruned")
+          .Add(static_cast<uint64_t>(pattern.matched));
+    }
+  }
   return stats;
 }
 

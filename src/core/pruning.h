@@ -55,6 +55,15 @@ struct PruneStats {
   int stale_code = 0;
   int remaining = 0;
 
+  // Observability: candidates each pattern examined (a candidate charged to
+  // an earlier pattern is never tested by later ones, matching pipeline
+  // order). rejected = tested - matched, where matched is the count above.
+  int config_tested = 0;
+  int cursor_tested = 0;
+  int hints_tested = 0;
+  int peer_tested = 0;
+  int stale_tested = 0;
+
   int TotalPruned() const {
     return config_dependency + cursor + unused_hints + peer_definition + stale_code;
   }

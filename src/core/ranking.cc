@@ -1,8 +1,11 @@
 #include "src/core/ranking.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/familiarity/ea_model.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace vc {
 
@@ -15,31 +18,59 @@ constexpr double kUnknownFamiliarity = 1e9;
 }  // namespace
 
 void RankCandidates(std::vector<UnusedDefCandidate>& candidates, const Repository* repo,
-                    const RankingOptions& options) {
+                    const RankingOptions& options, RankStats* stats) {
   if (!options.enabled) {
     return;
   }
-  for (UnusedDefCandidate& cand : candidates) {
-    if (repo == nullptr || cand.responsible_author == kInvalidAuthor) {
-      cand.familiarity = kUnknownFamiliarity;
-      continue;
-    }
-    if (options.use_ea_model) {
-      cand.familiarity = EaScoreFor(*repo, cand.responsible_author, cand.file);
-    } else {
-      cand.familiarity = DokScoreFor(*repo, cand.responsible_author, cand.file, options.weights);
+  RankStats local;
+  const bool measure = MetricsEnabled();
+  {
+    TraceSpan span("rank.score", "pipeline");
+    span.Arg("candidates", static_cast<int64_t>(candidates.size()));
+    for (UnusedDefCandidate& cand : candidates) {
+      if (repo == nullptr || cand.responsible_author == kInvalidAuthor) {
+        cand.familiarity = kUnknownFamiliarity;
+        ++local.unknown;
+        continue;
+      }
+      auto model_start = measure ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+      if (options.use_ea_model) {
+        cand.familiarity = EaScoreFor(*repo, cand.responsible_author, cand.file);
+      } else {
+        cand.familiarity = DokScoreFor(*repo, cand.responsible_author, cand.file, options.weights);
+      }
+      if (measure) {
+        double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - model_start)
+                .count();
+        local.model_seconds += seconds;
+        MetricsRegistry::Global().GetHistogram("rank.model_seconds").Record(seconds);
+      }
+      ++local.scored;
     }
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const UnusedDefCandidate& a, const UnusedDefCandidate& b) {
-                     if (a.familiarity != b.familiarity) {
-                       return a.familiarity < b.familiarity;
-                     }
-                     if (a.file != b.file) {
-                       return a.file < b.file;
-                     }
-                     return a.def_loc < b.def_loc;
-                   });
+  {
+    TraceSpan span("rank.sort", "pipeline");
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const UnusedDefCandidate& a, const UnusedDefCandidate& b) {
+                       if (a.familiarity != b.familiarity) {
+                         return a.familiarity < b.familiarity;
+                       }
+                       if (a.file != b.file) {
+                         return a.file < b.file;
+                       }
+                       return a.def_loc < b.def_loc;
+                     });
+  }
+  if (measure) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("rank.scored").Add(local.scored);
+    registry.GetCounter("rank.unknown").Add(local.unknown);
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
 }
 
 }  // namespace vc

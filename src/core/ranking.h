@@ -20,12 +20,23 @@ struct RankingOptions {
   bool use_ea_model = false;
 };
 
+// Observability detail of one ranking pass: how many candidates the
+// familiarity model scored vs. fell back to the unknown-author sentinel, and
+// wall-clock spent inside model evaluation (only measured while the metrics
+// layer is enabled; 0.0 otherwise).
+struct RankStats {
+  uint64_t scored = 0;
+  uint64_t unknown = 0;
+  double model_seconds = 0.0;
+};
+
 // Computes familiarity for each candidate's responsible author and sorts the
 // list by ascending familiarity (ties broken by file, then line, for
 // determinism). With ranking disabled, candidates keep detection order and
-// familiarity stays 0.
+// familiarity stays 0. `stats`, when given, receives the pass's counters.
 void RankCandidates(std::vector<UnusedDefCandidate>& candidates, const Repository* repo,
-                    const RankingOptions& options = RankingOptions());
+                    const RankingOptions& options = RankingOptions(),
+                    RankStats* stats = nullptr);
 
 }  // namespace vc
 

@@ -1,6 +1,7 @@
 #include "src/core/report_formats.h"
 
 #include "src/support/json_writer.h"
+#include "src/support/table_writer.h"
 
 namespace vc {
 
@@ -44,14 +45,21 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   JsonWriter json;
   json.BeginObject();
   json.String("tool", "valuecheck");
-  // Schema history: v1 had no version field; v2 adds schema_version plus the
-  // timing/parallelism block (jobs, parse_seconds, detect_seconds). See
-  // DESIGN.md §"JSON report schema" for the documented contract.
-  json.Int("schema_version", 2);
+  // Schema history: v1 had no version field; v2 added schema_version plus the
+  // timing/parallelism block (jobs, parse_seconds, detect_seconds); v3 adds
+  // the diagnostics block and, when the run collected metrics, the metrics
+  // object (per-stage seconds, per-pattern prune counters, thread-pool
+  // activity). See DESIGN.md §"JSON report schema" for the contract.
+  json.Int("schema_version", 3);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
   json.Int("jobs", report.jobs);
+
+  json.Key("diagnostics").BeginObject();
+  json.Int("warnings", report.diagnostic_warnings);
+  json.Int("errors", report.diagnostic_errors);
+  json.EndObject();
 
   json.Key("prune_stats").BeginObject();
   json.Int("candidates", report.prune_stats.original);
@@ -62,6 +70,70 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   json.Int("stale_code", report.prune_stats.stale_code);
   json.Int("remaining", report.prune_stats.remaining);
   json.EndObject();
+
+  if (report.stage.collected) {
+    const StageMetrics& stage = report.stage;
+    json.Key("metrics").BeginObject();
+
+    json.Key("stages").BeginObject();
+    struct {
+      const char* name;
+      double seconds;
+    } stages[] = {
+        {"parse", stage.parse_seconds},       {"detect", stage.detect_seconds},
+        {"authorship", stage.authorship_seconds}, {"cross_scope_filter", stage.filter_seconds},
+        {"prune", stage.prune_seconds},       {"rank", stage.rank_seconds},
+    };
+    for (const auto& entry : stages) {
+      json.Key(entry.name).BeginObject();
+      json.Double("seconds", entry.seconds);
+      json.EndObject();
+    }
+    json.EndObject();  // stages
+
+    json.Key("counters").BeginObject();
+    json.Int("files_parsed", static_cast<int64_t>(stage.files_parsed));
+    json.Int("functions_analyzed", static_cast<int64_t>(stage.functions_analyzed));
+    json.Int("candidates_detected", static_cast<int64_t>(stage.candidates_detected));
+    json.Int("rank_scored", static_cast<int64_t>(stage.rank_scored));
+    json.Int("rank_unknown", static_cast<int64_t>(stage.rank_unknown));
+    json.Double("rank_model_seconds", stage.rank_model_seconds);
+    json.EndObject();
+
+    json.Key("prune_patterns").BeginObject();
+    const PruneStats& prune = report.prune_stats;
+    struct {
+      const char* name;
+      int tested;
+      int pruned;
+    } patterns[] = {
+        {"config_dependency", prune.config_tested, prune.config_dependency},
+        {"cursor", prune.cursor_tested, prune.cursor},
+        {"unused_hints", prune.hints_tested, prune.unused_hints},
+        {"peer_definition", prune.peer_tested, prune.peer_definition},
+        {"stale_code", prune.stale_tested, prune.stale_code},
+    };
+    for (const auto& pattern : patterns) {
+      json.Key(pattern.name).BeginObject();
+      json.Int("tested", pattern.tested);
+      json.Int("pruned", pattern.pruned);
+      json.Int("rejected", pattern.tested - pattern.pruned);
+      json.EndObject();
+    }
+    json.EndObject();  // prune_patterns
+
+    json.Key("thread_pool").BeginObject();
+    json.Int("workers", stage.pool.workers);
+    json.Int("parallel_fors", static_cast<int64_t>(stage.pool.parallel_fors));
+    json.Int("tasks_executed", static_cast<int64_t>(stage.pool.tasks_executed));
+    json.Int("chunks_executed", static_cast<int64_t>(stage.pool.chunks_executed));
+    json.Int("steals", static_cast<int64_t>(stage.pool.steals));
+    json.Int("queue_depth_hwm", static_cast<int64_t>(stage.pool.queue_depth_hwm));
+    json.Double("worker_idle_seconds", stage.pool.worker_idle_seconds);
+    json.EndObject();
+
+    json.EndObject();  // metrics
+  }
 
   json.Int("non_cross_scope", report.non_cross_scope);
   json.Key("findings").BeginArray();
@@ -138,6 +210,61 @@ std::string ReportToSarif(const ValueCheckReport& report) {
   json.EndArray();   // runs
   json.EndObject();
   return json.str();
+}
+
+std::string RenderStageMetricsTable(const ValueCheckReport& report) {
+  if (!report.stage.collected) {
+    return "";
+  }
+  const StageMetrics& stage = report.stage;
+  const PruneStats& prune = report.prune_stats;
+  auto ms = [](double seconds) { return FormatDouble(seconds * 1e3, 3); };
+
+  TableWriter table({"stage", "ms", "detail"});
+  table.AddRow({"parse", ms(stage.parse_seconds),
+                std::to_string(stage.files_parsed) + " file(s)"});
+  table.AddRow({"detect", ms(stage.detect_seconds),
+                std::to_string(stage.functions_analyzed) + " function(s), " +
+                    std::to_string(stage.candidates_detected) + " candidate(s)"});
+  table.AddRow({"authorship", ms(stage.authorship_seconds), ""});
+  table.AddRow({"cross-scope-filter", ms(stage.filter_seconds),
+                std::to_string(report.non_cross_scope) + " dropped"});
+  table.AddRow({"prune", ms(stage.prune_seconds),
+                std::to_string(prune.TotalPruned()) + "/" + std::to_string(prune.original) +
+                    " pruned"});
+  struct {
+    const char* name;
+    int tested;
+    int pruned;
+  } patterns[] = {
+      {"prune:config-dependency", prune.config_tested, prune.config_dependency},
+      {"prune:cursor", prune.cursor_tested, prune.cursor},
+      {"prune:unused-hints", prune.hints_tested, prune.unused_hints},
+      {"prune:peer-definition", prune.peer_tested, prune.peer_definition},
+      {"prune:stale-code", prune.stale_tested, prune.stale_code},
+  };
+  for (const auto& pattern : patterns) {
+    table.AddRow({pattern.name, "",
+                  std::to_string(pattern.pruned) + " pruned / " +
+                      std::to_string(pattern.tested - pattern.pruned) + " rejected of " +
+                      std::to_string(pattern.tested) + " tested"});
+  }
+  table.AddRow({"rank", ms(stage.rank_seconds),
+                std::to_string(stage.rank_scored) + " scored, " +
+                    std::to_string(stage.rank_unknown) + " unknown; model " +
+                    ms(stage.rank_model_seconds) + "ms"});
+  table.AddRow({"total", ms(report.analysis_seconds), "jobs=" + std::to_string(report.jobs)});
+
+  TableWriter pool({"thread-pool", "value"});
+  pool.AddRow({"workers", std::to_string(stage.pool.workers)});
+  pool.AddRow({"parallel_fors", std::to_string(stage.pool.parallel_fors)});
+  pool.AddRow({"tasks_executed", std::to_string(stage.pool.tasks_executed)});
+  pool.AddRow({"chunks_executed", std::to_string(stage.pool.chunks_executed)});
+  pool.AddRow({"steals", std::to_string(stage.pool.steals)});
+  pool.AddRow({"queue_depth_hwm", std::to_string(stage.pool.queue_depth_hwm)});
+  pool.AddRow({"worker_idle_seconds", FormatDouble(stage.pool.worker_idle_seconds, 3)});
+
+  return table.RenderText() + "\n" + pool.RenderText();
 }
 
 }  // namespace vc

@@ -20,6 +20,12 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo 
 
 std::string ReportToSarif(const ValueCheckReport& report);
 
+// Aligned text table of the report's StageMetrics block: one row per pipeline
+// stage (parse, detect, authorship, cross-scope filter, prune + one row per
+// pruning pattern, rank) plus thread-pool activity. Empty string when the
+// report was produced without collect_metrics.
+std::string RenderStageMetricsTable(const ValueCheckReport& report);
+
 }  // namespace vc
 
 #endif  // VALUECHECK_SRC_CORE_REPORT_FORMATS_H_

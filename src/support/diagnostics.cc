@@ -25,6 +25,8 @@ const char* SeverityName(Severity severity) {
 void DiagnosticEngine::Report(Severity severity, SourceLoc loc, std::string message) {
   if (severity == Severity::kError) {
     ++error_count_;
+  } else if (severity == Severity::kWarning) {
+    ++warning_count_;
   }
   diagnostics_.push_back({severity, loc, std::move(message)});
 }
@@ -32,6 +34,7 @@ void DiagnosticEngine::Report(Severity severity, SourceLoc loc, std::string mess
 void DiagnosticEngine::Append(const DiagnosticEngine& other) {
   diagnostics_.insert(diagnostics_.end(), other.diagnostics_.begin(), other.diagnostics_.end());
   error_count_ += other.error_count_;
+  warning_count_ += other.warning_count_;
 }
 
 std::string DiagnosticEngine::Render(const SourceManager& sm) const {
@@ -50,6 +53,7 @@ std::string DiagnosticEngine::Render(const SourceManager& sm) const {
 void DiagnosticEngine::Clear() {
   diagnostics_.clear();
   error_count_ = 0;
+  warning_count_ = 0;
 }
 
 }  // namespace vc

@@ -44,6 +44,7 @@ class DiagnosticEngine {
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   int ErrorCount() const { return error_count_; }
+  int WarningCount() const { return warning_count_; }
   bool HasErrors() const { return error_count_ > 0; }
 
   // Renders all diagnostics as "path:line:col: severity: message" lines.
@@ -54,6 +55,7 @@ class DiagnosticEngine {
  private:
   std::vector<Diagnostic> diagnostics_;
   int error_count_ = 0;
+  int warning_count_ = 0;
 };
 
 }  // namespace vc

@@ -1,0 +1,66 @@
+#include "src/support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "src/support/string_util.h"
+
+namespace vc {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel CurrentLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "error") {
+    return LogLevel::kError;
+  }
+  if (lower == "warn" || lower == "warning") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "info") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "debug") {
+    return LogLevel::kDebug;
+  }
+  return std::nullopt;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "unknown";
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[vc] %s: %s\n", LogLevelName(level), message.c_str());
+}
+
+}  // namespace vc

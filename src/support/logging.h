@@ -1,0 +1,49 @@
+// Leveled stderr logging for the pipeline. Deliberately tiny: a process-wide
+// level (atomic), a mutex-serialized sink, and a guard macro so disabled
+// levels cost one relaxed load and never evaluate their message expression.
+// Logs go to stderr only — stdout stays reserved for findings and reports,
+// so machine-readable output is unaffected by the log level.
+
+#ifndef VALUECHECK_SRC_SUPPORT_LOGGING_H_
+#define VALUECHECK_SRC_SUPPORT_LOGGING_H_
+
+#include <optional>
+#include <string>
+
+namespace vc {
+
+enum class LogLevel {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Process-wide threshold: messages above it are dropped. Default kWarn.
+void SetLogLevel(LogLevel level);
+LogLevel CurrentLogLevel();
+bool LogEnabled(LogLevel level);
+
+// "error" | "warn" | "info" | "debug" (case-insensitive); nullopt otherwise.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
+const char* LogLevelName(LogLevel level);
+
+// Writes "[vc] <level>: <message>\n" to stderr (one line, mutex-serialized).
+// Call through VC_LOG so disabled levels skip message construction.
+void LogMessage(LogLevel level, const std::string& message);
+
+}  // namespace vc
+
+#define VC_LOG(level, message)            \
+  do {                                    \
+    if (::vc::LogEnabled(level)) {        \
+      ::vc::LogMessage(level, (message)); \
+    }                                     \
+  } while (0)
+
+#define VC_LOG_ERROR(message) VC_LOG(::vc::LogLevel::kError, message)
+#define VC_LOG_WARN(message) VC_LOG(::vc::LogLevel::kWarn, message)
+#define VC_LOG_INFO(message) VC_LOG(::vc::LogLevel::kInfo, message)
+#define VC_LOG_DEBUG(message) VC_LOG(::vc::LogLevel::kDebug, message)
+
+#endif  // VALUECHECK_SRC_SUPPORT_LOGGING_H_

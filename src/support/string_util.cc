@@ -86,4 +86,12 @@ bool ContainsIgnoreCase(std::string_view text, std::string_view needle) {
   return false;
 }
 
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
 }  // namespace vc

@@ -32,6 +32,9 @@ bool ContainsIgnoreCase(std::string_view text, std::string_view needle);
 // True if the character can appear in a Mini-C identifier.
 bool IsIdentChar(char c);
 
+// ASCII lowercase copy (used for case-insensitive flag/keyword parsing).
+std::string ToLower(std::string_view text);
+
 }  // namespace vc
 
 #endif  // VALUECHECK_SRC_SUPPORT_STRING_UTIL_H_

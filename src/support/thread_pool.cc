@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <utility>
+
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace vc {
 
@@ -43,6 +47,7 @@ struct ForState {
       if (!lane.chunks.empty()) {
         out = lane.chunks.front();
         lane.chunks.pop_front();
+        chunks_claimed.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
@@ -68,6 +73,8 @@ struct ForState {
       }
       out = lanes[victim]->chunks.back();
       lanes[victim]->chunks.pop_back();
+      chunks_claimed.fetch_add(1, std::memory_order_relaxed);
+      steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -115,6 +122,8 @@ struct ForState {
   const std::function<void(size_t)>& body;
   std::vector<std::unique_ptr<Lane>> lanes;
   std::atomic<size_t> remaining;
+  std::atomic<uint64_t> chunks_claimed{0};
+  std::atomic<uint64_t> steals{0};
   std::atomic<bool> abort{false};
   std::mutex error_mutex;
   std::exception_ptr error;
@@ -162,14 +171,27 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
+      // Idle time (the cv wait) is only clocked while metrics collection is
+      // on: two steady_clock reads per wake are the one cost worth gating.
+      bool timed = MetricsEnabled();
+      auto idle_start =
+          timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point();
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (timed) {
+        idle_nanos_.fetch_add(
+            static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      std::chrono::steady_clock::now() - idle_start)
+                                      .count()),
+            std::memory_order_relaxed);
+      }
       if (stop_ && queue_.empty()) {
         return;
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     task();
   }
 }
@@ -178,6 +200,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    uint64_t depth = queue_.size();
+    if (depth > queue_depth_hwm_.load(std::memory_order_relaxed)) {
+      queue_depth_hwm_.store(depth, std::memory_order_relaxed);
+    }
   }
   cv_.notify_one();
 }
@@ -206,6 +232,10 @@ void ThreadPool::ParallelFor(int jobs, size_t n,
 
   size_t lane_count = std::min(static_cast<size_t>(jobs), n);
   auto state = std::make_shared<ForState>(lane_count, n, body);
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan span("parallel_for", "threadpool");
+  span.Arg("n", static_cast<int64_t>(n));
+  span.Arg("lanes", static_cast<int64_t>(lane_count));
 
   // Chunks several times smaller than a lane's fair share keep the stealing
   // granular without swamping the deques for huge n.
@@ -222,9 +252,27 @@ void ThreadPool::ParallelFor(int jobs, size_t n,
   }
   state->RunLane(0);
   state->WaitDone();
+  // All chunks are claimed and credited once WaitDone returns, so the loop's
+  // counters are final; fold them into the pool-lifetime totals.
+  chunks_executed_.fetch_add(state->chunks_claimed.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  steals_.fetch_add(state->steals.load(std::memory_order_relaxed), std::memory_order_relaxed);
   if (state->error) {
     std::rethrow_exception(state->error);
   }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats stats;
+  stats.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.queue_depth_hwm = queue_depth_hwm_.load(std::memory_order_relaxed);
+  stats.worker_idle_seconds =
+      static_cast<double>(idle_nanos_.load(std::memory_order_relaxed)) / 1e9;
+  stats.workers = thread_count();
+  return stats;
 }
 
 void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& body) {

@@ -17,12 +17,20 @@
 //   * result ordering is the caller's responsibility: workers should write
 //     into pre-sized slots indexed by i, which makes any downstream merge
 //     deterministic regardless of execution order.
+//
+// Instrumentation: the pool keeps relaxed-atomic counters (tasks executed,
+// chunks claimed, steals, submit-queue high-water mark) that cost one RMW
+// each on paths that already take a lock, plus per-worker idle time that is
+// only measured while MetricsEnabled() (it needs clock reads). stats()
+// snapshots them; callers wanting per-phase numbers diff two snapshots.
 
 #ifndef VALUECHECK_SRC_SUPPORT_THREAD_POOL_H_
 #define VALUECHECK_SRC_SUPPORT_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -34,6 +42,29 @@ namespace vc {
 // Resolves a --jobs style request: values <= 0 mean "all hardware threads";
 // anything else is taken as-is.
 int ResolveJobs(int jobs);
+
+// Cumulative pool activity since construction (Global(): since process
+// start). Subtract two snapshots for a per-phase view.
+struct ThreadPoolStats {
+  uint64_t parallel_fors = 0;    // pooled loops run (inline loops not counted)
+  uint64_t tasks_executed = 0;   // lane tasks drained from the submit queue
+  uint64_t chunks_executed = 0;  // iteration chunks claimed across all lanes
+  uint64_t steals = 0;           // chunks claimed from another lane's deque
+  uint64_t queue_depth_hwm = 0;  // max pending tasks observed in the queue
+  double worker_idle_seconds = 0.0;  // summed cv-wait time (metrics-enabled only)
+  int workers = 0;
+
+  ThreadPoolStats Delta(const ThreadPoolStats& since) const {
+    ThreadPoolStats d = *this;
+    d.parallel_fors -= since.parallel_fors;
+    d.tasks_executed -= since.tasks_executed;
+    d.chunks_executed -= since.chunks_executed;
+    d.steals -= since.steals;
+    d.worker_idle_seconds -= since.worker_idle_seconds;
+    // queue_depth_hwm and workers stay absolute: they are level, not flow.
+    return d;
+  }
+};
 
 class ThreadPool {
  public:
@@ -56,6 +87,8 @@ class ThreadPool {
   // the first exception raised by any lane. jobs <= 1 runs inline.
   void ParallelFor(int jobs, size_t n, const std::function<void(size_t)>& body);
 
+  ThreadPoolStats stats() const;
+
  private:
   void WorkerLoop();
   void Submit(std::function<void()> task);
@@ -65,6 +98,14 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Observability counters (see header comment).
+  std::atomic<uint64_t> parallel_fors_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> chunks_executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> queue_depth_hwm_{0};
+  std::atomic<uint64_t> idle_nanos_{0};
 };
 
 // Convenience wrapper over ThreadPool::Global().

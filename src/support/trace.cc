@@ -1,0 +1,143 @@
+#include "src/support/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/support/json_writer.h"
+
+namespace vc {
+
+namespace {
+
+// Per-thread buffer pointer, registered with the global collector on first
+// use. Buffers are owned by the collector and never freed (threads may
+// outlive epochs), so the cached pointer stays valid for the process's life.
+thread_local TraceCollector::ThreadBuffer* tls_buffer = nullptr;
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // never destroyed
+  return *collector;
+}
+
+void TraceCollector::Enable() {
+  Clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+int64_t TraceCollector::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::LocalBuffer() {
+  if (tls_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = static_cast<int>(buffers_.size());
+    tls_buffer = buffers_.back().get();
+  }
+  return *tls_buffer;
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+size_t TraceCollector::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string TraceCollector::ToJson() const {
+  std::vector<const TraceEvent*> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      for (const TraceEvent& event : buffer->events) {
+        events.push_back(&event);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->ts_micros != b->ts_micros) {
+                       return a->ts_micros < b->ts_micros;
+                     }
+                     return a->tid < b->tid;
+                   });
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const TraceEvent* event : events) {
+    json.BeginObject();
+    json.String("name", event->name);
+    json.String("cat", event->category);
+    json.String("ph", "X");
+    json.Int("ts", event->ts_micros);
+    json.Int("dur", event->dur_micros);
+    json.Int("pid", 1);
+    json.Int("tid", event->tid);
+    if (!event->args.empty()) {
+      json.Key("args").BeginObject();
+      for (const auto& [key, value] : event->args) {
+        json.String(key, value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.String("displayTimeUnit", "ms");
+  json.EndObject();
+  return json.str();
+}
+
+bool TraceCollector::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->events.clear();
+  }
+}
+
+void TraceSpan::Begin(std::string name, const char* category) {
+  event_.name = std::move(name);
+  event_.category = category;
+  event_.ts_micros = TraceCollector::Global().NowMicros();
+}
+
+void TraceSpan::End() {
+  if (!active_) {
+    return;
+  }
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) {
+    return;  // tracing stopped mid-span; drop the event
+  }
+  event_.dur_micros = collector.NowMicros() - event_.ts_micros;
+  collector.Record(std::move(event_));
+}
+
+}  // namespace vc

@@ -24,10 +24,12 @@ std::vector<Edit> DiffLines(const std::vector<std::string_view>& a,
   const int max_d = n + m;
 
   // Myers' greedy algorithm. `v[k]` holds the furthest x on diagonal k; we
-  // keep a copy of v per step to backtrack the edit script.
+  // keep a copy of v per step to backtrack the edit script. One padding slot
+  // on each side keeps the k±1 reads in bounds at the extreme diagonals
+  // (notably k = -d = max_d = 0 when both inputs are empty).
   std::vector<std::vector<int>> trace;
-  std::vector<int> v(2 * max_d + 1, 0);
-  auto vk = [&](std::vector<int>& vec, int k) -> int& { return vec[k + max_d]; };
+  std::vector<int> v(2 * max_d + 3, 0);
+  auto vk = [&](std::vector<int>& vec, int k) -> int& { return vec[k + max_d + 1]; };
 
   int final_d = -1;
   for (int d = 0; d <= max_d; ++d) {

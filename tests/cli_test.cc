@@ -22,8 +22,7 @@ struct RunResult {
   std::string output;
 };
 
-RunResult RunCli(const std::string& args) {
-  std::string command = std::string(VALUECHECK_CLI_PATH) + " " + args + " 2>&1";
+RunResult RunCommand(const std::string& command) {
   std::array<char, 4096> buffer;
   RunResult result;
   FILE* pipe = popen(command.c_str(), "r");
@@ -37,6 +36,16 @@ RunResult RunCli(const std::string& args) {
   int status = pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+RunResult RunCli(const std::string& args) {
+  return RunCommand(std::string(VALUECHECK_CLI_PATH) + " " + args + " 2>&1");
+}
+
+// stdout only — used by the determinism checks, where stderr deliberately
+// differs (metrics table, logs) but findings must be byte-identical.
+RunResult RunCliStdout(const std::string& args) {
+  return RunCommand(std::string(VALUECHECK_CLI_PATH) + " " + args + " 2>/dev/null");
 }
 
 class CliTest : public ::testing::Test {
@@ -195,6 +204,101 @@ TEST_F(CliTest, ParseErrorExitsTwo) {
   RunResult result = RunCli(path);
   EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagWritesWellFormedChromeTrace) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  std::string trace_path = (dir_ / "trace.json").string();
+  RunResult result =
+      RunCli("--trace=" + trace_path + " --metrics --jobs=0 " + dir_.string());
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << trace_path;
+  std::string trace((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Chrome trace-event envelope with complete ("X") events carrying
+  // timestamps, durations, and thread ids.
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u) << trace.substr(0, 120);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Spans from every pipeline layer made it into the export.
+  EXPECT_NE(trace.find("\"analysis.run\""), std::string::npos);
+  EXPECT_NE(trace.find("\"parse_lower\""), std::string::npos);
+  EXPECT_NE(trace.find("\"detect_fn\""), std::string::npos);
+  EXPECT_NE(trace.find("\"prune.match\""), std::string::npos);
+  // The outer rank span always fires; rank.score only when ranking is
+  // enabled, which needs history (authorship) — not the case here.
+  EXPECT_NE(trace.find("\"rank\""), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsFlagPrintsStageTable) {
+  Write("buggy.c", kBuggy);
+  RunResult result = RunCli("--metrics " + dir_.string());
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // The stage table covers every pipeline phase, including per-pattern prune
+  // rows, and the registry table lists the hot-path counters.
+  EXPECT_NE(result.output.find("pipeline stage metrics"), std::string::npos);
+  EXPECT_NE(result.output.find("parse"), std::string::npos);
+  EXPECT_NE(result.output.find("detect"), std::string::npos);
+  EXPECT_NE(result.output.find("prune:cursor"), std::string::npos);
+  EXPECT_NE(result.output.find("rank"), std::string::npos);
+  EXPECT_NE(result.output.find("thread-pool"), std::string::npos);
+  EXPECT_NE(result.output.find("metrics registry"), std::string::npos);
+  EXPECT_NE(result.output.find("detect.functions"), std::string::npos);
+}
+
+TEST_F(CliTest, ObservabilityDoesNotChangeFindings) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  std::string trace_path = (dir_ / "trace.json").string();
+  for (const char* format : {"text", "json", "csv"}) {
+    std::string fmt = std::string(" --format=") + format + " " + dir_.string();
+    RunResult plain = RunCliStdout(fmt);
+    RunResult observed = RunCliStdout("--metrics --trace=" + trace_path +
+                                      " --log-level=debug --jobs=2" + fmt);
+    EXPECT_EQ(plain.exit_code, observed.exit_code) << format;
+    if (std::string(format) == "json") {
+      // The JSON report legitimately gains the metrics block; findings and
+      // prune stats within it must agree.
+      EXPECT_NE(observed.output.find("\"metrics\":"), std::string::npos);
+      size_t plain_findings = plain.output.find("\"findings\":");
+      size_t observed_findings = observed.output.find("\"findings\":");
+      ASSERT_NE(plain_findings, std::string::npos);
+      ASSERT_NE(observed_findings, std::string::npos);
+      EXPECT_EQ(plain.output.substr(plain_findings),
+                observed.output.substr(observed_findings));
+    } else {
+      EXPECT_EQ(plain.output, observed.output) << format;
+    }
+  }
+}
+
+TEST_F(CliTest, BadFormatValueRejectedWithUsage) {
+  std::string path = Write("clean.c", kClean);
+  RunResult result = RunCli("--format=yaml " + path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown format 'yaml'"), std::string::npos);
+  EXPECT_NE(result.output.find("usage: valuecheck"), std::string::npos);
+}
+
+TEST_F(CliTest, BadLogLevelRejectedWithUsage) {
+  std::string path = Write("clean.c", kClean);
+  RunResult result = RunCli("--log-level=chatty " + path);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown log level 'chatty'"), std::string::npos);
+  EXPECT_NE(result.output.find("usage: valuecheck"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonReportCarriesDiagnosticsBlock) {
+  std::string path = Write("buggy.c", kBuggy);
+  RunResult result = RunCli(path + " --format=json");
+  EXPECT_NE(result.output.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(result.output.find("\"diagnostics\":{\"warnings\":"), std::string::npos);
 }
 
 TEST_F(CliTest, TopLimitsTextOutput) {

@@ -1,0 +1,442 @@
+// Tests for the observability layer: metrics primitives under concurrency,
+// the global registry, trace collection + Chrome trace-event JSON export,
+// and log-level parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
+#include "src/support/trace.h"
+
+namespace vc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(Counter, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Counter, AddWithDelta) {
+  Counter counter;
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.value(), 12u);
+}
+
+TEST(Gauge, UpdateMaxKeepsHighWaterMarkUnderContention) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge, t] {
+      for (int i = 0; i < 5000; ++i) {
+        gauge.UpdateMax(static_cast<int64_t>(t) * 10000 + i);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Largest value any thread submitted: t=7, i=4999.
+  EXPECT_EQ(gauge.value(), 7 * 10000 + 4999);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge gauge;
+  gauge.Set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.UpdateMax(3);  // below current: no change
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ExactCountSumMinMax) {
+  Histogram histogram;
+  histogram.RecordMicros(10);
+  histogram.RecordMicros(100);
+  histogram.RecordMicros(1000);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum_seconds(), 1110e-6);
+  EXPECT_DOUBLE_EQ(histogram.min_seconds(), 10e-6);
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 1000e-6);
+  EXPECT_NEAR(histogram.mean_seconds(), 370e-6, 1e-12);
+}
+
+TEST(Histogram, BucketsAreLogScale) {
+  Histogram histogram;
+  histogram.RecordMicros(0);   // bucket 0
+  histogram.RecordMicros(1);   // bucket 0: [1, 2)
+  histogram.RecordMicros(2);   // bucket 1: [2, 4)
+  histogram.RecordMicros(3);   // bucket 1
+  histogram.RecordMicros(4);   // bucket 2: [4, 8)
+  histogram.RecordMicros(7);   // bucket 2
+  histogram.RecordMicros(8);   // bucket 3: [8, 16)
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 2u);
+  EXPECT_EQ(histogram.BucketCount(2), 2u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);
+  EXPECT_EQ(Histogram::BucketLowerMicros(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerMicros(3), 8u);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepCountAndSumExact) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.RecordMicros(static_cast<uint64_t>(i % 512));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(histogram.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum of (i % 512) over kPerThread values, times kThreads, exactly.
+  uint64_t per_thread_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) {
+    per_thread_sum += static_cast<uint64_t>(i % 512);
+  }
+  EXPECT_DOUBLE_EQ(histogram.sum_seconds(),
+                   static_cast<double>(per_thread_sum * kThreads) / 1e6);
+  EXPECT_DOUBLE_EQ(histogram.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 511e-6);
+  // Bucket totals must account for every sample.
+  uint64_t bucket_total = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    bucket_total += histogram.BucketCount(b);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+}
+
+TEST(Histogram, PercentilesBracketTheDistribution) {
+  Histogram histogram;
+  for (int i = 0; i < 99; ++i) {
+    histogram.RecordMicros(10);  // bucket [8, 16)
+  }
+  histogram.RecordMicros(100000);  // one large outlier
+  double p50 = histogram.PercentileSeconds(0.50);
+  double p95 = histogram.PercentileSeconds(0.95);
+  double p100 = histogram.PercentileSeconds(1.0);
+  // p50/p95 land in the [8,16)µs bucket; upper bound is 16µs.
+  EXPECT_GE(p50, 10e-6);
+  EXPECT_LE(p50, 16e-6);
+  EXPECT_LE(p95, 16e-6);
+  // The max percentile must see the outlier (clamped to observed max).
+  EXPECT_GE(p100, 64e-3);
+  EXPECT_LE(p100, 100e-3 + 1e-9);
+  EXPECT_DOUBLE_EQ(Histogram().PercentileSeconds(0.5), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram histogram;
+  histogram.RecordMicros(123);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("test.registry.counter");
+  Counter& b = registry.GetCounter("test.registry.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndTyped) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.snapshot.zebra").Add(1);
+  registry.GetGauge("test.snapshot.alpha").Set(5);
+  registry.GetHistogram("test.snapshot.mid").RecordMicros(50);
+
+  std::vector<MetricRow> rows = registry.Snapshot();
+  ASSERT_GE(rows.size(), 3u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].name, rows[i].name);
+  }
+  bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+  for (const MetricRow& row : rows) {
+    if (row.name == "test.snapshot.zebra") {
+      EXPECT_EQ(row.type, "counter");
+      EXPECT_EQ(row.count, 1u);
+      saw_counter = true;
+    } else if (row.name == "test.snapshot.alpha") {
+      EXPECT_EQ(row.type, "gauge");
+      EXPECT_EQ(row.count, 5u);
+      saw_gauge = true;
+    } else if (row.name == "test.snapshot.mid") {
+      EXPECT_EQ(row.type, "histogram");
+      EXPECT_EQ(row.count, 1u);
+      saw_histogram = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(MetricsRegistry, RenderTableMentionsNonZeroMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.render.hits").Add(9);
+  std::string table = registry.RenderTable();
+  EXPECT_NE(table.find("test.render.hits"), std::string::npos);
+  EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EnableDisableToggleMetricsEnabled) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  bool was_enabled = registry.enabled();
+  registry.Enable();
+  EXPECT_TRUE(MetricsEnabled());
+  registry.Disable();
+  EXPECT_FALSE(MetricsEnabled());
+  if (was_enabled) {
+    registry.Enable();
+  }
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> distinct{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &distinct] {
+      for (int i = 0; i < 50; ++i) {
+        registry.GetCounter("test.concurrent." + std::to_string(i)).Add();
+      }
+      distinct.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(distinct.load(), kThreads);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(registry.GetCounter("test.concurrent." + std::to_string(i)).value(),
+              static_cast<uint64_t>(kThreads));
+  }
+}
+
+TEST(ScopedTimer, RecordsOnlyWhenEnabled) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  bool was_enabled = registry.enabled();
+
+  registry.Disable();
+  double seconds = 0.0;
+  { ScopedTimer timer(&seconds); }
+  EXPECT_DOUBLE_EQ(seconds, 0.0);
+
+  registry.Enable();
+  Histogram histogram;
+  { ScopedTimer timer(&seconds, &histogram); }
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_EQ(histogram.count(), 1u);
+
+  if (!was_enabled) {
+    registry.Disable();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolStats
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStats, DeltaSubtractsFlowsKeepsLevels) {
+  ThreadPoolStats before;
+  before.parallel_fors = 2;
+  before.tasks_executed = 10;
+  before.chunks_executed = 20;
+  before.steals = 3;
+  before.queue_depth_hwm = 4;
+  before.worker_idle_seconds = 1.0;
+  before.workers = 8;
+
+  ThreadPoolStats after = before;
+  after.parallel_fors = 5;
+  after.tasks_executed = 25;
+  after.chunks_executed = 60;
+  after.steals = 9;
+  after.queue_depth_hwm = 6;
+  after.worker_idle_seconds = 2.5;
+
+  ThreadPoolStats delta = after.Delta(before);
+  EXPECT_EQ(delta.parallel_fors, 3u);
+  EXPECT_EQ(delta.tasks_executed, 15u);
+  EXPECT_EQ(delta.chunks_executed, 40u);
+  EXPECT_EQ(delta.steals, 6u);
+  EXPECT_EQ(delta.queue_depth_hwm, 6u);  // level: kept absolute
+  EXPECT_DOUBLE_EQ(delta.worker_idle_seconds, 1.5);
+  EXPECT_EQ(delta.workers, 8);
+}
+
+TEST(ThreadPoolStats, PoolCountsChunksAcrossParallelFor) {
+  ThreadPool& pool = ThreadPool::Global();
+  ThreadPoolStats before = pool.stats();
+  std::atomic<int> sum{0};
+  pool.ParallelFor(4, 100, [&sum](size_t) { sum.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 100);
+  ThreadPoolStats delta = pool.stats().Delta(before);
+  EXPECT_GE(delta.parallel_fors, 1u);
+  EXPECT_GE(delta.chunks_executed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector / TraceSpan
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Disable();
+  collector.Clear();
+  {
+    TraceSpan span("should_not_appear", "test");
+    span.Arg("k", static_cast<int64_t>(1));
+  }
+  EXPECT_EQ(collector.EventCount(), 0u);
+}
+
+TEST(Trace, SpansFromManyThreadsAllExport) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker_span", "test");
+        span.Arg("thread", static_cast<int64_t>(t));
+        span.Arg("iter", static_cast<int64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // The main thread contributes one more span.
+  { TraceSpan span("main_span", "test"); }
+  collector.Disable();
+
+  EXPECT_GE(collector.EventCount(),
+            static_cast<size_t>(kThreads) * kSpansPerThread + 1);
+
+  std::string json = collector.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"main_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  collector.Clear();
+}
+
+TEST(Trace, EnableStartsFreshEpoch) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable();
+  { TraceSpan span("first_epoch", "test"); }
+  EXPECT_GE(collector.EventCount(), 1u);
+  collector.Enable();  // re-enable clears the buffers
+  EXPECT_EQ(collector.EventCount(), 0u);
+  { TraceSpan span("second_epoch", "test"); }
+  collector.Disable();
+  std::string json = collector.ToJson();
+  EXPECT_EQ(json.find("first_epoch"), std::string::npos);
+  EXPECT_NE(json.find("second_epoch"), std::string::npos);
+  collector.Clear();
+}
+
+TEST(Trace, ArgsAreEscapedIntoJson) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Enable();
+  {
+    TraceSpan span("args_span", "test");
+    span.Arg("file", std::string("dir\\name \"quoted\".c"));
+    span.Arg("n", static_cast<int64_t>(42));
+  }
+  collector.Disable();
+  std::string json = collector.ToJson();
+  EXPECT_NE(json.find("\"args\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\name"), std::string::npos);    // backslash escaped
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // quotes escaped
+  collector.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+TEST(Logging, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);  // case-insensitive
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+}
+
+TEST(Logging, LevelGatesEnablement) {
+  LogLevel original = CurrentLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(original);
+}
+
+TEST(Logging, LevelNamesRoundTrip) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+}
+
+}  // namespace
+}  // namespace vc

@@ -13,6 +13,8 @@
 #include "src/core/report_formats.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 
 namespace vc {
 namespace {
@@ -114,14 +116,70 @@ TEST(ParallelDeterminism, LegacyShimsMatchFacade) {
   EXPECT_EQ(via_shim.ToCsv(), via_facade.ToCsv());
 }
 
-TEST(ParallelDeterminism, JsonReportCarriesSchemaV2Metadata) {
+TEST(ParallelDeterminism, JsonReportCarriesSchemaV3Metadata) {
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.1));
   AnalysisReport report = Analysis(WithJobs(2)).RunOnRepository(app.repo);
   std::string json = ReportToJson(report, &app.repo);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(json.find("\"parse_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"detect_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":{\"warnings\":"), std::string::npos);
+  // collect_metrics was off for this run: no metrics block.
+  EXPECT_EQ(json.find("\"metrics\":"), std::string::npos);
+}
+
+TEST(ParallelDeterminism, ObservabilityDoesNotPerturbFindings) {
+  GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.15));
+  // Baseline: observability fully off, serial.
+  std::string expected = Fingerprint(Analysis(WithJobs(1)).RunOnRepository(app.repo));
+
+  TraceCollector& collector = TraceCollector::Global();
+  for (int jobs : {1, 2, 8}) {
+    AnalysisOptions options = WithJobs(jobs);
+    options.collect_metrics = true;
+    collector.Enable();
+    AnalysisReport report = Analysis(options).RunOnRepository(app.repo);
+    collector.Disable();
+
+    EXPECT_EQ(Fingerprint(report), expected) << "jobs=" << jobs;
+
+    // The StageMetrics block is populated and its deterministic counters
+    // agree across job counts (timings legitimately vary).
+    EXPECT_TRUE(report.stage.collected);
+    EXPECT_GT(report.stage.files_parsed, 0u);
+    EXPECT_GT(report.stage.functions_analyzed, 0u);
+    EXPECT_EQ(report.stage.candidates_detected, report.raw_candidates.size());
+
+    // Spans were collected from the traced run.
+    EXPECT_GT(collector.EventCount(), 0u) << "jobs=" << jobs;
+    std::string trace = collector.ToJson();
+    EXPECT_NE(trace.find("\"analysis.run\""), std::string::npos);
+    EXPECT_NE(trace.find("\"detect\""), std::string::npos);
+    collector.Clear();
+  }
+  MetricsRegistry::Global().Disable();
+}
+
+TEST(ParallelDeterminism, MetricsCountersAggregateInMergeOrder) {
+  GeneratedApp app = GenerateApp(OpensslProfile().Scaled(0.1));
+  AnalysisOptions serial = WithJobs(1);
+  serial.collect_metrics = true;
+  AnalysisReport baseline = Analysis(serial).RunOnRepository(app.repo);
+
+  for (int jobs : {2, 8}) {
+    AnalysisOptions options = WithJobs(jobs);
+    options.collect_metrics = true;
+    AnalysisReport report = Analysis(options).RunOnRepository(app.repo);
+    EXPECT_EQ(report.stage.files_parsed, baseline.stage.files_parsed) << "jobs=" << jobs;
+    EXPECT_EQ(report.stage.functions_analyzed, baseline.stage.functions_analyzed);
+    EXPECT_EQ(report.stage.candidates_detected, baseline.stage.candidates_detected);
+    EXPECT_EQ(report.stage.rank_scored, baseline.stage.rank_scored);
+    EXPECT_EQ(report.stage.rank_unknown, baseline.stage.rank_unknown);
+    EXPECT_EQ(report.diagnostic_warnings, baseline.diagnostic_warnings);
+    EXPECT_EQ(report.diagnostic_errors, baseline.diagnostic_errors);
+  }
+  MetricsRegistry::Global().Disable();
 }
 
 }  // namespace

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full verification matrix: plain build + ctest, then the same under
+# AddressSanitizer(+UBSan) and ThreadSanitizer. The sanitizer configs catch
+# what the plain run cannot — heap misuse in the parser/IR layers (ASan) and
+# data races in the thread pool / metrics / trace hot paths (TSan).
+#
+# Usage: tools/check.sh [plain|asan|tsan]...   (default: all three)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(plain asan tsan)
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1"
+  shift
+  local build_dir="build-check-${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${build_dir}" -S . "$@" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
+  echo "=== [${name}] ctest ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+for config in "${CONFIGS[@]}"; do
+  case "${config}" in
+    plain) run_config plain ;;
+    asan)  run_config asan -DVC_ENABLE_ASAN=ON ;;
+    tsan)  run_config tsan -DVC_ENABLE_TSAN=ON ;;
+    *)
+      echo "unknown config '${config}' (expected plain, asan, tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== all configs passed: ${CONFIGS[*]} ==="

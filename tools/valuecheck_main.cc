@@ -33,7 +33,10 @@
 
 #include "src/core/analysis.h"
 #include "src/core/report_formats.h"
+#include "src/support/logging.h"
+#include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
+#include "src/support/trace.h"
 #include "src/vcs/history_io.h"
 
 namespace {
@@ -52,6 +55,8 @@ std::string ReadFileOrDie(const std::string& path) {
 struct CliOptions {
   std::string history_path;
   std::string format = "text";
+  std::string trace_path;
+  bool metrics = false;
   int top = -1;
   bool all_scopes = false;
   vc::AnalysisOptions analysis;
@@ -103,6 +108,33 @@ const FlagSpec kFlags[] = {
          return false;
        }
        o.format = v;
+       return true;
+     }},
+    {"--trace", "FILE", "observability",
+     "write a Chrome trace-event JSON of the run (load in\n"
+     "chrome://tracing or Perfetto)",
+     [](CliOptions& o, const std::string& v) {
+       o.trace_path = v;
+       return true;
+     }},
+    {"--metrics", nullptr, "AnalysisOptions::collect_metrics",
+     "collect per-stage metrics and print a stats table to stderr",
+     [](CliOptions& o, const std::string&) {
+       o.metrics = true;
+       o.analysis.collect_metrics = true;
+       return true;
+     }},
+    {"--log-level", "LEVEL", "observability",
+     "stderr log verbosity: error, warn (default), info, debug",
+     [](CliOptions& o, const std::string& v) {
+       std::optional<vc::LogLevel> level = vc::ParseLogLevel(v);
+       if (!level.has_value()) {
+         std::fprintf(stderr,
+                      "valuecheck: unknown log level '%s' (expected error, warn, info, debug)\n",
+                      v.c_str());
+         return false;
+       }
+       vc::SetLogLevel(*level);
        return true;
      }},
     {"--top", "K", "output control",
@@ -244,6 +276,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       return false;
     }
     if (!flag->apply(options, value)) {
+      // Bad flag values (e.g. --format/--log-level typos) never silently
+      // default: the apply hook printed the specific complaint, we add the
+      // usage summary, and main exits non-zero.
+      PrintUsage(stderr);
       return false;
     }
   }
@@ -339,6 +375,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!options.trace_path.empty()) {
+    TraceCollector::Global().Enable();
+  }
+  if (options.metrics) {
+    MetricsRegistry::Global().Enable();
+  }
+
   Repository repo;
   bool has_history = !options.history_path.empty();
   if (has_history) {
@@ -376,6 +419,10 @@ int main(int argc, char** argv) {
   AnalysisReport report = analysis.Run(project, has_history ? &repo : nullptr);
   report.parse_seconds = parse_seconds;
   report.analysis_seconds += parse_seconds;
+  if (report.stage.collected) {
+    report.stage.parse_seconds = parse_seconds;
+    report.stage.files_parsed = project.units().size();
+  }
 
   if (options.format == "json") {
     std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr).c_str());
@@ -386,6 +433,26 @@ int main(int argc, char** argv) {
   } else {
     PrintText(report, has_history ? &repo : nullptr, options.top,
               options.analysis.ranking.enabled);
+  }
+
+  // Observability epilogue — all on stderr, so findings on stdout are
+  // byte-identical with and without --metrics/--trace.
+  if (options.metrics) {
+    std::fputs("\n=== pipeline stage metrics ===\n", stderr);
+    std::fputs(RenderStageMetricsTable(report).c_str(), stderr);
+    std::fputs("\n=== metrics registry ===\n", stderr);
+    std::fputs(MetricsRegistry::Global().RenderTable().c_str(), stderr);
+  }
+  if (!options.trace_path.empty()) {
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Disable();
+    if (!collector.WriteJson(options.trace_path)) {
+      std::fprintf(stderr, "valuecheck: cannot write trace to %s\n",
+                   options.trace_path.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("wrote " + std::to_string(collector.EventCount()) + " trace event(s) to " +
+                options.trace_path);
   }
   return report.findings.empty() ? 0 : 1;
 }
