@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pointer.dir/bench_ablation_pointer.cc.o"
+  "CMakeFiles/bench_ablation_pointer.dir/bench_ablation_pointer.cc.o.d"
+  "bench_ablation_pointer"
+  "bench_ablation_pointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stale.dir/bench_ablation_stale.cc.o"
+  "CMakeFiles/bench_ablation_stale.dir/bench_ablation_stale.cc.o.d"
+  "bench_ablation_stale"
+  "bench_ablation_stale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

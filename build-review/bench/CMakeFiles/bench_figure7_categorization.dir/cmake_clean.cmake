@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7_categorization.dir/bench_figure7_categorization.cc.o"
+  "CMakeFiles/bench_figure7_categorization.dir/bench_figure7_categorization.cc.o.d"
+  "bench_figure7_categorization"
+  "bench_figure7_categorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_categorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_cutoff_precision.dir/bench_figure9_cutoff_precision.cc.o"
+  "CMakeFiles/bench_figure9_cutoff_precision.dir/bench_figure9_cutoff_precision.cc.o.d"
+  "bench_figure9_cutoff_precision"
+  "bench_figure9_cutoff_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_cutoff_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prelim_study.dir/bench_prelim_study.cc.o"
+  "CMakeFiles/bench_prelim_study.dir/bench_prelim_study.cc.o.d"
+  "bench_prelim_study"
+  "bench_prelim_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prelim_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_prune_rate.dir/bench_table4_prune_rate.cc.o"
+  "CMakeFiles/bench_table4_prune_rate.dir/bench_table4_prune_rate.cc.o.d"
+  "bench_table4_prune_rate"
+  "bench_table4_prune_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_prune_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

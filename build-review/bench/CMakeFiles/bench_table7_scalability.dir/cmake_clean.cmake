@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_scalability.dir/bench_table7_scalability.cc.o"
+  "CMakeFiles/bench_table7_scalability.dir/bench_table7_scalability.cc.o.d"
+  "bench_table7_scalability"
+  "bench_table7_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

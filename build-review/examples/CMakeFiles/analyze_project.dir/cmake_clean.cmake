@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_project.dir/analyze_project.cpp.o"
+  "CMakeFiles/analyze_project.dir/analyze_project.cpp.o.d"
+  "analyze_project"
+  "analyze_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

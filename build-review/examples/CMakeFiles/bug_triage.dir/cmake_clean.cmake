@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_triage.dir/bug_triage.cpp.o"
+  "CMakeFiles/bug_triage.dir/bug_triage.cpp.o.d"
+  "bug_triage"
+  "bug_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

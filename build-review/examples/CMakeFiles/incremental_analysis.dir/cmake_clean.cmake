@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_analysis.dir/incremental_analysis.cpp.o"
+  "CMakeFiles/incremental_analysis.dir/incremental_analysis.cpp.o.d"
+  "incremental_analysis"
+  "incremental_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("lexer")
+subdirs("ast")
+subdirs("parser")
+subdirs("ir")
+subdirs("dataflow")
+subdirs("pointer")
+subdirs("vcs")
+subdirs("familiarity")
+subdirs("core")
+subdirs("baselines")
+subdirs("corpus")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast_printer.cc" "src/ast/CMakeFiles/vc_ast.dir/ast_printer.cc.o" "gcc" "src/ast/CMakeFiles/vc_ast.dir/ast_printer.cc.o.d"
+  "/root/repo/src/ast/type.cc" "src/ast/CMakeFiles/vc_ast.dir/type.cc.o" "gcc" "src/ast/CMakeFiles/vc_ast.dir/type.cc.o.d"
+  "/root/repo/src/ast/walk.cc" "src/ast/CMakeFiles/vc_ast.dir/walk.cc.o" "gcc" "src/ast/CMakeFiles/vc_ast.dir/walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lexer/CMakeFiles/vc_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_ast.dir/ast_printer.cc.o"
+  "CMakeFiles/vc_ast.dir/ast_printer.cc.o.d"
+  "CMakeFiles/vc_ast.dir/type.cc.o"
+  "CMakeFiles/vc_ast.dir/type.cc.o.d"
+  "CMakeFiles/vc_ast.dir/walk.cc.o"
+  "CMakeFiles/vc_ast.dir/walk.cc.o.d"
+  "libvc_ast.a"
+  "libvc_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_baselines.dir/clang_unused.cc.o"
+  "CMakeFiles/vc_baselines.dir/clang_unused.cc.o.d"
+  "CMakeFiles/vc_baselines.dir/coverity_unused.cc.o"
+  "CMakeFiles/vc_baselines.dir/coverity_unused.cc.o.d"
+  "CMakeFiles/vc_baselines.dir/infer_unused.cc.o"
+  "CMakeFiles/vc_baselines.dir/infer_unused.cc.o.d"
+  "CMakeFiles/vc_baselines.dir/smatch_unused.cc.o"
+  "CMakeFiles/vc_baselines.dir/smatch_unused.cc.o.d"
+  "libvc_baselines.a"
+  "libvc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/vc_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/authorship.cc" "src/core/CMakeFiles/vc_core.dir/authorship.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/authorship.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/vc_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/vc_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/project.cc" "src/core/CMakeFiles/vc_core.dir/project.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/project.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/vc_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/vc_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/report_formats.cc" "src/core/CMakeFiles/vc_core.dir/report_formats.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/report_formats.cc.o.d"
+  "/root/repo/src/core/valuecheck.cc" "src/core/CMakeFiles/vc_core.dir/valuecheck.cc.o" "gcc" "src/core/CMakeFiles/vc_core.dir/valuecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/parser/CMakeFiles/vc_parser.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/vc_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataflow/CMakeFiles/vc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pointer/CMakeFiles/vc_pointer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vcs/CMakeFiles/vc_vcs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/familiarity/CMakeFiles/vc_familiarity.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ast/CMakeFiles/vc_ast.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lexer/CMakeFiles/vc_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

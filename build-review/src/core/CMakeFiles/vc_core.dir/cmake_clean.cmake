@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_core.dir/analysis.cc.o"
+  "CMakeFiles/vc_core.dir/analysis.cc.o.d"
+  "CMakeFiles/vc_core.dir/authorship.cc.o"
+  "CMakeFiles/vc_core.dir/authorship.cc.o.d"
+  "CMakeFiles/vc_core.dir/detector.cc.o"
+  "CMakeFiles/vc_core.dir/detector.cc.o.d"
+  "CMakeFiles/vc_core.dir/incremental.cc.o"
+  "CMakeFiles/vc_core.dir/incremental.cc.o.d"
+  "CMakeFiles/vc_core.dir/project.cc.o"
+  "CMakeFiles/vc_core.dir/project.cc.o.d"
+  "CMakeFiles/vc_core.dir/pruning.cc.o"
+  "CMakeFiles/vc_core.dir/pruning.cc.o.d"
+  "CMakeFiles/vc_core.dir/ranking.cc.o"
+  "CMakeFiles/vc_core.dir/ranking.cc.o.d"
+  "CMakeFiles/vc_core.dir/report_formats.cc.o"
+  "CMakeFiles/vc_core.dir/report_formats.cc.o.d"
+  "CMakeFiles/vc_core.dir/valuecheck.cc.o"
+  "CMakeFiles/vc_core.dir/valuecheck.cc.o.d"
+  "libvc_core.a"
+  "libvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

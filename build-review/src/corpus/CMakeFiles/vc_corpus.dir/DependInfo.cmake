@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/eval.cc" "src/corpus/CMakeFiles/vc_corpus.dir/eval.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/eval.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/vc_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/ground_truth.cc" "src/corpus/CMakeFiles/vc_corpus.dir/ground_truth.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/ground_truth.cc.o.d"
+  "/root/repo/src/corpus/prelim_study.cc" "src/corpus/CMakeFiles/vc_corpus.dir/prelim_study.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/prelim_study.cc.o.d"
+  "/root/repo/src/corpus/profile.cc" "src/corpus/CMakeFiles/vc_corpus.dir/profile.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/profile.cc.o.d"
+  "/root/repo/src/corpus/synthetic_file.cc" "src/corpus/CMakeFiles/vc_corpus.dir/synthetic_file.cc.o" "gcc" "src/corpus/CMakeFiles/vc_corpus.dir/synthetic_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/vc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/vc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/vcs/CMakeFiles/vc_vcs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/parser/CMakeFiles/vc_parser.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dataflow/CMakeFiles/vc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pointer/CMakeFiles/vc_pointer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/vc_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/familiarity/CMakeFiles/vc_familiarity.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ast/CMakeFiles/vc_ast.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lexer/CMakeFiles/vc_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_corpus.dir/eval.cc.o"
+  "CMakeFiles/vc_corpus.dir/eval.cc.o.d"
+  "CMakeFiles/vc_corpus.dir/generator.cc.o"
+  "CMakeFiles/vc_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/vc_corpus.dir/ground_truth.cc.o"
+  "CMakeFiles/vc_corpus.dir/ground_truth.cc.o.d"
+  "CMakeFiles/vc_corpus.dir/prelim_study.cc.o"
+  "CMakeFiles/vc_corpus.dir/prelim_study.cc.o.d"
+  "CMakeFiles/vc_corpus.dir/profile.cc.o"
+  "CMakeFiles/vc_corpus.dir/profile.cc.o.d"
+  "CMakeFiles/vc_corpus.dir/synthetic_file.cc.o"
+  "CMakeFiles/vc_corpus.dir/synthetic_file.cc.o.d"
+  "libvc_corpus.a"
+  "libvc_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

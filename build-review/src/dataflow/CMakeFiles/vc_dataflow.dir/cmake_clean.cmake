@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_dataflow.dir/define_sets.cc.o"
+  "CMakeFiles/vc_dataflow.dir/define_sets.cc.o.d"
+  "CMakeFiles/vc_dataflow.dir/liveness.cc.o"
+  "CMakeFiles/vc_dataflow.dir/liveness.cc.o.d"
+  "libvc_dataflow.a"
+  "libvc_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

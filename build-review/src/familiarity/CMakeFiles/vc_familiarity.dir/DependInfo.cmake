@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/familiarity/dok_model.cc" "src/familiarity/CMakeFiles/vc_familiarity.dir/dok_model.cc.o" "gcc" "src/familiarity/CMakeFiles/vc_familiarity.dir/dok_model.cc.o.d"
+  "/root/repo/src/familiarity/ea_model.cc" "src/familiarity/CMakeFiles/vc_familiarity.dir/ea_model.cc.o" "gcc" "src/familiarity/CMakeFiles/vc_familiarity.dir/ea_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/vcs/CMakeFiles/vc_vcs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

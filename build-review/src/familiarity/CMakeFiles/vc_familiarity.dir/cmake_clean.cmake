@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_familiarity.dir/dok_model.cc.o"
+  "CMakeFiles/vc_familiarity.dir/dok_model.cc.o.d"
+  "CMakeFiles/vc_familiarity.dir/ea_model.cc.o"
+  "CMakeFiles/vc_familiarity.dir/ea_model.cc.o.d"
+  "libvc_familiarity.a"
+  "libvc_familiarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_familiarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/vc_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/vc_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/ir_builder.cc" "src/ir/CMakeFiles/vc_ir.dir/ir_builder.cc.o" "gcc" "src/ir/CMakeFiles/vc_ir.dir/ir_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ast/CMakeFiles/vc_ast.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lexer/CMakeFiles/vc_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

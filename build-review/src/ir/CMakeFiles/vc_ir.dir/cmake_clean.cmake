@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_ir.dir/ir.cc.o"
+  "CMakeFiles/vc_ir.dir/ir.cc.o.d"
+  "CMakeFiles/vc_ir.dir/ir_builder.cc.o"
+  "CMakeFiles/vc_ir.dir/ir_builder.cc.o.d"
+  "libvc_ir.a"
+  "libvc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_lexer.dir/lexer.cc.o"
+  "CMakeFiles/vc_lexer.dir/lexer.cc.o.d"
+  "CMakeFiles/vc_lexer.dir/preprocessor.cc.o"
+  "CMakeFiles/vc_lexer.dir/preprocessor.cc.o.d"
+  "libvc_lexer.a"
+  "libvc_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

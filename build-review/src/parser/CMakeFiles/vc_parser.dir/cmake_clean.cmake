@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_parser.dir/parser.cc.o"
+  "CMakeFiles/vc_parser.dir/parser.cc.o.d"
+  "libvc_parser.a"
+  "libvc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointer/andersen.cc" "src/pointer/CMakeFiles/vc_pointer.dir/andersen.cc.o" "gcc" "src/pointer/CMakeFiles/vc_pointer.dir/andersen.cc.o.d"
+  "/root/repo/src/pointer/flow_sensitive.cc" "src/pointer/CMakeFiles/vc_pointer.dir/flow_sensitive.cc.o" "gcc" "src/pointer/CMakeFiles/vc_pointer.dir/flow_sensitive.cc.o.d"
+  "/root/repo/src/pointer/value_flow.cc" "src/pointer/CMakeFiles/vc_pointer.dir/value_flow.cc.o" "gcc" "src/pointer/CMakeFiles/vc_pointer.dir/value_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/vc_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ast/CMakeFiles/vc_ast.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/lexer/CMakeFiles/vc_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

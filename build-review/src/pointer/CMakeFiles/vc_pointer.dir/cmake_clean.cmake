@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_pointer.dir/andersen.cc.o"
+  "CMakeFiles/vc_pointer.dir/andersen.cc.o.d"
+  "CMakeFiles/vc_pointer.dir/flow_sensitive.cc.o"
+  "CMakeFiles/vc_pointer.dir/flow_sensitive.cc.o.d"
+  "CMakeFiles/vc_pointer.dir/value_flow.cc.o"
+  "CMakeFiles/vc_pointer.dir/value_flow.cc.o.d"
+  "libvc_pointer.a"
+  "libvc_pointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_pointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

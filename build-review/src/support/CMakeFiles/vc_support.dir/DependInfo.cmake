@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/diagnostics.cc" "src/support/CMakeFiles/vc_support.dir/diagnostics.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/diagnostics.cc.o.d"
+  "/root/repo/src/support/json_writer.cc" "src/support/CMakeFiles/vc_support.dir/json_writer.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/json_writer.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/vc_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/metrics.cc" "src/support/CMakeFiles/vc_support.dir/metrics.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/metrics.cc.o.d"
+  "/root/repo/src/support/regression.cc" "src/support/CMakeFiles/vc_support.dir/regression.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/regression.cc.o.d"
+  "/root/repo/src/support/source_manager.cc" "src/support/CMakeFiles/vc_support.dir/source_manager.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/source_manager.cc.o.d"
+  "/root/repo/src/support/string_util.cc" "src/support/CMakeFiles/vc_support.dir/string_util.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/string_util.cc.o.d"
+  "/root/repo/src/support/table_writer.cc" "src/support/CMakeFiles/vc_support.dir/table_writer.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/table_writer.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/vc_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/thread_pool.cc.o.d"
+  "/root/repo/src/support/trace.cc" "src/support/CMakeFiles/vc_support.dir/trace.cc.o" "gcc" "src/support/CMakeFiles/vc_support.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

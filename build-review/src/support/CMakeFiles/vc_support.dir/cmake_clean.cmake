@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_support.dir/diagnostics.cc.o"
+  "CMakeFiles/vc_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/vc_support.dir/json_writer.cc.o"
+  "CMakeFiles/vc_support.dir/json_writer.cc.o.d"
+  "CMakeFiles/vc_support.dir/logging.cc.o"
+  "CMakeFiles/vc_support.dir/logging.cc.o.d"
+  "CMakeFiles/vc_support.dir/metrics.cc.o"
+  "CMakeFiles/vc_support.dir/metrics.cc.o.d"
+  "CMakeFiles/vc_support.dir/regression.cc.o"
+  "CMakeFiles/vc_support.dir/regression.cc.o.d"
+  "CMakeFiles/vc_support.dir/source_manager.cc.o"
+  "CMakeFiles/vc_support.dir/source_manager.cc.o.d"
+  "CMakeFiles/vc_support.dir/string_util.cc.o"
+  "CMakeFiles/vc_support.dir/string_util.cc.o.d"
+  "CMakeFiles/vc_support.dir/table_writer.cc.o"
+  "CMakeFiles/vc_support.dir/table_writer.cc.o.d"
+  "CMakeFiles/vc_support.dir/thread_pool.cc.o"
+  "CMakeFiles/vc_support.dir/thread_pool.cc.o.d"
+  "CMakeFiles/vc_support.dir/trace.cc.o"
+  "CMakeFiles/vc_support.dir/trace.cc.o.d"
+  "libvc_support.a"
+  "libvc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

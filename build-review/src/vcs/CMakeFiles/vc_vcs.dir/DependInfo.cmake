@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcs/diff.cc" "src/vcs/CMakeFiles/vc_vcs.dir/diff.cc.o" "gcc" "src/vcs/CMakeFiles/vc_vcs.dir/diff.cc.o.d"
+  "/root/repo/src/vcs/history_io.cc" "src/vcs/CMakeFiles/vc_vcs.dir/history_io.cc.o" "gcc" "src/vcs/CMakeFiles/vc_vcs.dir/history_io.cc.o.d"
+  "/root/repo/src/vcs/repository.cc" "src/vcs/CMakeFiles/vc_vcs.dir/repository.cc.o" "gcc" "src/vcs/CMakeFiles/vc_vcs.dir/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/vc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

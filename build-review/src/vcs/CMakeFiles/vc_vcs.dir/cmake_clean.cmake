@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_vcs.dir/diff.cc.o"
+  "CMakeFiles/vc_vcs.dir/diff.cc.o.d"
+  "CMakeFiles/vc_vcs.dir/history_io.cc.o"
+  "CMakeFiles/vc_vcs.dir/history_io.cc.o.d"
+  "CMakeFiles/vc_vcs.dir/repository.cc.o"
+  "CMakeFiles/vc_vcs.dir/repository.cc.o.d"
+  "libvc_vcs.a"
+  "libvc_vcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_vcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enum_typedef_test.dir/enum_typedef_test.cc.o"
+  "CMakeFiles/enum_typedef_test.dir/enum_typedef_test.cc.o.d"
+  "enum_typedef_test"
+  "enum_typedef_test.pdb"
+  "enum_typedef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enum_typedef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

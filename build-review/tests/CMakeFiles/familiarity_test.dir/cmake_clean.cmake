@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/familiarity_test.dir/familiarity_test.cc.o"
+  "CMakeFiles/familiarity_test.dir/familiarity_test.cc.o.d"
+  "familiarity_test"
+  "familiarity_test.pdb"
+  "familiarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/familiarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

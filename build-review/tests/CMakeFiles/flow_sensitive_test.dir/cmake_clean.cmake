@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_sensitive_test.dir/flow_sensitive_test.cc.o"
+  "CMakeFiles/flow_sensitive_test.dir/flow_sensitive_test.cc.o.d"
+  "flow_sensitive_test"
+  "flow_sensitive_test.pdb"
+  "flow_sensitive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_sensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_io_test.dir/history_io_test.cc.o"
+  "CMakeFiles/history_io_test.dir/history_io_test.cc.o.d"
+  "history_io_test"
+  "history_io_test.pdb"
+  "history_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

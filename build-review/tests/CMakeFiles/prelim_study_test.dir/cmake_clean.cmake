@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prelim_study_test.dir/prelim_study_test.cc.o"
+  "CMakeFiles/prelim_study_test.dir/prelim_study_test.cc.o.d"
+  "prelim_study_test"
+  "prelim_study_test.pdb"
+  "prelim_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prelim_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

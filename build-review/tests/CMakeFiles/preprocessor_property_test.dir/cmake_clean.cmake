@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocessor_property_test.dir/preprocessor_property_test.cc.o"
+  "CMakeFiles/preprocessor_property_test.dir/preprocessor_property_test.cc.o.d"
+  "preprocessor_property_test"
+  "preprocessor_property_test.pdb"
+  "preprocessor_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocessor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

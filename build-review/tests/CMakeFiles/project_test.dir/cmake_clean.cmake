@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_test.dir/project_test.cc.o"
+  "CMakeFiles/project_test.dir/project_test.cc.o.d"
+  "project_test"
+  "project_test.pdb"
+  "project_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_dowhile_test.dir/switch_dowhile_test.cc.o"
+  "CMakeFiles/switch_dowhile_test.dir/switch_dowhile_test.cc.o.d"
+  "switch_dowhile_test"
+  "switch_dowhile_test.pdb"
+  "switch_dowhile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_dowhile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcs_test.dir/vcs_test.cc.o"
+  "CMakeFiles/vcs_test.dir/vcs_test.cc.o.d"
+  "vcs_test"
+  "vcs_test.pdb"
+  "vcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

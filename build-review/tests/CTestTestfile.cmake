@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/core_pipeline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-review/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_determinism_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parser_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pointer_test[1]_include.cmake")
+include("/root/repo/build-review/tests/vcs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/familiarity_test[1]_include.cmake")
+include("/root/repo/build-review/tests/detector_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pruning_test[1]_include.cmake")
+include("/root/repo/build-review/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build-review/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-review/tests/property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/prelim_study_test[1]_include.cmake")
+include("/root/repo/build-review/tests/switch_dowhile_test[1]_include.cmake")
+include("/root/repo/build-review/tests/flow_sensitive_test[1]_include.cmake")
+include("/root/repo/build-review/tests/formats_test[1]_include.cmake")
+include("/root/repo/build-review/tests/history_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/project_test[1]_include.cmake")
+include("/root/repo/build-review/tests/enum_typedef_test[1]_include.cmake")
+include("/root/repo/build-review/tests/eval_test[1]_include.cmake")
+include("/root/repo/build-review/tests/preprocessor_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cli_test[1]_include.cmake")

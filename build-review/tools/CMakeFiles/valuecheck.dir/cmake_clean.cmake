@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valuecheck.dir/valuecheck_main.cc.o"
+  "CMakeFiles/valuecheck.dir/valuecheck_main.cc.o.d"
+  "valuecheck"
+  "valuecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valuecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
