@@ -18,6 +18,7 @@
 #include "bench/bench_util.h"
 #include "src/core/incremental.h"
 #include "src/support/json_writer.h"
+#include "src/support/run_ledger.h"
 #include "src/support/thread_pool.h"
 
 namespace {
@@ -149,9 +150,36 @@ int main() {
   json.Int("total_loc", total_loc);
   json.Key("sweep").BeginArray();
 
+  // Each sweep point also lands in the run ledger under result/, so
+  // `valuecheck history --ledger result/ledger` and `report --html` can chart
+  // bench-to-bench perf trends the same way they chart analysis reruns.
+  RunLedger ledger(ResultPath("ledger"));
+  int64_t bench_start_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               std::chrono::system_clock::now().time_since_epoch())
+                               .count();
+
   double serial_seconds = 0.0;
   for (int jobs : {1, 2, 4, 8}) {
     SweepPoint point = FullCorpusPoint(apps, jobs);
+    RunRecord record;
+    record.timestamp_ms = bench_start_ms;
+    record.label = "bench:scalability jobs=" + std::to_string(jobs);
+    record.options_summary = "bench";
+    record.jobs = jobs;
+    record.metrics.collected = true;
+    record.metrics.analysis_seconds = point.seconds;
+    record.metrics.parse_seconds = point.parse_seconds;
+    record.metrics.detect_seconds = point.detect_seconds;
+    record.metrics.prune_seconds = point.prune_seconds;
+    record.metrics.rank_seconds = point.rank_seconds;
+    record.metrics.pool_workers = point.pool.workers;
+    record.metrics.pool_tasks = static_cast<int64_t>(point.pool.tasks_executed);
+    record.metrics.pool_steals = static_cast<int64_t>(point.pool.steals);
+    record.metrics.pool_idle_seconds = point.pool.worker_idle_seconds;
+    std::string ledger_error;
+    if (ledger.Append(std::move(record), &ledger_error).empty()) {
+      std::printf("(ledger append failed: %s)\n", ledger_error.c_str());
+    }
     if (jobs == 1) {
       serial_seconds = point.seconds;
     }

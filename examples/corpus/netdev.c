@@ -1,0 +1,26 @@
+/* Example corpus: carries one deliberate unused definition — the classic
+ * overwritten-before-use pattern from the paper's motivating bug class. The
+ * self-diff smoke step in tools/check.sh analyzes this corpus twice and
+ * asserts `valuecheck diff --check` sees zero new findings between the runs.
+ */
+
+int query_link_status(int port) {
+  return port + 1;
+}
+
+int bring_up(int port, int forced) {
+  int status = query_link_status(port); /* finding: overwritten before use */
+  status = forced * 2;
+  if (status) {
+    return 0;
+  }
+  return 1;
+}
+
+int teardown(int port) {
+  int status = query_link_status(port);
+  if (status) {
+    return status;
+  }
+  return 0;
+}

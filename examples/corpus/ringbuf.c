@@ -1,0 +1,24 @@
+/* Example corpus: clean file — every definition is used. Exists so the
+ * smoke corpus mixes clean and buggy translation units, like a real tree.
+ */
+
+int ring_mask(int capacity) {
+  return capacity - 1;
+}
+
+int ring_put(int head, int tail, int capacity, int value) {
+  int mask = ring_mask(capacity);
+  int next = (head + 1) & mask;
+  if (next == tail) {
+    return -1;
+  }
+  return next + value - value;
+}
+
+int ring_get(int head, int tail, int capacity) {
+  int mask = ring_mask(capacity);
+  if (head == tail) {
+    return -1;
+  }
+  return (tail + 1) & mask;
+}

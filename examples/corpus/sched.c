@@ -1,0 +1,18 @@
+/* Example corpus: a configuration-dependent definition. With TRACE_TICKS
+ * undefined the store to `traced` looks dead, but the #if region uses it —
+ * the config-dependency pruning pattern (paper §5.1) suppresses it, so this
+ * file contributes prune-pattern activity to the ledger's trend lines.
+ */
+
+int clock_tick(int now) {
+  return now + 1;
+}
+
+int schedule(int now, int quantum) {
+  int traced = clock_tick(now);
+  int next = now + quantum;
+#if TRACE_TICKS
+  next = next + traced;
+#endif
+  return next;
+}

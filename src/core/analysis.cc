@@ -4,6 +4,7 @@
 
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
+#include "src/core/fingerprint.h"
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
 #include "src/support/table_writer.h"
@@ -107,6 +108,10 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
     RankCandidates(report.findings, repo, options_.ranking, &rank_stats);
   }
   double rank_seconds = SecondsSince(rank_start);
+
+  // 6. Stamp stable identities for cross-run tracking. Runs over the final
+  // finding list (deterministic at any job count), so fingerprints are too.
+  AssignFingerprints(report.findings);
 
   report.analysis_seconds = SecondsSince(start);
 

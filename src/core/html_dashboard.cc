@@ -1,0 +1,316 @@
+#include "src/core/html_dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <set>
+
+#include "src/support/table_writer.h"
+
+namespace vc {
+
+namespace {
+
+std::string EscapeHtml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatTimestamp(int64_t timestamp_ms) {
+  if (timestamp_ms <= 0) {
+    return "-";
+  }
+  std::time_t seconds = static_cast<std::time_t>(timestamp_ms / 1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_utc);
+  return buf;
+}
+
+double PruneRatePercent(const LedgerMetrics& m) {
+  int64_t tested = 0;
+  int64_t pruned = 0;
+  for (const LedgerPrunePattern& pattern : m.prune_patterns) {
+    tested += pattern.tested;
+    pruned += pattern.pruned;
+  }
+  return tested > 0 ? 100.0 * static_cast<double>(pruned) / static_cast<double>(tested) : 0.0;
+}
+
+// One single-series sparkline: a 2px polyline plus hoverable point markers
+// (native <title> tooltips — the zero-script stand-in for a tooltip layer).
+// Single series, so no legend; the tile caption names it and the last value
+// is direct-labeled.
+std::string Sparkline(const std::vector<double>& values, int decimals) {
+  const double width = 260.0;
+  const double height = 56.0;
+  const double pad = 6.0;
+  std::string svg = "<svg class=\"spark\" viewBox=\"0 0 260 72\" role=\"img\" "
+                    "preserveAspectRatio=\"none\">";
+  if (values.size() < 2) {
+    svg += "<text x=\"8\" y=\"40\" class=\"spark-empty\">need \xe2\x89\xa5 2 runs for a trend"
+           "</text></svg>";
+    return svg;
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span = hi - lo;
+  if (span <= 0) {
+    span = 1.0;  // flat line renders mid-height
+  }
+  auto x_at = [&](size_t i) {
+    return pad + (width - 2 * pad) * static_cast<double>(i) /
+               static_cast<double>(values.size() - 1);
+  };
+  auto y_at = [&](double v) { return pad + (height - 2 * pad) * (1.0 - (v - lo) / span) + 8.0; };
+
+  std::string points;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!points.empty()) {
+      points += ' ';
+    }
+    points += FormatDouble(x_at(i), 1) + "," + FormatDouble(y_at(values[i]), 1);
+  }
+  svg += "<polyline class=\"spark-line\" fill=\"none\" points=\"" + points + "\"/>";
+  for (size_t i = 0; i < values.size(); ++i) {
+    svg += "<circle class=\"spark-dot\" cx=\"" + FormatDouble(x_at(i), 1) + "\" cy=\"" +
+           FormatDouble(y_at(values[i]), 1) + "\" r=\"4\"><title>run " +
+           std::to_string(i + 1) + ": " + FormatDouble(values[i], decimals) +
+           "</title></circle>";
+  }
+  // Direct label on the newest value only (selective labeling).
+  svg += "<text class=\"spark-label\" x=\"" + FormatDouble(x_at(values.size() - 1) - 4, 1) +
+         "\" y=\"" + FormatDouble(std::max(14.0, y_at(values.back()) - 8), 1) +
+         "\" text-anchor=\"end\">" + FormatDouble(values.back(), decimals) + "</text>";
+  svg += "</svg>";
+  return svg;
+}
+
+void StatTile(std::string& out, const std::string& value, const std::string& caption,
+              const std::string& badge_class = "") {
+  out += "<div class=\"tile\"><div class=\"tile-value";
+  if (!badge_class.empty()) {
+    out += " " + badge_class;
+  }
+  out += "\">" + value + "</div><div class=\"tile-caption\">" + caption + "</div></div>";
+}
+
+const char* kStyle = R"css(
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb;
+  --surface-2: #f0efec;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-critical: #d03b3b;
+  --border: #dddcd8;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19;
+    --surface-2: #262624;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --series-1: #3987e5;
+    --border: #3c3b38;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface-1); color: var(--text-primary);
+  font: 14px/1.5 -apple-system, "Segoe UI", Roboto, "Helvetica Neue", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-2); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px; min-width: 130px;
+}
+.tile-value { font-size: 24px; font-weight: 600; font-variant-numeric: tabular-nums; }
+.tile-caption { color: var(--text-secondary); font-size: 12px; }
+.delta-new { color: var(--status-critical); }
+.delta-fixed { color: var(--status-good); }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.card {
+  background: var(--surface-2); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px;
+}
+.card h3 { margin: 0 0 6px; font-size: 13px; font-weight: 600; color: var(--text-secondary); }
+.spark { width: 260px; height: 72px; display: block; }
+.spark-line { stroke: var(--series-1); stroke-width: 2; }
+.spark-dot { fill: var(--series-1); stroke: var(--surface-2); stroke-width: 2; }
+.spark-label { fill: var(--text-primary); font-size: 11px; font-weight: 600; }
+.spark-empty { fill: var(--text-secondary); font-size: 11px; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 6px 10px; border-bottom: 1px solid var(--border); }
+th { color: var(--text-secondary); font-size: 12px; font-weight: 600; }
+td { font-variant-numeric: tabular-nums; }
+tr:hover td { background: var(--surface-2); }
+.badge {
+  display: inline-block; padding: 1px 8px; border-radius: 10px; font-size: 11px;
+  font-weight: 600; border: 1px solid var(--border); color: var(--text-secondary);
+}
+.badge-new { border-color: var(--status-critical); color: var(--status-critical); }
+.badge-fixed { border-color: var(--status-good); color: var(--status-good); }
+.fp { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; font-size: 12px;
+      color: var(--text-secondary); }
+.empty { color: var(--text-secondary); padding: 24px 0; }
+)css";
+
+}  // namespace
+
+std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
+  std::string out;
+  out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+         "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+         "<title>valuecheck run ledger</title>\n<style>";
+  out += kStyle;
+  out += "</style>\n</head>\n<body>\n";
+  out += "<h1>valuecheck run ledger</h1>\n";
+
+  if (runs.empty()) {
+    out += "<p class=\"empty\">The ledger has no runs yet. Record one with "
+           "<code>valuecheck analyze --ledger DIR ...</code></p>\n</body>\n</html>\n";
+    return out;
+  }
+
+  const RunRecord& latest = runs.back();
+  const RunRecord* previous = runs.size() >= 2 ? &runs[runs.size() - 2] : nullptr;
+
+  // New/fixed deltas against the previous run, by fingerprint.
+  std::set<std::string> latest_fps;
+  std::set<std::string> prev_fps;
+  for (const LedgerFinding& finding : latest.findings) {
+    latest_fps.insert(finding.fingerprint);
+  }
+  size_t new_count = 0;
+  size_t fixed_count = 0;
+  if (previous != nullptr) {
+    for (const LedgerFinding& finding : previous->findings) {
+      prev_fps.insert(finding.fingerprint);
+    }
+    for (const std::string& fp : latest_fps) {
+      if (!prev_fps.count(fp)) {
+        ++new_count;
+      }
+    }
+    for (const std::string& fp : prev_fps) {
+      if (!latest_fps.count(fp)) {
+        ++fixed_count;
+      }
+    }
+  }
+
+  out += "<p class=\"subtitle\">" + std::to_string(runs.size()) + " run(s) \xc2\xb7 latest " +
+         EscapeHtml(latest.run_id) + " (" + FormatTimestamp(latest.timestamp_ms) + " UTC)" +
+         (latest.label.empty() ? "" : " \xc2\xb7 " + EscapeHtml(latest.label)) + "</p>\n";
+
+  out += "<div class=\"tiles\">";
+  StatTile(out, std::to_string(latest.findings.size()), "findings (latest)");
+  if (previous != nullptr) {
+    StatTile(out, (new_count > 0 ? "+" : "") + std::to_string(new_count), "new vs " +
+             EscapeHtml(previous->run_id), new_count > 0 ? "delta-new" : "");
+    StatTile(out, "\xe2\x88\x92" + std::to_string(fixed_count), "fixed vs " +
+             EscapeHtml(previous->run_id), fixed_count > 0 ? "delta-fixed" : "");
+  }
+  StatTile(out, FormatDouble(latest.metrics.analysis_seconds, 3) + "s", "analysis time");
+  StatTile(out, std::to_string(latest.jobs), "jobs");
+  StatTile(out, std::to_string(latest.metrics.functions_analyzed), "functions analyzed");
+  out += "</div>\n";
+
+  // Trends across every ledger run.
+  std::vector<double> findings_trend;
+  std::vector<double> seconds_trend;
+  std::vector<double> prune_trend;
+  std::vector<double> detect_trend;
+  for (const RunRecord& run : runs) {
+    findings_trend.push_back(static_cast<double>(run.findings.size()));
+    seconds_trend.push_back(run.metrics.analysis_seconds);
+    prune_trend.push_back(PruneRatePercent(run.metrics));
+    detect_trend.push_back(run.metrics.detect_seconds);
+  }
+  out += "<h2>Trends (" + std::to_string(runs.size()) + " runs)</h2>\n<div class=\"cards\">";
+  out += "<div class=\"card\"><h3>findings</h3>" + Sparkline(findings_trend, 0) + "</div>";
+  out += "<div class=\"card\"><h3>analysis seconds</h3>" + Sparkline(seconds_trend, 3) + "</div>";
+  out += "<div class=\"card\"><h3>prune rate %</h3>" + Sparkline(prune_trend, 1) + "</div>";
+  out += "<div class=\"card\"><h3>detect seconds</h3>" + Sparkline(detect_trend, 3) + "</div>";
+  out += "</div>\n";
+
+  // Latest findings, new ones flagged (badge carries a text label, so the
+  // state never rides on color alone).
+  out += "<h2>Findings in " + EscapeHtml(latest.run_id) + "</h2>\n";
+  if (latest.findings.empty()) {
+    out += "<p class=\"empty\">No findings \xe2\x80\x94 clean run.</p>\n";
+  } else {
+    out += "<table>\n<tr><th>status</th><th>fingerprint</th><th>file</th><th>line</th>"
+           "<th>function</th><th>variable</th><th>kind</th><th>familiarity</th></tr>\n";
+    for (const LedgerFinding& finding : latest.findings) {
+      bool is_new = previous != nullptr && !prev_fps.count(finding.fingerprint);
+      out += "<tr><td><span class=\"badge" + std::string(is_new ? " badge-new" : "") + "\">" +
+             (is_new ? "new" : "persistent") + "</span></td>";
+      out += "<td class=\"fp\">" + EscapeHtml(finding.fingerprint) + "</td>";
+      out += "<td>" + EscapeHtml(finding.file) + "</td>";
+      out += "<td>" + std::to_string(finding.line) + "</td>";
+      out += "<td>" + EscapeHtml(finding.function) + "</td>";
+      out += "<td>" + EscapeHtml(finding.variable) + "</td>";
+      out += "<td>" + EscapeHtml(finding.kind) + "</td>";
+      out += "<td>" + FormatDouble(finding.familiarity, 2) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+  if (previous != nullptr && fixed_count > 0) {
+    out += "<h2>Fixed since " + EscapeHtml(previous->run_id) + "</h2>\n<table>\n"
+           "<tr><th>status</th><th>fingerprint</th><th>file</th><th>function</th>"
+           "<th>variable</th><th>kind</th></tr>\n";
+    for (const LedgerFinding& finding : previous->findings) {
+      if (latest_fps.count(finding.fingerprint)) {
+        continue;
+      }
+      out += "<tr><td><span class=\"badge badge-fixed\">fixed</span></td>";
+      out += "<td class=\"fp\">" + EscapeHtml(finding.fingerprint) + "</td>";
+      out += "<td>" + EscapeHtml(finding.file) + "</td>";
+      out += "<td>" + EscapeHtml(finding.function) + "</td>";
+      out += "<td>" + EscapeHtml(finding.variable) + "</td>";
+      out += "<td>" + EscapeHtml(finding.kind) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
+  // Run history, newest first (the table view of every trend above).
+  out += "<h2>Run history</h2>\n<table>\n<tr><th>run</th><th>timestamp (UTC)</th>"
+         "<th>label</th><th>jobs</th><th>findings</th><th>analysis s</th>"
+         "<th>prune rate %</th><th>options</th></tr>\n";
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    out += "<tr><td>" + EscapeHtml(it->run_id) + "</td>";
+    out += "<td>" + FormatTimestamp(it->timestamp_ms) + "</td>";
+    out += "<td>" + EscapeHtml(it->label) + "</td>";
+    out += "<td>" + std::to_string(it->jobs) + "</td>";
+    out += "<td>" + std::to_string(it->findings.size()) + "</td>";
+    out += "<td>" + FormatDouble(it->metrics.analysis_seconds, 3) + "</td>";
+    out += "<td>" + FormatDouble(PruneRatePercent(it->metrics), 1) + "</td>";
+    out += "<td>" + EscapeHtml(it->options_summary) + "</td></tr>\n";
+  }
+  out += "</table>\n</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace vc

@@ -1,0 +1,25 @@
+// Zero-dependency single-file HTML dashboard over the run ledger: latest-run
+// stat tiles, the new/fixed delta against the previous run, the latest
+// findings table, trend sparklines (findings, analysis time, prune rate,
+// candidates) across every ledger run, and the run history table. Everything
+// is inline (CSS + SVG, no scripts, no network fetches) so the file can be
+// attached to a CI artifact or mailed around and still render.
+
+#ifndef VALUECHECK_SRC_CORE_HTML_DASHBOARD_H_
+#define VALUECHECK_SRC_CORE_HTML_DASHBOARD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/run_ledger.h"
+
+namespace vc {
+
+// `runs` in append (chronological) order, as RunLedger::Load returns them.
+// Renders a valid page for any count, including zero (an empty-state note);
+// trends need >= 2 runs to draw a line.
+std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_HTML_DASHBOARD_H_

@@ -9,6 +9,9 @@ namespace {
 
 void WriteFinding(JsonWriter& json, const UnusedDefCandidate& cand, const Repository* repo) {
   json.BeginObject();
+  if (!cand.fingerprint.empty()) {
+    json.String("fingerprint", cand.fingerprint);
+  }
   json.String("file", cand.file);
   json.Int("line", cand.def_loc.line);
   json.Int("column", cand.def_loc.column);
@@ -46,11 +49,13 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   json.BeginObject();
   json.String("tool", "valuecheck");
   // Schema history: v1 had no version field; v2 added schema_version plus the
-  // timing/parallelism block (jobs, parse_seconds, detect_seconds); v3 adds
+  // timing/parallelism block (jobs, parse_seconds, detect_seconds); v3 added
   // the diagnostics block and, when the run collected metrics, the metrics
   // object (per-stage seconds, per-pattern prune counters, thread-pool
-  // activity). See DESIGN.md §"JSON report schema" for the contract.
-  json.Int("schema_version", 3);
+  // activity); v4 adds the per-finding "fingerprint" — the stable
+  // content-based identity the run ledger diffs on (src/core/fingerprint.h).
+  // See DESIGN.md §"JSON report schema" for the contract.
+  json.Int("schema_version", 4);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
@@ -199,6 +204,13 @@ std::string ReportToSarif(const ValueCheckReport& report) {
     json.EndObject();
     json.EndObject();   // physicalLocation
     json.EndObject().EndArray();  // locations
+    if (!cand.fingerprint.empty()) {
+      // SARIF's stable-identity channel; code-scanning UIs use it to match
+      // results across runs exactly like the run ledger does.
+      json.Key("partialFingerprints").BeginObject();
+      json.String("valueCheckFingerprint/v1", cand.fingerprint);
+      json.EndObject();
+    }
     json.Key("properties").BeginObject();
     json.Double("familiarity", cand.familiarity);
     json.Bool("crossScope", cand.cross_scope);

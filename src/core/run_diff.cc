@@ -1,0 +1,294 @@
+#include "src/core/run_diff.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/json_writer.h"
+#include "src/support/table_writer.h"
+
+namespace vc {
+
+namespace {
+
+LedgerFinding ToLedgerFinding(const UnusedDefCandidate& cand) {
+  LedgerFinding finding;
+  finding.fingerprint = cand.fingerprint;
+  finding.file = cand.file;
+  finding.line = cand.def_loc.line;
+  finding.function = cand.function;
+  finding.variable = cand.slot_name;
+  finding.kind = CandidateKindName(cand.kind);
+  finding.familiarity = cand.familiarity;
+  return finding;
+}
+
+// Findings sorted by (file, fingerprint) so diff sections render in a stable
+// order independent of either run's internal ordering.
+void SortFindings(std::vector<LedgerFinding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const LedgerFinding& a, const LedgerFinding& b) {
+              if (a.file != b.file) {
+                return a.file < b.file;
+              }
+              return a.fingerprint < b.fingerprint;
+            });
+}
+
+double PruneRate(int64_t pruned, int64_t tested) {
+  return tested > 0 ? static_cast<double>(pruned) / static_cast<double>(tested) : 0.0;
+}
+
+}  // namespace
+
+RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
+                        int64_t timestamp_ms) {
+  RunRecord record;
+  record.timestamp_ms = timestamp_ms;
+  record.label = label;
+  record.jobs = report.jobs;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    record.findings.push_back(ToLedgerFinding(cand));
+  }
+
+  LedgerMetrics& m = record.metrics;
+  m.collected = report.stage.collected;
+  m.analysis_seconds = report.analysis_seconds;
+  m.parse_seconds = report.stage.collected ? report.stage.parse_seconds : report.parse_seconds;
+  m.detect_seconds = report.stage.collected ? report.stage.detect_seconds : report.detect_seconds;
+  m.authorship_seconds = report.stage.authorship_seconds;
+  m.filter_seconds = report.stage.filter_seconds;
+  m.prune_seconds = report.stage.prune_seconds;
+  m.rank_seconds = report.stage.rank_seconds;
+  m.files_parsed = static_cast<int64_t>(report.stage.files_parsed);
+  m.functions_analyzed = static_cast<int64_t>(report.stage.functions_analyzed);
+  m.candidates_detected = static_cast<int64_t>(report.stage.candidates_detected);
+  const PruneStats& prune = report.prune_stats;
+  m.prune_original = prune.original;
+  m.prune_total = prune.TotalPruned();
+  m.prune_remaining = prune.remaining;
+  m.prune_patterns = {
+      {"config_dependency", prune.config_tested, prune.config_dependency},
+      {"cursor", prune.cursor_tested, prune.cursor},
+      {"unused_hints", prune.hints_tested, prune.unused_hints},
+      {"peer_definition", prune.peer_tested, prune.peer_definition},
+      {"stale_code", prune.stale_tested, prune.stale_code},
+  };
+  m.pool_workers = report.stage.pool.workers;
+  m.pool_tasks = static_cast<int64_t>(report.stage.pool.tasks_executed);
+  m.pool_steals = static_cast<int64_t>(report.stage.pool.steals);
+  m.pool_idle_seconds = report.stage.pool.worker_idle_seconds;
+  return record;
+}
+
+RunDiff ComputeRunDiff(const RunRecord& a, const RunRecord& b,
+                       const RegressionThresholds& thresholds) {
+  RunDiff diff;
+  diff.run_a = a.run_id;
+  diff.run_b = b.run_id;
+
+  std::set<std::string> in_a;
+  std::set<std::string> in_b;
+  for (const LedgerFinding& finding : a.findings) {
+    in_a.insert(finding.fingerprint);
+  }
+  for (const LedgerFinding& finding : b.findings) {
+    in_b.insert(finding.fingerprint);
+  }
+  for (const LedgerFinding& finding : b.findings) {
+    (in_a.count(finding.fingerprint) ? diff.persistent : diff.added).push_back(finding);
+  }
+  for (const LedgerFinding& finding : a.findings) {
+    if (!in_b.count(finding.fingerprint)) {
+      diff.fixed.push_back(finding);
+    }
+  }
+  SortFindings(diff.added);
+  SortFindings(diff.fixed);
+  SortFindings(diff.persistent);
+
+  // Deterministic counter deltas first, then timings. The counters come from
+  // the slot-indexed merge so they're identical at any job count.
+  const LedgerMetrics& ma = a.metrics;
+  const LedgerMetrics& mb = b.metrics;
+  auto counter = [&](const std::string& name, double before, double after) {
+    diff.deltas.push_back({name, before, after, /*timing=*/false, /*regressed=*/false});
+  };
+  counter("findings", static_cast<double>(a.findings.size()),
+          static_cast<double>(b.findings.size()));
+  counter("files_parsed", static_cast<double>(ma.files_parsed),
+          static_cast<double>(mb.files_parsed));
+  counter("functions_analyzed", static_cast<double>(ma.functions_analyzed),
+          static_cast<double>(mb.functions_analyzed));
+  counter("candidates_detected", static_cast<double>(ma.candidates_detected),
+          static_cast<double>(mb.candidates_detected));
+  counter("pruned_total", static_cast<double>(ma.prune_total),
+          static_cast<double>(mb.prune_total));
+
+  // Per-pattern prune rates, joined by name (patterns may differ across tool
+  // versions; unmatched ones are compared against an absent 0/0 side).
+  for (const LedgerPrunePattern& pb : mb.prune_patterns) {
+    const LedgerPrunePattern* pa = nullptr;
+    for (const LedgerPrunePattern& candidate : ma.prune_patterns) {
+      if (candidate.name == pb.name) {
+        pa = &candidate;
+        break;
+      }
+    }
+    double before = pa != nullptr ? PruneRate(pa->pruned, pa->tested) : 0.0;
+    double after = PruneRate(pb.pruned, pb.tested);
+    MetricDelta delta{"prune_rate." + pb.name, before, after, false, false};
+    // Only meaningful when both runs actually exercised the pattern.
+    bool comparable = pa != nullptr && pa->tested > 0 && pb.tested > 0;
+    if (comparable && before - after > thresholds.prune_rate_drop) {
+      delta.regressed = true;
+      diff.regressions.push_back("prune rate of " + pb.name + " dropped " +
+                                 FormatDouble(before * 100, 1) + "% -> " +
+                                 FormatDouble(after * 100, 1) + "%");
+    }
+    diff.deltas.push_back(delta);
+  }
+
+  struct StagePair {
+    const char* name;
+    double before;
+    double after;
+  } stages[] = {
+      {"analysis_seconds", ma.analysis_seconds, mb.analysis_seconds},
+      {"parse_seconds", ma.parse_seconds, mb.parse_seconds},
+      {"detect_seconds", ma.detect_seconds, mb.detect_seconds},
+      {"authorship_seconds", ma.authorship_seconds, mb.authorship_seconds},
+      {"filter_seconds", ma.filter_seconds, mb.filter_seconds},
+      {"prune_seconds", ma.prune_seconds, mb.prune_seconds},
+      {"rank_seconds", ma.rank_seconds, mb.rank_seconds},
+  };
+  for (const StagePair& stage : stages) {
+    MetricDelta delta{stage.name, stage.before, stage.after, /*timing=*/true, false};
+    bool breached = stage.after > stage.before * thresholds.stage_ratio &&
+                    stage.after - stage.before > thresholds.stage_floor_seconds;
+    if (breached) {
+      delta.regressed = true;
+      diff.regressions.push_back(std::string(stage.name) + " regressed " +
+                                 FormatDouble(stage.before, 3) + "s -> " +
+                                 FormatDouble(stage.after, 3) + "s (ratio threshold " +
+                                 FormatDouble(thresholds.stage_ratio, 2) + "x)");
+    }
+    diff.deltas.push_back(delta);
+  }
+
+  if (static_cast<int>(diff.added.size()) > thresholds.max_new_findings) {
+    diff.regressions.insert(
+        diff.regressions.begin(),
+        std::to_string(diff.added.size()) + " new finding(s) (allowed: " +
+            std::to_string(thresholds.max_new_findings) + ")");
+  }
+  return diff;
+}
+
+std::string RenderDiffText(const RunDiff& diff, bool include_timings) {
+  std::string out;
+  out += "diff " + diff.run_a + " -> " + diff.run_b + ": " +
+         std::to_string(diff.added.size()) + " new, " + std::to_string(diff.fixed.size()) +
+         " fixed, " + std::to_string(diff.persistent.size()) + " persistent\n";
+
+  auto section = [&](const char* title, const std::vector<LedgerFinding>& findings,
+                     const char* marker) {
+    if (findings.empty()) {
+      return;
+    }
+    out += "\n";
+    out += title;
+    out += ":\n";
+    for (const LedgerFinding& finding : findings) {
+      out += std::string("  ") + marker + " [" + finding.fingerprint + "] " + finding.file +
+             " " + finding.function + "(): " + finding.variable + " (" + finding.kind + ")\n";
+    }
+  };
+  section("new findings", diff.added, "+");
+  section("fixed findings", diff.fixed, "-");
+
+  TableWriter counters({"metric", "before", "after", "delta"});
+  bool any_counter = false;
+  for (const MetricDelta& delta : diff.deltas) {
+    if (delta.timing) {
+      continue;
+    }
+    any_counter = true;
+    bool rate = delta.name.rfind("prune_rate.", 0) == 0;
+    auto fmt = [&](double value) {
+      return rate ? FormatDouble(value * 100, 1) + "%" : std::to_string(static_cast<long long>(value));
+    };
+    std::string change = rate ? FormatDouble((delta.after - delta.before) * 100, 1) + "%"
+                              : std::to_string(static_cast<long long>(delta.after) -
+                                               static_cast<long long>(delta.before));
+    counters.AddRow({delta.name, fmt(delta.before), fmt(delta.after),
+                     change + (delta.regressed ? "  <-- REGRESSED" : "")});
+  }
+  if (any_counter) {
+    out += "\n" + counters.RenderText();
+  }
+
+  if (include_timings) {
+    TableWriter timings({"stage", "before_s", "after_s", "note"});
+    for (const MetricDelta& delta : diff.deltas) {
+      if (!delta.timing) {
+        continue;
+      }
+      timings.AddRow({delta.name, FormatDouble(delta.before, 4), FormatDouble(delta.after, 4),
+                      delta.regressed ? "REGRESSED" : ""});
+    }
+    out += "\n" + timings.RenderText();
+  }
+
+  if (!diff.regressions.empty()) {
+    out += "\nregressions:\n";
+    for (const std::string& line : diff.regressions) {
+      out += "  ! " + line + "\n";
+    }
+  }
+  return out;
+}
+
+std::string DiffToJson(const RunDiff& diff) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("run_a", diff.run_a);
+  json.String("run_b", diff.run_b);
+  auto findings = [&](const char* key, const std::vector<LedgerFinding>& list) {
+    json.Key(key).BeginArray();
+    for (const LedgerFinding& finding : list) {
+      json.BeginObject();
+      json.String("fingerprint", finding.fingerprint);
+      json.String("file", finding.file);
+      json.Int("line", finding.line);
+      json.String("function", finding.function);
+      json.String("variable", finding.variable);
+      json.String("kind", finding.kind);
+      json.EndObject();
+    }
+    json.EndArray();
+  };
+  findings("new", diff.added);
+  findings("fixed", diff.fixed);
+  findings("persistent", diff.persistent);
+  json.Key("metrics").BeginArray();
+  for (const MetricDelta& delta : diff.deltas) {
+    json.BeginObject();
+    json.String("name", delta.name);
+    json.Double("before", delta.before);
+    json.Double("after", delta.after);
+    json.Bool("timing", delta.timing);
+    json.Bool("regressed", delta.regressed);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("regressions").BeginArray();
+  for (const std::string& line : diff.regressions) {
+    json.StringValue(line);
+  }
+  json.EndArray();
+  json.Bool("check_passed", diff.regressions.empty());
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace vc

@@ -79,6 +79,11 @@ struct UnusedDefCandidate {
   // --- Filled by ranking ---
   double familiarity = 0.0;
 
+  // --- Filled at report assembly (src/core/fingerprint.h) ---
+  // Stable content-based identity, line-shift-robust; what the run ledger
+  // diffs on. 16 hex chars; empty until AssignFingerprints runs.
+  std::string fingerprint;
+
   bool FromCall() const { return origin_callee != nullptr || is_synthetic; }
 };
 

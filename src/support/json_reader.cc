@@ -1,0 +1,364 @@
+#include "src/support/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vc {
+
+namespace {
+
+const std::string kEmptyString;
+
+}  // namespace
+
+const JsonValue& JsonValue::NullValue() {
+  static const JsonValue null;
+  return null;
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+int64_t JsonValue::AsInt(int64_t fallback) const {
+  if (kind_ != Kind::kNumber) {
+    return fallback;
+  }
+  return integral_ ? int_ : static_cast<int64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  return kind_ == Kind::kString ? string_ : kEmptyString;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) {
+      return value;
+    }
+  }
+  return NullValue();
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::At(size_t index) const {
+  return index < array_.size() ? array_[index] : NullValue();
+}
+
+std::string JsonValue::GetString(const std::string& key, const std::string& fallback) const {
+  const JsonValue& value = Get(key);
+  return value.kind_ == Kind::kString ? value.string_ : fallback;
+}
+
+int64_t JsonValue::GetInt(const std::string& key, int64_t fallback) const {
+  const JsonValue& value = Get(key);
+  return value.kind_ == Kind::kNumber ? value.AsInt(fallback) : fallback;
+}
+
+double JsonValue::GetDouble(const std::string& key, double fallback) const {
+  const JsonValue& value = Get(key);
+  return value.kind_ == Kind::kNumber ? value.number_ : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue& value = Get(key);
+  return value.kind_ == Kind::kBool ? value.bool_ : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    std::optional<JsonValue> value = ParseValue();
+    if (value.has_value()) {
+      SkipWhitespace();
+      if (pos_ != text_.size()) {
+        Fail("trailing content after document");
+        value.reset();
+      }
+    }
+    if (!value.has_value() && error != nullptr) {
+      *error = error_;
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseKeyword();
+      case 'n':
+        return ParseNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      if (!Consume(':')) {
+        return std::nullopt;
+      }
+      std::optional<JsonValue> member = ParseValue();
+      if (!member.has_value()) {
+        return std::nullopt;
+      }
+      value.object_.emplace_back(key->string_, std::move(*member));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        SkipWhitespace();
+        continue;
+      }
+      if (!Consume('}')) {
+        return std::nullopt;
+      }
+      return value;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      std::optional<JsonValue> element = ParseValue();
+      if (!element.has_value()) {
+        return std::nullopt;
+      }
+      value.array_.push_back(std::move(*element));
+      SkipWhitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Consume(']')) {
+        return std::nullopt;
+      }
+      return value;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kString;
+    std::string& out = value.string_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return value;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode (surrogate pairs are not recombined; JsonWriter only
+          // emits \u00XX control escapes, so BMP coverage is sufficient).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseKeyword() {
+    auto match = [&](std::string_view word) {
+      return text_.substr(pos_, word.size()) == word;
+    };
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kBool;
+    if (match("true")) {
+      value.bool_ = true;
+      pos_ += 4;
+      return value;
+    }
+    if (match("false")) {
+      value.bool_ = false;
+      pos_ += 5;
+      return value;
+    }
+    Fail("unknown keyword");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue();
+    }
+    Fail("unknown keyword");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      Fail("expected value");
+      return std::nullopt;
+    }
+    std::string literal(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.number_ = std::strtod(literal.c_str(), &end);
+    if (end == literal.c_str() || *end != '\0') {
+      pos_ = start;
+      Fail("malformed number");
+      return std::nullopt;
+    }
+    if (integral) {
+      value.integral_ = true;
+      value.int_ = std::strtoll(literal.c_str(), nullptr, 10);
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error) {
+  return JsonParser(text).Parse(error);
+}
+
+}  // namespace vc

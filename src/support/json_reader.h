@@ -1,0 +1,78 @@
+// Minimal recursive-descent JSON parser — the read-side twin of JsonWriter.
+// The run ledger stores every analysis run as one JSON object per line
+// (JSONL); loading history back for diffs and dashboards needs a parser, and
+// the project stays zero-dependency, so this is a small self-contained one.
+//
+// Supports the full JSON value grammar (objects, arrays, strings with the
+// escapes JsonWriter emits, numbers, booleans, null). Numbers are held as
+// double plus a lossless int64 when the literal was integral. Not streaming:
+// parses one complete document per call, which matches the one-record-per-
+// line ledger format.
+
+#ifndef VALUECHECK_SRC_SUPPORT_JSON_READER_H_
+#define VALUECHECK_SRC_SUPPORT_JSON_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vc {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+
+  // Typed accessors; return the fallback when the value has another kind.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString() const;  // empty string fallback
+
+  // Object lookup: null-kind sentinel when absent (chainable).
+  const JsonValue& Get(const std::string& key) const;
+  bool Has(const std::string& key) const;
+
+  // Array access.
+  size_t Size() const { return array_.size(); }
+  const JsonValue& At(size_t index) const;
+  const std::vector<JsonValue>& Items() const { return array_; }
+
+  // Convenience: obj.Get(key).As* with one call.
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Members in insertion order (object kind only).
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const { return object_; }
+
+ private:
+  friend class JsonParser;
+  static const JsonValue& NullValue();
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  bool integral_ = false;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses one JSON document. On failure returns nullopt and, when `error` is
+// non-null, stores a message with the byte offset of the problem.
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_JSON_READER_H_

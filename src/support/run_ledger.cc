@@ -1,0 +1,315 @@
+#include "src/support/run_ledger.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/support/json_reader.h"
+#include "src/support/json_writer.h"
+
+namespace vc {
+
+namespace {
+
+std::string FormatRunId(size_t ordinal) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "r%04zu", ordinal);
+  return buf;
+}
+
+void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
+  json.Key("metrics").BeginObject();
+  json.Bool("collected", m.collected);
+  json.Double("analysis_seconds", m.analysis_seconds);
+  json.Key("stages").BeginObject();
+  json.Double("parse", m.parse_seconds);
+  json.Double("detect", m.detect_seconds);
+  json.Double("authorship", m.authorship_seconds);
+  json.Double("filter", m.filter_seconds);
+  json.Double("prune", m.prune_seconds);
+  json.Double("rank", m.rank_seconds);
+  json.EndObject();
+  json.Key("counters").BeginObject();
+  json.Int("files_parsed", m.files_parsed);
+  json.Int("functions_analyzed", m.functions_analyzed);
+  json.Int("candidates_detected", m.candidates_detected);
+  json.Int("prune_original", m.prune_original);
+  json.Int("prune_total", m.prune_total);
+  json.Int("prune_remaining", m.prune_remaining);
+  json.EndObject();
+  json.Key("prune_patterns").BeginArray();
+  for (const LedgerPrunePattern& pattern : m.prune_patterns) {
+    json.BeginObject();
+    json.String("name", pattern.name);
+    json.Int("tested", pattern.tested);
+    json.Int("pruned", pattern.pruned);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("thread_pool").BeginObject();
+  json.Int("workers", m.pool_workers);
+  json.Int("tasks", m.pool_tasks);
+  json.Int("steals", m.pool_steals);
+  json.Double("idle_seconds", m.pool_idle_seconds);
+  json.EndObject();
+  json.EndObject();  // metrics
+}
+
+LedgerMetrics ReadMetrics(const JsonValue& value) {
+  LedgerMetrics m;
+  m.collected = value.GetBool("collected");
+  m.analysis_seconds = value.GetDouble("analysis_seconds");
+  const JsonValue& stages = value.Get("stages");
+  m.parse_seconds = stages.GetDouble("parse");
+  m.detect_seconds = stages.GetDouble("detect");
+  m.authorship_seconds = stages.GetDouble("authorship");
+  m.filter_seconds = stages.GetDouble("filter");
+  m.prune_seconds = stages.GetDouble("prune");
+  m.rank_seconds = stages.GetDouble("rank");
+  const JsonValue& counters = value.Get("counters");
+  m.files_parsed = counters.GetInt("files_parsed");
+  m.functions_analyzed = counters.GetInt("functions_analyzed");
+  m.candidates_detected = counters.GetInt("candidates_detected");
+  m.prune_original = counters.GetInt("prune_original");
+  m.prune_total = counters.GetInt("prune_total");
+  m.prune_remaining = counters.GetInt("prune_remaining");
+  for (const JsonValue& pattern : value.Get("prune_patterns").Items()) {
+    LedgerPrunePattern p;
+    p.name = pattern.GetString("name");
+    p.tested = pattern.GetInt("tested");
+    p.pruned = pattern.GetInt("pruned");
+    m.prune_patterns.push_back(std::move(p));
+  }
+  const JsonValue& pool = value.Get("thread_pool");
+  m.pool_workers = static_cast<int>(pool.GetInt("workers"));
+  m.pool_tasks = pool.GetInt("tasks");
+  m.pool_steals = pool.GetInt("steals");
+  m.pool_idle_seconds = pool.GetDouble("idle_seconds");
+  return m;
+}
+
+}  // namespace
+
+std::string RunRecordToJson(const RunRecord& record) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Int("ledger_schema", RunRecord::kSchemaVersion);
+  json.String("run_id", record.run_id);
+  json.Int("timestamp_ms", record.timestamp_ms);
+  json.String("label", record.label);
+  json.String("options", record.options_summary);
+  json.Int("jobs", record.jobs);
+  json.Key("findings").BeginArray();
+  for (const LedgerFinding& finding : record.findings) {
+    json.BeginObject();
+    json.String("fingerprint", finding.fingerprint);
+    json.String("file", finding.file);
+    json.Int("line", finding.line);
+    json.String("function", finding.function);
+    json.String("variable", finding.variable);
+    json.String("kind", finding.kind);
+    json.Double("familiarity", finding.familiarity);
+    json.EndObject();
+  }
+  json.EndArray();
+  WriteMetrics(json, record.metrics);
+  json.EndObject();
+  return json.str();
+}
+
+std::optional<RunRecord> RunRecordFromJson(const std::string& line, std::string* error) {
+  std::optional<JsonValue> value = ParseJson(line, error);
+  if (!value.has_value()) {
+    return std::nullopt;
+  }
+  if (!value->IsObject() || !value->Has("run_id")) {
+    if (error != nullptr) {
+      *error = "not a run record object";
+    }
+    return std::nullopt;
+  }
+  RunRecord record;
+  record.run_id = value->GetString("run_id");
+  record.timestamp_ms = value->GetInt("timestamp_ms");
+  record.label = value->GetString("label");
+  record.options_summary = value->GetString("options");
+  record.jobs = static_cast<int>(value->GetInt("jobs", 1));
+  for (const JsonValue& entry : value->Get("findings").Items()) {
+    LedgerFinding finding;
+    finding.fingerprint = entry.GetString("fingerprint");
+    finding.file = entry.GetString("file");
+    finding.line = static_cast<int>(entry.GetInt("line"));
+    finding.function = entry.GetString("function");
+    finding.variable = entry.GetString("variable");
+    finding.kind = entry.GetString("kind");
+    finding.familiarity = entry.GetDouble("familiarity");
+    record.findings.push_back(std::move(finding));
+  }
+  record.metrics = ReadMetrics(value->Get("metrics"));
+  return record;
+}
+
+RunLedger::RunLedger(std::string dir) : dir_(std::move(dir)) {}
+
+std::string RunLedger::LedgerFile() const {
+  return (std::filesystem::path(dir_) / "runs.jsonl").string();
+}
+
+std::string RunLedger::Append(RunRecord record, std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create ledger dir " + dir_ + ": " + ec.message();
+    }
+    return "";
+  }
+  if (record.run_id.empty()) {
+    std::optional<std::vector<RunRecord>> existing = Load(error);
+    if (!existing.has_value()) {
+      return "";
+    }
+    // Number past the highest surviving id, not the record count — after a
+    // Compact the count shrinks but reusing dropped ids would collide with
+    // the kept tail.
+    size_t next = existing->size() + 1;
+    for (const RunRecord& prior : *existing) {
+      if (prior.run_id.size() > 1 && prior.run_id[0] == 'r') {
+        long id = std::strtol(prior.run_id.c_str() + 1, nullptr, 10);
+        if (id > 0 && static_cast<size_t>(id) >= next) {
+          next = static_cast<size_t>(id) + 1;
+        }
+      }
+    }
+    record.run_id = FormatRunId(next);
+  }
+  std::ofstream out(LedgerFile(), std::ios::app | std::ios::binary);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + LedgerFile() + " for append";
+    }
+    return "";
+  }
+  out << RunRecordToJson(record) << '\n';
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "write to " + LedgerFile() + " failed";
+    }
+    return "";
+  }
+  return record.run_id;
+}
+
+std::optional<std::vector<RunRecord>> RunLedger::Load(std::string* error, int* skipped) const {
+  std::vector<RunRecord> records;
+  std::ifstream in(LedgerFile(), std::ios::binary);
+  if (!in) {
+    // No ledger yet — an empty history, not an error (first run of a fresh
+    // checkout appends to it moments later).
+    return records;
+  }
+  std::string line;
+  int bad = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::optional<RunRecord> record = RunRecordFromJson(line);
+    if (record.has_value()) {
+      records.push_back(std::move(*record));
+    } else {
+      ++bad;
+    }
+  }
+  if (skipped != nullptr) {
+    *skipped = bad;
+  }
+  (void)error;
+  return records;
+}
+
+std::optional<RunRecord> RunLedger::Find(const std::string& selector, std::string* error) const {
+  std::optional<std::vector<RunRecord>> records = Load(error);
+  if (!records.has_value()) {
+    return std::nullopt;
+  }
+  auto fail = [&](const std::string& message) -> std::optional<RunRecord> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+  if (records->empty()) {
+    return fail("ledger at " + dir_ + " has no runs");
+  }
+  std::string sel = selector;
+  if (sel.empty() || sel == "latest") {
+    sel = "-1";
+  } else if (sel == "prev") {
+    sel = "-2";
+  }
+  if (!sel.empty() && sel[0] == 'r') {
+    for (const RunRecord& record : *records) {
+      if (record.run_id == sel) {
+        return record;
+      }
+    }
+    return fail("no run with id '" + sel + "' in " + dir_);
+  }
+  char* end = nullptr;
+  long index = std::strtol(sel.c_str(), &end, 10);
+  if (end == sel.c_str() || *end != '\0') {
+    return fail("bad run selector '" + selector + "' (expected latest, prev, rNNNN, N, or -N)");
+  }
+  long size = static_cast<long>(records->size());
+  long resolved = index < 0 ? size + index : index - 1;  // 1-based positives
+  if (resolved < 0 || resolved >= size) {
+    return fail("run selector '" + selector + "' out of range (ledger has " +
+                std::to_string(size) + " run(s))");
+  }
+  return (*records)[static_cast<size_t>(resolved)];
+}
+
+int RunLedger::Compact(int keep_last, std::string* error) {
+  std::optional<std::vector<RunRecord>> records = Load(error);
+  if (!records.has_value()) {
+    return -1;
+  }
+  if (keep_last < 0) {
+    keep_last = 0;
+  }
+  int dropped = static_cast<int>(records->size()) - keep_last;
+  if (dropped <= 0) {
+    return 0;
+  }
+  // Rewrite via a temp file + rename so a crash mid-compact never loses the
+  // ledger (rename within one directory is atomic on POSIX).
+  std::string tmp = LedgerFile() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      if (error != nullptr) {
+        *error = "cannot open " + tmp;
+      }
+      return -1;
+    }
+    for (size_t i = records->size() - static_cast<size_t>(keep_last); i < records->size(); ++i) {
+      out << RunRecordToJson((*records)[i]) << '\n';
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, LedgerFile(), ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "rename failed: " + ec.message();
+    }
+    return -1;
+  }
+  return dropped;
+}
+
+}  // namespace vc

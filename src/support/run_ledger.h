@@ -1,0 +1,123 @@
+// Persistent run history for longitudinal analysis ("what changed since the
+// last run?"). Each analysis run is serialized as one JSON object per line in
+// DIR/runs.jsonl — append-only, so concurrent CI jobs can O_APPEND their
+// records and a crashed run never corrupts earlier history (a torn final line
+// is skipped on load).
+//
+// The record is deliberately plain data (strings + numbers, no core types):
+// the ledger lives in support so that both the core differ and standalone
+// tools (benches, the CLI subcommands) can read it without dragging in the
+// analysis pipeline. Findings are identified by their stable content
+// fingerprint (src/core/fingerprint.h), which is what makes run-to-run diffs
+// line-shift-robust.
+
+#ifndef VALUECHECK_SRC_SUPPORT_RUN_LEDGER_H_
+#define VALUECHECK_SRC_SUPPORT_RUN_LEDGER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vc {
+
+// One finding as stored in the ledger. `fingerprint` is the identity used by
+// diffs; the location fields are informational (they move when unrelated code
+// shifts, the fingerprint does not).
+struct LedgerFinding {
+  std::string fingerprint;
+  std::string file;
+  int line = 0;
+  std::string function;
+  std::string variable;
+  std::string kind;
+  double familiarity = 0.0;
+};
+
+// Per-pattern pruning outcome (tested vs actually pruned).
+struct LedgerPrunePattern {
+  std::string name;
+  int64_t tested = 0;
+  int64_t pruned = 0;
+};
+
+// The metrics slice of a run: schema-v3 StageMetrics flattened to plain
+// numbers. `collected` mirrors AnalysisOptions::collect_metrics; when false
+// only the always-available timings are meaningful.
+struct LedgerMetrics {
+  bool collected = false;
+  double analysis_seconds = 0.0;
+  double parse_seconds = 0.0;
+  double detect_seconds = 0.0;
+  double authorship_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double prune_seconds = 0.0;
+  double rank_seconds = 0.0;
+  int64_t files_parsed = 0;
+  int64_t functions_analyzed = 0;
+  int64_t candidates_detected = 0;
+  int64_t prune_original = 0;
+  int64_t prune_total = 0;
+  int64_t prune_remaining = 0;
+  std::vector<LedgerPrunePattern> prune_patterns;
+  int pool_workers = 0;
+  int64_t pool_tasks = 0;
+  int64_t pool_steals = 0;
+  double pool_idle_seconds = 0.0;
+};
+
+// One analysis run. `run_id` is assigned by RunLedger::Append when empty
+// ("r0001", "r0002", ... in append order).
+struct RunRecord {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string run_id;
+  int64_t timestamp_ms = 0;     // caller-supplied wall clock (0 = unknown)
+  std::string label;            // free-form: corpus name, git rev, "bench:jobs=4"
+  std::string options_summary;  // rendered non-default analysis options
+  int jobs = 1;
+  std::vector<LedgerFinding> findings;
+  LedgerMetrics metrics;
+};
+
+// Serialization. One compact JSON object, no trailing newline.
+std::string RunRecordToJson(const RunRecord& record);
+std::optional<RunRecord> RunRecordFromJson(const std::string& line, std::string* error = nullptr);
+
+class RunLedger {
+ public:
+  // `dir` is created on first Append (parents included); Load on a
+  // nonexistent dir yields an empty history, not an error.
+  explicit RunLedger(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string LedgerFile() const;
+
+  // Appends one record, assigning record.run_id when empty. Returns the run
+  // id, or empty string on I/O failure (message in *error).
+  std::string Append(RunRecord record, std::string* error = nullptr);
+
+  // All records in append order. Unparsable lines (e.g. a torn final line
+  // from a crashed writer) are skipped and counted in *skipped if given.
+  std::optional<std::vector<RunRecord>> Load(std::string* error = nullptr,
+                                             int* skipped = nullptr) const;
+
+  // Resolves a run selector against the history:
+  //   "latest" / "-1"      newest run
+  //   "prev" / "-2"        one before newest (and -3, -4, ...)
+  //   "r0007"              explicit run id
+  //   "7"                  1-based position in append order
+  // Returns nullopt (with *error) when the selector matches nothing.
+  std::optional<RunRecord> Find(const std::string& selector, std::string* error = nullptr) const;
+
+  // Rewrites the ledger keeping only the newest `keep_last` records.
+  // Returns the number of records dropped, or -1 on error.
+  int Compact(int keep_last, std::string* error = nullptr);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_RUN_LEDGER_H_

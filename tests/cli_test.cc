@@ -297,8 +297,129 @@ TEST_F(CliTest, BadLogLevelRejectedWithUsage) {
 TEST_F(CliTest, JsonReportCarriesDiagnosticsBlock) {
   std::string path = Write("buggy.c", kBuggy);
   RunResult result = RunCli(path + " --format=json");
-  EXPECT_NE(result.output.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(result.output.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(result.output.find("\"diagnostics\":{\"warnings\":"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonFindingsCarryFingerprints) {
+  std::string path = Write("buggy.c", kBuggy);
+  RunResult result = RunCli(path + " --format=json");
+  EXPECT_NE(result.output.find("\"fingerprint\":\""), std::string::npos);
+  RunResult sarif = RunCli(path + " --format=sarif");
+  EXPECT_NE(sarif.output.find("\"valueCheckFingerprint/v1\":\""), std::string::npos);
+}
+
+TEST_F(CliTest, DashDashTreatsFollowingArgsAsInputs) {
+  // A file literally named like a flag must be analyzable after `--`.
+  std::string path = Write("--metrics.c", kClean);
+  RunResult result = RunCli("-- " + path);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("0 unused definition(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceCreatesParentDirectories) {
+  std::string path = Write("buggy.c", kBuggy);
+  std::string trace_path = (dir_ / "nested" / "deep" / "trace.json").string();
+  RunResult result = RunCli("--trace=" + trace_path + " " + path);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  std::ifstream in(trace_path);
+  EXPECT_TRUE(in.good()) << "trace not written under created parents: " << trace_path;
+}
+
+TEST_F(CliTest, LedgerSelfDiffIsCleanAndCheckPasses) {
+  std::string path = Write("buggy.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  // Two identical runs; findings exist, so analyze exits 1 both times.
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  RunResult diff = RunCli("diff --ledger=" + ledger + " --check");
+  EXPECT_EQ(diff.exit_code, 0) << diff.output;
+  EXPECT_NE(diff.output.find("0 new, 0 fixed, 1 persistent"), std::string::npos);
+  EXPECT_NE(diff.output.find("check: PASSED"), std::string::npos);
+}
+
+TEST_F(CliTest, LedgerDiffFlagsNewFindingAndFailsCheck) {
+  std::string path = Write("evolving.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  // Introduce a second unused definition in a new function.
+  Write("evolving.c", std::string(kBuggy) +
+                          "int extra(int entry, int mode) {\n"
+                          "  int val = get_status(entry);\n"
+                          "  val = mode + 3;\n"
+                          "  return val;\n"
+                          "}\n");
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  RunResult diff = RunCli("diff --ledger=" + ledger + " --check");
+  EXPECT_EQ(diff.exit_code, 1) << diff.output;
+  EXPECT_NE(diff.output.find("1 new, 0 fixed, 1 persistent"), std::string::npos);
+  EXPECT_NE(diff.output.find("check: FAILED"), std::string::npos);
+  EXPECT_NE(diff.output.find("extra(): val"), std::string::npos);
+}
+
+TEST_F(CliTest, LedgerDiffFlagsFixedFinding) {
+  std::string path = Write("evolving.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  Write("evolving.c", kClean);
+  EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 0);
+  RunResult diff = RunCli("diff --ledger=" + ledger + " --check");
+  EXPECT_EQ(diff.exit_code, 0) << diff.output;  // fixes don't fail the gate
+  EXPECT_NE(diff.output.find("0 new, 1 fixed, 0 persistent"), std::string::npos);
+}
+
+TEST_F(CliTest, DiffOutputByteIdenticalAcrossJobs) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  std::string serial = (dir_ / "ledger_j1").string();
+  std::string parallel = (dir_ / "ledger_j8").string();
+  for (int i = 0; i < 2; ++i) {
+    RunCli("analyze --ledger=" + serial + " --jobs=1 " + dir_.string());
+    RunCli("analyze --ledger=" + parallel + " --jobs=8 " + dir_.string());
+  }
+  RunResult diff_serial = RunCliStdout("diff --ledger=" + serial);
+  RunResult diff_parallel = RunCliStdout("diff --ledger=" + parallel);
+  EXPECT_EQ(diff_serial.exit_code, 0);
+  EXPECT_EQ(diff_serial.output, diff_parallel.output);
+}
+
+TEST_F(CliTest, HistoryListsRunsAndHonorsLimit) {
+  std::string path = Write("buggy.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  RunCli("analyze --ledger=" + ledger + " --label=first " + path);
+  RunCli("analyze --ledger=" + ledger + " --label=second " + path);
+  RunResult history = RunCli("history --ledger=" + ledger);
+  EXPECT_EQ(history.exit_code, 0) << history.output;
+  EXPECT_NE(history.output.find("r0001"), std::string::npos);
+  EXPECT_NE(history.output.find("r0002"), std::string::npos);
+  EXPECT_NE(history.output.find("first"), std::string::npos);
+  EXPECT_NE(history.output.find("second"), std::string::npos);
+  RunResult limited = RunCli("history --ledger=" + ledger + " --limit=1");
+  EXPECT_EQ(limited.output.find("r0001"), std::string::npos) << limited.output;
+  EXPECT_NE(limited.output.find("r0002"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportHtmlRendersTrendDashboard) {
+  std::string path = Write("buggy.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  RunCli("analyze --ledger=" + ledger + " " + path);
+  RunCli("analyze --ledger=" + ledger + " " + path);
+  std::string html_path = (dir_ / "dash" / "index.html").string();
+  RunResult report = RunCli("report --ledger=" + ledger + " --html=" + html_path);
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  EXPECT_NE(report.output.find("2 run(s)"), std::string::npos);
+  std::ifstream in(html_path);
+  ASSERT_TRUE(in.good()) << "dashboard not written: " << html_path;
+  std::string html((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(html.find("<svg"), std::string::npos) << "no trend sparkline";
+  EXPECT_NE(html.find("valuecheck run ledger"), std::string::npos);
+  EXPECT_NE(html.find("r0002"), std::string::npos);
+}
+
+TEST_F(CliTest, DiffOnMissingLedgerExitsTwo) {
+  RunResult result = RunCli("diff --ledger=" + (dir_ / "nope").string());
+  EXPECT_EQ(result.exit_code, 2);
 }
 
 TEST_F(CliTest, TopLimitsTextOutput) {

@@ -1,0 +1,199 @@
+// Run ledger: JSONL round-trip, append-order ids, torn-line tolerance,
+// selector resolution, and compaction.
+
+#include "src/support/run_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace vc {
+namespace {
+
+class RunLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("vc_ledger_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string LedgerDir() const { return (dir_ / "ledger").string(); }
+
+  std::filesystem::path dir_;
+};
+
+RunRecord SampleRecord(const std::string& label) {
+  RunRecord record;
+  record.timestamp_ms = 1700000000123;
+  record.label = label;
+  record.options_summary = "all-scopes no-prune-cursor";
+  record.jobs = 4;
+  record.findings.push_back(
+      {"0123456789abcdef", "src/a.c", 42, "handle", "ret", "overwritten_def", 0.25});
+  record.findings.push_back(
+      {"fedcba9876543210", "src/b.c", 7, "drive", "got", "unused_retval", 0.0});
+  LedgerMetrics& m = record.metrics;
+  m.collected = true;
+  m.analysis_seconds = 1.5;
+  m.parse_seconds = 0.75;
+  m.detect_seconds = 0.25;
+  m.files_parsed = 12;
+  m.functions_analyzed = 340;
+  m.candidates_detected = 9;
+  m.prune_original = 9;
+  m.prune_total = 7;
+  m.prune_remaining = 2;
+  m.prune_patterns.push_back({"config_dependency", 9, 4});
+  m.prune_patterns.push_back({"cursor", 5, 3});
+  m.pool_workers = 4;
+  m.pool_tasks = 88;
+  m.pool_steals = 3;
+  m.pool_idle_seconds = 0.01;
+  return record;
+}
+
+TEST_F(RunLedgerTest, RecordRoundTripsThroughJson) {
+  RunRecord record = SampleRecord("round-trip");
+  record.run_id = "r0042";
+  std::string json = RunRecordToJson(record);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "record must be a single line";
+
+  std::string error;
+  std::optional<RunRecord> back = RunRecordFromJson(json, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->run_id, "r0042");
+  EXPECT_EQ(back->timestamp_ms, 1700000000123);
+  EXPECT_EQ(back->label, "round-trip");
+  EXPECT_EQ(back->options_summary, "all-scopes no-prune-cursor");
+  EXPECT_EQ(back->jobs, 4);
+  ASSERT_EQ(back->findings.size(), 2u);
+  EXPECT_EQ(back->findings[0].fingerprint, "0123456789abcdef");
+  EXPECT_EQ(back->findings[0].file, "src/a.c");
+  EXPECT_EQ(back->findings[0].line, 42);
+  EXPECT_EQ(back->findings[0].function, "handle");
+  EXPECT_EQ(back->findings[0].variable, "ret");
+  EXPECT_EQ(back->findings[0].kind, "overwritten_def");
+  EXPECT_DOUBLE_EQ(back->findings[0].familiarity, 0.25);
+  EXPECT_TRUE(back->metrics.collected);
+  EXPECT_DOUBLE_EQ(back->metrics.analysis_seconds, 1.5);
+  EXPECT_EQ(back->metrics.files_parsed, 12);
+  EXPECT_EQ(back->metrics.functions_analyzed, 340);
+  ASSERT_EQ(back->metrics.prune_patterns.size(), 2u);
+  EXPECT_EQ(back->metrics.prune_patterns[1].name, "cursor");
+  EXPECT_EQ(back->metrics.prune_patterns[1].tested, 5);
+  EXPECT_EQ(back->metrics.prune_patterns[1].pruned, 3);
+  EXPECT_EQ(back->metrics.pool_workers, 4);
+  EXPECT_EQ(back->metrics.pool_tasks, 88);
+}
+
+TEST_F(RunLedgerTest, GarbageLineIsRejectedWithError) {
+  std::string error;
+  EXPECT_FALSE(RunRecordFromJson("{\"run_id\":", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(RunRecordFromJson("[1,2,3]").has_value());
+}
+
+TEST_F(RunLedgerTest, AppendAssignsSequentialRunIds) {
+  RunLedger ledger(LedgerDir());
+  EXPECT_EQ(ledger.Append(SampleRecord("one")), "r0001");
+  EXPECT_EQ(ledger.Append(SampleRecord("two")), "r0002");
+  EXPECT_EQ(ledger.Append(SampleRecord("three")), "r0003");
+
+  std::optional<std::vector<RunRecord>> runs = ledger.Load();
+  ASSERT_TRUE(runs.has_value());
+  ASSERT_EQ(runs->size(), 3u);
+  EXPECT_EQ((*runs)[0].label, "one");
+  EXPECT_EQ((*runs)[2].run_id, "r0003");
+}
+
+TEST_F(RunLedgerTest, AppendCreatesNestedDirectories) {
+  RunLedger ledger((dir_ / "deeply" / "nested" / "ledger").string());
+  std::string error;
+  EXPECT_EQ(ledger.Append(SampleRecord("nested"), &error), "r0001") << error;
+  EXPECT_TRUE(std::filesystem::exists(ledger.LedgerFile()));
+}
+
+TEST_F(RunLedgerTest, LoadOnMissingDirectoryYieldsEmptyHistory) {
+  RunLedger ledger(LedgerDir());
+  std::optional<std::vector<RunRecord>> runs = ledger.Load();
+  ASSERT_TRUE(runs.has_value());
+  EXPECT_TRUE(runs->empty());
+}
+
+TEST_F(RunLedgerTest, TornFinalLineIsSkippedNotFatal) {
+  RunLedger ledger(LedgerDir());
+  ledger.Append(SampleRecord("one"));
+  ledger.Append(SampleRecord("two"));
+  // Simulate a crashed writer: a half-flushed record on the final line.
+  {
+    std::ofstream out(ledger.LedgerFile(), std::ios::app);
+    out << "{\"schema\":1,\"run_id\":\"r00";
+  }
+  std::string error;
+  int skipped = 0;
+  std::optional<std::vector<RunRecord>> runs = ledger.Load(&error, &skipped);
+  ASSERT_TRUE(runs.has_value()) << error;
+  EXPECT_EQ(runs->size(), 2u);
+  EXPECT_EQ(skipped, 1);
+  // And the ledger stays appendable after the torn line.
+  EXPECT_EQ(ledger.Append(SampleRecord("three")), "r0003");
+}
+
+TEST_F(RunLedgerTest, FindResolvesSelectors) {
+  RunLedger ledger(LedgerDir());
+  ledger.Append(SampleRecord("one"));
+  ledger.Append(SampleRecord("two"));
+  ledger.Append(SampleRecord("three"));
+
+  auto label_of = [&](const std::string& selector) {
+    std::optional<RunRecord> run = ledger.Find(selector);
+    return run.has_value() ? run->label : std::string("<none>");
+  };
+  EXPECT_EQ(label_of("latest"), "three");
+  EXPECT_EQ(label_of("prev"), "two");
+  EXPECT_EQ(label_of("r0001"), "one");
+  EXPECT_EQ(label_of("2"), "two");
+  EXPECT_EQ(label_of("-1"), "three");
+  EXPECT_EQ(label_of("-3"), "one");
+
+  std::string error;
+  EXPECT_FALSE(ledger.Find("r0099", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ledger.Find("-4").has_value());
+  EXPECT_FALSE(ledger.Find("0").has_value());
+  EXPECT_FALSE(ledger.Find("bogus").has_value());
+}
+
+TEST_F(RunLedgerTest, CompactKeepsNewestRuns) {
+  RunLedger ledger(LedgerDir());
+  for (int i = 1; i <= 5; ++i) {
+    ledger.Append(SampleRecord("run" + std::to_string(i)));
+  }
+  std::string error;
+  EXPECT_EQ(ledger.Compact(2, &error), 3) << error;
+
+  std::optional<std::vector<RunRecord>> runs = ledger.Load();
+  ASSERT_TRUE(runs.has_value());
+  ASSERT_EQ(runs->size(), 2u);
+  // Surviving records keep their original ids; new appends continue after.
+  EXPECT_EQ((*runs)[0].run_id, "r0004");
+  EXPECT_EQ((*runs)[1].run_id, "r0005");
+  EXPECT_EQ(ledger.Append(SampleRecord("after")), "r0006");
+}
+
+TEST_F(RunLedgerTest, CompactLargerThanHistoryDropsNothing) {
+  RunLedger ledger(LedgerDir());
+  ledger.Append(SampleRecord("one"));
+  EXPECT_EQ(ledger.Compact(10), 0);
+  std::optional<std::vector<RunRecord>> runs = ledger.Load();
+  ASSERT_TRUE(runs.has_value());
+  EXPECT_EQ(runs->size(), 1u);
+}
+
+}  // namespace
+}  // namespace vc

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "src/support/diagnostics.h"
+#include "src/support/json_reader.h"
+#include "src/support/json_writer.h"
 #include "src/support/regression.h"
 #include "src/support/rng.h"
 #include "src/support/source_manager.h"
@@ -272,6 +274,75 @@ TEST(Rng, GaussianRoughMoments) {
   double var = sq / n - mean * mean;
   EXPECT_NEAR(mean, 5.0, 0.1);
   EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+// --- json_reader -----------------------------------------------------------
+
+TEST(JsonReader, ParsesScalarsArraysObjects) {
+  std::optional<JsonValue> value =
+      ParseJson(R"({"s":"hi","n":3.5,"i":42,"b":true,"z":null,"a":[1,2,3]})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->GetString("s"), "hi");
+  EXPECT_DOUBLE_EQ(value->GetDouble("n"), 3.5);
+  EXPECT_EQ(value->GetInt("i"), 42);
+  EXPECT_TRUE(value->GetBool("b"));
+  EXPECT_TRUE(value->Get("z").IsNull());
+  ASSERT_EQ(value->Get("a").Size(), 3u);
+  EXPECT_EQ(value->Get("a").At(1).AsInt(), 2);
+}
+
+TEST(JsonReader, IntegralLiteralsSurviveInt64RoundTrip) {
+  // Millisecond timestamps exceed double's exact-integer comfort zone only
+  // past 2^53, but the int64 side must be lossless regardless.
+  std::optional<JsonValue> value = ParseJson(R"({"ts":1700000000123})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->GetInt("ts"), 1700000000123);
+}
+
+TEST(JsonReader, StringEscapes) {
+  std::optional<JsonValue> value = ParseJson(R"(["a\"b\\c\n\t","Aé"])");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->At(0).AsString(), "a\"b\\c\n\t");
+  EXPECT_EQ(value->At(1).AsString(), "A\xc3\xa9");  // é as UTF-8
+}
+
+TEST(JsonReader, MissingKeysChainToNullSentinel) {
+  std::optional<JsonValue> value = ParseJson(R"({"a":{"b":1}})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(value->Get("missing").IsNull());
+  EXPECT_TRUE(value->Get("missing").Get("deeper").IsNull());
+  EXPECT_EQ(value->Get("missing").GetInt("x", -7), -7);
+  EXPECT_EQ(value->Get("a").GetInt("b"), 1);
+}
+
+TEST(JsonReader, MalformedInputReportsOffset) {
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &error).has_value());
+  EXPECT_FALSE(ParseJson("", &error).has_value());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}", &error).has_value());
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.String("name", "weird \"chars\"\n\ttabs");
+  writer.Int("count", -12);
+  writer.Double("ratio", 0.125);
+  writer.Key("list").BeginArray();
+  writer.StringValue("x");
+  writer.StringValue("y");
+  writer.EndArray();
+  writer.EndObject();
+
+  std::optional<JsonValue> value = ParseJson(writer.str());
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->GetString("name"), "weird \"chars\"\n\ttabs");
+  EXPECT_EQ(value->GetInt("count"), -12);
+  EXPECT_DOUBLE_EQ(value->GetDouble("ratio"), 0.125);
+  ASSERT_EQ(value->Get("list").Size(), 2u);
+  EXPECT_EQ(value->Get("list").At(0).AsString(), "x");
 }
 
 }  // namespace

@@ -26,6 +26,44 @@ run_config() {
   cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
   echo "=== [${name}] ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  self_diff_smoke "${name}" "${build_dir}"
+}
+
+# Self-diff smoke: analyze the examples corpus twice into a fresh ledger and
+# require `diff --check` to report zero new findings — the analyzer must be
+# deterministic run-to-run, and the ledger/diff plumbing must agree with
+# itself under every sanitizer.
+self_diff_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  echo "=== [${name}] self-diff smoke ==="
+  local ledger
+  ledger="$(mktemp -d)"
+  # Disarm the trap as it fires: RETURN traps persist past this function and
+  # would re-run in the caller, where ${ledger} is out of scope (set -u).
+  trap 'rm -rf "${ledger}"; trap - RETURN' RETURN
+  # The corpus deliberately contains findings, so analyze exits 1; only
+  # exit >= 2 (usage/parse error) is a failure here.
+  local rc=0
+  "${vc}" analyze --ledger "${ledger}" --jobs 2 examples/corpus >/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "self-diff smoke: first analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  rc=0
+  "${vc}" analyze --ledger "${ledger}" --jobs 2 examples/corpus >/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "self-diff smoke: second analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  "${vc}" diff --ledger "${ledger}" --check
+  "${vc}" report --ledger "${ledger}" --html "${ledger}/dashboard.html" >/dev/null
+  if [ ! -s "${ledger}/dashboard.html" ]; then
+    echo "self-diff smoke: dashboard not written" >&2
+    return 1
+  fi
+  echo "self-diff smoke: ok"
 }
 
 for config in "${CONFIGS[@]}"; do

@@ -1,40 +1,55 @@
 // valuecheck — the command-line front end over the vc::Analysis facade.
 //
-// Two modes:
+// Subcommands:
 //
-//   1. Directory/file mode (no version history): analyzes Mini-C sources from
-//      disk. Without authorship the cross-scope filter cannot run, so the
-//      tool reports every unused definition (the "w/o Authorship" behavior),
-//      unranked. Useful as a precise dead-store checker.
+//   valuecheck analyze [options] <file.c|dir>... | --history <file.vchist>
+//       Run the pipeline (the default when the first argument is not a
+//       subcommand name, so `valuecheck src/` keeps working). Two modes:
+//       directory/file mode analyzes Mini-C sources from disk without
+//       authorship (every unused definition, unranked — a precise dead-store
+//       checker); history mode loads a .vchist commit history (see
+//       src/vcs/history_io.h) and runs the full pipeline with cross-scope
+//       filtering, pruning, and familiarity ranking. With --ledger DIR the
+//       run (findings + fingerprints + metrics) is appended to the run
+//       ledger for later diffs.
 //
-//        valuecheck --jobs=0 src/ extra.c
+//   valuecheck diff [--ledger DIR] [runA runB] [--check]
+//       Classify findings across two ledger runs as new/fixed/persistent by
+//       stable fingerprint and compare metrics. --check exits non-zero on
+//       new findings or metric regressions — the CI gate.
 //
-//   2. History mode: loads a .vchist commit history (see
-//      src/vcs/history_io.h for the format), reconstructs line authorship,
-//      and runs the full pipeline — cross-scope filtering, pruning, and DOK
-//      familiarity ranking.
+//   valuecheck history [--ledger DIR]
+//       Table of recorded runs.
 //
-//        valuecheck --history project.vchist
+//   valuecheck report [--ledger DIR] --html FILE
+//       Self-contained HTML dashboard (findings, deltas, trend sparklines).
 //
-// Every flag maps onto a vc::AnalysisOptions field (or a report/output
-// control); the flag table below is the single source of truth and also
-// renders --help.
+// Every analyze flag maps onto a vc::AnalysisOptions field (or a
+// report/output control); the flag table below is the single source of truth
+// and also renders --help.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/core/analysis.h"
+#include "src/core/html_dashboard.h"
 #include "src/core/report_formats.h"
+#include "src/core/run_diff.h"
 #include "src/support/logging.h"
 #include "src/support/metrics.h"
+#include "src/support/run_ledger.h"
+#include "src/support/string_util.h"
+#include "src/support/table_writer.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
 #include "src/vcs/history_io.h"
@@ -52,10 +67,52 @@ std::string ReadFileOrDie(const std::string& path) {
   return buffer.str();
 }
 
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Creates the parent directory of an output file path (no-op for bare
+// filenames). Returns false with a complaint when creation fails — output
+// flags must not silently drop their artifact.
+bool EnsureParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) {
+    return true;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    std::fprintf(stderr, "valuecheck: cannot create directory %s: %s\n",
+                 parent.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string FormatTimestamp(int64_t timestamp_ms) {
+  if (timestamp_ms <= 0) {
+    return "-";
+  }
+  std::time_t seconds = static_cast<std::time_t>(timestamp_ms / 1000);
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_utc);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
 struct CliOptions {
   std::string history_path;
   std::string format = "text";
   std::string trace_path;
+  std::string ledger_dir;
+  std::string label;
   bool metrics = false;
   int top = -1;
   bool all_scopes = false;
@@ -110,9 +167,27 @@ const FlagSpec kFlags[] = {
        o.format = v;
        return true;
      }},
+    {"--ledger", "DIR", "run ledger",
+     "append this run (findings + fingerprints + metrics) to the\n"
+     "run ledger at DIR (created if missing); `valuecheck diff`,\n"
+     "`history`, and `report` read it back. Implies metrics\n"
+     "collection (findings stay byte-identical) without the\n"
+     "--metrics stderr tables",
+     [](CliOptions& o, const std::string& v) {
+       o.ledger_dir = v;
+       o.analysis.collect_metrics = true;
+       return true;
+     }},
+    {"--label", "NAME", "run ledger",
+     "free-form provenance label stored with the ledger record\n"
+     "(default: the input path or history file)",
+     [](CliOptions& o, const std::string& v) {
+       o.label = v;
+       return true;
+     }},
     {"--trace", "FILE", "observability",
      "write a Chrome trace-event JSON of the run (load in\n"
-     "chrome://tracing or Perfetto)",
+     "chrome://tracing or Perfetto); parent dirs are created",
      [](CliOptions& o, const std::string& v) {
        o.trace_path = v;
        return true;
@@ -200,8 +275,16 @@ const FlagSpec kFlags[] = {
 };
 
 void PrintUsage(FILE* out) {
-  std::fputs("usage: valuecheck [options] <file.c|dir>... | --history <file.vchist>\n\noptions:\n",
-             out);
+  std::fputs(
+      "usage: valuecheck [analyze] [options] <file.c|dir>... | --history <file.vchist>\n"
+      "       valuecheck diff    [--ledger DIR] [runA runB] [--check] [diff options]\n"
+      "       valuecheck history [--ledger DIR] [--limit N] [--compact N]\n"
+      "       valuecheck report  [--ledger DIR] --html FILE\n"
+      "\n"
+      "Arguments after `--` are always input paths, never flags.\n"
+      "Run selectors: latest, prev, rNNNN, N (1-based), -N (from newest).\n"
+      "\nanalyze options:\n",
+      out);
   for (const FlagSpec& flag : kFlags) {
     std::string head = flag.name;
     if (flag.value_name != nullptr) {
@@ -226,7 +309,17 @@ void PrintUsage(FILE* out) {
     }
     std::fprintf(out, "  %-21s[%s]\n", "", flag.maps_to);
   }
-  std::fputs("  --help, -h           print this summary\n", out);
+  std::fputs(
+      "  --help, -h           print this summary\n"
+      "\ndiff options:\n"
+      "  --check              exit 1 on new findings or metric regressions\n"
+      "  --timings            include (nondeterministic) stage-timing deltas\n"
+      "  --format=FMT         text (default) or json\n"
+      "  --max-new=N          allowed new findings before --check fails (default 0)\n"
+      "  --stage-ratio=X      stage-seconds regression ratio (default 1.5)\n"
+      "  --stage-floor=SEC    ignore stage growth below this many seconds (default 0.05)\n"
+      "  --prune-drop=X       allowed absolute prune-rate drop (default 0.10)\n",
+      out);
 }
 
 const FlagSpec* FindFlag(const std::string& name) {
@@ -238,9 +331,18 @@ const FlagSpec* FindFlag(const std::string& name) {
   return nullptr;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions& options) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+bool ParseAnalyzeArgs(const std::vector<std::string>& args, CliOptions& options) {
+  bool only_inputs = false;  // set once `--` is seen
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (only_inputs) {
+      options.inputs.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      only_inputs = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       std::exit(0);
@@ -266,11 +368,11 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
     }
     if (flag->value_name != nullptr && !has_value) {
       // Allow the "--flag VALUE" spelling.
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "valuecheck: %s expects a value\n", name.c_str());
         return false;
       }
-      value = argv[++i];
+      value = args[++i];
     } else if (flag->value_name == nullptr && has_value) {
       std::fprintf(stderr, "valuecheck: %s does not take a value\n", name.c_str());
       return false;
@@ -366,16 +468,49 @@ void PrintText(const vc::AnalysisReport& report, const vc::Repository* repo, int
   }
 }
 
-}  // namespace
+// Non-default analysis options, rendered into the ledger record so a run's
+// provenance is reconstructible from history alone.
+std::string SummarizeOptions(const CliOptions& options, bool has_history) {
+  std::vector<std::string> parts;
+  if (!has_history) {
+    parts.push_back("no-history");
+  }
+  if (options.all_scopes) {
+    parts.push_back("all-scopes");
+  }
+  const vc::PruneOptions& prune = options.analysis.prune;
+  if (!prune.config_dependency) {
+    parts.push_back("no-prune-config");
+  }
+  if (!prune.cursor) {
+    parts.push_back("no-prune-cursor");
+  }
+  if (!prune.unused_hints) {
+    parts.push_back("no-prune-hints");
+  }
+  if (!prune.peer_definition) {
+    parts.push_back("no-prune-peer");
+  }
+  if (prune.stale_code) {
+    parts.push_back("stale-code");
+  }
+  if (options.analysis.ranking.use_ea_model) {
+    parts.push_back("ea-model");
+  }
+  return vc::Join(parts, " ");
+}
 
-int main(int argc, char** argv) {
+int RunAnalyze(const std::vector<std::string>& args) {
   using namespace vc;
   CliOptions options;
-  if (!ParseArgs(argc, argv, options)) {
+  if (!ParseAnalyzeArgs(args, options)) {
     return 2;
   }
 
   if (!options.trace_path.empty()) {
+    if (!EnsureParentDir(options.trace_path)) {
+      return 2;
+    }
     TraceCollector::Global().Enable();
   }
   if (options.metrics) {
@@ -435,6 +570,24 @@ int main(int argc, char** argv) {
               options.analysis.ranking.enabled);
   }
 
+  // Ledger epilogue: persist the run for later `diff`/`history`/`report`.
+  if (!options.ledger_dir.empty()) {
+    std::string label = options.label;
+    if (label.empty()) {
+      label = has_history ? options.history_path : Join(options.inputs, " ");
+    }
+    RunRecord record = MakeRunRecord(report, label, NowMs());
+    record.options_summary = SummarizeOptions(options, has_history);
+    std::string error;
+    RunLedger ledger(options.ledger_dir);
+    std::string run_id = ledger.Append(std::move(record), &error);
+    if (run_id.empty()) {
+      std::fprintf(stderr, "valuecheck: ledger append failed: %s\n", error.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("recorded run " + run_id + " in " + ledger.LedgerFile());
+  }
+
   // Observability epilogue — all on stderr, so findings on stdout are
   // byte-identical with and without --metrics/--trace.
   if (options.metrics) {
@@ -455,4 +608,275 @@ int main(int argc, char** argv) {
                 options.trace_path);
   }
   return report.findings.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Shared flag scanning for the ledger subcommands (small enough that the
+// table machinery above would be overhead).
+// ---------------------------------------------------------------------------
+
+struct LedgerArgs {
+  std::string ledger_dir = ".vc-ledger";
+  std::vector<std::string> positionals;
+  // diff
+  bool check = false;
+  bool timings = false;
+  std::string format = "text";
+  vc::RegressionThresholds thresholds;
+  // history
+  int limit = -1;
+  int compact = -1;
+  // report
+  std::string html_path;
+};
+
+// Parses "--name=value" / "--name value" / boolean flags from a spec of
+// recognized names. Returns false on an unknown flag or missing value.
+bool ParseLedgerArgs(const std::string& subcommand, const std::vector<std::string>& args,
+                     LedgerArgs& out) {
+  auto bad = [&](const std::string& message) {
+    std::fprintf(stderr, "valuecheck %s: %s\n", subcommand.c_str(), message.c_str());
+    PrintUsage(stderr);
+    return false;
+  };
+  auto parse_double = [&](const std::string& name, const std::string& value, double& into) {
+    char* end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || parsed < 0) {
+      return bad(name + " expects a non-negative number, got '" + value + "'");
+    }
+    into = parsed;
+    return true;
+  };
+  auto parse_int = [&](const std::string& name, const std::string& value, int& into) {
+    char* end = nullptr;
+    long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < 0) {
+      return bad(name + " expects a non-negative integer, got '" + value + "'");
+    }
+    into = static_cast<int>(parsed);
+    return true;
+  };
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0 || arg == "--") {
+      if (arg != "--") {
+        out.positionals.push_back(arg);
+      }
+      continue;
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto need_value = [&]() {
+      if (has_value) {
+        return true;
+      }
+      if (i + 1 >= args.size()) {
+        return bad(name + " expects a value");
+      }
+      value = args[++i];
+      return true;
+    };
+    if (name == "--ledger") {
+      if (!need_value()) return false;
+      out.ledger_dir = value;
+    } else if (name == "--check" && subcommand == "diff") {
+      out.check = true;
+    } else if (name == "--timings" && subcommand == "diff") {
+      out.timings = true;
+    } else if (name == "--format" && subcommand == "diff") {
+      if (!need_value()) return false;
+      if (value != "text" && value != "json") {
+        return bad("unknown format '" + value + "' (expected text, json)");
+      }
+      out.format = value;
+    } else if (name == "--max-new" && subcommand == "diff") {
+      if (!need_value()) return false;
+      if (!parse_int(name, value, out.thresholds.max_new_findings)) return false;
+    } else if (name == "--stage-ratio" && subcommand == "diff") {
+      if (!need_value()) return false;
+      if (!parse_double(name, value, out.thresholds.stage_ratio)) return false;
+    } else if (name == "--stage-floor" && subcommand == "diff") {
+      if (!need_value()) return false;
+      if (!parse_double(name, value, out.thresholds.stage_floor_seconds)) return false;
+    } else if (name == "--prune-drop" && subcommand == "diff") {
+      if (!need_value()) return false;
+      if (!parse_double(name, value, out.thresholds.prune_rate_drop)) return false;
+    } else if (name == "--limit" && subcommand == "history") {
+      if (!need_value()) return false;
+      if (!parse_int(name, value, out.limit)) return false;
+    } else if (name == "--compact" && subcommand == "history") {
+      if (!need_value()) return false;
+      if (!parse_int(name, value, out.compact)) return false;
+    } else if (name == "--html" && subcommand == "report") {
+      if (!need_value()) return false;
+      out.html_path = value;
+    } else {
+      return bad("unknown option " + arg);
+    }
+  }
+  return true;
+}
+
+int RunDiffCommand(const std::vector<std::string>& args) {
+  using namespace vc;
+  LedgerArgs parsed;
+  if (!ParseLedgerArgs("diff", args, parsed)) {
+    return 2;
+  }
+  if (parsed.positionals.size() != 0 && parsed.positionals.size() != 2) {
+    std::fprintf(stderr, "valuecheck diff: expected zero or two run selectors, got %zu\n",
+                 parsed.positionals.size());
+    return 2;
+  }
+  std::string sel_a = parsed.positionals.empty() ? "prev" : parsed.positionals[0];
+  std::string sel_b = parsed.positionals.empty() ? "latest" : parsed.positionals[1];
+
+  RunLedger ledger(parsed.ledger_dir);
+  std::string error;
+  std::optional<RunRecord> run_a = ledger.Find(sel_a, &error);
+  if (!run_a.has_value()) {
+    std::fprintf(stderr, "valuecheck diff: %s\n", error.c_str());
+    return 2;
+  }
+  std::optional<RunRecord> run_b = ledger.Find(sel_b, &error);
+  if (!run_b.has_value()) {
+    std::fprintf(stderr, "valuecheck diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  RunDiff diff = ComputeRunDiff(*run_a, *run_b, parsed.thresholds);
+  if (parsed.format == "json") {
+    std::printf("%s\n", DiffToJson(diff).c_str());
+  } else {
+    std::fputs(RenderDiffText(diff, parsed.timings).c_str(), stdout);
+  }
+  if (parsed.check) {
+    if (diff.HasRegressions()) {
+      std::printf("check: FAILED (%zu regression(s))\n", diff.regressions.size());
+      return 1;
+    }
+    std::printf("check: PASSED\n");
+  }
+  return 0;
+}
+
+int RunHistoryCommand(const std::vector<std::string>& args) {
+  using namespace vc;
+  LedgerArgs parsed;
+  if (!ParseLedgerArgs("history", args, parsed)) {
+    return 2;
+  }
+  if (!parsed.positionals.empty()) {
+    std::fprintf(stderr, "valuecheck history: unexpected argument '%s'\n",
+                 parsed.positionals[0].c_str());
+    return 2;
+  }
+  RunLedger ledger(parsed.ledger_dir);
+  std::string error;
+  if (parsed.compact >= 0) {
+    int dropped = ledger.Compact(parsed.compact, &error);
+    if (dropped < 0) {
+      std::fprintf(stderr, "valuecheck history: compact failed: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("compacted: dropped %d run(s), kept newest %d\n", dropped, parsed.compact);
+  }
+  int skipped = 0;
+  std::optional<std::vector<RunRecord>> runs = ledger.Load(&error, &skipped);
+  if (!runs.has_value()) {
+    std::fprintf(stderr, "valuecheck history: %s\n", error.c_str());
+    return 2;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "valuecheck history: skipped %d unparsable ledger line(s)\n", skipped);
+  }
+  if (runs->empty()) {
+    std::printf("ledger %s: no runs recorded\n", ledger.LedgerFile().c_str());
+    return 0;
+  }
+  TableWriter table({"run", "timestamp (UTC)", "label", "jobs", "findings", "analysis_s",
+                     "options"});
+  size_t first = 0;
+  if (parsed.limit >= 0 && runs->size() > static_cast<size_t>(parsed.limit)) {
+    first = runs->size() - static_cast<size_t>(parsed.limit);
+  }
+  for (size_t i = first; i < runs->size(); ++i) {
+    const RunRecord& run = (*runs)[i];
+    table.AddRow({run.run_id, FormatTimestamp(run.timestamp_ms), run.label,
+                  std::to_string(run.jobs), std::to_string(run.findings.size()),
+                  FormatDouble(run.metrics.analysis_seconds, 3), run.options_summary});
+  }
+  std::fputs(table.RenderText().c_str(), stdout);
+  return 0;
+}
+
+int RunReportCommand(const std::vector<std::string>& args) {
+  using namespace vc;
+  LedgerArgs parsed;
+  if (!ParseLedgerArgs("report", args, parsed)) {
+    return 2;
+  }
+  if (parsed.html_path.empty()) {
+    std::fprintf(stderr, "valuecheck report: --html FILE is required\n");
+    return 2;
+  }
+  RunLedger ledger(parsed.ledger_dir);
+  std::string error;
+  std::optional<std::vector<RunRecord>> runs = ledger.Load(&error);
+  if (!runs.has_value()) {
+    std::fprintf(stderr, "valuecheck report: %s\n", error.c_str());
+    return 2;
+  }
+  if (!EnsureParentDir(parsed.html_path)) {
+    return 2;
+  }
+  std::ofstream out(parsed.html_path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "valuecheck report: cannot write %s\n", parsed.html_path.c_str());
+    return 2;
+  }
+  out << RenderHtmlDashboard(*runs);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "valuecheck report: write to %s failed\n", parsed.html_path.c_str());
+    return 2;
+  }
+  std::printf("wrote dashboard for %zu run(s) to %s\n", runs->size(), parsed.html_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string subcommand = "analyze";
+  if (!args.empty() &&
+      (args[0] == "analyze" || args[0] == "diff" || args[0] == "history" ||
+       args[0] == "report")) {
+    subcommand = args[0];
+    args.erase(args.begin());
+  }
+  if (subcommand == "diff") {
+    return RunDiffCommand(args);
+  }
+  if (subcommand == "history") {
+    return RunHistoryCommand(args);
+  }
+  if (subcommand == "report") {
+    return RunReportCommand(args);
+  }
+  return RunAnalyze(args);
 }
