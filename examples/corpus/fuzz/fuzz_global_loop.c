@@ -1,0 +1,17 @@
+/* Promoted from a vc_fuzz campaign (program seed 13679457532755275413,
+ * minimized by the harness to 12 lines): globals read in branch and loop
+ * conditions, an empty switch, recursion through a pointer parameter, and a
+ * call result stored into a definition that is never used.
+ */
+int g4 = 5;
+int fn5() {
+  if (g4 < 88) {
+    switch (g4) {
+    }
+  }
+}
+int fn7(int* v13) {
+  do {
+    int v15 = fn7(&g4);
+  } while (g4 > 2);
+}

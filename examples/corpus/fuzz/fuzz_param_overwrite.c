@@ -1,0 +1,8 @@
+/* Promoted from a vc_fuzz campaign (program seed 3779771651426294207,
+ * minimized by the harness to 3 lines): a parameter assigned a fresh value
+ * that nothing ever reads, plus a second parameter never touched at all.
+ * Locks the smallest shape the injected-fault demo reduces to.
+ */
+int fn1(int v4, bool v5) {
+  v4 = 27;
+}

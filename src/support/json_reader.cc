@@ -1,6 +1,7 @@
 #include "src/support/json_reader.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace vc {
@@ -8,6 +9,10 @@ namespace vc {
 namespace {
 
 const std::string kEmptyString;
+
+// Containers may nest this deep before the parser rejects the document;
+// bounds stack use on adversarial inputs like "[[[[...".
+constexpr int kMaxNestingDepth = 256;
 
 }  // namespace
 
@@ -28,7 +33,18 @@ int64_t JsonValue::AsInt(int64_t fallback) const {
   if (kind_ != Kind::kNumber) {
     return fallback;
   }
-  return integral_ ? int_ : static_cast<int64_t>(number_);
+  if (integral_) {
+    return int_;
+  }
+  // Saturate doubles outside int64 range — the raw cast is undefined there.
+  constexpr double kMax = 9223372036854775807.0;
+  if (number_ >= kMax) {
+    return INT64_MAX;
+  }
+  if (number_ <= -kMax) {
+    return INT64_MIN;
+  }
+  return static_cast<int64_t>(number_);
 }
 
 const std::string& JsonValue::AsString() const {
@@ -112,6 +128,24 @@ class JsonParser {
     return false;
   }
 
+  // Tracks container nesting; construction past kMaxNestingDepth records a
+  // parse failure instead of letting recursion run unbounded.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(JsonParser* parser) : parser_(parser) {
+      ok_ = ++parser_->depth_ <= kMaxNestingDepth;
+      if (!ok_) {
+        parser_->Fail("nesting too deep");
+      }
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    bool ok() const { return ok_; }
+
+   private:
+    JsonParser* parser_;
+    bool ok_ = false;
+  };
+
   bool Consume(char expected) {
     SkipWhitespace();
     if (pos_ >= text_.size() || text_[pos_] != expected) {
@@ -145,6 +179,10 @@ class JsonParser {
   }
 
   std::optional<JsonValue> ParseObject() {
+    DepthGuard guard(this);
+    if (!guard.ok()) {
+      return std::nullopt;
+    }
     JsonValue value;
     value.kind_ = JsonValue::Kind::kObject;
     ++pos_;  // '{'
@@ -180,6 +218,10 @@ class JsonParser {
   }
 
   std::optional<JsonValue> ParseArray() {
+    DepthGuard guard(this);
+    if (!guard.ok()) {
+      return std::nullopt;
+    }
     JsonValue value;
     value.kind_ = JsonValue::Kind::kArray;
     ++pos_;  // '['
@@ -242,35 +284,44 @@ class JsonParser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            Fail("truncated \\u escape");
+          unsigned code = 0;
+          if (!ParseHexQuad(&code)) {
             return std::nullopt;
           }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_ + static_cast<size_t>(i)];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              Fail("bad \\u escape");
+          // Surrogate pairs recombine into one supplementary-plane code
+          // point; a lone surrogate is not valid UTF-16 and is rejected.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              Fail("unpaired surrogate");
               return std::nullopt;
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHexQuad(&low)) {
+              return std::nullopt;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("unpaired surrogate");
+              return std::nullopt;
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            Fail("unpaired surrogate");
+            return std::nullopt;
           }
-          pos_ += 4;
-          // UTF-8 encode (surrogate pairs are not recombined; JsonWriter only
-          // emits \u00XX control escapes, so BMP coverage is sufficient).
+          // UTF-8 encode, now covering all four lengths.
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -314,46 +365,103 @@ class JsonParser {
     return std::nullopt;
   }
 
+  bool ParseHexQuad(unsigned* code) {
+    if (pos_ + 4 > text_.size()) {
+      return Fail("truncated \\u escape");
+    }
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_ + static_cast<size_t>(i)];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') {
+        *code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        *code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        *code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Fail("bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  // Strict RFC 8259 number grammar: -?int frac? exp?, no leading zeros, a
+  // digit required after '.' and in the exponent. The loose scan this
+  // replaces accepted "12.", "1e", "1e+" and "--1".
   std::optional<JsonValue> ParseNumber() {
     size_t start = pos_;
+    auto digit = [&](size_t at) {
+      return at < text_.size() && std::isdigit(static_cast<unsigned char>(text_[at])) != 0;
+    };
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
-    bool integral = true;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        integral = false;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+    if (!digit(pos_)) {
       Fail("expected value");
       return std::nullopt;
     }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit(pos_)) {
+        Fail("leading zero in number");
+        return std::nullopt;
+      }
+    } else {
+      while (digit(pos_)) {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (!digit(pos_)) {
+        Fail("digit required after decimal point");
+        return std::nullopt;
+      }
+      while (digit(pos_)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit(pos_)) {
+        Fail("digit required in exponent");
+        return std::nullopt;
+      }
+      while (digit(pos_)) {
+        ++pos_;
+      }
+    }
     std::string literal(text_.substr(start, pos_ - start));
-    char* end = nullptr;
     JsonValue value;
     value.kind_ = JsonValue::Kind::kNumber;
-    value.number_ = std::strtod(literal.c_str(), &end);
-    if (end == literal.c_str() || *end != '\0') {
-      pos_ = start;
-      Fail("malformed number");
-      return std::nullopt;
-    }
+    value.number_ = std::strtod(literal.c_str(), nullptr);
     if (integral) {
-      value.integral_ = true;
-      value.int_ = std::strtoll(literal.c_str(), nullptr, 10);
+      errno = 0;
+      long long parsed = std::strtoll(literal.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        // Magnitude exceeds int64; keep the double approximation and let
+        // AsInt() derive from it (saturating via the cast) instead of
+        // returning a silently wrapped value.
+        value.integral_ = false;
+      } else {
+        value.integral_ = true;
+        value.int_ = parsed;
+      }
     }
     return value;
   }
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

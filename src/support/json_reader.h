@@ -3,11 +3,13 @@
 // (JSONL); loading history back for diffs and dashboards needs a parser, and
 // the project stays zero-dependency, so this is a small self-contained one.
 //
-// Supports the full JSON value grammar (objects, arrays, strings with the
-// escapes JsonWriter emits, numbers, booleans, null). Numbers are held as
-// double plus a lossless int64 when the literal was integral. Not streaming:
-// parses one complete document per call, which matches the one-record-per-
-// line ledger format.
+// Supports the full JSON value grammar (objects, arrays, strings with every
+// escape including \uXXXX surrogate pairs, numbers, booleans, null). The
+// number grammar is strict RFC 8259; container nesting is capped so
+// adversarial inputs can't exhaust the stack. Numbers are held as double
+// plus a lossless int64 when the literal was integral and in range. Not
+// streaming: parses one complete document per call, which matches the
+// one-record-per-line ledger format.
 
 #ifndef VALUECHECK_SRC_SUPPORT_JSON_READER_H_
 #define VALUECHECK_SRC_SUPPORT_JSON_READER_H_

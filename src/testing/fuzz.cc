@@ -1,0 +1,161 @@
+#include "src/testing/fuzz.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+namespace vc {
+namespace testing {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Builds the "still the same failure" predicate for minimization: the
+// candidate must parse cleanly (unless the original failure was the
+// clean-frontend oracle itself) and reproduce the same oracle kind.
+ProgramPredicate SameFailurePredicate(const OracleRunner& runner, OracleKind target) {
+  return [&runner, target](const TestProgram& candidate) {
+    if (candidate.files.empty() || candidate.TotalLines() == 0) {
+      return false;
+    }
+    OracleVerdict verdict = runner.Check(candidate);
+    if (target != OracleKind::kCleanFrontend &&
+        verdict.Failed(OracleKind::kCleanFrontend)) {
+      return false;  // reduced into a parse error, not a reproduction
+    }
+    return verdict.Failed(target);
+  };
+}
+
+}  // namespace
+
+uint64_t ProgramSeedFor(uint64_t campaign_seed, int iteration) {
+  // splitmix-style spread so adjacent iterations land far apart.
+  uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(iteration) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+FuzzResult RunFuzzCampaign(const FuzzOptions& options) {
+  FuzzResult result;
+  double start = Now();
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    if (options.time_budget_seconds > 0.0 &&
+        Now() - start > options.time_budget_seconds) {
+      if (options.progress != nullptr) {
+        *options.progress << "fuzz: time budget exhausted after " << iter << " iterations\n";
+      }
+      break;
+    }
+    uint64_t program_seed = ProgramSeedFor(options.seed, iter);
+    TestProgram program = GenerateProgram(program_seed, options.gen);
+
+    OracleOptions oracle_options = options.oracle;
+    oracle_options.mutation_seed = program_seed;
+    OracleRunner runner(oracle_options);
+
+    OracleVerdict verdict = runner.Check(program);
+    ++result.iterations_run;
+
+    if (options.progress != nullptr && options.progress_every > 0 &&
+        (iter + 1) % options.progress_every == 0) {
+      *options.progress << "fuzz: " << (iter + 1) << "/" << options.iterations
+                        << " iterations, " << result.failures.size() << " failure(s)\n";
+    }
+    if (verdict.Passed()) {
+      continue;
+    }
+
+    const OracleFailure& first = verdict.failures.front();
+    FuzzFailure failure;
+    failure.program_seed = program_seed;
+    failure.iteration = iter;
+    failure.oracle = first.oracle;
+    failure.transform = first.transform;
+    failure.detail = first.detail;
+    failure.reproducer = program;
+
+    if (options.minimize) {
+      // Re-check only the failing oracle (plus the parse gate inside the
+      // predicate) while shrinking — an order of magnitude fewer analyses
+      // per reduction step than re-running the full battery.
+      OracleOptions minimize_options = oracle_options;
+      minimize_options.enabled = {OracleKind::kCleanFrontend, first.oracle};
+      OracleRunner minimize_runner(minimize_options);
+      failure.reproducer = MinimizeProgram(
+          program, SameFailurePredicate(minimize_runner, first.oracle),
+          &failure.minimize_stats);
+    }
+
+    if (!options.corpus_dir.empty()) {
+      std::string dir = options.corpus_dir + "/failure_i" + std::to_string(iter) + "_s" +
+                        std::to_string(program_seed);
+      if (WriteReproducer(dir, failure.reproducer, failure)) {
+        failure.reproducer_dir = dir;
+      }
+    }
+    if (options.progress != nullptr) {
+      *options.progress << "fuzz: FAILURE at iteration " << iter << " (oracle "
+                        << OracleKindName(failure.oracle)
+                        << (failure.transform.empty() ? "" : ", transform " + failure.transform)
+                        << "): " << failure.detail << "\n";
+      if (options.minimize) {
+        *options.progress << "fuzz: minimized " << failure.minimize_stats.initial_lines
+                          << " -> " << failure.minimize_stats.final_lines << " lines in "
+                          << failure.minimize_stats.predicate_runs << " oracle runs\n";
+      }
+      if (!failure.reproducer_dir.empty()) {
+        *options.progress << "fuzz: reproducer written to " << failure.reproducer_dir << "\n";
+      }
+    }
+    result.failures.push_back(std::move(failure));
+  }
+
+  result.seconds = Now() - start;
+  return result;
+}
+
+bool WriteReproducer(const std::string& dir, const TestProgram& program,
+                     const FuzzFailure& failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return false;
+  }
+  for (const SourceFile& file : program.files) {
+    std::ofstream out(dir + "/" + file.path, std::ios::binary);
+    if (!out) {
+      return false;
+    }
+    out << file.Content();
+  }
+  std::ofstream manifest(dir + "/MANIFEST.txt", std::ios::binary);
+  if (!manifest) {
+    return false;
+  }
+  manifest << "program_seed: " << failure.program_seed << "\n"
+           << "iteration: " << failure.iteration << "\n"
+           << "oracle: " << OracleKindName(failure.oracle) << "\n";
+  if (!failure.transform.empty()) {
+    manifest << "transform: " << failure.transform << "\n";
+  }
+  manifest << "detail: " << failure.detail << "\n"
+           << "lines: " << program.TotalLines() << "\n"
+           << "replay: vc_fuzz --replay " << failure.program_seed << "\n"
+           << "files:";
+  for (const SourceFile& file : program.files) {
+    manifest << " " << file.path;
+  }
+  manifest << "\n";
+  return manifest.good();
+}
+
+}  // namespace testing
+}  // namespace vc

@@ -1,0 +1,75 @@
+// The fuzz campaign driver: generate → check oracles → on failure, minimize
+// and write a reproducer. This is the engine behind the vc_fuzz CLI and the
+// fuzz_smoke ctest target.
+//
+// Determinism: iteration i analyzes the program GenerateProgram derives from
+// (seed, i) alone, and the metamorphic transforms are seeded the same way —
+// so one (seed, iterations) pair names an exact, replayable campaign, and a
+// failure report's program_seed replays just that program with
+// `vc_fuzz --replay <program_seed>`.
+
+#ifndef VALUECHECK_SRC_TESTING_FUZZ_H_
+#define VALUECHECK_SRC_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/testing/minimizer.h"
+#include "src/testing/oracle.h"
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  int iterations = 100;
+  // Wall-clock cap; 0 = none. A truncated campaign reports how far it got.
+  double time_budget_seconds = 0.0;
+  GenOptions gen;
+  OracleOptions oracle;
+  // Directory reproducers are written into (one subdirectory per failure);
+  // empty = keep reproducers in memory only.
+  std::string corpus_dir;
+  bool minimize = true;
+  // Progress notes (iteration milestones, failures); null = silent.
+  std::ostream* progress = nullptr;
+  int progress_every = 100;
+};
+
+struct FuzzFailure {
+  uint64_t program_seed = 0;
+  int iteration = 0;
+  OracleKind oracle = OracleKind::kCleanFrontend;
+  std::string transform;
+  std::string detail;
+  TestProgram reproducer;  // minimized when FuzzOptions::minimize
+  MinimizeStats minimize_stats;
+  std::string reproducer_dir;  // set when corpus_dir was given
+};
+
+struct FuzzResult {
+  int iterations_run = 0;
+  double seconds = 0.0;
+  std::vector<FuzzFailure> failures;
+
+  bool Clean() const { return failures.empty(); }
+};
+
+// The seed iteration i fuzzes under a campaign seed (exposed so tests and
+// reproduction instructions can name single programs).
+uint64_t ProgramSeedFor(uint64_t campaign_seed, int iteration);
+
+FuzzResult RunFuzzCampaign(const FuzzOptions& options);
+
+// Writes `program` plus a MANIFEST.txt (seed, oracle, detail, replay
+// command) into `dir`, creating it. Returns false on filesystem errors.
+bool WriteReproducer(const std::string& dir, const TestProgram& program,
+                     const FuzzFailure& failure);
+
+}  // namespace testing
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_TESTING_FUZZ_H_

@@ -1,0 +1,130 @@
+#include "src/testing/minimizer.h"
+
+#include <algorithm>
+
+namespace vc {
+namespace testing {
+
+namespace {
+
+class Reducer {
+ public:
+  Reducer(const ProgramPredicate& predicate, int max_runs)
+      : predicate_(predicate), max_runs_(max_runs) {}
+
+  int runs() const { return runs_; }
+  bool Exhausted() const { return runs_ >= max_runs_; }
+
+  bool Fails(const TestProgram& candidate) {
+    if (Exhausted()) {
+      return false;
+    }
+    ++runs_;
+    return predicate_(candidate);
+  }
+
+ private:
+  const ProgramPredicate& predicate_;
+  int max_runs_;
+  int runs_ = 0;
+};
+
+// Try removing each file (largest first) as long as at least one remains.
+bool ReduceFiles(TestProgram& program, Reducer& reducer) {
+  bool progress = false;
+  for (size_t i = 0; i < program.files.size() && program.files.size() > 1;) {
+    TestProgram candidate = program;
+    candidate.files.erase(candidate.files.begin() + static_cast<long>(i));
+    if (reducer.Fails(candidate)) {
+      program = std::move(candidate);
+      progress = true;
+    } else {
+      ++i;
+    }
+    if (reducer.Exhausted()) {
+      break;
+    }
+  }
+  return progress;
+}
+
+// ddmin over one file's lines: chunk sizes halving from n/2 to 1.
+bool ReduceLines(TestProgram& program, size_t file_index, Reducer& reducer) {
+  bool progress = false;
+  size_t chunk = std::max<size_t>(1, program.files[file_index].lines.size() / 2);
+  while (chunk >= 1) {
+    size_t offset = 0;
+    while (offset < program.files[file_index].lines.size()) {
+      const std::vector<std::string>& lines = program.files[file_index].lines;
+      size_t len = std::min(chunk, lines.size() - offset);
+      TestProgram candidate = program;
+      std::vector<std::string>& cand_lines = candidate.files[file_index].lines;
+      cand_lines.erase(cand_lines.begin() + static_cast<long>(offset),
+                       cand_lines.begin() + static_cast<long>(offset + len));
+      if (!cand_lines.empty() && reducer.Fails(candidate)) {
+        program = std::move(candidate);
+        progress = true;
+        // Same offset now holds the next chunk; retry there.
+      } else {
+        offset += len;
+      }
+      if (reducer.Exhausted()) {
+        return progress;
+      }
+    }
+    if (chunk == 1) {
+      break;
+    }
+    chunk /= 2;
+  }
+  return progress;
+}
+
+}  // namespace
+
+TestProgram MinimizeProgram(const TestProgram& failing, const ProgramPredicate& still_fails,
+                            MinimizeStats* stats, int max_predicate_runs) {
+  TestProgram best = failing;
+  Reducer reducer(still_fails, max_predicate_runs);
+
+  bool progress = true;
+  while (progress && !reducer.Exhausted()) {
+    progress = false;
+    progress |= ReduceFiles(best, reducer);
+    for (size_t f = 0; f < best.files.size() && !reducer.Exhausted(); ++f) {
+      progress |= ReduceLines(best, f, reducer);
+    }
+  }
+
+  // Drop files reduced to nothing but blank lines.
+  if (best.files.size() > 1) {
+    for (size_t i = 0; i < best.files.size() && best.files.size() > 1;) {
+      bool empty = true;
+      for (const std::string& line : best.files[i].lines) {
+        if (!line.empty() && line.find_first_not_of(" \t") != std::string::npos) {
+          empty = false;
+          break;
+        }
+      }
+      if (empty) {
+        TestProgram candidate = best;
+        candidate.files.erase(candidate.files.begin() + static_cast<long>(i));
+        if (reducer.Fails(candidate)) {
+          best = std::move(candidate);
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->predicate_runs = reducer.runs();
+    stats->initial_lines = failing.TotalLines();
+    stats->final_lines = best.TotalLines();
+  }
+  return best;
+}
+
+}  // namespace testing
+}  // namespace vc

@@ -1,0 +1,42 @@
+// Delta-debugging minimizer: shrinks an oracle-failing program to a small
+// reproducer while the caller's predicate keeps holding.
+//
+// Reduction runs three passes to fixpoint: drop whole files, then
+// ddmin-style line-chunk removal per file (chunk size halving from n/2 down
+// to single lines), then a final single-line sweep. The predicate decides
+// what "still failing" means — the fuzz campaign's predicate requires the
+// same oracle kind to fail AND the candidate to still parse cleanly, so
+// reduction can never wander into syntactically broken territory and call it
+// a reproduction.
+//
+// Fully deterministic: no randomness, fixed scan order, so the same failing
+// input always reduces to the same reproducer.
+
+#ifndef VALUECHECK_SRC_TESTING_MINIMIZER_H_
+#define VALUECHECK_SRC_TESTING_MINIMIZER_H_
+
+#include <functional>
+
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+
+using ProgramPredicate = std::function<bool(const TestProgram&)>;
+
+struct MinimizeStats {
+  int predicate_runs = 0;
+  int initial_lines = 0;
+  int final_lines = 0;
+};
+
+// `still_fails(failing)` must be true on entry; returns the smallest program
+// the passes reach with the predicate still true. `max_predicate_runs`
+// bounds total work (the reduction stops early, keeping its best-so-far).
+TestProgram MinimizeProgram(const TestProgram& failing, const ProgramPredicate& still_fails,
+                            MinimizeStats* stats = nullptr, int max_predicate_runs = 4000);
+
+}  // namespace testing
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_TESTING_MINIMIZER_H_

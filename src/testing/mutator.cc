@@ -1,0 +1,671 @@
+#include "src/testing/mutator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/support/rng.h"
+
+namespace vc {
+namespace testing {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trimmed(const std::string& line) {
+  size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  size_t end = line.find_last_not_of(" \t");
+  return line.substr(begin, end - begin + 1);
+}
+
+// One top-level function definition: [begin, end] line indexes, inclusive,
+// where `begin` may include leading comment/blank lines attached so reorder
+// keeps a function's header comment with it.
+struct FunctionSpan {
+  std::string name;
+  size_t begin = 0;      // first attached line
+  size_t sig_line = 0;   // the `name(...) {` line
+  size_t end = 0;        // the column-zero `}` line
+};
+
+// Marks lines inside /* ... */ block comments (the opening and closing lines
+// themselves count as inside). String literals are respected.
+std::vector<bool> BlockCommentLines(const std::vector<std::string>& lines) {
+  std::vector<bool> inside(lines.size(), false);
+  bool in_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    bool touched = in_comment;
+    const std::string& line = lines[i];
+    bool in_string = false;
+    char quote = 0;
+    for (size_t j = 0; j < line.size(); ++j) {
+      char c = line[j];
+      if (in_comment) {
+        if (c == '*' && j + 1 < line.size() && line[j + 1] == '/') {
+          in_comment = false;
+          ++j;
+        }
+        touched = true;
+      } else if (in_string) {
+        if (c == '\\') {
+          ++j;
+        } else if (c == quote) {
+          in_string = false;
+        }
+      } else if (c == '"' || c == '\'') {
+        in_string = true;
+        quote = c;
+      } else if (c == '/' && j + 1 < line.size() && line[j + 1] == '/') {
+        break;  // line comment: rest of line is inert
+      } else if (c == '/' && j + 1 < line.size() && line[j + 1] == '*') {
+        in_comment = true;
+        touched = true;
+        ++j;
+      }
+    }
+    inside[i] = touched;
+  }
+  return inside;
+}
+
+// A column-zero line of the shape `... name(...) ... {` that is not a
+// struct/enum/typedef declaration opens a function definition.
+bool IsFunctionStart(const std::string& line, std::string* name) {
+  if (line.empty() || line[0] == ' ' || line[0] == '\t' || line[0] == '/' || line[0] == '*' ||
+      line[0] == '#' || line[0] == '}') {
+    return false;
+  }
+  std::string trimmed = Trimmed(line);
+  if (trimmed.empty() || trimmed.back() != '{') {
+    return false;
+  }
+  if (trimmed.rfind("struct ", 0) == 0 || trimmed.rfind("enum", 0) == 0 ||
+      trimmed.rfind("typedef ", 0) == 0 || trimmed.rfind("union ", 0) == 0) {
+    return false;
+  }
+  size_t paren = line.find('(');
+  if (paren == std::string::npos || paren == 0) {
+    return false;
+  }
+  size_t name_end = paren;
+  while (name_end > 0 && line[name_end - 1] == ' ') {
+    --name_end;
+  }
+  size_t name_begin = name_end;
+  while (name_begin > 0 && IsIdentChar(line[name_begin - 1])) {
+    --name_begin;
+  }
+  if (name_begin == name_end || !IsIdentStart(line[name_begin])) {
+    return false;
+  }
+  if (name != nullptr) {
+    *name = line.substr(name_begin, name_end - name_begin);
+  }
+  return true;
+}
+
+std::vector<FunctionSpan> ScanFunctions(const std::vector<std::string>& lines) {
+  std::vector<FunctionSpan> spans;
+  std::vector<bool> in_comment = BlockCommentLines(lines);
+  size_t i = 0;
+  while (i < lines.size()) {
+    std::string name;
+    if (in_comment[i] || !IsFunctionStart(lines[i], &name)) {
+      ++i;
+      continue;
+    }
+    FunctionSpan span;
+    span.name = name;
+    span.sig_line = i;
+    // Attach the immediately preceding run of comment/blank lines (but not
+    // past the previous function's closing brace or a declaration line).
+    size_t begin = i;
+    size_t prev_end = spans.empty() ? 0 : spans.back().end + 1;
+    while (begin > prev_end) {
+      std::string above = Trimmed(lines[begin - 1]);
+      if (above.empty() || above.rfind("//", 0) == 0 || above.rfind("/*", 0) == 0 ||
+          above.rfind("*", 0) == 0) {
+        --begin;
+      } else {
+        break;
+      }
+    }
+    span.begin = begin;
+    // Functions close with a column-zero `}` (the generator and the corpus
+    // both follow this); nested blocks close with indented braces.
+    size_t end = i + 1;
+    while (end < lines.size() &&
+           !(!lines[end].empty() && lines[end][0] == '}' && Trimmed(lines[end]) == "}")) {
+      ++end;
+    }
+    if (end >= lines.size()) {
+      break;  // unterminated; leave the tail alone
+    }
+    span.end = end;
+    spans.push_back(span);
+    i = end + 1;
+  }
+  return spans;
+}
+
+// Identifiers that must never be rename targets: function names and every
+// top-level (column-zero) declaration the files introduce — globals, enum
+// constants, typedef names, struct and field names.
+std::set<std::string> CollectForbiddenNames(const TestProgram& program) {
+  std::set<std::string> forbidden;
+  for (const SourceFile& file : program.files) {
+    std::vector<FunctionSpan> spans = ScanFunctions(file.lines);
+    std::vector<bool> is_body(file.lines.size(), false);
+    for (const FunctionSpan& span : spans) {
+      forbidden.insert(span.name);
+      for (size_t i = span.sig_line + 1; i <= span.end; ++i) {
+        is_body[i] = true;
+      }
+    }
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      if (is_body[i]) {
+        continue;
+      }
+      // Harvest every identifier on non-body lines (struct fields, enum
+      // constants, globals, typedef names). Over-approximating is fine: it
+      // only makes the rename pass more conservative.
+      const std::string& line = file.lines[i];
+      size_t j = 0;
+      while (j < line.size()) {
+        if (IsIdentStart(line[j])) {
+          size_t begin = j;
+          while (j < line.size() && IsIdentChar(line[j])) {
+            ++j;
+          }
+          forbidden.insert(line.substr(begin, j - begin));
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  return forbidden;
+}
+
+// Whole-word replacement outside string/char literals; skips matches that are
+// member accesses (preceded by '.' or '->').
+std::string ReplaceWord(const std::string& line, const std::string& from,
+                        const std::string& to) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  char quote = 0;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_string) {
+      out += c;
+      if (c == '\\' && i + 1 < line.size()) {
+        out += line[i + 1];
+        ++i;
+      } else if (c == quote) {
+        in_string = false;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_string = true;
+      quote = c;
+      out += c;
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t begin = i;
+      while (i < line.size() && IsIdentChar(line[i])) {
+        ++i;
+      }
+      std::string word = line.substr(begin, i - begin);
+      bool member = false;
+      size_t back = out.size();
+      while (back > 0 && out[back - 1] == ' ') {
+        --back;
+      }
+      if (back > 0 && (out[back - 1] == '.' ||
+                       (back > 1 && out[back - 2] == '-' && out[back - 1] == '>'))) {
+        member = true;
+      }
+      out += (!member && word == from) ? to : word;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+bool ContainsWordInLine(const std::string& line, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t after = pos + word.size();
+    bool right_ok = after >= line.size() || !IsIdentChar(line[after]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = after;
+  }
+  return false;
+}
+
+// Local/parameter declarations within one function span that are simple
+// enough to rename safely: `type[*] name [= ...]` declarators and the
+// parameter list of the signature line. Names that double as struct members
+// (appear after '.'/'->' anywhere in the span) are excluded.
+std::vector<std::string> ScanRenamableLocals(const std::vector<std::string>& lines,
+                                             const FunctionSpan& span) {
+  static const char* kTypeWords[] = {"int",  "char",   "long",  "bool",
+                                     "unsigned", "size_t", "struct"};
+  std::vector<std::string> names;
+  auto add_declarator = [&](std::string piece) {
+    // Accept only a pure declarator: stars, one identifier, optional `= ...`
+    // with no bracketing — anything fancier is skipped, not guessed at.
+    size_t eq = piece.find('=');
+    std::string decl = eq == std::string::npos ? piece : piece.substr(0, eq);
+    std::string name;
+    for (char c : decl) {
+      if (c == '*' || c == ' ' || c == '\t') {
+        if (!name.empty()) {
+          return;  // junk after the identifier
+        }
+        continue;
+      }
+      if (!IsIdentChar(c)) {
+        return;
+      }
+      name += c;
+    }
+    if (!name.empty() && IsIdentStart(name[0])) {
+      names.push_back(name);
+    }
+  };
+
+  for (size_t i = span.sig_line; i <= span.end; ++i) {
+    std::string text = Trimmed(lines[i]);
+    if (i == span.sig_line) {
+      // Parameters: between the outermost parens of the signature.
+      size_t open = text.find('(');
+      size_t close = text.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close <= open) {
+        continue;
+      }
+      std::string params = text.substr(open + 1, close - open - 1);
+      size_t start = 0;
+      while (start <= params.size()) {
+        size_t comma = params.find(',', start);
+        std::string piece =
+            params.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        // Drop the leading type words; what remains should be a declarator.
+        std::string trimmed = Trimmed(piece);
+        size_t cut = 0;
+        while (true) {
+          size_t word_end = cut;
+          while (word_end < trimmed.size() && IsIdentChar(trimmed[word_end])) {
+            ++word_end;
+          }
+          std::string word = trimmed.substr(cut, word_end - cut);
+          bool is_type = false;
+          for (const char* type_word : kTypeWords) {
+            if (word == type_word) {
+              is_type = true;
+              break;
+            }
+          }
+          if (word == "const" || word == "static") {
+            is_type = true;
+          }
+          if (!is_type) {
+            break;
+          }
+          cut = word_end;
+          while (cut < trimmed.size() && (trimmed[cut] == ' ' || trimmed[cut] == '\t')) {
+            ++cut;
+          }
+          if (word == "struct") {
+            // Skip the tag too.
+            while (cut < trimmed.size() && IsIdentChar(trimmed[cut])) {
+              ++cut;
+            }
+            while (cut < trimmed.size() && (trimmed[cut] == ' ' || trimmed[cut] == '\t')) {
+              ++cut;
+            }
+            break;
+          }
+        }
+        if (cut > 0) {
+          add_declarator(trimmed.substr(cut));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+      continue;
+    }
+    // Body declarations, including `for (int i = 0; ...` inits.
+    if (text.rfind("for (", 0) == 0) {
+      size_t open = text.find('(');
+      size_t semi = text.find(';', open);
+      if (semi != std::string::npos) {
+        text = Trimmed(text.substr(open + 1, semi - open - 1));
+      }
+    }
+    if (text.rfind("static ", 0) == 0) {
+      text = Trimmed(text.substr(7));
+    }
+    if (text.rfind("const ", 0) == 0) {
+      text = Trimmed(text.substr(6));
+    }
+    std::string head;
+    size_t k = 0;
+    while (k < text.size() && IsIdentChar(text[k])) {
+      head += text[k++];
+    }
+    bool typed = false;
+    for (const char* type_word : kTypeWords) {
+      if (head == type_word) {
+        typed = true;
+        break;
+      }
+    }
+    if (!typed) {
+      continue;
+    }
+    std::string rest = text.substr(k);
+    if (head == "struct") {
+      rest = Trimmed(rest);
+      size_t tag = 0;
+      while (tag < rest.size() && IsIdentChar(rest[tag])) {
+        ++tag;
+      }
+      rest = rest.substr(tag);
+    }
+    if (!rest.empty() && rest.back() == ';') {
+      rest.pop_back();
+    } else {
+      continue;  // declaration lines end in ';' in this codebase's style
+    }
+    // Reject anything with call/index syntax; then split multi-declarators.
+    size_t start = 0;
+    int paren_depth = 0;
+    std::vector<std::string> pieces;
+    bool bad = false;
+    for (size_t j = 0; j <= rest.size(); ++j) {
+      if (j == rest.size() || (rest[j] == ',' && paren_depth == 0)) {
+        pieces.push_back(rest.substr(start, j - start));
+        start = j + 1;
+        continue;
+      }
+      if (rest[j] == '(') {
+        ++paren_depth;
+      } else if (rest[j] == ')') {
+        --paren_depth;
+      } else if (rest[j] == '[' || rest[j] == ']') {
+        bad = true;
+      }
+    }
+    if (bad) {
+      continue;
+    }
+    for (std::string& piece : pieces) {
+      add_declarator(Trimmed(piece));
+    }
+  }
+
+  // Drop names that appear as member accesses anywhere in the span (they
+  // would collide with struct field names under whole-word replace).
+  std::vector<std::string> safe;
+  for (const std::string& name : names) {
+    bool is_member_somewhere = false;
+    for (size_t i = span.sig_line; i <= span.end && !is_member_somewhere; ++i) {
+      const std::string& line = lines[i];
+      size_t pos = 0;
+      while ((pos = line.find(name, pos)) != std::string::npos) {
+        size_t before = pos;
+        while (before > 0 && line[before - 1] == ' ') {
+          --before;
+        }
+        bool member = (before > 0 && line[before - 1] == '.') ||
+                      (before > 1 && line[before - 2] == '-' && line[before - 1] == '>');
+        size_t after = pos + name.size();
+        bool word = (pos == 0 || !IsIdentChar(line[pos - 1])) &&
+                    (after >= line.size() || !IsIdentChar(line[after]));
+        if (member && word) {
+          is_member_somewhere = true;
+          break;
+        }
+        pos = after;
+      }
+    }
+    if (!is_member_somewhere) {
+      safe.push_back(name);
+    }
+  }
+  // De-duplicate, preserving first-seen order.
+  std::vector<std::string> unique;
+  std::set<std::string> seen;
+  for (const std::string& name : safe) {
+    if (seen.insert(name).second) {
+      unique.push_back(name);
+    }
+  }
+  return unique;
+}
+
+// --- Transforms ------------------------------------------------------------
+
+void ApplyPadding(TestProgram& program, Rng& rng) {
+  int pad_counter = 0;
+  for (SourceFile& file : program.files) {
+    std::vector<bool> in_comment = BlockCommentLines(file.lines);
+    std::vector<std::string> out;
+    out.reserve(file.lines.size() + 8);
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      // Insert before line i only when neither neighbour is inside a block
+      // comment (a pad line inside /* ... */ would end it early).
+      bool boundary_safe = !in_comment[i] && (i == 0 || !in_comment[i - 1]);
+      if (boundary_safe && rng.NextBool(0.2)) {
+        if (rng.NextBool(0.5)) {
+          out.push_back("");
+        } else {
+          out.push_back("/* pad " + std::to_string(pad_counter++) + " */");
+        }
+      }
+      out.push_back(file.lines[i]);
+    }
+    if (rng.NextBool(0.5)) {
+      out.push_back("/* pad " + std::to_string(pad_counter++) + " */");
+    }
+    file.lines = std::move(out);
+  }
+}
+
+void ApplyReorderFunctions(TestProgram& program, Rng& rng) {
+  for (SourceFile& file : program.files) {
+    std::vector<FunctionSpan> spans = ScanFunctions(file.lines);
+    if (spans.size() < 2) {
+      continue;
+    }
+    std::vector<size_t> order(spans.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    rng.Shuffle(order);
+    std::vector<std::string> out;
+    out.reserve(file.lines.size());
+    // Prelude: everything before the first span's attached lines.
+    for (size_t i = 0; i < spans.front().begin; ++i) {
+      out.push_back(file.lines[i]);
+    }
+    for (size_t idx : order) {
+      const FunctionSpan& span = spans[idx];
+      if (!out.empty() && !out.back().empty()) {
+        out.push_back("");
+      }
+      for (size_t i = span.begin; i <= span.end; ++i) {
+        out.push_back(file.lines[i]);
+      }
+    }
+    // Tail: anything after the last span (trailing comments).
+    for (size_t i = spans.back().end + 1; i < file.lines.size(); ++i) {
+      out.push_back(file.lines[i]);
+    }
+    file.lines = std::move(out);
+  }
+}
+
+void ApplyAlphaRename(TestProgram& program, Rng& rng, const ProtectedSlots& protected_slots) {
+  std::set<std::string> forbidden = CollectForbiddenNames(program);
+  int rename_counter = 0;
+  for (SourceFile& file : program.files) {
+    std::vector<FunctionSpan> spans = ScanFunctions(file.lines);
+    for (const FunctionSpan& span : spans) {
+      std::vector<std::string> locals = ScanRenamableLocals(file.lines, span);
+      for (const std::string& name : locals) {
+        if (forbidden.count(name) > 0 || protected_slots.Contains(span.name, name)) {
+          continue;
+        }
+        if (!rng.NextBool(0.7)) {
+          continue;  // rename most, not all — mixed programs stress ordering
+        }
+        std::string fresh = name + "_mr" + std::to_string(rename_counter++);
+        for (size_t i = span.sig_line; i <= span.end; ++i) {
+          if (ContainsWordInLine(file.lines[i], name)) {
+            file.lines[i] = ReplaceWord(file.lines[i], name, fresh);
+          }
+        }
+      }
+    }
+  }
+}
+
+void ApplyDeadCodePad(TestProgram& program, Rng& rng) {
+  int pad_counter = 0;
+  for (SourceFile& file : program.files) {
+    int extra = static_cast<int>(rng.NextInRange(1, 2));
+    for (int i = 0; i < extra; ++i) {
+      std::string base = "vcpad" + std::to_string(pad_counter++);
+      file.lines.push_back("");
+      file.lines.push_back("int " + base + "() {");
+      file.lines.push_back("  int " + base + "_a = " + std::to_string(rng.NextInRange(1, 9)) +
+                           ";");
+      file.lines.push_back("  int " + base + "_b = (" + base + "_a + " +
+                           std::to_string(rng.NextInRange(1, 9)) + ");");
+      file.lines.push_back("  return (" + base + "_b * 2);");
+      file.lines.push_back("}");
+    }
+  }
+}
+
+void ApplyShuffleFiles(TestProgram& program, Rng& rng) {
+  rng.Shuffle(program.files);
+}
+
+}  // namespace
+
+const char* TransformName(Transform transform) {
+  switch (transform) {
+    case Transform::kPadding:
+      return "padding";
+    case Transform::kReorderFunctions:
+      return "reorder_functions";
+    case Transform::kAlphaRename:
+      return "alpha_rename";
+    case Transform::kDeadCodePad:
+      return "dead_code_pad";
+    case Transform::kShuffleFiles:
+      return "shuffle_files";
+  }
+  return "unknown";
+}
+
+std::vector<Transform> AllTransforms() {
+  return {Transform::kPadding, Transform::kReorderFunctions, Transform::kAlphaRename,
+          Transform::kDeadCodePad, Transform::kShuffleFiles};
+}
+
+ProtectedSlots ProtectedSlots::FromReport(const AnalysisReport& report) {
+  ProtectedSlots slots;
+  auto add = [&slots](const UnusedDefCandidate& cand) {
+    std::string base = cand.slot_name;
+    size_t hash = base.find('#');
+    if (hash != std::string::npos) {
+      base = base.substr(0, hash);
+    }
+    if (!base.empty() && base[0] != '_') {  // "_tmpN" temps are not source names
+      slots.pairs.insert({cand.function, base});
+    }
+  };
+  for (const UnusedDefCandidate& cand : report.findings) {
+    add(cand);
+  }
+  for (const UnusedDefCandidate& cand : report.raw_candidates) {
+    add(cand);
+  }
+  return slots;
+}
+
+TestProgram ApplyTransform(const TestProgram& program, Transform transform, uint64_t seed,
+                           const ProtectedSlots& protected_slots) {
+  TestProgram mutated = program;
+  Rng rng(seed ^ (static_cast<uint64_t>(transform) + 1) * 0x9e3779b97f4a7c15ULL);
+  switch (transform) {
+    case Transform::kPadding:
+      ApplyPadding(mutated, rng);
+      break;
+    case Transform::kReorderFunctions:
+      ApplyReorderFunctions(mutated, rng);
+      break;
+    case Transform::kAlphaRename:
+      ApplyAlphaRename(mutated, rng, protected_slots);
+      break;
+    case Transform::kDeadCodePad:
+      ApplyDeadCodePad(mutated, rng);
+      break;
+    case Transform::kShuffleFiles:
+      ApplyShuffleFiles(mutated, rng);
+      break;
+  }
+  return mutated;
+}
+
+TestProgram ProgramFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  TestProgram program;
+  for (const auto& [path, content] : sources) {
+    SourceFile file;
+    file.path = path;
+    std::string line;
+    for (char c : content) {
+      if (c == '\n') {
+        file.lines.push_back(line);
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) {
+      file.lines.push_back(line);
+    }
+    program.files.push_back(std::move(file));
+  }
+  return program;
+}
+
+}  // namespace testing
+}  // namespace vc

@@ -1,0 +1,79 @@
+// Metamorphic mutation engine: semantics-preserving source transforms whose
+// finding *fingerprint set* the analyzer must hold invariant.
+//
+// The transforms operate on rendered source text (TestProgram), not on the
+// generator's internal state, so the same engine mutates both fuzzer-generated
+// programs and real checked-in corpus files (fingerprint_metamorphic_test).
+// Structure is recovered by a line-oriented scanner that understands the
+// project's Mini-C style: top-level function definitions open with a
+// column-zero `name(...) {` line and close with a column-zero `}`.
+//
+//   kPadding          — blank lines / comment lines inserted between
+//                       statements (never inside block comments, never
+//                       containing "unused", which is a prune keyword)
+//   kReorderFunctions — top-level function definitions shuffled within each
+//                       file (leading comments travel with their function)
+//   kAlphaRename      — locals and parameters renamed, except slots named in
+//                       the baseline findings (a finding's identity includes
+//                       its slot name, so those must keep theirs)
+//   kDeadCodePad      — self-contained clean functions appended (every
+//                       definition used; no calls, so peer-definition prune
+//                       statistics cannot shift)
+//   kShuffleFiles     — file order permuted (findings merge deterministically
+//                       in file order; the fingerprint set must not care)
+//
+// Every transform is deterministic for a given (program, seed).
+
+#ifndef VALUECHECK_SRC_TESTING_MUTATOR_H_
+#define VALUECHECK_SRC_TESTING_MUTATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/analysis.h"
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+
+enum class Transform {
+  kPadding,
+  kReorderFunctions,
+  kAlphaRename,
+  kDeadCodePad,
+  kShuffleFiles,
+};
+
+const char* TransformName(Transform transform);
+std::vector<Transform> AllTransforms();
+
+// Slots the rename transform must leave alone: (function, base slot name)
+// pairs of every baseline candidate — renaming one of those would change the
+// finding's identity, which is an expected fingerprint difference, not a bug.
+struct ProtectedSlots {
+  std::set<std::pair<std::string, std::string>> pairs;
+
+  // Protects findings and raw candidates (a pruned candidate could otherwise
+  // be renamed into or out of a prune pattern's keyword scan).
+  static ProtectedSlots FromReport(const AnalysisReport& report);
+
+  bool Contains(const std::string& function, const std::string& name) const {
+    return pairs.count({function, name}) > 0;
+  }
+};
+
+TestProgram ApplyTransform(const TestProgram& program, Transform transform, uint64_t seed,
+                           const ProtectedSlots& protected_slots);
+
+// Loads on-disk sources (path, content) into the mutator's program form —
+// how the corpus metamorphic tests feed real files through the engine.
+TestProgram ProgramFromSources(
+    const std::vector<std::pair<std::string, std::string>>& sources);
+
+}  // namespace testing
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_TESTING_MUTATOR_H_

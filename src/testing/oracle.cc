@@ -1,0 +1,290 @@
+#include "src/testing/oracle.h"
+
+#include <algorithm>
+
+#include "src/core/report_formats.h"
+#include "src/support/json_reader.h"
+
+namespace vc {
+namespace testing {
+
+namespace {
+
+void AppendCandidate(std::string& out, const UnusedDefCandidate& cand) {
+  out += cand.fingerprint;
+  out += '|';
+  out += cand.file;
+  out += ':';
+  out += std::to_string(cand.def_loc.line);
+  out += ':';
+  out += std::to_string(cand.def_loc.column);
+  out += '|';
+  out += cand.function;
+  out += '|';
+  out += cand.slot_name;
+  out += '|';
+  out += CandidateKindName(cand.kind);
+  out += '|';
+  out += cand.cross_scope ? "x" : "-";
+  out += cand.is_param ? "p" : "-";
+  out += cand.is_synthetic ? "s" : "-";
+  out += cand.is_field_slot ? "f" : "-";
+  out += cand.overwritten ? "o" : "-";
+  out += '|';
+  out += cand.callee_name;
+  out += '|';
+  for (const SourceLoc& loc : cand.overwriter_locs) {
+    out += std::to_string(loc.line);
+    out += ',';
+  }
+  out += '|';
+  out += PruneReasonName(cand.pruned_by);
+  out += '|';
+  out += std::to_string(cand.familiarity);
+  out += '\n';
+}
+
+std::string JoinFingerprints(const std::set<std::string>& set) {
+  std::string out;
+  for (const std::string& fp : set) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += fp;
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kCleanFrontend:
+      return "clean_frontend";
+    case OracleKind::kJobsDeterminism:
+      return "jobs_determinism";
+    case OracleKind::kMetricsParity:
+      return "metrics_parity";
+    case OracleKind::kJsonRoundTrip:
+      return "json_round_trip";
+    case OracleKind::kMetamorphic:
+      return "metamorphic";
+  }
+  return "unknown";
+}
+
+std::optional<OracleKind> OracleKindFromName(const std::string& name) {
+  for (OracleKind kind : AllOracles()) {
+    if (name == OracleKindName(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<OracleKind> AllOracles() {
+  return {OracleKind::kCleanFrontend, OracleKind::kJobsDeterminism, OracleKind::kMetricsParity,
+          OracleKind::kJsonRoundTrip, OracleKind::kMetamorphic};
+}
+
+bool OracleVerdict::Failed(OracleKind kind) const {
+  for (const OracleFailure& failure : failures) {
+    if (failure.oracle == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OracleRunner::OracleRunner(OracleOptions options) : options_(std::move(options)) {}
+
+AnalysisReport OracleRunner::Analyze(const TestProgram& program, int jobs,
+                                     bool collect_metrics) const {
+  AnalysisOptions options;
+  options.cross_scope_only = false;
+  options.jobs = jobs;
+  options.collect_metrics = collect_metrics;
+  AnalysisReport report = Analysis(options).RunOnSources(program.ToSources());
+  if (jobs > 1 && options_.parallel_fault) {
+    options_.parallel_fault(report);
+  }
+  return report;
+}
+
+std::string OracleRunner::SerializeFindings(const AnalysisReport& report) {
+  std::string out;
+  out += "findings\n";
+  for (const UnusedDefCandidate& cand : report.findings) {
+    AppendCandidate(out, cand);
+  }
+  out += "raw\n";
+  for (const UnusedDefCandidate& cand : report.raw_candidates) {
+    AppendCandidate(out, cand);
+  }
+  const PruneStats& prune = report.prune_stats;
+  out += "prune|" + std::to_string(prune.original) + "|" +
+         std::to_string(prune.config_dependency) + "|" + std::to_string(prune.cursor) + "|" +
+         std::to_string(prune.unused_hints) + "|" + std::to_string(prune.peer_definition) +
+         "|" + std::to_string(prune.stale_code) + "|" + std::to_string(prune.remaining) + "\n";
+  out += "non_cross_scope|" + std::to_string(report.non_cross_scope) + "\n";
+  out += "diagnostics|" + std::to_string(report.diagnostic_warnings) + "|" +
+         std::to_string(report.diagnostic_errors) + "\n";
+  return out;
+}
+
+std::set<std::string> OracleRunner::FingerprintSet(const AnalysisReport& report) {
+  std::set<std::string> set;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    set.insert(cand.fingerprint);
+  }
+  return set;
+}
+
+OracleVerdict OracleRunner::Check(const TestProgram& program) const {
+  OracleVerdict verdict;
+  std::vector<int> jobs = options_.jobs;
+  if (jobs.empty()) {
+    jobs = {1, 2, 8};
+  }
+
+  AnalysisReport base = Analyze(program, jobs.front(), /*collect_metrics=*/false);
+  std::string base_serialized = SerializeFindings(base);
+
+  if (Enabled(OracleKind::kCleanFrontend)) {
+    if (base.diagnostic_errors != 0) {
+      verdict.failures.push_back(
+          {OracleKind::kCleanFrontend, "",
+           std::to_string(base.diagnostic_errors) + " diagnostic error(s) on generated input"});
+    }
+  }
+
+  AnalysisReport last_parallel;
+  bool have_parallel = false;
+  if (Enabled(OracleKind::kJobsDeterminism) || Enabled(OracleKind::kMetricsParity)) {
+    for (size_t i = 1; i < jobs.size(); ++i) {
+      AnalysisReport report = Analyze(program, jobs[i], /*collect_metrics=*/false);
+      if (Enabled(OracleKind::kJobsDeterminism)) {
+        std::string serialized = SerializeFindings(report);
+        if (serialized != base_serialized) {
+          verdict.failures.push_back(
+              {OracleKind::kJobsDeterminism, "",
+               "jobs=" + std::to_string(jobs[i]) + " diverges from jobs=" +
+                   std::to_string(jobs.front()) + " (" +
+                   std::to_string(report.findings.size()) + " vs " +
+                   std::to_string(base.findings.size()) + " findings)"});
+        }
+      }
+      if (i + 1 == jobs.size()) {
+        last_parallel = std::move(report);
+        have_parallel = true;
+      }
+    }
+  }
+
+  if (Enabled(OracleKind::kMetricsParity)) {
+    // Serial and (when available) widest-parallel parity: metrics collection
+    // must be a pure observer.
+    AnalysisReport with_metrics = Analyze(program, jobs.front(), /*collect_metrics=*/true);
+    if (SerializeFindings(with_metrics) != base_serialized) {
+      verdict.failures.push_back({OracleKind::kMetricsParity, "",
+                                  "collect_metrics changed findings at jobs=" +
+                                      std::to_string(jobs.front())});
+    }
+    if (have_parallel) {
+      AnalysisReport parallel_metrics =
+          Analyze(program, jobs.back(), /*collect_metrics=*/true);
+      if (SerializeFindings(parallel_metrics) != SerializeFindings(last_parallel)) {
+        verdict.failures.push_back({OracleKind::kMetricsParity, "",
+                                    "collect_metrics changed findings at jobs=" +
+                                        std::to_string(jobs.back())});
+      }
+    }
+  }
+
+  if (Enabled(OracleKind::kJsonRoundTrip)) {
+    AnalysisReport with_metrics = Analyze(program, jobs.front(), /*collect_metrics=*/true);
+    std::string json = ReportToJson(with_metrics);
+    std::string error;
+    std::optional<JsonValue> doc = ParseJson(json, &error);
+    if (!doc.has_value()) {
+      verdict.failures.push_back(
+          {OracleKind::kJsonRoundTrip, "", "report JSON does not parse: " + error});
+    } else {
+      const JsonValue& findings = doc->Get("findings");
+      if (doc->GetInt("schema_version") != 4) {
+        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 4"});
+      } else if (findings.Size() != with_metrics.findings.size()) {
+        verdict.failures.push_back(
+            {OracleKind::kJsonRoundTrip, "",
+             "finding count mismatch: " + std::to_string(findings.Size()) + " in JSON vs " +
+                 std::to_string(with_metrics.findings.size())});
+      } else {
+        for (size_t i = 0; i < with_metrics.findings.size(); ++i) {
+          const UnusedDefCandidate& cand = with_metrics.findings[i];
+          const JsonValue& entry = findings.At(i);
+          if (entry.GetString("fingerprint") != cand.fingerprint ||
+              entry.GetString("file") != cand.file ||
+              entry.GetInt("line") != cand.def_loc.line ||
+              entry.GetInt("column") != cand.def_loc.column ||
+              entry.GetString("function") != cand.function ||
+              entry.GetString("variable") != cand.slot_name ||
+              entry.GetString("kind") != CandidateKindName(cand.kind)) {
+            verdict.failures.push_back({OracleKind::kJsonRoundTrip, "",
+                                        "finding " + std::to_string(i) +
+                                            " lost fields in the JSON round-trip"});
+            break;
+          }
+        }
+        const JsonValue& diagnostics = doc->Get("diagnostics");
+        if (diagnostics.GetInt("warnings") != with_metrics.diagnostic_warnings ||
+            diagnostics.GetInt("errors") != with_metrics.diagnostic_errors) {
+          verdict.failures.push_back(
+              {OracleKind::kJsonRoundTrip, "", "diagnostics block mismatch"});
+        }
+      }
+    }
+  }
+
+  if (Enabled(OracleKind::kMetamorphic)) {
+    ProtectedSlots protected_slots = ProtectedSlots::FromReport(base);
+    std::set<std::string> base_fps = FingerprintSet(base);
+    for (Transform transform : AllTransforms()) {
+      TestProgram mutant =
+          ApplyTransform(program, transform, options_.mutation_seed, protected_slots);
+      AnalysisReport report = Analyze(mutant, jobs.front(), /*collect_metrics=*/false);
+      if (report.diagnostic_errors != 0 && base.diagnostic_errors == 0) {
+        verdict.failures.push_back({OracleKind::kMetamorphic, TransformName(transform),
+                                    "transform broke the parse (" +
+                                        std::to_string(report.diagnostic_errors) +
+                                        " diagnostic error(s))"});
+        continue;
+      }
+      std::set<std::string> mutant_fps = FingerprintSet(report);
+      if (mutant_fps != base_fps) {
+        std::set<std::string> lost;
+        std::set_difference(base_fps.begin(), base_fps.end(), mutant_fps.begin(),
+                            mutant_fps.end(), std::inserter(lost, lost.begin()));
+        std::set<std::string> gained;
+        std::set_difference(mutant_fps.begin(), mutant_fps.end(), base_fps.begin(),
+                            base_fps.end(), std::inserter(gained, gained.begin()));
+        verdict.failures.push_back({OracleKind::kMetamorphic, TransformName(transform),
+                                    "fingerprint set changed; lost=[" + JoinFingerprints(lost) +
+                                        "] gained=[" + JoinFingerprints(gained) + "]"});
+      }
+    }
+  }
+
+  return verdict;
+}
+
+std::function<void(AnalysisReport&)> DropOverwrittenFindingsFault() {
+  return [](AnalysisReport& report) {
+    report.findings.erase(
+        std::remove_if(report.findings.begin(), report.findings.end(),
+                       [](const UnusedDefCandidate& cand) { return cand.overwritten; }),
+        report.findings.end());
+  };
+}
+
+}  // namespace testing
+}  // namespace vc

@@ -1,0 +1,115 @@
+// Differential oracles over the vc::Analysis pipeline.
+//
+// Each oracle states an invariant the analyzer promises for *any* input
+// program; the fuzzer generates programs and this runner checks every enabled
+// invariant on each one:
+//
+//   clean_frontend    — generated programs parse with zero diagnostics errors
+//   jobs_determinism  — findings/raw candidates/prune stats/diagnostics are
+//                       byte-identical at --jobs 1, 2, 8
+//   metrics_parity    — collect_metrics on vs. off does not change findings
+//   json_round_trip   — ReportToJson output parses back through json_reader
+//                       with every finding field intact
+//   metamorphic       — the finding fingerprint set is stable under every
+//                       semantics-preserving transform in mutator.h
+//
+// OracleOptions::parallel_fault is the harness's own test hook: a corruption
+// applied to parallel (jobs > 1) reports before comparison, simulating a
+// detector merge bug. It exists so the test suite can prove the oracle +
+// minimizer actually catch and shrink an injected defect (vc_fuzz
+// --inject-bug demos the same end to end).
+
+#ifndef VALUECHECK_SRC_TESTING_ORACLE_H_
+#define VALUECHECK_SRC_TESTING_ORACLE_H_
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/analysis.h"
+#include "src/testing/mutator.h"
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+
+enum class OracleKind {
+  kCleanFrontend,
+  kJobsDeterminism,
+  kMetricsParity,
+  kJsonRoundTrip,
+  kMetamorphic,
+};
+
+const char* OracleKindName(OracleKind kind);
+std::optional<OracleKind> OracleKindFromName(const std::string& name);
+std::vector<OracleKind> AllOracles();
+
+struct OracleFailure {
+  OracleKind oracle = OracleKind::kCleanFrontend;
+  std::string transform;  // metamorphic failures name the transform
+  std::string detail;
+};
+
+struct OracleVerdict {
+  std::vector<OracleFailure> failures;
+
+  bool Passed() const { return failures.empty(); }
+  bool Failed(OracleKind kind) const;
+};
+
+struct OracleOptions {
+  // Job counts the determinism oracle compares; the first entry is the
+  // serial baseline the others must match byte for byte.
+  std::vector<int> jobs = {1, 2, 8};
+  // Empty = run every oracle.
+  std::set<OracleKind> enabled;
+  // Seed for the metamorphic transforms (so a whole campaign iteration is
+  // reproducible from one number).
+  uint64_t mutation_seed = 0;
+  // Test hook; see file comment.
+  std::function<void(AnalysisReport&)> parallel_fault;
+};
+
+class OracleRunner {
+ public:
+  OracleRunner() = default;
+  explicit OracleRunner(OracleOptions options);
+
+  const OracleOptions& options() const { return options_; }
+
+  OracleVerdict Check(const TestProgram& program) const;
+
+  // Runs the pipeline on the program with the harness's fixed analysis
+  // configuration (cross_scope_only off — source-mode analysis has no
+  // authorship), applying the parallel fault hook when jobs > 1.
+  AnalysisReport Analyze(const TestProgram& program, int jobs, bool collect_metrics) const;
+
+  // Deterministic serialization of everything the determinism contract
+  // covers: findings (with fingerprints), raw candidates, prune statistics,
+  // diagnostics counts. Timings and pool stats are deliberately excluded.
+  static std::string SerializeFindings(const AnalysisReport& report);
+
+  // The fingerprint set the metamorphic oracle compares (ordinal suffixes
+  // make duplicates distinct, so a set is lossless).
+  static std::set<std::string> FingerprintSet(const AnalysisReport& report);
+
+ private:
+  bool Enabled(OracleKind kind) const {
+    return options_.enabled.empty() || options_.enabled.count(kind) > 0;
+  }
+
+  OracleOptions options_;
+};
+
+// Canned parallel fault: parallel runs lose every overwritten-definition
+// finding — the shape of a real slot-merge bug. Used by --inject-bug and the
+// harness self-tests.
+std::function<void(AnalysisReport&)> DropOverwrittenFindingsFault();
+
+}  // namespace testing
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_TESTING_ORACLE_H_

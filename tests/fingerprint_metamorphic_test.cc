@@ -1,0 +1,146 @@
+// Metamorphic fingerprint tests on the real checked-in corpus, reusing the
+// fuzzer's mutation engine (src/testing/mutator.h) on files a human wrote:
+// alpha-renaming unrelated locals, reordering functions, padding with blank
+// and comment lines, appending dead clean code, and shuffling file order must
+// all leave the finding fingerprint set byte-identical.
+//
+// Also the golden lock for the fuzz-promoted corpus files: their findings and
+// fingerprints are pinned exactly, so any drift in the detector, the
+// fingerprint key, or the promoted sources themselves fails loudly here.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/analysis.h"
+#include "src/testing/mutator.h"
+#include "src/testing/oracle.h"
+
+namespace vc {
+namespace testing {
+namespace {
+
+// Relative paths double as the analysis source paths, keeping fingerprints
+// (which hash the file path) independent of where the checkout lives.
+const char* kCorpusFiles[] = {
+    "netdev.c",
+    "ringbuf.c",
+    "sched.c",
+    "fuzz/fuzz_param_overwrite.c",
+    "fuzz/fuzz_global_loop.c",
+};
+
+std::string ReadCorpusFile(const std::string& relative) {
+  std::ifstream in(std::string(VALUECHECK_CORPUS_DIR) + "/" + relative);
+  EXPECT_TRUE(in.good()) << relative;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+TestProgram LoadCorpus(const std::vector<std::string>& relatives) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const std::string& relative : relatives) {
+    sources.push_back({"examples/corpus/" + relative, ReadCorpusFile(relative)});
+  }
+  return ProgramFromSources(sources);
+}
+
+TEST(FingerprintMetamorphic, EachCorpusFileStableUnderEveryTransform) {
+  OracleRunner runner;
+  for (const char* relative : kCorpusFiles) {
+    TestProgram program = LoadCorpus({relative});
+    AnalysisReport base = runner.Analyze(program, 1, false);
+    ASSERT_TRUE(base.diagnostic_errors == 0) << relative;
+    std::set<std::string> base_prints = OracleRunner::FingerprintSet(base);
+    ProtectedSlots slots = ProtectedSlots::FromReport(base);
+
+    for (Transform transform : AllTransforms()) {
+      TestProgram mutated = ApplyTransform(program, transform, 1234, slots);
+      AnalysisReport report = runner.Analyze(mutated, 1, false);
+      EXPECT_TRUE(report.diagnostic_errors == 0)
+          << relative << " under " << TransformName(transform);
+      EXPECT_EQ(OracleRunner::FingerprintSet(report), base_prints)
+          << relative << " under " << TransformName(transform);
+    }
+  }
+}
+
+TEST(FingerprintMetamorphic, ComposedTransformsOnWholeCorpus) {
+  // The satellite case from the issue: rename + reorder + pad applied in
+  // sequence to the full multi-file corpus (plus a file shuffle, which
+  // exercises the merge order), one fingerprint set throughout.
+  std::vector<std::string> all(std::begin(kCorpusFiles), std::end(kCorpusFiles));
+  TestProgram program = LoadCorpus(all);
+  OracleRunner runner;
+  AnalysisReport base = runner.Analyze(program, 1, false);
+  ASSERT_TRUE(base.diagnostic_errors == 0);
+  std::set<std::string> base_prints = OracleRunner::FingerprintSet(base);
+  ASSERT_FALSE(base_prints.empty());
+  ProtectedSlots slots = ProtectedSlots::FromReport(base);
+
+  TestProgram mutated = ApplyTransform(program, Transform::kAlphaRename, 7, slots);
+  mutated = ApplyTransform(mutated, Transform::kReorderFunctions, 8, slots);
+  mutated = ApplyTransform(mutated, Transform::kPadding, 9, slots);
+  mutated = ApplyTransform(mutated, Transform::kShuffleFiles, 10, slots);
+
+  AnalysisReport report = runner.Analyze(mutated, 1, false);
+  ASSERT_TRUE(report.diagnostic_errors == 0);
+  EXPECT_EQ(OracleRunner::FingerprintSet(report), base_prints);
+}
+
+struct GoldenFinding {
+  const char* fingerprint;
+  int line;
+  const char* function;
+  const char* variable;
+  const char* kind;
+};
+
+void ExpectGolden(const std::string& relative, const std::vector<GoldenFinding>& golden) {
+  OracleRunner runner;
+  AnalysisReport report = runner.Analyze(LoadCorpus({relative}), 1, false);
+  ASSERT_TRUE(report.diagnostic_errors == 0) << relative;
+  // Failure messages carry the full actual table so goldens can be re-pinned
+  // by copying from the log after an intentional detector change.
+  std::ostringstream actual;
+  for (const UnusedDefCandidate& finding : report.findings) {
+    actual << "  {\"" << finding.fingerprint << "\", " << finding.def_loc.line << ", \""
+           << finding.function << "\", \"" << finding.slot_name << "\", \""
+           << CandidateKindName(finding.kind) << "\"},\n";
+  }
+  SCOPED_TRACE("actual findings for " + relative + ":\n" + actual.str());
+  ASSERT_EQ(report.findings.size(), golden.size()) << relative;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    const UnusedDefCandidate& finding = report.findings[i];
+    EXPECT_EQ(finding.fingerprint, golden[i].fingerprint) << relative << " #" << i;
+    EXPECT_EQ(finding.def_loc.line, golden[i].line) << relative << " #" << i;
+    EXPECT_EQ(finding.function, golden[i].function) << relative << " #" << i;
+    EXPECT_EQ(finding.slot_name, golden[i].variable) << relative << " #" << i;
+    EXPECT_STREQ(CandidateKindName(finding.kind), golden[i].kind) << relative << " #" << i;
+  }
+}
+
+TEST(CorpusGolden, FuzzParamOverwrite) {
+  ExpectGolden("fuzz/fuzz_param_overwrite.c",
+               {
+                   {"970f8d8463fc9318", 6, "fn1", "v4", "overwritten-param"},
+                   {"f08cf68f27a6a8ed", 6, "fn1", "v5", "unused-param"},
+                   {"387b845b9f2431ae", 7, "fn1", "v4", "plain-unused"},
+               });
+}
+
+TEST(CorpusGolden, FuzzGlobalLoop) {
+  ExpectGolden("fuzz/fuzz_global_loop.c",
+               {
+                   {"f6375c18a6431613", 13, "fn7", "v13", "unused-param"},
+                   {"cca4591951de5324", 15, "fn7", "v15", "plain-unused"},
+               });
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace vc

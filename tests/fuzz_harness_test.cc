@@ -1,0 +1,321 @@
+// Self-tests for the differential fuzzing harness (src/testing): generator
+// determinism and parse validity, metamorphic transform safety, oracle
+// verdicts, delta-debugging minimization, and the end-to-end campaign —
+// including the acceptance demo that an intentionally injected detector bug
+// is caught by the differential oracle and minimized to a tiny reproducer.
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/testing/fuzz.h"
+#include "src/testing/minimizer.h"
+#include "src/testing/mutator.h"
+#include "src/testing/oracle.h"
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+namespace {
+
+std::string Render(const TestProgram& program) {
+  std::ostringstream out;
+  for (const SourceFile& file : program.files) {
+    out << "=== " << file.path << "\n" << file.Content();
+  }
+  return out.str();
+}
+
+// A handcrafted program with one overwritten definition (x = 1 is dead) and
+// one unused parameter — the finding shapes the injected fault drops.
+TestProgram OverwriteProgram() {
+  return ProgramFromSources({{"over.c",
+                              "int compute(int a) {\n"
+                              "  int x = 1;\n"
+                              "  x = 2;\n"
+                              "  return x;\n"
+                              "}\n"}});
+}
+
+TEST(TestGen, SameSeedSameProgram) {
+  TestProgram a = GenerateProgram(42);
+  TestProgram b = GenerateProgram(42);
+  EXPECT_EQ(Render(a), Render(b));
+  EXPECT_GT(a.TotalLines(), 0);
+}
+
+TEST(TestGen, DifferentSeedsDiffer) {
+  EXPECT_NE(Render(GenerateProgram(1)), Render(GenerateProgram(2)));
+}
+
+TEST(TestGen, ManySeedsParseCleanly) {
+  OracleOptions options;
+  options.enabled = {OracleKind::kCleanFrontend};
+  OracleRunner runner(options);
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    TestProgram program = GenerateProgram(seed);
+    OracleVerdict verdict = runner.Check(program);
+    EXPECT_TRUE(verdict.Passed()) << "seed " << seed << ": "
+                                  << (verdict.failures.empty()
+                                          ? ""
+                                          : verdict.failures.front().detail);
+  }
+}
+
+TEST(TestGen, RespectsFileCountBounds) {
+  GenOptions options;
+  options.min_files = 2;
+  options.max_files = 2;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(GenerateProgram(seed, options).files.size(), 2u);
+  }
+}
+
+TEST(Mutator, TransformsAreDeterministic) {
+  TestProgram program = GenerateProgram(7);
+  ProtectedSlots none;
+  for (Transform transform : AllTransforms()) {
+    TestProgram a = ApplyTransform(program, transform, 99, none);
+    TestProgram b = ApplyTransform(program, transform, 99, none);
+    EXPECT_EQ(Render(a), Render(b)) << TransformName(transform);
+  }
+}
+
+TEST(Mutator, PaddingNeverSaysUnused) {
+  // "unused" in a comment is an unused_hints prune keyword; a pad line
+  // containing it would change prune decisions and fail metamorphically for
+  // the wrong reason.
+  ProtectedSlots none;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    TestProgram padded =
+        ApplyTransform(GenerateProgram(seed), Transform::kPadding, seed, none);
+    for (const SourceFile& file : padded.files) {
+      for (const std::string& line : file.lines) {
+        EXPECT_EQ(line.find("unused"), std::string::npos) << line;
+      }
+    }
+  }
+}
+
+TEST(Mutator, ReorderKeepsEveryLine) {
+  // Reordering moves whole function spans; modulo inserted blank separators
+  // nothing may be dropped or duplicated.
+  ProtectedSlots none;
+  TestProgram program = GenerateProgram(11);
+  TestProgram shuffled =
+      ApplyTransform(program, Transform::kReorderFunctions, 5, none);
+  auto nonblank = [](const TestProgram& p) {
+    std::vector<std::string> lines;
+    for (const SourceFile& file : p.files) {
+      for (const std::string& line : file.lines) {
+        if (!line.empty()) {
+          lines.push_back(line);
+        }
+      }
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(nonblank(program), nonblank(shuffled));
+}
+
+TEST(Mutator, ProtectedSlotsComeFromReport) {
+  OracleRunner runner;
+  AnalysisReport report = runner.Analyze(OverwriteProgram(), 1, false);
+  ProtectedSlots slots = ProtectedSlots::FromReport(report);
+  EXPECT_TRUE(slots.Contains("compute", "x"));
+  EXPECT_FALSE(slots.Contains("compute", "nosuch"));
+}
+
+TEST(Mutator, ProgramFromSourcesRoundTrips) {
+  std::vector<std::pair<std::string, std::string>> sources = {
+      {"a.c", "int f() {\n  return 0;\n}\n"}};
+  TestProgram program = ProgramFromSources(sources);
+  ASSERT_EQ(program.files.size(), 1u);
+  EXPECT_EQ(program.files[0].Content(), sources[0].second);
+}
+
+TEST(Oracle, CleanProgramPassesEverything) {
+  OracleRunner runner;
+  EXPECT_TRUE(runner.Check(OverwriteProgram()).Passed());
+}
+
+TEST(Oracle, InjectedFaultCaughtByJobsDeterminism) {
+  OracleOptions options;
+  options.parallel_fault = DropOverwrittenFindingsFault();
+  OracleRunner runner(options);
+  OracleVerdict verdict = runner.Check(OverwriteProgram());
+  EXPECT_TRUE(verdict.Failed(OracleKind::kJobsDeterminism));
+}
+
+TEST(Oracle, BrokenSourceFailsCleanFrontend) {
+  TestProgram broken = ProgramFromSources({{"bad.c", "int f( {\n"}});
+  OracleOptions options;
+  options.enabled = {OracleKind::kCleanFrontend};
+  OracleVerdict verdict = OracleRunner(options).Check(broken);
+  EXPECT_TRUE(verdict.Failed(OracleKind::kCleanFrontend));
+}
+
+TEST(Oracle, FingerprintSetNonEmptyForFindings) {
+  OracleRunner runner;
+  AnalysisReport report = runner.Analyze(OverwriteProgram(), 1, false);
+  EXPECT_FALSE(OracleRunner::FingerprintSet(report).empty());
+}
+
+TEST(Oracle, NamesRoundTrip) {
+  for (OracleKind kind : AllOracles()) {
+    auto parsed = OracleKindFromName(OracleKindName(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(OracleKindFromName("bogus").has_value());
+}
+
+TEST(Minimizer, ShrinksToPredicateCore) {
+  // Synthetic predicate: the reproducer must keep the MAGIC line. Everything
+  // else is deletable, so ddmin should reach exactly one line.
+  TestProgram program = ProgramFromSources(
+      {{"a.c", "int a = 1;\nint b = 2;\nint MAGIC = 3;\nint c = 4;\n"},
+       {"b.c", "int d = 5;\nint e = 6;\n"}});
+  auto has_magic = [](const TestProgram& candidate) {
+    for (const SourceFile& file : candidate.files) {
+      for (const std::string& line : file.lines) {
+        if (line.find("MAGIC") != std::string::npos) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  MinimizeStats stats;
+  TestProgram reduced = MinimizeProgram(program, has_magic, &stats);
+  EXPECT_EQ(reduced.TotalLines(), 1);
+  EXPECT_TRUE(has_magic(reduced));
+  EXPECT_EQ(stats.initial_lines, 6);
+  EXPECT_EQ(stats.final_lines, 1);
+  EXPECT_GT(stats.predicate_runs, 0);
+}
+
+TEST(Minimizer, RespectsPredicateBudget) {
+  std::vector<std::string> lines(64, "int x;");
+  SourceFile file;
+  file.path = "big.c";
+  file.lines = lines;
+  TestProgram program;
+  program.files.push_back(file);
+  MinimizeStats stats;
+  MinimizeProgram(
+      program, [](const TestProgram&) { return true; }, &stats,
+      /*max_predicate_runs=*/10);
+  EXPECT_LE(stats.predicate_runs, 10);
+}
+
+TEST(Minimizer, IsDeterministic) {
+  TestProgram program = GenerateProgram(21);
+  auto predicate = [](const TestProgram& candidate) {
+    return candidate.TotalLines() >= 3;
+  };
+  TestProgram a = MinimizeProgram(program, predicate);
+  TestProgram b = MinimizeProgram(program, predicate);
+  EXPECT_EQ(Render(a), Render(b));
+}
+
+TEST(Fuzz, ProgramSeedsSpread) {
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 200; ++i) {
+    seeds.insert(ProgramSeedFor(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 200u);
+  EXPECT_NE(ProgramSeedFor(1, 0), ProgramSeedFor(2, 0));
+}
+
+TEST(Fuzz, SmallCampaignRunsClean) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iterations = 25;
+  EXPECT_TRUE(RunFuzzCampaign(options).Clean());
+}
+
+TEST(Fuzz, CampaignIsDeterministic) {
+  FuzzOptions options;
+  options.seed = 9;
+  options.iterations = 10;
+  options.oracle.parallel_fault = DropOverwrittenFindingsFault();
+  FuzzResult a = RunFuzzCampaign(options);
+  FuzzResult b = RunFuzzCampaign(options);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].program_seed, b.failures[i].program_seed);
+    EXPECT_EQ(Render(a.failures[i].reproducer), Render(b.failures[i].reproducer));
+  }
+}
+
+// The acceptance demo: an intentionally injected detector bug (parallel runs
+// drop overwritten-definition findings) is caught by the differential oracle
+// and delta-debugged down to a reproducer of at most 25 lines that still
+// exhibits the divergence.
+TEST(Fuzz, InjectedBugCaughtAndMinimized) {
+  FuzzOptions options;
+  options.seed = 42;
+  options.iterations = 10;
+  options.oracle.parallel_fault = DropOverwrittenFindingsFault();
+  FuzzResult result = RunFuzzCampaign(options);
+  ASSERT_FALSE(result.failures.empty());
+
+  const FuzzFailure& failure = result.failures.front();
+  EXPECT_EQ(failure.oracle, OracleKind::kJobsDeterminism);
+  EXPECT_LE(failure.reproducer.TotalLines(), 25);
+  EXPECT_LT(failure.minimize_stats.final_lines, failure.minimize_stats.initial_lines);
+
+  // The minimized program still reproduces: with the fault installed the
+  // determinism oracle fails, without it the program is clean.
+  OracleOptions faulty;
+  faulty.parallel_fault = DropOverwrittenFindingsFault();
+  EXPECT_TRUE(
+      OracleRunner(faulty).Check(failure.reproducer).Failed(OracleKind::kJobsDeterminism));
+  EXPECT_TRUE(OracleRunner().Check(failure.reproducer).Passed());
+}
+
+TEST(Fuzz, ReproducerDirectoryHasManifestAndSources) {
+  std::string dir = ::testing::TempDir() + "vc_fuzz_repro_test";
+  std::filesystem::remove_all(dir);
+
+  FuzzOptions options;
+  options.seed = 42;
+  options.iterations = 5;
+  options.oracle.parallel_fault = DropOverwrittenFindingsFault();
+  options.corpus_dir = dir;
+  FuzzResult result = RunFuzzCampaign(options);
+  ASSERT_FALSE(result.failures.empty());
+  const FuzzFailure& failure = result.failures.front();
+  ASSERT_FALSE(failure.reproducer_dir.empty());
+
+  std::ifstream manifest(failure.reproducer_dir + "/MANIFEST.txt");
+  ASSERT_TRUE(manifest.good());
+  std::stringstream contents;
+  contents << manifest.rdbuf();
+  EXPECT_NE(contents.str().find("program_seed: " + std::to_string(failure.program_seed)),
+            std::string::npos);
+  EXPECT_NE(contents.str().find("replay: vc_fuzz --replay"), std::string::npos);
+  for (const SourceFile& file : failure.reproducer.files) {
+    EXPECT_TRUE(std::filesystem::exists(failure.reproducer_dir + "/" + file.path))
+        << file.path;
+  }
+
+  // The manifest's program_seed regenerates the failing program exactly.
+  TestProgram regenerated = GenerateProgram(failure.program_seed, options.gen);
+  OracleOptions faulty;
+  faulty.parallel_fault = DropOverwrittenFindingsFault();
+  EXPECT_TRUE(
+      OracleRunner(faulty).Check(regenerated).Failed(OracleKind::kJobsDeterminism));
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace vc

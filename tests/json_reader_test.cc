@@ -1,0 +1,155 @@
+// Edge-case tests for the JSON reader: adversarial nesting, \uXXXX escapes
+// including surrogate pairs, numeric extremes, and truncated documents. The
+// reader feeds the run ledger and the fuzzer's round-trip oracle, so its
+// failure mode must always be a clean error, never a crash or silent
+// mis-parse.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/support/json_reader.h"
+
+namespace vc {
+namespace {
+
+std::optional<JsonValue> Parse(const std::string& text, std::string* error = nullptr) {
+  return ParseJson(text, error);
+}
+
+TEST(JsonReader, ParsesBasicDocument) {
+  auto value = Parse(R"({"name":"x","n":3,"ok":true,"items":[1,2,3],"none":null})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->GetString("name"), "x");
+  EXPECT_EQ(value->GetInt("n"), 3);
+  EXPECT_TRUE(value->GetBool("ok"));
+  EXPECT_EQ(value->Get("items").Size(), 3u);
+  EXPECT_TRUE(value->Get("none").IsNull());
+}
+
+TEST(JsonReader, DeepNestingWithinLimitParses) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += '[';
+  }
+  text += "1";
+  for (int i = 0; i < 200; ++i) {
+    text += ']';
+  }
+  EXPECT_TRUE(Parse(text).has_value());
+}
+
+TEST(JsonReader, PathologicalNestingRejectedNotCrashed) {
+  // 100k unclosed brackets used to recurse once per bracket; now the depth
+  // cap rejects the document long before the stack is at risk.
+  std::string text(100000, '[');
+  std::string error;
+  EXPECT_FALSE(Parse(text, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  std::string mixed;
+  for (int i = 0; i < 5000; ++i) {
+    mixed += R"({"a":[)";
+  }
+  EXPECT_FALSE(Parse(mixed).has_value());
+}
+
+TEST(JsonReader, BasicUnicodeEscapes) {
+  // U+0041 'A' (1 byte), U+00E9 'é' (2 bytes), U+4E2D '中' (3 bytes).
+  auto value = Parse(R"(["\u0041\u00e9\u4e2d"])");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->At(0).AsString(), "A\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonReader, SurrogatePairBecomesOneCodePoint) {
+  // U+1F600 as the pair D83D DE00 must decode to 4-byte UTF-8, not two
+  // 3-byte CESU-8 surrogate encodings.
+  auto value = Parse(R"(["\ud83d\ude00"])");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->At(0).AsString(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonReader, LoneSurrogatesRejected) {
+  std::string error;
+  EXPECT_FALSE(Parse(R"(["\ud83d"])", &error).has_value());
+  EXPECT_NE(error.find("unpaired surrogate"), std::string::npos);
+  EXPECT_FALSE(Parse(R"(["\ude00"])").has_value());       // low first
+  EXPECT_FALSE(Parse(R"(["\ud83dA"])").has_value()); // high + non-low
+  EXPECT_FALSE(Parse(R"(["\ud83dxx"])").has_value());     // high + raw text
+}
+
+TEST(JsonReader, MalformedEscapesRejected) {
+  EXPECT_FALSE(Parse(R"(["\u12"])").has_value());   // truncated quad
+  EXPECT_FALSE(Parse(R"(["\u12zz"])").has_value()); // bad hex
+  EXPECT_FALSE(Parse(R"(["\q"])").has_value());     // unknown escape
+}
+
+TEST(JsonReader, IntegerExtremesRoundTrip) {
+  auto value = Parse(R"([9223372036854775807,-9223372036854775808,0,-0])");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->At(0).AsInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(value->At(1).AsInt(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(value->At(2).AsInt(), 0);
+  EXPECT_EQ(value->At(3).AsInt(), 0);
+}
+
+TEST(JsonReader, IntegerOverflowFallsBackToDouble) {
+  // One past int64 max: must not wrap to a bogus negative integer; AsInt
+  // saturates and AsDouble keeps the magnitude.
+  auto value = Parse("[9223372036854775808,-99999999999999999999]");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(value->At(0).AsDouble(), 9223372036854775808.0);
+  EXPECT_EQ(value->At(0).AsInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(value->At(1).AsInt(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(JsonReader, DoublesAndExponents) {
+  auto value = Parse("[0.5,-2.25,1e3,1.5E-2,1e+10]");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(value->At(0).AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(value->At(1).AsDouble(), -2.25);
+  EXPECT_DOUBLE_EQ(value->At(2).AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(value->At(3).AsDouble(), 0.015);
+  EXPECT_DOUBLE_EQ(value->At(4).AsDouble(), 1e10);
+}
+
+TEST(JsonReader, MalformedNumbersRejected) {
+  EXPECT_FALSE(Parse("[12.]").has_value());   // digit required after '.'
+  EXPECT_FALSE(Parse("[.5]").has_value());    // digit required before '.'
+  EXPECT_FALSE(Parse("[1e]").has_value());    // empty exponent
+  EXPECT_FALSE(Parse("[1e+]").has_value());   // sign-only exponent
+  EXPECT_FALSE(Parse("[+1]").has_value());    // leading '+'
+  EXPECT_FALSE(Parse("[--1]").has_value());
+  EXPECT_FALSE(Parse("[01]").has_value());    // leading zero
+  EXPECT_FALSE(Parse("[-]").has_value());
+  EXPECT_FALSE(Parse("[1..2]").has_value());
+}
+
+TEST(JsonReader, TruncatedDocumentsRejected) {
+  const char* cases[] = {
+      "{",       "[",           "{\"a\"",    "{\"a\":",     "{\"a\":1",
+      "[1,",     "\"abc",       "tru",       "nul",         "{\"a\":1,",
+      "[1,2",    "\"\\",        "",          "   ",
+  };
+  for (const char* text : cases) {
+    std::string error;
+    EXPECT_FALSE(Parse(text, &error).has_value()) << "'" << text << "'";
+    EXPECT_FALSE(error.empty()) << "'" << text << "'";
+  }
+}
+
+TEST(JsonReader, TrailingContentRejected) {
+  EXPECT_FALSE(Parse("{} extra").has_value());
+  EXPECT_FALSE(Parse("1 2").has_value());
+  EXPECT_TRUE(Parse("{}  \n ").has_value());  // trailing whitespace is fine
+}
+
+TEST(JsonReader, ErrorCarriesOffset) {
+  std::string error;
+  EXPECT_FALSE(Parse("[1,x]", &error).has_value());
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vc

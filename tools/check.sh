@@ -27,6 +27,27 @@ run_config() {
   echo "=== [${name}] ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
   self_diff_smoke "${name}" "${build_dir}"
+  fuzz_smoke "${name}" "${build_dir}"
+}
+
+# Differential fuzz smoke: a fixed-seed vc_fuzz campaign (~200 generated
+# programs, every oracle: parse cleanliness, --jobs determinism, metrics
+# parity, JSON round-trip, metamorphic fingerprint stability). Time-boxed to
+# 30s so sanitizer-slowed builds stop at the budget instead of timing out.
+fuzz_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  echo "=== [${name}] fuzz smoke ==="
+  local corpus
+  corpus="$(mktemp -d)"
+  trap 'rm -rf "${corpus}"; trap - RETURN' RETURN
+  if ! "${build_dir}/tools/vc_fuzz" --seed 42 --iters 200 --time-budget 30 \
+      --quiet --corpus-dir "${corpus}"; then
+    echo "fuzz smoke: oracle failures — reproducers:" >&2
+    find "${corpus}" -name MANIFEST.txt -exec cat {} \; >&2
+    return 1
+  fi
+  echo "fuzz smoke: ok"
 }
 
 # Self-diff smoke: analyze the examples corpus twice into a fresh ledger and
