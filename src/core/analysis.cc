@@ -1,6 +1,7 @@
 #include "src/core/analysis.h"
 
 #include <chrono>
+#include <set>
 
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
@@ -47,13 +48,20 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   report.diagnostic_warnings = project.diags().WarningCount();
   report.diagnostic_errors = project.diags().ErrorCount();
 
+  // Files quarantined during project construction (parse stage) lead the
+  // quarantine list; function-level records follow in stage order.
+  report.quarantined = project.quarantined();
+
   // 1. Detect every unused definition (parallel per function; merged in
-  // deterministic module/function order).
+  // deterministic module/function order). Per-function isolation: a worker
+  // that throws, busts the budget, or trips an injected fault quarantines
+  // that function alone.
   auto detect_start = std::chrono::steady_clock::now();
   std::vector<UnusedDefCandidate> candidates;
   {
     TraceSpan span("detect", "pipeline");
-    candidates = DetectAll(project, options_.jobs);
+    candidates = DetectAll(project, options_.jobs, &options_.budget, &options_.fault,
+                           &report.quarantined);
     span.Arg("candidates", static_cast<int64_t>(candidates.size()));
   }
   report.detect_seconds = SecondsSince(detect_start);
@@ -88,9 +96,13 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   // candidate set: whether a value is customarily ignored is a property of
   // the codebase, not of the cross-scope subset.
   auto prune_start = std::chrono::steady_clock::now();
-  {
+  try {
     TraceSpan span("prune", "pipeline");
     report.prune_stats = RunPruning(project, pool, options_.prune, &candidates, repo);
+  } catch (const std::exception& e) {
+    // Stage-level fallback: a pruning crash degrades to "nothing pruned"
+    // (findings become a superset) rather than killing the run.
+    report.quarantined.push_back({"", "", "prune", std::string("stage failed: ") + e.what()});
   }
   double prune_seconds = SecondsSince(prune_start);
 
@@ -103,14 +115,54 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   // 5. Rank by code familiarity.
   auto rank_start = std::chrono::steady_clock::now();
   RankStats rank_stats;
-  {
+  try {
     TraceSpan span("rank", "pipeline");
     RankCandidates(report.findings, repo, options_.ranking, &rank_stats);
+  } catch (const std::exception& e) {
+    // Findings keep their pre-rank (deterministic pool) order.
+    report.quarantined.push_back({"", "", "rank", std::string("stage failed: ") + e.what()});
   }
   double rank_seconds = SecondsSince(rank_start);
 
+  // Injected prune/rank faults act as a post-stage filter keyed on the
+  // finding's function. Crucially the quarantined function's candidates were
+  // still part of the peer-statistics universe above, so every surviving
+  // finding is byte-identical to the clean run's and the result is a strict
+  // subset — the isolation contract the degraded_run oracle checks.
+  if (options_.fault.enabled()) {
+    std::vector<UnusedDefCandidate> kept;
+    std::set<std::string> recorded;
+    kept.reserve(report.findings.size());
+    for (UnusedDefCandidate& cand : report.findings) {
+      const std::string unit = cand.file + ":" + cand.function;
+      const char* stage = nullptr;
+      if (options_.fault.ShouldFault(fault_sites::kPruneFunction, unit)) {
+        stage = "prune";
+      } else if (options_.fault.ShouldFault(fault_sites::kRankFunction, unit)) {
+        stage = "rank";
+      }
+      if (stage == nullptr) {
+        kept.push_back(std::move(cand));
+        continue;
+      }
+      if (recorded.insert(unit + "#" + stage).second) {
+        report.quarantined.push_back({cand.file, cand.function, stage, "injected fault"});
+        if (collect) {
+          MetricsRegistry::Global()
+              .GetCounter(std::string("fault.quarantined.") + stage)
+              .Add(1);
+        }
+      }
+    }
+    report.findings = std::move(kept);
+  }
+
+  report.degraded = !report.quarantined.empty();
+
   // 6. Stamp stable identities for cross-run tracking. Runs over the final
   // finding list (deterministic at any job count), so fingerprints are too.
+  // Duplicate-shape ordinals are function-local, so dropping a quarantined
+  // function never renumbers another function's fingerprints.
   AssignFingerprints(report.findings);
 
   report.analysis_seconds = SecondsSince(start);
@@ -163,8 +215,8 @@ AnalysisReport Analysis::RunOnRepositoryAt(const Repository& repo, CommitId comm
   std::shared_ptr<Project> project;
   {
     TraceSpan span("parse", "pipeline");
-    project = std::make_shared<Project>(
-        Project::FromRepositoryAt(repo, commit, options_.config, options_.jobs));
+    project = std::make_shared<Project>(Project::FromRepositoryAt(
+        repo, commit, options_.config, options_.jobs, &options_.fault, &options_.budget));
   }
   double parse_seconds = SecondsSince(start);
   AnalysisReport report = Run(*project, &repo);
@@ -201,7 +253,8 @@ Project Analysis::BuildFromRepository(const Repository& repo) const {
     MetricsRegistry::Global().Enable();
   }
   TraceSpan span("parse", "pipeline");
-  return Project::FromRepository(repo, options_.config, options_.jobs);
+  return Project::FromRepository(repo, options_.config, options_.jobs, &options_.fault,
+                                 &options_.budget);
 }
 
 Project Analysis::BuildFromSources(
@@ -210,7 +263,8 @@ Project Analysis::BuildFromSources(
     MetricsRegistry::Global().Enable();
   }
   TraceSpan span("parse", "pipeline");
-  return Project::FromSources(files, options_.config, options_.jobs);
+  return Project::FromSources(files, options_.config, options_.jobs, &options_.fault,
+                              &options_.budget);
 }
 
 std::string AnalysisReport::ToCsv() const {

@@ -55,6 +55,14 @@ struct AnalysisOptions {
   // Findings are byte-identical with the switch on or off; the cost when off
   // is a handful of relaxed atomic loads per run.
   bool collect_metrics = false;
+  // Per-unit resource limits. A unit over budget is quarantined (see
+  // AnalysisReport::quarantined), not fatal. Defaults are unlimited.
+  ResourceBudget budget;
+  // Deterministic fault injection for robustness testing (CLI --fault-inject,
+  // the degraded_run oracle). Disabled by default. Quarantine decisions are a
+  // pure function of (seed, site, unit), so the quarantine list and the
+  // surviving findings are byte-identical at any `jobs`.
+  FaultInjector fault;
 };
 
 // Per-stage observability block (see DESIGN.md §"Observability"). Stage
@@ -104,6 +112,11 @@ struct AnalysisReport {
   // file order), surfaced so callers no longer need the Project to see them.
   int diagnostic_warnings = 0;
   int diagnostic_errors = 0;
+  // Fault isolation: true when any unit was quarantined (the run completed
+  // but its results are a subset of a clean run's). `quarantined` lists the
+  // dropped units in deterministic (file, then function visit) order.
+  bool degraded = false;
+  std::vector<QuarantinedUnit> quarantined;
   // Observability block; populated when AnalysisOptions::collect_metrics.
   StageMetrics stage;
   // Set by the repository entry points: keeps the analyzed project (and with

@@ -1,5 +1,7 @@
 #include "src/core/detector.h"
 
+#include <memory>
+
 #include "src/dataflow/define_sets.h"
 #include "src/dataflow/liveness.h"
 #include "src/support/metrics.h"
@@ -24,10 +26,10 @@ const char* CandidateKindName(CandidateKind kind) {
 const char* PruneReasonName(PruneReason reason) { return kPruneNames[static_cast<int>(reason)]; }
 
 std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
-                                                 const IrFunction& func) {
+                                                 const IrFunction& func, BudgetMeter* meter) {
   std::vector<UnusedDefCandidate> candidates;
-  LivenessResult liveness = ComputeLiveness(func);
-  DefineSetResult defines = ComputeDefineSets(func);
+  LivenessResult liveness = ComputeLiveness(func, meter);
+  DefineSetResult defines = ComputeDefineSets(func, meter);
 
   const std::string& path = project.sources().Path(file);
 
@@ -52,6 +54,9 @@ std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId 
   for (const auto& block : func.blocks) {
     SlotSet live = liveness.live_out[block->id];
     DefineMap defs = defines.out[block->id];
+    if (meter != nullptr) {
+      meter->Charge(block->insts.size() + 1);
+    }
     for (size_t j = block->insts.size(); j-- > 0;) {
       const Instruction& inst = block->insts[j];
       if (inst.op == Opcode::kStore) {
@@ -109,7 +114,10 @@ std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId 
   return candidates;
 }
 
-std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
+std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs,
+                                          const ResourceBudget* budget,
+                                          const FaultInjector* fault,
+                                          std::vector<QuarantinedUnit>* quarantined) {
   // Flatten the iteration space so the pool can balance uneven functions,
   // then merge per-function results in the serial visit order (the
   // determinism barrier: output never depends on worker scheduling).
@@ -130,12 +138,39 @@ std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
   Histogram* fn_histogram =
       MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("detect.function_seconds")
                        : nullptr;
+  const bool isolate = quarantined != nullptr;
+  const bool metered = budget != nullptr && !budget->Unlimited();
   std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
+  // Slot-indexed like per_function, so the quarantine list merges in the same
+  // deterministic serial order as the findings regardless of scheduling.
+  std::vector<std::unique_ptr<QuarantinedUnit>> per_function_quarantine(work.size());
   ParallelFor(jobs, work.size(), [&](size_t i) {
     TraceSpan span("detect_fn", "detect");
     span.Arg("function", work[i].func->name);
     ScopedTimer timer(nullptr, fn_histogram);
-    per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+    const std::string& path = project.sources().Path(work[i].file);
+    if (!isolate) {
+      per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+      return;
+    }
+    // Isolation boundary: an exception here (injected, budget, or a real
+    // worker bug) quarantines this function only. The catch must live inside
+    // the worker body — ParallelFor rethrows and cancels remaining chunks.
+    try {
+      if (fault != nullptr) {
+        fault->MaybeFault(fault_sites::kDetectFunction, path + ":" + work[i].func->name);
+      }
+      if (metered) {
+        BudgetMeter meter(*budget);
+        per_function[i] = DetectInFunction(project, work[i].file, *work[i].func, &meter);
+      } else {
+        per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+      }
+    } catch (const std::exception& e) {
+      per_function[i].clear();
+      per_function_quarantine[i] = std::make_unique<QuarantinedUnit>(
+          QuarantinedUnit{path, work[i].func->name, "detect", e.what()});
+    }
   });
 
   std::vector<UnusedDefCandidate> all;
@@ -144,10 +179,22 @@ std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs) {
       all.push_back(std::move(cand));
     }
   }
+  size_t quarantine_count = 0;
+  if (isolate) {
+    for (auto& record : per_function_quarantine) {
+      if (record != nullptr) {
+        quarantined->push_back(std::move(*record));
+        ++quarantine_count;
+      }
+    }
+  }
   if (MetricsEnabled()) {
     MetricsRegistry& registry = MetricsRegistry::Global();
     registry.GetCounter("detect.functions").Add(work.size());
     registry.GetCounter("detect.candidates").Add(all.size());
+    if (quarantine_count > 0) {
+      registry.GetCounter("fault.quarantined.detect").Add(quarantine_count);
+    }
   }
   return all;
 }

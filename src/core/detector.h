@@ -15,19 +15,32 @@
 
 #include "src/core/project.h"
 #include "src/core/unused_def.h"
+#include "src/support/fault.h"
 
 namespace vc {
 
 // Detects candidates in one lowered function. `file` is the unit's file id
-// (for paths in the report).
+// (for paths in the report). A non-null `meter` bounds the work (liveness /
+// define-set fix points + replay, one step per instruction) and may throw
+// BudgetExceededError.
 std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
-                                                 const IrFunction& func);
+                                                 const IrFunction& func,
+                                                 BudgetMeter* meter = nullptr);
 
 // Detects candidates across every function of every unit. Functions are
 // analyzed independently across `jobs` worker lanes (1 = serial, 0 = all
 // hardware threads); per-function results are merged in module/function
 // order, so the output is identical at any job count.
-std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs = 1);
+//
+// Fault isolation: when `quarantined` is non-null, a function whose worker
+// throws, exceeds `budget`, or trips `fault` at the "detect.function" site is
+// dropped from the output and recorded there (in the same deterministic visit
+// order) instead of failing the whole run. With a null `quarantined`, worker
+// exceptions propagate as before.
+std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs = 1,
+                                          const ResourceBudget* budget = nullptr,
+                                          const FaultInjector* fault = nullptr,
+                                          std::vector<QuarantinedUnit>* quarantined = nullptr);
 
 }  // namespace vc
 

@@ -1,5 +1,7 @@
 #include "src/core/project.h"
 
+#include <chrono>
+
 #include "src/ir/ir_builder.h"
 #include "src/parser/parser.h"
 #include "src/support/logging.h"
@@ -10,7 +12,8 @@
 
 namespace vc {
 
-Project Project::FromRepository(const Repository& repo, Config config, int jobs) {
+Project Project::FromRepository(const Repository& repo, Config config, int jobs,
+                                const FaultInjector* fault, const ResourceBudget* budget) {
   Project project;
   std::vector<std::pair<std::string, std::string>> files;
   for (const std::string& path : repo.ListFiles()) {
@@ -19,12 +22,13 @@ Project Project::FromRepository(const Repository& repo, Config config, int jobs)
       files.emplace_back(path, std::move(*content));
     }
   }
-  project.CompileAll(std::move(files), config, jobs);
+  project.CompileAll(std::move(files), config, jobs, fault, budget);
   return project;
 }
 
 Project Project::FromRepositoryAt(const Repository& repo, CommitId commit, Config config,
-                                  int jobs) {
+                                  int jobs, const FaultInjector* fault,
+                                  const ResourceBudget* budget) {
   Project project;
   std::vector<std::pair<std::string, std::string>> files;
   for (const std::string& path : repo.ListFiles()) {
@@ -33,19 +37,21 @@ Project Project::FromRepositoryAt(const Repository& repo, CommitId commit, Confi
       files.emplace_back(path, std::move(*content));
     }
   }
-  project.CompileAll(std::move(files), config, jobs);
+  project.CompileAll(std::move(files), config, jobs, fault, budget);
   return project;
 }
 
 Project Project::FromSources(const std::vector<std::pair<std::string, std::string>>& files,
-                             Config config, int jobs) {
+                             Config config, int jobs, const FaultInjector* fault,
+                             const ResourceBudget* budget) {
   Project project;
-  project.CompileAll(files, config, jobs);
+  project.CompileAll(files, config, jobs, fault, budget);
   return project;
 }
 
 void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
-                         const Config& config, int jobs) {
+                         const Config& config, int jobs, const FaultInjector* fault,
+                         const ResourceBudget* budget) {
   // File ids are assigned sequentially before any parallel work so ids (and
   // everything keyed on them) do not depend on worker scheduling.
   const size_t n = files.size();
@@ -63,21 +69,72 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
       MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("parse.file_seconds")
                        : nullptr;
   std::vector<DiagnosticEngine> file_diags(n);
+  // Slot-indexed like units_/modules_: quarantine records merge in file
+  // order, independent of worker scheduling.
+  std::vector<std::unique_ptr<QuarantinedUnit>> file_quarantine(n);
+  const bool isolate = fault != nullptr || budget != nullptr;
+  const double deadline_seconds =
+      budget != nullptr ? budget->unit_deadline_seconds : 0.0;
+  const int parse_depth = budget != nullptr ? budget->parse_depth_limit : 0;
   ParallelFor(jobs, n, [&](size_t i) {
     FileId file = static_cast<FileId>(i);
     TraceSpan span("parse_lower", "parse");
     span.Arg("file", sm_.Path(file));
     ScopedTimer timer(nullptr, file_histogram);
-    pp_[i] = Preprocess(sm_.Content(file), config);
-    for (const std::string& error : pp_[i].errors) {
-      file_diags[i].Error({file, 1, 1}, "preprocessor: " + error);
+    auto compile_one = [&] {
+      const auto start = std::chrono::steady_clock::now();
+      auto check_deadline = [&] {
+        if (deadline_seconds <= 0.0) return;
+        std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        if (elapsed.count() > deadline_seconds) {
+          throw BudgetExceededError("unit deadline exceeded");
+        }
+      };
+      if (fault != nullptr) {
+        fault->MaybeFault(fault_sites::kParseFile, sm_.Path(file));
+      }
+      pp_[i] = Preprocess(sm_.Content(file), config);
+      for (const std::string& error : pp_[i].errors) {
+        file_diags[i].Error({file, 1, 1}, "preprocessor: " + error);
+      }
+      check_deadline();
+      TranslationUnit unit = ParseFile(sm_, file, config, file_diags[i], parse_depth);
+      check_deadline();
+      modules_[i] = LowerUnit(unit);
+      units_[i] = std::move(unit);
+    };
+    if (!isolate) {
+      compile_one();
+      return;
     }
-    TranslationUnit unit = ParseFile(sm_, file, config, file_diags[i]);
-    modules_[i] = LowerUnit(unit);
-    units_[i] = std::move(unit);
+    // Isolation boundary: any exception (injected, deadline, or a real
+    // front-end bug) quarantines this file only. The slot is rebuilt as an
+    // empty-but-valid unit — downstream stages iterate modules() without
+    // null checks — and its partial diagnostics are dropped so an injected
+    // fault cannot masquerade as a source error and fail the run.
+    try {
+      compile_one();
+    } catch (const std::exception& e) {
+      file_quarantine[i] = std::make_unique<QuarantinedUnit>(
+          QuarantinedUnit{sm_.Path(file), "", "parse", e.what()});
+      file_diags[i] = DiagnosticEngine();
+      pp_[i] = PreprocessResult();
+      units_[i] = TranslationUnit();
+      units_[i].file = file;
+      modules_[i] = std::make_unique<IrModule>();
+      modules_[i]->file = file;
+    }
   });
   for (const DiagnosticEngine& engine : file_diags) {
     diags_.Append(engine);
+  }
+  for (auto& record : file_quarantine) {
+    if (record != nullptr) {
+      quarantined_.push_back(std::move(*record));
+    }
+  }
+  if (MetricsEnabled() && !quarantined_.empty()) {
+    MetricsRegistry::Global().GetCounter("fault.quarantined.parse").Add(quarantined_.size());
   }
   if (MetricsEnabled()) {
     MetricsRegistry::Global().GetCounter("parse.files").Add(n);

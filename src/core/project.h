@@ -26,6 +26,7 @@
 #include "src/ir/ir.h"
 #include "src/lexer/preprocessor.h"
 #include "src/support/diagnostics.h"
+#include "src/support/fault.h"
 #include "src/support/source_manager.h"
 #include "src/vcs/repository.h"
 
@@ -53,17 +54,29 @@ class Project {
   // Parses and lowers the head snapshot of every file in `repo`. `jobs` is
   // the number of parallel worker lanes (1 = serial, 0 = all hardware
   // threads); results are identical at any value.
-  static Project FromRepository(const Repository& repo, Config config = Config(), int jobs = 1);
+  //
+  // All three factories take optional fault-isolation hooks: with a non-null
+  // `fault`/`budget`, a file whose parse/lower throws, trips the injector's
+  // "parse.file" site, or exceeds the per-unit deadline is quarantined — it
+  // becomes an empty unit with an empty module and no diagnostics, recorded
+  // in quarantined() — instead of aborting construction.
+  static Project FromRepository(const Repository& repo, Config config = Config(), int jobs = 1,
+                                const FaultInjector* fault = nullptr,
+                                const ResourceBudget* budget = nullptr);
 
   // Same, but at a historical commit (used by the preliminary-study
   // reproduction, which compares two snapshots years apart).
   static Project FromRepositoryAt(const Repository& repo, CommitId commit,
-                                  Config config = Config(), int jobs = 1);
+                                  Config config = Config(), int jobs = 1,
+                                  const FaultInjector* fault = nullptr,
+                                  const ResourceBudget* budget = nullptr);
 
   // Parses and lowers explicit (path, content) pairs; no repository attached
   // (authorship-dependent stages then treat every author as unknown).
   static Project FromSources(const std::vector<std::pair<std::string, std::string>>& files,
-                             Config config = Config(), int jobs = 1);
+                             Config config = Config(), int jobs = 1,
+                             const FaultInjector* fault = nullptr,
+                             const ResourceBudget* budget = nullptr);
 
   SourceManager& sources() { return sm_; }
   const SourceManager& sources() const { return sm_; }
@@ -83,9 +96,12 @@ class Project {
   // Total number of non-empty source lines (for the scalability table).
   int TotalLines() const;
 
+  // Files quarantined during construction (parse stage), in file order.
+  const std::vector<QuarantinedUnit>& quarantined() const { return quarantined_; }
+
  private:
   void CompileAll(std::vector<std::pair<std::string, std::string>> files, const Config& config,
-                  int jobs);
+                  int jobs, const FaultInjector* fault, const ResourceBudget* budget);
   void BuildIndex();
 
   SourceManager sm_;
@@ -94,6 +110,7 @@ class Project {
   std::vector<std::unique_ptr<IrModule>> modules_;
   std::vector<PreprocessResult> pp_;  // indexed by FileId
   std::map<std::string, FunctionInfo> index_;
+  std::vector<QuarantinedUnit> quarantined_;
 };
 
 }  // namespace vc

@@ -53,18 +53,32 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   // the diagnostics block and, when the run collected metrics, the metrics
   // object (per-stage seconds, per-pattern prune counters, thread-pool
   // activity); v4 adds the per-finding "fingerprint" — the stable
-  // content-based identity the run ledger diffs on (src/core/fingerprint.h).
+  // content-based identity the run ledger diffs on (src/core/fingerprint.h);
+  // v5 adds the always-present fault-isolation block: "degraded" plus the
+  // "quarantined" array of {path, function, stage, reason} records.
   // See DESIGN.md §"JSON report schema" for the contract.
-  json.Int("schema_version", 4);
+  json.Int("schema_version", 5);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
   json.Int("jobs", report.jobs);
+  json.Bool("degraded", report.degraded);
 
   json.Key("diagnostics").BeginObject();
   json.Int("warnings", report.diagnostic_warnings);
   json.Int("errors", report.diagnostic_errors);
   json.EndObject();
+
+  json.Key("quarantined").BeginArray();
+  for (const QuarantinedUnit& unit : report.quarantined) {
+    json.BeginObject();
+    json.String("path", unit.path);
+    json.String("function", unit.function);
+    json.String("stage", unit.stage);
+    json.String("reason", unit.reason);
+    json.EndObject();
+  }
+  json.EndArray();
 
   json.Key("prune_stats").BeginObject();
   json.Int("candidates", report.prune_stats.original);

@@ -46,6 +46,7 @@ RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
   record.timestamp_ms = timestamp_ms;
   record.label = label;
   record.jobs = report.jobs;
+  record.degraded = report.degraded;
   for (const UnusedDefCandidate& cand : report.findings) {
     record.findings.push_back(ToLedgerFinding(cand));
   }
@@ -66,6 +67,7 @@ RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
   m.prune_original = prune.original;
   m.prune_total = prune.TotalPruned();
   m.prune_remaining = prune.remaining;
+  m.quarantined_units = static_cast<int64_t>(report.quarantined.size());
   m.prune_patterns = {
       {"config_dependency", prune.config_tested, prune.config_dependency},
       {"cursor", prune.cursor_tested, prune.cursor},

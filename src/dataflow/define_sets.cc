@@ -9,7 +9,7 @@ void ApplyDefineTransfer(const IrFunction& func, const Instruction& inst, Define
   defs.Replace(inst.slot, inst.loc);
 }
 
-DefineSetResult ComputeDefineSets(const IrFunction& func) {
+DefineSetResult ComputeDefineSets(const IrFunction& func, BudgetMeter* meter) {
   DefineSetResult result;
   const size_t num_blocks = func.blocks.size();
   result.in.assign(num_blocks, DefineMap());
@@ -21,6 +21,9 @@ DefineSetResult ComputeDefineSets(const IrFunction& func) {
     ++result.iterations;
     for (size_t i = num_blocks; i-- > 0;) {
       const BasicBlock& block = *func.blocks[i];
+      if (meter != nullptr) {
+        meter->Charge(block.insts.size() + 1);
+      }
       DefineMap out;
       for (BlockId succ : block.succs) {
         out.UnionWith(result.in[succ]);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/ir/ir.h"
+#include "src/support/fault.h"
 
 namespace vc {
 
@@ -65,7 +66,9 @@ struct DefineSetResult {
 // next-definition set of s with {this store}.
 void ApplyDefineTransfer(const IrFunction& func, const Instruction& inst, DefineMap& defs);
 
-DefineSetResult ComputeDefineSets(const IrFunction& func);
+// A non-null `meter` is charged one step per instruction per pass and may
+// throw BudgetExceededError (see ComputeLiveness).
+DefineSetResult ComputeDefineSets(const IrFunction& func, BudgetMeter* meter = nullptr);
 
 }  // namespace vc
 

@@ -74,7 +74,7 @@ SlotSet ComputeAddressTaken(const IrFunction& func) {
   return taken;
 }
 
-LivenessResult ComputeLiveness(const IrFunction& func) {
+LivenessResult ComputeLiveness(const IrFunction& func, BudgetMeter* meter) {
   LivenessResult result;
   const size_t num_blocks = func.blocks.size();
   result.live_in.assign(num_blocks, SlotSet(func.slots.size()));
@@ -88,6 +88,9 @@ LivenessResult ComputeLiveness(const IrFunction& func) {
     // Reverse block order converges quickly for reducible CFGs.
     for (size_t i = num_blocks; i-- > 0;) {
       const BasicBlock& block = *func.blocks[i];
+      if (meter != nullptr) {
+        meter->Charge(block.insts.size() + 1);
+      }
       SlotSet out(func.slots.size());
       for (BlockId succ : block.succs) {
         out.UnionWith(result.live_in[succ]);

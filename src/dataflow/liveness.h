@@ -16,6 +16,7 @@
 
 #include "src/dataflow/slot_set.h"
 #include "src/ir/ir.h"
+#include "src/support/fault.h"
 
 namespace vc {
 
@@ -34,8 +35,10 @@ struct LivenessResult {
 // the detector can replay block-internal states from the block's live-out.
 void ApplyLivenessTransfer(const IrFunction& func, const Instruction& inst, SlotSet& live);
 
-// Runs the analysis to its fix point.
-LivenessResult ComputeLiveness(const IrFunction& func);
+// Runs the analysis to its fix point. A non-null `meter` is charged one step
+// per instruction per pass and may throw BudgetExceededError, which the
+// detector's per-unit isolation turns into a quarantine.
+LivenessResult ComputeLiveness(const IrFunction& func, BudgetMeter* meter = nullptr);
 
 // Computes the address-taken slot set alone (also part of LivenessResult).
 SlotSet ComputeAddressTaken(const IrFunction& func);

@@ -83,8 +83,13 @@ int BinaryPrecedence(TokenKind kind) {
 
 class Parser {
  public:
-  Parser(const SourceManager& sm, FileId file, std::vector<Token> tokens, DiagnosticEngine& diags)
-      : sm_(sm), file_(file), tokens_(std::move(tokens)), diags_(diags) {
+  Parser(const SourceManager& sm, FileId file, std::vector<Token> tokens, DiagnosticEngine& diags,
+         int max_depth)
+      : sm_(sm),
+        file_(file),
+        tokens_(std::move(tokens)),
+        diags_(diags),
+        max_depth_(max_depth > 0 ? max_depth : kDefaultParseDepth) {
     unit_.file = file;
     unit_.context = std::make_unique<AstContext>();
   }
@@ -139,7 +144,39 @@ class Parser {
     return Peek();
   }
 
-  void Error(SourceLoc loc, std::string message) { diags_.Error(loc, std::move(message)); }
+  void Error(SourceLoc loc, std::string message) {
+    // After a depth bail the cursor sits at EOF and every unwinding Expect
+    // would fire; the single "nesting too deep" diagnostic already covers it.
+    if (depth_bailed_) return;
+    diags_.Error(loc, std::move(message));
+  }
+
+  // --- Recursion-depth cap -------------------------------------------------
+  //
+  // ParseStmt and ParseUnary are the only two self-recursive entry points
+  // (statement nesting: compound/if/loops; expression nesting: unary chains
+  // and parenthesized expressions via ParsePrimary → ParseExpr → ... →
+  // ParseUnary). Each guarded level costs at most ~6 real frames, so the cap
+  // bounds native stack use regardless of input shape. On overflow: one
+  // diagnostic, jump to EOF so the recursion unwinds without emitting a
+  // cascade of bogus "expected X" errors, and synthesize placeholder nodes.
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) { ++parser_.depth_; }
+    ~DepthGuard() { --parser_.depth_; }
+    Parser& parser_;
+  };
+
+  bool DepthOk() {
+    if (depth_ <= max_depth_) return true;
+    if (!depth_bailed_) {
+      diags_.Error(Peek().loc, "nesting too deep (parser limit " + std::to_string(max_depth_) +
+                                   "); skipping rest of file");
+      depth_bailed_ = true;
+      pos_ = tokens_.size() - 1;  // park on the kEof sentinel
+    }
+    return false;
+  }
 
   // Skips tokens until after the next ';' at brace depth 0, or past a '}'.
   void SkipToSync() {
@@ -610,6 +647,10 @@ class Parser {
   }
 
   Stmt* ParseStmt() {
+    DepthGuard depth(*this);
+    if (!DepthOk()) {
+      return nullptr;  // callers already tolerate null statements
+    }
     switch (Peek().kind) {
       case TokenKind::kLBrace:
         return ParseCompound();
@@ -897,7 +938,16 @@ class Parser {
   }
 
   Expr* ParseUnary() {
+    DepthGuard depth(*this);
     SourceLoc loc = Peek().loc;
+    if (!DepthOk()) {
+      // Expression parsing never returns null; hand back a placeholder
+      // literal the same way ParsePrimary's error path does.
+      auto* lit = ctx().New<IntLitExpr>();
+      lit->loc = loc;
+      lit->type = types().IntType();
+      return lit;
+    }
     switch (Peek().kind) {
       case TokenKind::kPlusPlus:
       case TokenKind::kMinusMinus: {
@@ -1174,6 +1224,9 @@ class Parser {
   DiagnosticEngine& diags_;
   size_t pos_ = 0;
   SourceLoc last_consumed_loc_;
+  int depth_ = 0;
+  int max_depth_ = kDefaultParseDepth;
+  bool depth_bailed_ = false;
 
   TranslationUnit unit_;
   std::map<std::string, StructDecl*> structs_;
@@ -1189,13 +1242,13 @@ class Parser {
 }  // namespace
 
 TranslationUnit ParseFile(const SourceManager& sm, FileId file, const Config& config,
-                          DiagnosticEngine& diags) {
+                          DiagnosticEngine& diags, int max_depth) {
   PreprocessResult pp = Preprocess(sm.Content(file), config);
   for (const std::string& error : pp.errors) {
     diags.Error({file, 1, 1}, "preprocessor: " + error);
   }
   std::vector<Token> tokens = Lex(sm, file, pp, diags);
-  Parser parser(sm, file, std::move(tokens), diags);
+  Parser parser(sm, file, std::move(tokens), diags, max_depth);
   return parser.Run();
 }
 

@@ -16,9 +16,17 @@
 
 namespace vc {
 
+// Recursion-depth cap for statement/expression nesting. Each guarded level
+// costs a handful of real stack frames, so 512 keeps the worst case well
+// under typical 8 MiB stacks even with sanitizer-inflated frames. Exceeding
+// the cap emits one diagnostic and skips the rest of the file instead of
+// overflowing the stack.
+inline constexpr int kDefaultParseDepth = 512;
+
 // Preprocesses, lexes, and parses one file. The returned unit owns its AST.
+// `max_depth` overrides the nesting cap (0 = kDefaultParseDepth).
 TranslationUnit ParseFile(const SourceManager& sm, FileId file, const Config& config,
-                          DiagnosticEngine& diags);
+                          DiagnosticEngine& diags, int max_depth = 0);
 
 // Convenience for tests: parses from a bare string (registers it in `sm`).
 TranslationUnit ParseString(SourceManager& sm, const std::string& path, const std::string& code,

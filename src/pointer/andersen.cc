@@ -1,9 +1,21 @@
 #include "src/pointer/andersen.h"
 
+#include <atomic>
+
 namespace vc {
 
 const std::set<SlotId> PointsTo::kEmptySlots;
 const std::set<const FunctionDecl*> PointsTo::kEmptyFuncs;
+
+namespace {
+
+std::atomic<bool> g_force_nonconvergence{false};
+
+}  // namespace
+
+void PointsTo::ForceNonConvergenceForTest(bool on) {
+  g_force_nonconvergence.store(on, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -18,7 +30,8 @@ bool Merge(PointsTo* unused, std::set<SlotId>& dst, const std::set<SlotId>& src)
 
 }  // namespace
 
-PointsTo::PointsTo(const IrFunction& func) {
+PointsTo::PointsTo(const IrFunction& func, int max_iterations)
+    : max_iterations_(max_iterations > 0 ? max_iterations : kDefaultPointerIterationLimit) {
   values_.resize(static_cast<size_t>(func.next_value));
   slots_.resize(static_cast<size_t>(func.slots.size()));
   // Pointer-typed formals hold caller memory we cannot see: unknown.
@@ -29,6 +42,9 @@ PointsTo::PointsTo(const IrFunction& func) {
     }
   }
   Solve(func);
+  if (capped_) {
+    ApplyTop(func);
+  }
   for (const NodeState& state : values_) {
     for (SlotId slot : state.slots) {
       pointee_slots_.insert(slot);
@@ -47,7 +63,13 @@ void PointsTo::Solve(const IrFunction& func) {
   // more than fast enough and trivially correct.
   bool changed = true;
   while (changed) {
-    changed = false;
+    if (iterations_ >= max_iterations_) {
+      // Non-convergence (or the test hook): degrade to top instead of
+      // spinning. The caller applies the fallback after Solve returns.
+      capped_ = true;
+      return;
+    }
+    changed = g_force_nonconvergence.load(std::memory_order_relaxed);
     ++iterations_;
     for (const auto& block : func.blocks) {
       for (const Instruction& inst : block->insts) {
@@ -184,6 +206,22 @@ void PointsTo::Solve(const IrFunction& func) {
         }
       }
     }
+  }
+}
+
+void PointsTo::ApplyTop(const IrFunction& func) {
+  // Sound over-approximation for a solver that did not converge: every value
+  // and slot may point anywhere, and every slot may be aliased. Downstream
+  // consumers treat "unknown"/"pointee" conservatively (suppress candidates,
+  // keep indirect edges), so top loses precision, never soundness.
+  for (NodeState& state : values_) {
+    state.unknown = true;
+  }
+  for (NodeState& state : slots_) {
+    state.unknown = true;
+  }
+  for (SlotId slot = 0; slot < static_cast<SlotId>(func.slots.size()); ++slot) {
+    pointee_slots_.insert(slot);
   }
 }
 

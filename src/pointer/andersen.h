@@ -25,9 +25,15 @@
 
 namespace vc {
 
+// Hard ceiling on solver passes. Real functions converge in a handful of
+// passes; the ceiling only exists so a constraint-system blow-up degrades to
+// "points-to top" (everything may alias) instead of hanging the pipeline.
+inline constexpr int kDefaultPointerIterationLimit = 1 << 16;
+
 class PointsTo {
  public:
-  explicit PointsTo(const IrFunction& func);
+  // `max_iterations` caps solver passes (0 = kDefaultPointerIterationLimit).
+  explicit PointsTo(const IrFunction& func, int max_iterations = 0);
 
   // Slots that `value` may point to.
   const std::set<SlotId>& SlotsPointedBy(ValueId value) const;
@@ -43,6 +49,16 @@ class PointsTo {
 
   int iterations() const { return iterations_; }
 
+  // True when the solver hit its iteration ceiling and fell back to the
+  // sound "top" state: every value/slot points to unknown and every slot is
+  // a potential pointee (the detector then suppresses, never misreports).
+  bool capped() const { return capped_; }
+
+  // Test-only: forces the fix point to never converge so the iteration
+  // ceiling and top fallback can be exercised without crafting a
+  // pathological constraint system.
+  static void ForceNonConvergenceForTest(bool on);
+
  private:
   struct NodeState {
     std::set<SlotId> slots;
@@ -51,11 +67,14 @@ class PointsTo {
   };
 
   void Solve(const IrFunction& func);
+  void ApplyTop(const IrFunction& func);
 
   std::vector<NodeState> values_;  // indexed by ValueId
   std::vector<NodeState> slots_;   // indexed by SlotId: what the slot CONTAINS
   std::set<SlotId> pointee_slots_;
   int iterations_ = 0;
+  int max_iterations_ = kDefaultPointerIterationLimit;
+  bool capped_ = false;
 
   static const std::set<SlotId> kEmptySlots;
   static const std::set<const FunctionDecl*> kEmptyFuncs;

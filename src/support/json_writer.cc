@@ -1,5 +1,6 @@
 #include "src/support/json_writer.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace vc {
@@ -99,6 +100,12 @@ JsonWriter& JsonWriter::Int(const std::string& key, int64_t value) {
 JsonWriter& JsonWriter::Double(const std::string& key, double value) {
   Key(key);
   Separate();
+  // JSON has no NaN/Infinity literals; "%g" would emit them and corrupt the
+  // document. RFC 8259's only representation for a non-finite number is null.
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   out_ += buf;

@@ -1,7 +1,12 @@
 #include "src/support/run_ledger.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -39,6 +44,7 @@ void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
   json.Int("prune_original", m.prune_original);
   json.Int("prune_total", m.prune_total);
   json.Int("prune_remaining", m.prune_remaining);
+  json.Int("quarantined_units", m.quarantined_units);
   json.EndObject();
   json.Key("prune_patterns").BeginArray();
   for (const LedgerPrunePattern& pattern : m.prune_patterns) {
@@ -76,6 +82,7 @@ LedgerMetrics ReadMetrics(const JsonValue& value) {
   m.prune_original = counters.GetInt("prune_original");
   m.prune_total = counters.GetInt("prune_total");
   m.prune_remaining = counters.GetInt("prune_remaining");
+  m.quarantined_units = counters.GetInt("quarantined_units");
   for (const JsonValue& pattern : value.Get("prune_patterns").Items()) {
     LedgerPrunePattern p;
     p.name = pattern.GetString("name");
@@ -102,6 +109,7 @@ std::string RunRecordToJson(const RunRecord& record) {
   json.String("label", record.label);
   json.String("options", record.options_summary);
   json.Int("jobs", record.jobs);
+  json.Bool("degraded", record.degraded);
   json.Key("findings").BeginArray();
   for (const LedgerFinding& finding : record.findings) {
     json.BeginObject();
@@ -137,6 +145,8 @@ std::optional<RunRecord> RunRecordFromJson(const std::string& line, std::string*
   record.label = value->GetString("label");
   record.options_summary = value->GetString("options");
   record.jobs = static_cast<int>(value->GetInt("jobs", 1));
+  // Absent in pre-fault-isolation records; default reads as a clean run.
+  record.degraded = value->GetBool("degraded");
   for (const JsonValue& entry : value->Get("findings").Items()) {
     LedgerFinding finding;
     finding.fingerprint = entry.GetString("fingerprint");
@@ -186,16 +196,25 @@ std::string RunLedger::Append(RunRecord record, std::string* error) {
     }
     record.run_id = FormatRunId(next);
   }
-  std::ofstream out(LedgerFile(), std::ios::app | std::ios::binary);
-  if (!out) {
+  // O_APPEND + a single write() of the whole line: POSIX makes each append
+  // atomic with respect to other appenders, so two concurrent runs (CI jobs
+  // sharing one ledger) can never interleave bytes mid-record. A buffered
+  // ofstream would flush in chunks and lose that guarantee.
+  const std::string line = RunRecordToJson(record) + '\n';
+  int fd = ::open(LedgerFile().c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
     if (error != nullptr) {
-      *error = "cannot open " + LedgerFile() + " for append";
+      *error = "cannot open " + LedgerFile() + " for append: " + std::strerror(errno);
     }
     return "";
   }
-  out << RunRecordToJson(record) << '\n';
-  out.flush();
-  if (!out) {
+  ssize_t written;
+  do {
+    written = ::write(fd, line.data(), line.size());
+  } while (written < 0 && errno == EINTR);
+  const bool ok = written == static_cast<ssize_t>(line.size());
+  ::close(fd);
+  if (!ok) {
     if (error != nullptr) {
       *error = "write to " + LedgerFile() + " failed";
     }

@@ -59,6 +59,8 @@ struct LedgerMetrics {
   int64_t prune_original = 0;
   int64_t prune_total = 0;
   int64_t prune_remaining = 0;
+  // Units dropped by fault isolation (0 in clean runs and pre-v5 records).
+  int64_t quarantined_units = 0;
   std::vector<LedgerPrunePattern> prune_patterns;
   int pool_workers = 0;
   int64_t pool_tasks = 0;
@@ -76,6 +78,10 @@ struct RunRecord {
   std::string label;            // free-form: corpus name, git rev, "bench:jobs=4"
   std::string options_summary;  // rendered non-default analysis options
   int jobs = 1;
+  // True when the producing run quarantined units (its findings are a subset
+  // of what a clean run would report) — diffs against it should be read with
+  // that in mind.
+  bool degraded = false;
   std::vector<LedgerFinding> findings;
   LedgerMetrics metrics;
 };

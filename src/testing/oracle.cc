@@ -44,6 +44,40 @@ void AppendCandidate(std::string& out, const UnusedDefCandidate& cand) {
   out += '\n';
 }
 
+// The degraded_run oracle's analysis configuration. Peer-definition pruning
+// consults corpus-global occurrence statistics, so legitimately quarantining
+// one unit can flip another unit's verdict; it is disabled in both the clean
+// and the faulted run so subset-equality of fingerprints holds by
+// construction (every other prune pattern is function- or file-local).
+AnalysisReport AnalyzeForDegraded(const TestProgram& program, int jobs, uint64_t seed,
+                                  double rate, bool inject) {
+  AnalysisOptions options;
+  options.cross_scope_only = false;
+  options.jobs = jobs;
+  options.prune.peer_definition = false;
+  if (inject) {
+    options.fault = FaultInjector(seed, rate);
+  }
+  return Analysis(options).RunOnSources(program.ToSources());
+}
+
+// Deterministic one-line-per-unit rendering of the quarantine list, compared
+// byte for byte across job counts.
+std::string SerializeQuarantine(const AnalysisReport& report) {
+  std::string out;
+  for (const QuarantinedUnit& unit : report.quarantined) {
+    out += unit.path;
+    out += '|';
+    out += unit.function;
+    out += '|';
+    out += unit.stage;
+    out += '|';
+    out += unit.reason;
+    out += '\n';
+  }
+  return out;
+}
+
 std::string JoinFingerprints(const std::set<std::string>& set) {
   std::string out;
   for (const std::string& fp : set) {
@@ -69,6 +103,8 @@ const char* OracleKindName(OracleKind kind) {
       return "json_round_trip";
     case OracleKind::kMetamorphic:
       return "metamorphic";
+    case OracleKind::kDegradedRun:
+      return "degraded_run";
   }
   return "unknown";
 }
@@ -84,7 +120,7 @@ std::optional<OracleKind> OracleKindFromName(const std::string& name) {
 
 std::vector<OracleKind> AllOracles() {
   return {OracleKind::kCleanFrontend, OracleKind::kJobsDeterminism, OracleKind::kMetricsParity,
-          OracleKind::kJsonRoundTrip, OracleKind::kMetamorphic};
+          OracleKind::kJsonRoundTrip, OracleKind::kMetamorphic, OracleKind::kDegradedRun};
 }
 
 bool OracleVerdict::Failed(OracleKind kind) const {
@@ -211,8 +247,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           {OracleKind::kJsonRoundTrip, "", "report JSON does not parse: " + error});
     } else {
       const JsonValue& findings = doc->Get("findings");
-      if (doc->GetInt("schema_version") != 4) {
-        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 4"});
+      if (doc->GetInt("schema_version") != 5) {
+        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 5"});
       } else if (findings.Size() != with_metrics.findings.size()) {
         verdict.failures.push_back(
             {OracleKind::kJsonRoundTrip, "",
@@ -270,6 +306,71 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
         verdict.failures.push_back({OracleKind::kMetamorphic, TransformName(transform),
                                     "fingerprint set changed; lost=[" + JoinFingerprints(lost) +
                                         "] gained=[" + JoinFingerprints(gained) + "]"});
+      }
+    }
+  }
+
+  if (Enabled(OracleKind::kDegradedRun)) {
+    // Salt the mutation seed so the injection sites differ from campaign
+    // iteration to iteration even when the same seed reruns other oracles.
+    const uint64_t seed = options_.mutation_seed ^ 0x9e3779b97f4a7c15ull;
+    AnalysisReport clean =
+        AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/false);
+    if (clean.degraded || !clean.quarantined.empty()) {
+      verdict.failures.push_back(
+          {OracleKind::kDegradedRun, "", "clean run (no injection) reports degraded"});
+    } else {
+      bool aborted = false;
+      AnalysisReport faulted;
+      try {
+        faulted =
+            AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/true);
+      } catch (const std::exception& e) {
+        aborted = true;
+        verdict.failures.push_back(
+            {OracleKind::kDegradedRun, "",
+             std::string("pipeline aborted under injected faults: ") + e.what()});
+      }
+      if (!aborted) {
+        if (faulted.degraded != !faulted.quarantined.empty()) {
+          verdict.failures.push_back(
+              {OracleKind::kDegradedRun, "",
+               "degraded flag inconsistent with the quarantine list (" +
+                   std::to_string(faulted.quarantined.size()) + " unit(s))"});
+        }
+        std::set<std::string> clean_fps = FingerprintSet(clean);
+        std::set<std::string> faulted_fps = FingerprintSet(faulted);
+        std::set<std::string> gained;
+        std::set_difference(faulted_fps.begin(), faulted_fps.end(), clean_fps.begin(),
+                            clean_fps.end(), std::inserter(gained, gained.begin()));
+        if (!gained.empty()) {
+          verdict.failures.push_back(
+              {OracleKind::kDegradedRun, "",
+               "faulted run reports fingerprints absent from the clean run: [" +
+                   JoinFingerprints(gained) + "]"});
+        }
+        std::string faulted_findings = SerializeFindings(faulted);
+        std::string faulted_quarantine = SerializeQuarantine(faulted);
+        for (size_t i = 1; i < jobs.size(); ++i) {
+          AnalysisReport report;
+          try {
+            report =
+                AnalyzeForDegraded(program, jobs[i], seed, options_.fault_rate, /*inject=*/true);
+          } catch (const std::exception& e) {
+            verdict.failures.push_back(
+                {OracleKind::kDegradedRun, "",
+                 "pipeline aborted under injected faults at jobs=" + std::to_string(jobs[i]) +
+                     ": " + e.what()});
+            continue;
+          }
+          if (SerializeFindings(report) != faulted_findings ||
+              SerializeQuarantine(report) != faulted_quarantine) {
+            verdict.failures.push_back(
+                {OracleKind::kDegradedRun, "",
+                 "faulted run diverges at jobs=" + std::to_string(jobs[i]) + " from jobs=" +
+                     std::to_string(jobs.front()) + " (findings or quarantine list)"});
+          }
+        }
       }
     }
   }

@@ -12,6 +12,11 @@
 //                       with every finding field intact
 //   metamorphic       — the finding fingerprint set is stable under every
 //                       semantics-preserving transform in mutator.h
+//   degraded_run      — under deterministic fault injection the pipeline
+//                       still completes, reports degraded, and the surviving
+//                       fingerprints are a subset of the clean run's; the
+//                       quarantine list and findings are identical at every
+//                       job count
 //
 // OracleOptions::parallel_fault is the harness's own test hook: a corruption
 // applied to parallel (jobs > 1) reports before comparison, simulating a
@@ -41,6 +46,7 @@ enum class OracleKind {
   kMetricsParity,
   kJsonRoundTrip,
   kMetamorphic,
+  kDegradedRun,
 };
 
 const char* OracleKindName(OracleKind kind);
@@ -69,6 +75,10 @@ struct OracleOptions {
   // Seed for the metamorphic transforms (so a whole campaign iteration is
   // reproducible from one number).
   uint64_t mutation_seed = 0;
+  // Per-site fault probability the degraded_run oracle injects. High enough
+  // that most programs quarantine something, low enough that some units
+  // survive to exercise the subset check.
+  double fault_rate = 0.2;
   // Test hook; see file comment.
   std::function<void(AnalysisReport&)> parallel_fault;
 };

@@ -297,7 +297,7 @@ TEST_F(CliTest, BadLogLevelRejectedWithUsage) {
 TEST_F(CliTest, JsonReportCarriesDiagnosticsBlock) {
   std::string path = Write("buggy.c", kBuggy);
   RunResult result = RunCli(path + " --format=json");
-  EXPECT_NE(result.output.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(result.output.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(result.output.find("\"diagnostics\":{\"warnings\":"), std::string::npos);
 }
 
@@ -434,6 +434,78 @@ TEST_F(CliTest, TopLimitsTextOutput) {
   std::string path = Write("many.c", code);
   RunResult result = RunCli(path + " --top=2");
   EXPECT_NE(result.output.find("... 3 more"), std::string::npos);
+}
+
+// --- Fault isolation ----------------------------------------------------------
+
+TEST_F(CliTest, FaultInjectRateOneDegradesGracefully) {
+  Write("buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  // Every parse faults: no findings survive, but the run completes and exits
+  // 0 (no findings) in the default graceful mode.
+  RunResult result = RunCli(dir_.string() + " --fault-inject 1:1.0");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("degraded run"), std::string::npos);
+  EXPECT_NE(result.output.find("quarantined [parse]"), std::string::npos);
+}
+
+TEST_F(CliTest, StrictModeTurnsQuarantineIntoExitThree) {
+  Write("buggy.c", kBuggy);
+  RunResult result = RunCli(dir_.string() + " --strict --fault-inject 1:1.0");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  // Without injected faults, --strict changes nothing.
+  RunResult clean = RunCli(dir_.string() + " --strict");
+  EXPECT_EQ(clean.exit_code, 1) << clean.output;
+}
+
+TEST_F(CliTest, FaultInjectJsonReportCarriesQuarantineBlock) {
+  Write("buggy.c", kBuggy);
+  RunResult result = RunCliStdout(dir_.string() + " --format=json --fault-inject 1:1.0");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(result.output.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(result.output.find("\"quarantined\":[{"), std::string::npos);
+  EXPECT_NE(result.output.find("\"stage\":\"parse\""), std::string::npos);
+}
+
+TEST_F(CliTest, CleanJsonReportHasEmptyQuarantineBlock) {
+  Write("buggy.c", kBuggy);
+  RunResult result = RunCliStdout(dir_.string() + " --format=json");
+  EXPECT_NE(result.output.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(result.output.find("\"quarantined\":[]"), std::string::npos);
+}
+
+TEST_F(CliTest, BadFaultInjectSpecExitsTwo) {
+  std::string path = Write("clean.c", kClean);
+  RunResult result = RunCli(path + " --fault-inject not-a-spec");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--fault-inject"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultInjectOutputIdenticalAcrossJobs) {
+  for (int i = 0; i < 6; ++i) {
+    Write("file" + std::to_string(i) + ".c",
+          "int g" + std::to_string(i) + "(int);\n"
+          "int f" + std::to_string(i) + "(int x) {\n"
+          "  int r = g" + std::to_string(i) + "(x);\n"
+          "  r = x;\n"
+          "  return r;\n}\n");
+  }
+  // CSV carries only findings (no timings or the jobs count, which
+  // legitimately differ); the stderr quarantine lines cover the rest.
+  std::string args = dir_.string() + " --format=csv --fault-inject 7:0.5";
+  auto stderr_only = [&](const std::string& a) {
+    return RunCommand(std::string(VALUECHECK_CLI_PATH) + " " + a + " 2>&1 1>/dev/null");
+  };
+  RunResult serial = RunCliStdout(args + " --jobs 1");
+  RunResult parallel = RunCliStdout(args + " --jobs 8");
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_EQ(serial.exit_code, parallel.exit_code);
+  RunResult serial_err = stderr_only(args + " --jobs 1");
+  RunResult parallel_err = stderr_only(args + " --jobs 8");
+  EXPECT_EQ(serial_err.output, parallel_err.output);
+  EXPECT_NE(serial_err.output.find("quarantined ["), std::string::npos)
+      << "seed 7 rate 0.5 quarantined nothing; the comparison is vacuous";
 }
 
 }  // namespace

@@ -281,5 +281,44 @@ TEST(Parser, PreprocessorDisabledCodeNotParsed) {
   EXPECT_NE(parsed->unit.FindFunction("f"), nullptr);
 }
 
+// Adversarial nesting must produce a diagnostic, not a stack overflow: the
+// parser recurses per nesting level, so without the depth cap a ~10k-deep
+// expression would blow the runtime stack long before lexing becomes slow.
+TEST(Parser, DeeplyNestedExpressionHitsDepthCapNotStack) {
+  constexpr int kDepth = 10000;
+  std::string code = "int f(void) { return ";
+  code.append(kDepth, '(');
+  code += "1";
+  code.append(kDepth, ')');
+  code += "; }";
+  auto parsed = Parse(code, /*expect_clean=*/false);
+  EXPECT_TRUE(parsed->diags.HasErrors());
+  EXPECT_NE(parsed->diags.Render(parsed->sm).find("nesting too deep"), std::string::npos);
+}
+
+TEST(Parser, DeeplyChainedElseIfHitsDepthCapNotStack) {
+  constexpr int kDepth = 10000;
+  std::string code = "int f(int a) {\n  if (a == 0) { return 0; }\n";
+  for (int i = 1; i < kDepth; ++i) {
+    code += "  else if (a == " + std::to_string(i) + ") { return " + std::to_string(i) + "; }\n";
+  }
+  code += "  return -1;\n}";
+  auto parsed = Parse(code, /*expect_clean=*/false);
+  EXPECT_TRUE(parsed->diags.HasErrors());
+  EXPECT_NE(parsed->diags.Render(parsed->sm).find("nesting too deep"), std::string::npos);
+}
+
+// A shallow program parsed with an explicit tiny cap degrades the same way —
+// the budget plumbing, not just the default constant.
+TEST(Parser, ExplicitDepthLimitHonored) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  FileId file = sm.AddFile("tiny.c", "int f(void) { return ((((1)))); }");
+  TranslationUnit unit = ParseFile(sm, file, Config(), diags, /*max_depth=*/3);
+  EXPECT_TRUE(diags.HasErrors());
+  EXPECT_NE(diags.Render(sm).find("nesting too deep"), std::string::npos);
+  (void)unit;
+}
+
 }  // namespace
 }  // namespace vc

@@ -198,6 +198,32 @@ TEST(Andersen, ConvergesOnCycles) {
   EXPECT_TRUE(pts.SlotIsPointee(SlotNamed(func, "y")));
 }
 
+TEST(Andersen, IterationCeilingFallsBackToTop) {
+  auto a = Analyze(
+      "int f(void) {\n"
+      "  int x = 1;\n"
+      "  int *p = &x;\n"
+      "  return *p;\n"
+      "}");
+  const IrFunction& func = *a->module->FindFunction("f");
+  // With the fix point forced to never converge, a tiny ceiling must trip and
+  // degrade to the sound "top" state instead of hanging.
+  PointsTo::ForceNonConvergenceForTest(true);
+  PointsTo pts(func, /*max_iterations=*/100);
+  PointsTo::ForceNonConvergenceForTest(false);
+  EXPECT_TRUE(pts.capped());
+  for (ValueId v = 0; v < func.next_value; ++v) {
+    EXPECT_TRUE(pts.PointsToUnknown(v));
+  }
+  for (SlotId s = 0; s < func.slots.size(); ++s) {
+    EXPECT_TRUE(pts.SlotIsPointee(s));
+  }
+  // A normal run of the same function is unaffected by the ceiling.
+  PointsTo clean(func, /*max_iterations=*/100);
+  EXPECT_FALSE(clean.capped());
+  EXPECT_TRUE(clean.SlotIsPointee(SlotNamed(func, "x")));
+}
+
 // --- ValueFlowGraph -----------------------------------------------------------
 
 TEST(ValueFlow, CountsDirectDefsAndUses) {

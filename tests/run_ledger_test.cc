@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace vc {
 namespace {
@@ -184,6 +186,63 @@ TEST_F(RunLedgerTest, CompactKeepsNewestRuns) {
   EXPECT_EQ((*runs)[0].run_id, "r0004");
   EXPECT_EQ((*runs)[1].run_id, "r0005");
   EXPECT_EQ(ledger.Append(SampleRecord("after")), "r0006");
+}
+
+TEST_F(RunLedgerTest, DegradedAndQuarantineCountersRoundTrip) {
+  RunRecord record = SampleRecord("degraded");
+  record.run_id = "r0001";
+  record.degraded = true;
+  record.metrics.quarantined_units = 3;
+  std::optional<RunRecord> back = RunRecordFromJson(RunRecordToJson(record));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->degraded);
+  EXPECT_EQ(back->metrics.quarantined_units, 3);
+  // Pre-v5 records lack both fields and must read as clean runs.
+  std::optional<RunRecord> old = RunRecordFromJson(
+      "{\"run_id\":\"r0001\",\"findings\":[],\"metrics\":{}}");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_FALSE(old->degraded);
+  EXPECT_EQ(old->metrics.quarantined_units, 0);
+}
+
+// Append is a single O_APPEND write() per record, so concurrent appenders
+// (CI jobs sharing one ledger) must never tear each other's lines. Run ids
+// are preassigned: id *assignment* reads the ledger first and is only
+// advisory under concurrency; byte-level line atomicity is the contract.
+TEST_F(RunLedgerTest, ConcurrentAppendersNeverTearRecords) {
+  RunLedger ledger(LedgerDir());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  // A long label makes each line span several kilobytes, well past any
+  // stdio buffer size where interleaving bugs would hide.
+  const std::string padding(4096, 'x');
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RunRecord record = SampleRecord("writer" + std::to_string(t) + "-" +
+                                        std::to_string(i) + "-" + padding);
+        record.run_id = "r" + std::to_string(t) + "_" + std::to_string(i);
+        std::string error;
+        ASSERT_FALSE(ledger.Append(record, &error).empty()) << error;
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  std::string error;
+  int skipped = 0;
+  std::optional<std::vector<RunRecord>> runs = ledger.Load(&error, &skipped);
+  ASSERT_TRUE(runs.has_value()) << error;
+  EXPECT_EQ(skipped, 0) << "torn (interleaved) lines in the ledger";
+  EXPECT_EQ(runs->size(), static_cast<size_t>(kThreads * kPerThread));
+  for (const RunRecord& record : *runs) {
+    // Each record came through intact: full label with its padding tail.
+    EXPECT_EQ(record.label.compare(record.label.size() - padding.size(),
+                                   padding.size(), padding),
+              0);
+  }
 }
 
 TEST_F(RunLedgerTest, CompactLargerThanHistoryDropsNothing) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/support/diagnostics.h"
 #include "src/support/json_reader.h"
 #include "src/support/json_writer.h"
@@ -343,6 +346,26 @@ TEST(JsonReader, RoundTripsJsonWriterOutput) {
   EXPECT_DOUBLE_EQ(value->GetDouble("ratio"), 0.125);
   ASSERT_EQ(value->Get("list").Size(), 2u);
   EXPECT_EQ(value->Get("list").At(0).AsString(), "x");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNullAndStayParseable) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Double("nan", std::nan(""));
+  writer.Double("pos_inf", std::numeric_limits<double>::infinity());
+  writer.Double("neg_inf", -std::numeric_limits<double>::infinity());
+  writer.Double("finite", 2.5);
+  writer.EndObject();
+
+  // JSON has no NaN/Infinity literals; anything else would corrupt reports
+  // whose timings divide by zero.
+  EXPECT_EQ(writer.str(),
+            "{\"nan\":null,\"pos_inf\":null,\"neg_inf\":null,\"finite\":2.5}");
+  std::string error;
+  std::optional<JsonValue> value = ParseJson(writer.str(), &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  EXPECT_TRUE(value->Get("nan").IsNull());
+  EXPECT_DOUBLE_EQ(value->GetDouble("finite"), 2.5);
 }
 
 }  // namespace

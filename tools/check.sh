@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification matrix: plain build + ctest, then the same under
-# AddressSanitizer(+UBSan) and ThreadSanitizer. The sanitizer configs catch
-# what the plain run cannot — heap misuse in the parser/IR layers (ASan) and
-# data races in the thread pool / metrics / trace hot paths (TSan).
+# AddressSanitizer(+UBSan), ThreadSanitizer, and standalone UBSan. The
+# sanitizer configs catch what the plain run cannot — heap misuse in the
+# parser/IR layers (ASan), data races in the thread pool / metrics / trace
+# hot paths (TSan), and UB with fail-fast (-fno-sanitize-recover) semantics
+# in the UBSan config.
 #
-# Usage: tools/check.sh [plain|asan|tsan]...   (default: all three)
+# Usage: tools/check.sh [plain|asan|tsan|ubsan]...   (default: plain asan tsan)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,6 +30,7 @@ run_config() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
   self_diff_smoke "${name}" "${build_dir}"
   fuzz_smoke "${name}" "${build_dir}"
+  fault_smoke "${name}" "${build_dir}"
 }
 
 # Differential fuzz smoke: a fixed-seed vc_fuzz campaign (~200 generated
@@ -87,13 +90,49 @@ self_diff_smoke() {
   echo "self-diff smoke: ok"
 }
 
+# Fault-injection smoke: the robustness contract under every sanitizer.
+# 1) the degraded_run oracle over generated programs (fault-injected pipeline
+#    completes, survivors are a subset of the clean run, identical at any
+#    --jobs); 2) a 10% fault-injected analyze over the examples corpus must
+#    degrade gracefully (exit 0/1), never abort; 3) the same run under
+#    --strict with rate 1.0 must exit exactly 3.
+fault_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  echo "=== [${name}] fault-injection smoke ==="
+  local corpus
+  corpus="$(mktemp -d)"
+  trap 'rm -rf "${corpus}"; trap - RETURN' RETURN
+  if ! "${build_dir}/tools/vc_fuzz" --seed 42 --iters 60 --time-budget 20 \
+      --oracles degraded_run --quiet --corpus-dir "${corpus}"; then
+    echo "fault smoke: degraded_run oracle failures — reproducers:" >&2
+    find "${corpus}" -name MANIFEST.txt -exec cat {} \; >&2
+    return 1
+  fi
+  local rc=0
+  "${vc}" analyze --fault-inject 42:0.10 --jobs 2 examples/corpus >/dev/null 2>&1 || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "fault smoke: 10% fault injection did not degrade gracefully (exit ${rc})" >&2
+    return 1
+  fi
+  rc=0
+  "${vc}" analyze --strict --fault-inject 42:1.0 --jobs 2 examples/corpus >/dev/null 2>&1 || rc=$?
+  if [ "${rc}" -ne 3 ]; then
+    echo "fault smoke: --strict on a fully-quarantined run exited ${rc}, want 3" >&2
+    return 1
+  fi
+  echo "fault smoke: ok"
+}
+
 for config in "${CONFIGS[@]}"; do
   case "${config}" in
     plain) run_config plain ;;
     asan)  run_config asan -DVC_ENABLE_ASAN=ON ;;
     tsan)  run_config tsan -DVC_ENABLE_TSAN=ON ;;
+    ubsan) run_config ubsan -DVC_ENABLE_UBSAN=ON ;;
     *)
-      echo "unknown config '${config}' (expected plain, asan, tsan)" >&2
+      echo "unknown config '${config}' (expected plain, asan, tsan, ubsan)" >&2
       exit 2
       ;;
   esac

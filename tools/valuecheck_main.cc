@@ -27,6 +27,10 @@
 // Every analyze flag maps onto a vc::AnalysisOptions field (or a
 // report/output control); the flag table below is the single source of truth
 // and also renders --help.
+//
+// analyze exit codes: 0 no findings, 1 findings, 2 usage/parse error,
+// 3 quarantined units under --strict (graceful mode reports the quarantine on
+// stderr and in the schema-v5 report but keeps the 0/1 contract).
 
 #include <algorithm>
 #include <chrono>
@@ -116,6 +120,7 @@ struct CliOptions {
   bool metrics = false;
   int top = -1;
   bool all_scopes = false;
+  bool strict = false;
   vc::AnalysisOptions analysis;
   std::vector<std::string> inputs;
 };
@@ -222,6 +227,29 @@ const FlagSpec kFlags[] = {
      "keep non-cross-scope findings even in history mode",
      [](CliOptions& o, const std::string&) {
        o.all_scopes = true;
+       return true;
+     }},
+    {"--strict", nullptr, "fault isolation",
+     "exit 3 when any unit was quarantined (default: graceful —\n"
+     "report the surviving findings, note the quarantine on stderr,\n"
+     "and exit 0/1 as usual)",
+     [](CliOptions& o, const std::string&) {
+       o.strict = true;
+       return true;
+     }},
+    {"--fault-inject", "SEED:RATE", "AnalysisOptions::fault",
+     "deterministically quarantine ~RATE of units at seeded\n"
+     "injection sites (robustness testing; e.g. 42:0.1). The\n"
+     "quarantine list and surviving findings are identical at any\n"
+     "--jobs for a given SEED:RATE",
+     [](CliOptions& o, const std::string& v) {
+       std::string error;
+       std::optional<vc::FaultInjector> fault = vc::FaultInjector::Parse(v, &error);
+       if (!fault.has_value()) {
+         std::fprintf(stderr, "valuecheck: --fault-inject: %s\n", error.c_str());
+         return false;
+       }
+       o.analysis.fault = *fault;
        return true;
      }},
     {"--define", "NAME[=V]", "AnalysisOptions::config",
@@ -497,6 +525,16 @@ std::string SummarizeOptions(const CliOptions& options, bool has_history) {
   if (options.analysis.ranking.use_ea_model) {
     parts.push_back("ea-model");
   }
+  if (options.analysis.fault.enabled()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "fault-inject=%llu:%g",
+                  static_cast<unsigned long long>(options.analysis.fault.seed()),
+                  options.analysis.fault.rate());
+    parts.push_back(buf);
+  }
+  if (options.strict) {
+    parts.push_back("strict");
+  }
   return vc::Join(parts, " ");
 }
 
@@ -559,6 +597,24 @@ int RunAnalyze(const std::vector<std::string>& args) {
     report.stage.files_parsed = project.units().size();
   }
 
+  // Quarantine summary on stderr (stdout is reserved for the report, which
+  // carries the same data in the schema-v5 "quarantined" block).
+  if (report.degraded) {
+    std::fprintf(stderr, "valuecheck: degraded run: %zu unit(s) quarantined\n",
+                 report.quarantined.size());
+    for (const QuarantinedUnit& unit : report.quarantined) {
+      std::string where = unit.path;
+      if (!unit.function.empty()) {
+        where += where.empty() ? unit.function : ":" + unit.function;
+      }
+      if (where.empty()) {
+        where = "<stage>";
+      }
+      std::fprintf(stderr, "  quarantined [%s] %s: %s\n", unit.stage.c_str(), where.c_str(),
+                   unit.reason.c_str());
+    }
+  }
+
   if (options.format == "json") {
     std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr).c_str());
   } else if (options.format == "sarif") {
@@ -606,6 +662,9 @@ int RunAnalyze(const std::vector<std::string>& args) {
     }
     VC_LOG_INFO("wrote " + std::to_string(collector.EventCount()) + " trace event(s) to " +
                 options.trace_path);
+  }
+  if (options.strict && report.degraded) {
+    return 3;  // quarantine is an error under --strict (see exit-code table)
   }
   return report.findings.empty() ? 0 : 1;
 }

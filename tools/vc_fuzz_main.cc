@@ -36,7 +36,8 @@ void PrintUsage(std::FILE* out) {
                "  --time-budget S   stop after S seconds (default: none)\n"
                "  --oracles LIST    comma-separated subset of:\n"
                "                    clean_frontend jobs_determinism metrics_parity\n"
-               "                    json_round_trip metamorphic   (default: all)\n"
+               "                    json_round_trip metamorphic degraded_run\n"
+               "                    (default: all)\n"
                "  --corpus-dir DIR  write minimized reproducers here (default:\n"
                "                    fuzz-failures; pass '' to keep in memory)\n"
                "  --max-files N     files per generated program (default 3)\n"
