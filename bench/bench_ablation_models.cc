@@ -66,13 +66,13 @@ int main() {
   for (const ProjectProfile& profile : AllProfiles()) {
     AppEval dok = RunApp(profile);
 
-    ValueCheckOptions refit_options;
+    AnalysisOptions refit_options;
     if (fitted.has_value()) {
       refit_options.ranking.weights = *fitted;
     }
     AppEval refit = RunApp(profile, refit_options);
 
-    ValueCheckOptions ea_options;
+    AnalysisOptions ea_options;
     ea_options.ranking.use_ea_model = true;
     AppEval ea = RunApp(profile, ea_options);
 

@@ -21,7 +21,7 @@ int main() {
   for (const ProjectProfile& profile : AllProfiles()) {
     AppEval base = RunApp(profile);
 
-    ValueCheckOptions options;
+    AnalysisOptions options;
     options.prune.stale_code = true;
     options.prune.now_timestamp = kCorpusNow;
     auto start = std::chrono::steady_clock::now();

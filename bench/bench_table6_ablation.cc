@@ -27,32 +27,32 @@ int main() {
 
   struct Group {
     const char* name;
-    ValueCheckOptions options;
+    AnalysisOptions options;
   };
   std::vector<Group> groups;
   groups.push_back({"ValueCheck", {}});
   {
-    ValueCheckOptions o;
+    AnalysisOptions o;
     o.cross_scope_only = false;
     groups.push_back({"w/o Authorship", o});
   }
   {
-    ValueCheckOptions o;
+    AnalysisOptions o;
     o.ranking.enabled = false;
     groups.push_back({"w/o Familiarity", o});
   }
   {
-    ValueCheckOptions o;
+    AnalysisOptions o;
     o.ranking.weights = DokWeights().WithoutAc();
     groups.push_back({"w/o AC", o});
   }
   {
-    ValueCheckOptions o;
+    AnalysisOptions o;
     o.ranking.weights = DokWeights().WithoutDl();
     groups.push_back({"w/o DL", o});
   }
   {
-    ValueCheckOptions o;
+    AnalysisOptions o;
     o.ranking.weights = DokWeights().WithoutFa();
     groups.push_back({"w/o FA", o});
   }

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/core/incremental.h"
 #include "src/support/json_writer.h"
 #include "src/support/run_ledger.h"
 #include "src/support/thread_pool.h"

@@ -14,7 +14,7 @@
 #include "src/corpus/eval.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 
 int main(int argc, char** argv) {
   using namespace vc;
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
               project.sources().NumFiles(), project.TotalLines(), app.repo.NumCommits(),
               app.repo.NumAuthors());
 
-  ValueCheckReport report = RunValueCheck(project, &app.repo);
+  AnalysisReport report = Analysis().Run(project, &app.repo);
 
   std::printf("Pipeline results (%.3fs):\n", report.analysis_seconds);
   std::printf("  unused definitions (all):        %d\n",

@@ -12,7 +12,7 @@
 
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 #include "src/familiarity/dok_model.h"
 
 int main(int argc, char** argv) {
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   GeneratedApp app = GenerateApp(MysqlProfile());
   Project project = Project::FromRepository(app.repo);
-  ValueCheckReport report = RunValueCheck(project, &app.repo);
+  AnalysisReport report = Analysis().Run(project, &app.repo);
 
   std::printf("Review queue for %s: %d findings, showing top %d\n\n", app.name.c_str(),
               static_cast<int>(report.findings.size()), top_k);

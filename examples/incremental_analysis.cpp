@@ -7,8 +7,7 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/incremental.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 #include "src/vcs/repository.h"
 
 namespace {
@@ -93,7 +92,7 @@ int main() {
               "time", "findings");
 
   for (CommitId commit : session.commits) {
-    IncrementalResult result = AnalyzeCommit(session.repo, commit);
+    IncrementalResult result = Analysis().RunOnCommit(session.repo, commit);
     std::string findings;
     for (const UnusedDefCandidate& finding : result.findings) {
       if (!findings.empty()) {
@@ -110,7 +109,7 @@ int main() {
 
   // Compare with a full analysis at head.
   Project project = Project::FromRepository(session.repo);
-  ValueCheckReport full = RunValueCheck(project, &session.repo);
+  AnalysisReport full = Analysis().Run(project, &session.repo);
   std::printf("\nFull analysis at head: %d finding(s) in %.2fms\n",
               static_cast<int>(full.findings.size()), full.analysis_seconds * 1000.0);
   for (const UnusedDefCandidate& finding : full.findings) {

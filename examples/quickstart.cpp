@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 #include "src/vcs/repository.h"
 
 int main() {
@@ -60,7 +60,7 @@ int main() {
                  {{"fsal/acl.c", v2}});
 
   // 2. Run the pipeline: detect -> authorship -> prune -> rank.
-  ValueCheckReport report = RunValueCheckOnRepository(repo);
+  AnalysisReport report = Analysis().RunOnRepository(repo);
 
   // 3. Print the ranked findings.
   std::printf("ValueCheck quickstart\n");

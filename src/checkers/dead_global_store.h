@@ -1,0 +1,31 @@
+// dead-global-store: a store to a global variable that is overwritten later
+// in the same basic block with no intervening read, address use, call, or
+// indirect memory access.
+//
+// Globals are out of scope for the unused-definition detector (§3.1: other
+// translation units may read them), but that argument only covers stores
+// that survive to a point another function could observe. A global store
+// locally killed — same block, nothing between that could observe it — is
+// dead by local reasoning alone. The deliberately tight envelope (block-
+// local, any call clears everything) keeps the checker sound in the presence
+// of arbitrary cross-unit readers.
+
+#ifndef VALUECHECK_SRC_CHECKERS_DEAD_GLOBAL_STORE_H_
+#define VALUECHECK_SRC_CHECKERS_DEAD_GLOBAL_STORE_H_
+
+#include "src/checkers/checker.h"
+
+namespace vc {
+
+class DeadGlobalStoreChecker : public Checker {
+ public:
+  std::string name() const override { return "dead-global-store"; }
+  std::string description() const override {
+    return "global store killed in its own block before any read, call, or escape";
+  }
+  std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_DEAD_GLOBAL_STORE_H_

@@ -1,0 +1,33 @@
+// double-overwrite: a store overwritten by a second store to the same slot
+// with no intervening read, on every path between them.
+//
+// The unused-definition detector suppresses all candidates on address-taken
+// slots (the paper's checkAlias rule), which is sound but blind: a store
+// that is definitely killed by a later store — no load, no address use, no
+// call that could reach the slot in between — is dead even when the slot's
+// address escapes elsewhere in the function. This checker recovers exactly
+// that envelope with a forward must-analysis (intersection meet), so it
+// stays precise across branches: a read on any path between the two stores
+// cancels the report. It runs on address-taken slots only — non-escaping
+// slots are the unused-def checker's territory — so the two envelopes are
+// disjoint and never double-report one dead store.
+
+#ifndef VALUECHECK_SRC_CHECKERS_DOUBLE_OVERWRITE_H_
+#define VALUECHECK_SRC_CHECKERS_DOUBLE_OVERWRITE_H_
+
+#include "src/checkers/checker.h"
+
+namespace vc {
+
+class DoubleOverwriteChecker : public Checker {
+ public:
+  std::string name() const override { return "double-overwrite"; }
+  std::string description() const override {
+    return "store killed by a second store on every path, with no read in between";
+  }
+  std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_DOUBLE_OVERWRITE_H_

@@ -1,0 +1,151 @@
+#include "src/checkers/driver.h"
+
+#include <memory>
+#include <string>
+
+#include "src/checkers/checker_context.h"
+#include "src/support/metrics.h"
+#include "src/support/thread_pool.h"
+#include "src/support/trace.h"
+
+namespace vc {
+
+CheckerRunResult RunCheckers(const Project& project, const std::vector<const Checker*>& checkers,
+                             const ProjectTraits& traits, int jobs,
+                             const ResourceBudget* budget, const FaultInjector* fault,
+                             bool isolate) {
+  CheckerRunResult result;
+
+  // Capability gate: a checker that cannot analyze this project at all is
+  // quarantined project-wide (one record, stage "checker") and excluded from
+  // the run, in registration order.
+  std::vector<const Checker*> runnable;
+  for (const Checker* checker : checkers) {
+    std::string reason = checker->Unsupported(project, traits);
+    if (reason.empty()) {
+      runnable.push_back(checker);
+    } else {
+      result.quarantined.push_back(QuarantinedUnit{"", "", "checker", reason, checker->name()});
+    }
+  }
+
+  // Flatten the iteration space so the pool can balance uneven functions,
+  // then merge per-function results in the serial visit order (the
+  // determinism barrier: output never depends on worker scheduling).
+  struct WorkItem {
+    FileId file;
+    const IrFunction* func;
+  };
+  std::vector<WorkItem> work;
+  for (const auto& module : project.modules()) {
+    for (const auto& func : module->functions) {
+      work.push_back({module->file, func.get()});
+    }
+  }
+
+  // Observability: one span + histogram sample per function. The histogram
+  // reference is resolved once out here (registration locks); per-function
+  // clock reads only happen while metrics collection is on.
+  Histogram* fn_histogram =
+      MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("detect.function_seconds")
+                       : nullptr;
+  const bool metered = budget != nullptr && !budget->Unlimited();
+  std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
+  // Slot-indexed like per_function, so the quarantine list merges in the same
+  // deterministic serial order as the findings regardless of scheduling.
+  std::vector<std::vector<QuarantinedUnit>> per_function_quarantine(work.size());
+  ParallelFor(jobs, work.size(), [&](size_t i) {
+    TraceSpan span("detect_fn", "detect");
+    span.Arg("function", work[i].func->name);
+    ScopedTimer timer(nullptr, fn_histogram);
+    const std::string& path = project.sources().Path(work[i].file);
+
+    auto run_one = [&](const Checker* checker, CheckerContext& ctx) {
+      std::vector<UnusedDefCandidate> found = checker->Check(ctx);
+      for (UnusedDefCandidate& cand : found) {
+        cand.checker = checker->name();
+        cand.fingerprint_ns = checker->fingerprint_namespace();
+        cand.from_baseline = checker->is_baseline();
+        per_function[i].push_back(std::move(cand));
+      }
+    };
+
+    if (!isolate) {
+      CheckerContext ctx(project, work[i].file, *work[i].func, nullptr);
+      for (const Checker* checker : runnable) {
+        run_one(checker, ctx);
+      }
+      return;
+    }
+
+    // Isolation boundary: an exception here (injected, budget, or a real
+    // worker bug) quarantines at the scope that contains it. The catches
+    // must live inside the worker body — ParallelFor rethrows and cancels
+    // remaining chunks.
+    try {
+      if (fault != nullptr) {
+        fault->MaybeFault(fault_sites::kDetectFunction, path + ":" + work[i].func->name);
+      }
+    } catch (const std::exception& e) {
+      // Whole-function quarantine, same record shape as the pre-framework
+      // detector (no checker attribution).
+      per_function_quarantine[i].push_back(
+          QuarantinedUnit{path, work[i].func->name, "detect", e.what(), ""});
+      return;
+    }
+    std::unique_ptr<BudgetMeter> meter;
+    if (metered) {
+      meter = std::make_unique<BudgetMeter>(*budget);
+    }
+    CheckerContext ctx(project, work[i].file, *work[i].func, meter.get());
+    for (const Checker* checker : runnable) {
+      try {
+        run_one(checker, ctx);
+      } catch (const BudgetExceededError& e) {
+        // The meter is shared across the function's checkers: once it blows,
+        // the remaining checkers would throw on their first Charge too.
+        per_function_quarantine[i].push_back(
+            QuarantinedUnit{path, work[i].func->name, "detect", e.what(), checker->name()});
+        break;
+      } catch (const std::exception& e) {
+        per_function_quarantine[i].push_back(
+            QuarantinedUnit{path, work[i].func->name, "detect", e.what(), checker->name()});
+      }
+    }
+  });
+
+  std::vector<uint64_t> per_checker_counts(runnable.size(), 0);
+  for (auto& found : per_function) {
+    for (auto& cand : found) {
+      for (size_t c = 0; c < runnable.size(); ++c) {
+        if (runnable[c]->name() == cand.checker) {
+          ++per_checker_counts[c];
+          break;
+        }
+      }
+      result.candidates.push_back(std::move(cand));
+    }
+  }
+  size_t quarantine_count = 0;
+  for (auto& records : per_function_quarantine) {
+    for (auto& record : records) {
+      result.quarantined.push_back(std::move(record));
+      ++quarantine_count;
+    }
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("detect.functions").Add(work.size());
+    registry.GetCounter("detect.candidates").Add(result.candidates.size());
+    for (size_t c = 0; c < runnable.size(); ++c) {
+      registry.GetCounter("detect." + runnable[c]->name() + ".candidates")
+          .Add(per_checker_counts[c]);
+    }
+    if (quarantine_count > 0) {
+      registry.GetCounter("fault.quarantined.detect").Add(quarantine_count);
+    }
+  }
+  return result;
+}
+
+}  // namespace vc

@@ -1,0 +1,51 @@
+// The checker driver: runs a set of checkers over every function of a
+// project, in parallel across `jobs` worker lanes, with the determinism and
+// fault-isolation contract of the pre-framework detector:
+//
+//  * Per-function results merge in module/function visit order, and within a
+//    function in checker registration order — so output is byte-identical at
+//    any job count, and a single-checker run equals that checker's slice of
+//    a multi-checker run.
+//  * With `quarantined` non-null, faults isolate at the finest scope that
+//    contains them: an unsupported checker is quarantined project-wide
+//    (stage "checker"), a tripped "detect.function" injection site
+//    quarantines the whole function (stage "detect", no checker — matching
+//    the pre-framework record), and a crash inside one checker quarantines
+//    just that (checker, function) pair. A blown shared budget quarantines
+//    the running checker and skips the function's remaining checkers (the
+//    meter is per-function, not per-checker).
+
+#ifndef VALUECHECK_SRC_CHECKERS_DRIVER_H_
+#define VALUECHECK_SRC_CHECKERS_DRIVER_H_
+
+#include <vector>
+
+#include "src/checkers/checker.h"
+#include "src/core/project.h"
+#include "src/support/fault.h"
+
+namespace vc {
+
+struct CheckerRunResult {
+  std::vector<UnusedDefCandidate> candidates;
+  // Unsupported-checker records (stage "checker") first, then per-function
+  // records in visit order.
+  std::vector<QuarantinedUnit> quarantined;
+};
+
+// Runs `checkers` over every function. Candidates come back stamped with
+// their checker's name, fingerprint namespace, and baseline tag. With
+// `isolate` false, worker exceptions propagate (the pre-framework
+// non-isolated path; unsupported checkers are still quarantined — that is a
+// capability fact, not a fault); otherwise they quarantine as described
+// above. Metrics: the legacy detect.functions / detect.candidates /
+// fault.quarantined.detect counters plus per-checker
+// detect.<name>.candidates.
+CheckerRunResult RunCheckers(const Project& project, const std::vector<const Checker*>& checkers,
+                             const ProjectTraits& traits, int jobs,
+                             const ResourceBudget* budget, const FaultInjector* fault,
+                             bool isolate);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_DRIVER_H_

@@ -1,0 +1,30 @@
+// out-param-unused: a call that fills a caller-local out-parameter
+// (`fill(&x, ...)`) whose value is never read afterwards.
+//
+// The unused-definition detector cannot see this shape at either end: in the
+// caller the write happens through a pointer (address-taken suppression), in
+// the callee `*out = v` is an indirect store to another frame. But the
+// caller-side liveness fix point already knows the answer — if the slot is
+// not live immediately after the call, nothing ever reads what the callee
+// wrote. Restricted to slots whose address is taken exactly once (at this
+// call), so a pointer saved elsewhere cannot smuggle a later read.
+
+#ifndef VALUECHECK_SRC_CHECKERS_OUT_PARAM_H_
+#define VALUECHECK_SRC_CHECKERS_OUT_PARAM_H_
+
+#include "src/checkers/checker.h"
+
+namespace vc {
+
+class OutParamChecker : public Checker {
+ public:
+  std::string name() const override { return "out-param-unused"; }
+  std::string description() const override {
+    return "out-parameter filled by a call but never read afterwards";
+  }
+  std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_OUT_PARAM_H_

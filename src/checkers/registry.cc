@@ -1,0 +1,87 @@
+#include "src/checkers/registry.h"
+
+#include <stdexcept>
+
+#include "src/checkers/baseline_checkers.h"
+#include "src/checkers/dead_global_store.h"
+#include "src/checkers/double_overwrite.h"
+#include "src/checkers/out_param.h"
+#include "src/checkers/stale_copy.h"
+#include "src/checkers/unused_def_checker.h"
+
+namespace vc {
+
+CheckerRegistry& CheckerRegistry::Global() {
+  static CheckerRegistry* registry = [] {
+    auto* r = new CheckerRegistry();
+    // Registration order is merge order. unused-def must stay first: a
+    // single-checker run of it is the byte-identical pre-framework detector.
+    r->Register(std::make_unique<UnusedDefChecker>());
+    r->Register(std::make_unique<DoubleOverwriteChecker>());
+    r->Register(std::make_unique<DeadGlobalStoreChecker>());
+    r->Register(std::make_unique<OutParamChecker>());
+    r->Register(std::make_unique<StaleCopyChecker>());
+    r->Register(std::make_unique<ClangUnusedChecker>());
+    r->Register(std::make_unique<InferUnusedChecker>());
+    r->Register(std::make_unique<SmatchUnusedChecker>());
+    r->Register(std::make_unique<CoverityUnusedChecker>());
+    return r;
+  }();
+  return *registry;
+}
+
+void CheckerRegistry::Register(std::unique_ptr<Checker> checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+const Checker* CheckerRegistry::Find(const std::string& name) const {
+  for (const auto& checker : checkers_) {
+    if (checker->name() == name) {
+      return checker.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Checker*> CheckerRegistry::All() const {
+  std::vector<const Checker*> all;
+  for (const auto& checker : checkers_) {
+    all.push_back(checker.get());
+  }
+  return all;
+}
+
+std::vector<const Checker*> CheckerRegistry::Defaults() const {
+  std::vector<const Checker*> defaults;
+  for (const auto& checker : checkers_) {
+    if (!checker->is_baseline()) {
+      defaults.push_back(checker.get());
+    }
+  }
+  return defaults;
+}
+
+std::vector<const Checker*> CheckerRegistry::Resolve(const std::vector<std::string>& names) const {
+  if (names.empty()) {
+    return Defaults();
+  }
+  for (const std::string& name : names) {
+    if (Find(name) == nullptr) {
+      throw std::invalid_argument("unknown checker '" + name + "'");
+    }
+  }
+  // Registration order, not request order: the merge order of a run must not
+  // depend on how the user spelled --checkers.
+  std::vector<const Checker*> resolved;
+  for (const auto& checker : checkers_) {
+    for (const std::string& name : names) {
+      if (checker->name() == name) {
+        resolved.push_back(checker.get());
+        break;
+      }
+    }
+  }
+  return resolved;
+}
+
+}  // namespace vc

@@ -1,0 +1,45 @@
+// Process-wide checker registry. Built-in checkers register on first access
+// in a fixed order (the merge order of multi-checker runs): the
+// unused-definition checker first — so single-checker runs reproduce the
+// pre-framework detector byte-identically — then the new substrate checkers,
+// then the §8.4 baselines (tagged, excluded from Defaults()).
+
+#ifndef VALUECHECK_SRC_CHECKERS_REGISTRY_H_
+#define VALUECHECK_SRC_CHECKERS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/checkers/checker.h"
+
+namespace vc {
+
+class CheckerRegistry {
+ public:
+  // The singleton with all built-in checkers registered.
+  static CheckerRegistry& Global();
+
+  void Register(std::unique_ptr<Checker> checker);
+
+  // Lookup by name; null when unknown.
+  const Checker* Find(const std::string& name) const;
+
+  // Every registered checker, in registration order.
+  std::vector<const Checker*> All() const;
+
+  // The default-enabled set: every non-baseline checker, in order.
+  std::vector<const Checker*> Defaults() const;
+
+  // Resolves a CLI-style name list to checkers in registration order
+  // (deduplicated). An empty list resolves to Defaults(). Throws
+  // std::invalid_argument naming the first unknown checker.
+  std::vector<const Checker*> Resolve(const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<std::unique_ptr<Checker>> checkers_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_REGISTRY_H_

@@ -1,0 +1,30 @@
+// stale-copy: a local snapshot of another local (`copy = orig;`) that is
+// read after `orig` was modified — the reader almost certainly wanted the
+// current value, not the stale one.
+//
+// Not an unused definition at all (the copy IS read — that's the problem),
+// but the same substrate answers it: the IR makes the copy relation explicit
+// (kLoad orig feeding kStore copy), and a block-local forward scan tracks
+// copy → source pairs, marks the copy stale when the source is re-stored,
+// and reports the first read of a stale copy. Address-taken slots on either
+// side leave the envelope (pointer writes could re-synchronize the pair).
+
+#ifndef VALUECHECK_SRC_CHECKERS_STALE_COPY_H_
+#define VALUECHECK_SRC_CHECKERS_STALE_COPY_H_
+
+#include "src/checkers/checker.h"
+
+namespace vc {
+
+class StaleCopyChecker : public Checker {
+ public:
+  std::string name() const override { return "stale-copy"; }
+  std::string description() const override {
+    return "copy of a local read after the original was modified";
+  }
+  std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CHECKERS_STALE_COPY_H_

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <set>
 
+#include "src/checkers/driver.h"
+#include "src/checkers/registry.h"
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
 #include "src/core/fingerprint.h"
@@ -52,16 +54,25 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   // quarantine list; function-level records follow in stage order.
   report.quarantined = project.quarantined();
 
-  // 1. Detect every unused definition (parallel per function; merged in
-  // deterministic module/function order). Per-function isolation: a worker
-  // that throws, busts the budget, or trips an injected fault quarantines
-  // that function alone.
+  // 1. Detection: run every enabled checker over every function (parallel
+  // per function; merged in deterministic module/function, then checker
+  // registration order). Per-function isolation: a worker that throws, busts
+  // the budget, or trips an injected fault quarantines that function (or that
+  // checker on that function) alone.
   auto detect_start = std::chrono::steady_clock::now();
+  std::vector<const Checker*> checkers = CheckerRegistry::Global().Resolve(options_.checkers);
+  for (const Checker* checker : checkers) {
+    report.checkers.push_back(checker->name());
+  }
   std::vector<UnusedDefCandidate> candidates;
   {
     TraceSpan span("detect", "pipeline");
-    candidates = DetectAll(project, options_.jobs, &options_.budget, &options_.fault,
-                           &report.quarantined);
+    CheckerRunResult detect = RunCheckers(project, checkers, options_.traits, options_.jobs,
+                                          &options_.budget, &options_.fault, /*isolate=*/true);
+    candidates = std::move(detect.candidates);
+    for (QuarantinedUnit& unit : detect.quarantined) {
+      report.quarantined.push_back(std::move(unit));
+    }
     span.Arg("candidates", static_cast<int64_t>(candidates.size()));
   }
   report.detect_seconds = SecondsSince(detect_start);
@@ -102,7 +113,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   } catch (const std::exception& e) {
     // Stage-level fallback: a pruning crash degrades to "nothing pruned"
     // (findings become a superset) rather than killing the run.
-    report.quarantined.push_back({"", "", "prune", std::string("stage failed: ") + e.what()});
+    report.quarantined.push_back({"", "", "prune", std::string("stage failed: ") + e.what(), ""});
   }
   double prune_seconds = SecondsSince(prune_start);
 
@@ -120,7 +131,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
     RankCandidates(report.findings, repo, options_.ranking, &rank_stats);
   } catch (const std::exception& e) {
     // Findings keep their pre-rank (deterministic pool) order.
-    report.quarantined.push_back({"", "", "rank", std::string("stage failed: ") + e.what()});
+    report.quarantined.push_back({"", "", "rank", std::string("stage failed: ") + e.what(), ""});
   }
   double rank_seconds = SecondsSince(rank_start);
 
@@ -146,7 +157,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
         continue;
       }
       if (recorded.insert(unit + "#" + stage).second) {
-        report.quarantined.push_back({cand.file, cand.function, stage, "injected fault"});
+        report.quarantined.push_back({cand.file, cand.function, stage, "injected fault", ""});
         if (collect) {
           MetricsRegistry::Global()
               .GetCounter(std::string("fault.quarantined.") + stage)

@@ -9,15 +9,17 @@
 //       → rank by code familiarity      (ranking)
 //       → report
 //
-// and AnalysisOptions is the single knob surface: the cross-scope filter,
-// every pruning pattern, the ranking model, the preprocessor configuration,
-// and the `jobs` parallelism degree. The parallel stages (parse/lower and
-// detection) merge their per-unit results in deterministic order, so findings
-// and ranking are byte-identical at any job count.
+// and AnalysisOptions is the single knob surface: the enabled checkers, the
+// cross-scope filter, every pruning pattern, the ranking model, the
+// preprocessor configuration, and the `jobs` parallelism degree. The parallel
+// stages (parse/lower and detection) merge their per-unit results in
+// deterministic order, so findings and ranking are byte-identical at any job
+// count.
 //
-// The pre-facade entry points (RunValueCheck, RunValueCheckOnRepository,
-// AnalyzeCommit) survive as thin deprecated shims over this class; see
-// valuecheck.h and incremental.h.
+// The detection stage is the checker framework (src/checkers/): each enabled
+// checker runs per function over the shared memoized analyses, and its
+// findings flow through the same downstream stages tagged with the checker's
+// name and fingerprint namespace.
 
 #ifndef VALUECHECK_SRC_CORE_ANALYSIS_H_
 #define VALUECHECK_SRC_CORE_ANALYSIS_H_
@@ -40,6 +42,13 @@ namespace vc {
 // benches run the paper's ablations (Table 6) by toggling these, and the
 // baselines section isolates capabilities the same way.
 struct AnalysisOptions {
+  // Checkers to run, by registry name (CLI --checkers). Empty = every
+  // non-baseline checker. Resolution order is registry order regardless of
+  // spelling; unknown names throw std::invalid_argument at Run time.
+  std::vector<std::string> checkers;
+  // Capability facts about the analyzed codebase, consulted by checkers'
+  // Unsupported() gates (the baseline tools' Table 5 failure cells).
+  ProjectTraits traits;
   // Keep only cross-scope candidates after authorship classification (§3.1).
   // Disabling reproduces the "w/o Authorship" ablation group.
   bool cross_scope_only = true;
@@ -117,6 +126,9 @@ struct AnalysisReport {
   // dropped units in deterministic (file, then function visit) order.
   bool degraded = false;
   std::vector<QuarantinedUnit> quarantined;
+  // The checkers this report ran, resolved names in registry order (the JSON
+  // report, the ledger, and run diffs key findings by (checker, fingerprint)).
+  std::vector<std::string> checkers;
   // Observability block; populated when AnalysisOptions::collect_metrics.
   StageMetrics stage;
   // Set by the repository entry points: keeps the analyzed project (and with

@@ -39,6 +39,18 @@ bool AuthorshipAnalyzer::AllDifferent(AuthorId author,
 }
 
 void AuthorshipAnalyzer::Classify(UnusedDefCandidate& cand) const {
+  if (cand.from_baseline) {
+    // Baseline tools have no cross-scope notion; their findings pass the
+    // filter untouched (the corpus benchmark evaluates the raw tool output).
+    cand.def_author = AuthorOfLoc(cand.def_loc);
+    cand.responsible_author = cand.def_author;
+    cand.cross_scope = true;
+    return;
+  }
+  if (cand.checker != "unused-def") {
+    ClassifyGeneric(cand);
+    return;
+  }
   cand.def_author = AuthorOfLoc(cand.def_loc);
   cand.cross_scope = false;
   cand.kind = CandidateKind::kPlainUnused;
@@ -113,6 +125,43 @@ void AuthorshipAnalyzer::Classify(UnusedDefCandidate& cand) const {
     cand.cross_scope = true;
     cand.kind = CandidateKind::kUnusedRetVal;
     cand.responsible_author = cand.def_author;
+  }
+}
+
+void AuthorshipAnalyzer::ClassifyGeneric(UnusedDefCandidate& cand) const {
+  // Checkers other than unused-def pre-set their kind; authorship only
+  // decides the cross-scope bit and the responsible author, reusing the two
+  // §3.1 boundary rules that generalize beyond unused definitions:
+  // overwriter-vs-definer (scenario 3) and call-site-vs-callee (scenario 1).
+  cand.def_author = AuthorOfLoc(cand.def_loc);
+  cand.cross_scope = false;
+  cand.responsible_author = cand.def_author;
+
+  if (cand.overwritten && !cand.overwriter_locs.empty()) {
+    std::vector<AuthorId> overwriters;
+    overwriters.reserve(cand.overwriter_locs.size());
+    for (const SourceLoc& loc : cand.overwriter_locs) {
+      overwriters.push_back(AuthorOfLoc(loc));
+    }
+    if (AllDifferent(cand.def_author, overwriters)) {
+      cand.cross_scope = true;
+      cand.responsible_author = overwriters.front();
+    }
+    return;
+  }
+
+  if (!cand.callee_name.empty()) {
+    const FunctionInfo* callee = project_.FindFunction(cand.callee_name);
+    if (callee == nullptr || !callee->InProject() || callee->ir == nullptr) {
+      // Library call: the implementer is by definition a different author.
+      cand.cross_scope = cand.def_author != kInvalidAuthor;
+      return;
+    }
+    std::vector<AuthorId> ret_authors;
+    for (const SourceLoc& loc : callee->ir->return_locs) {
+      ret_authors.push_back(AuthorOfLoc(loc));
+    }
+    cand.cross_scope = AllDifferent(cand.def_author, ret_authors);
   }
 }
 

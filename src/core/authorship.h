@@ -45,6 +45,11 @@ class AuthorshipAnalyzer {
  private:
   bool AllDifferent(AuthorId author, const std::vector<AuthorId>& others) const;
 
+  // Cross-scope classification for non-unused-def checkers: the checker owns
+  // the kind; authorship decides the boundary bit via the overwriter rule
+  // (overwriter_locs) or, failing that, the callee rule (callee_name).
+  void ClassifyGeneric(UnusedDefCandidate& cand) const;
+
   const Project& project_;
   const Repository* repo_;
   CommitId at_commit_ = kInvalidCommit;

@@ -1,19 +1,17 @@
 #include "src/core/detector.h"
 
-#include <memory>
-
+#include "src/checkers/driver.h"
+#include "src/checkers/registry.h"
 #include "src/dataflow/define_sets.h"
 #include "src/dataflow/liveness.h"
-#include "src/support/metrics.h"
-#include "src/support/thread_pool.h"
-#include "src/support/trace.h"
 
 namespace vc {
 
 namespace {
 
-const char* kKindNames[] = {"overwritten-def", "unused-retval", "unused-param",
-                            "overwritten-param", "plain-unused"};
+const char* kKindNames[] = {"overwritten-def",  "unused-retval",    "unused-param",
+                            "overwritten-param", "plain-unused",    "double-overwrite",
+                            "dead-global-store", "out-param-unused", "stale-copy"};
 const char* kPruneNames[] = {"none", "config-dependency", "cursor", "unused-hint",
                              "peer-definition", "stale-code"};
 
@@ -27,10 +25,17 @@ const char* PruneReasonName(PruneReason reason) { return kPruneNames[static_cast
 
 std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
                                                  const IrFunction& func, BudgetMeter* meter) {
-  std::vector<UnusedDefCandidate> candidates;
   LivenessResult liveness = ComputeLiveness(func, meter);
   DefineSetResult defines = ComputeDefineSets(func, meter);
+  return DetectInFunctionWith(project, file, func, liveness, defines, meter);
+}
 
+std::vector<UnusedDefCandidate> DetectInFunctionWith(const Project& project, FileId file,
+                                                     const IrFunction& func,
+                                                     const LivenessResult& liveness,
+                                                     const DefineSetResult& defines,
+                                                     BudgetMeter* meter) {
+  std::vector<UnusedDefCandidate> candidates;
   const std::string& path = project.sources().Path(file);
 
   auto make_candidate = [&](SlotId slot_id, SourceLoc loc) {
@@ -118,85 +123,18 @@ std::vector<UnusedDefCandidate> DetectAll(const Project& project, int jobs,
                                           const ResourceBudget* budget,
                                           const FaultInjector* fault,
                                           std::vector<QuarantinedUnit>* quarantined) {
-  // Flatten the iteration space so the pool can balance uneven functions,
-  // then merge per-function results in the serial visit order (the
-  // determinism barrier: output never depends on worker scheduling).
-  struct WorkItem {
-    FileId file;
-    const IrFunction* func;
-  };
-  std::vector<WorkItem> work;
-  for (const auto& module : project.modules()) {
-    for (const auto& func : module->functions) {
-      work.push_back({module->file, func.get()});
+  // One code path for detection: the unused-def checker through the checker
+  // driver (src/checkers/driver.cc), which owns the parallel per-function
+  // loop, the deterministic slot-indexed merge, and the isolation boundary.
+  std::vector<const Checker*> checkers = {CheckerRegistry::Global().Find("unused-def")};
+  CheckerRunResult result = RunCheckers(project, checkers, ProjectTraits(), jobs, budget, fault,
+                                        /*isolate=*/quarantined != nullptr);
+  if (quarantined != nullptr) {
+    for (QuarantinedUnit& unit : result.quarantined) {
+      quarantined->push_back(std::move(unit));
     }
   }
-
-  // Observability: one span + histogram sample per function. The histogram
-  // reference is resolved once out here (registration locks); per-function
-  // clock reads only happen while metrics collection is on.
-  Histogram* fn_histogram =
-      MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("detect.function_seconds")
-                       : nullptr;
-  const bool isolate = quarantined != nullptr;
-  const bool metered = budget != nullptr && !budget->Unlimited();
-  std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
-  // Slot-indexed like per_function, so the quarantine list merges in the same
-  // deterministic serial order as the findings regardless of scheduling.
-  std::vector<std::unique_ptr<QuarantinedUnit>> per_function_quarantine(work.size());
-  ParallelFor(jobs, work.size(), [&](size_t i) {
-    TraceSpan span("detect_fn", "detect");
-    span.Arg("function", work[i].func->name);
-    ScopedTimer timer(nullptr, fn_histogram);
-    const std::string& path = project.sources().Path(work[i].file);
-    if (!isolate) {
-      per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
-      return;
-    }
-    // Isolation boundary: an exception here (injected, budget, or a real
-    // worker bug) quarantines this function only. The catch must live inside
-    // the worker body — ParallelFor rethrows and cancels remaining chunks.
-    try {
-      if (fault != nullptr) {
-        fault->MaybeFault(fault_sites::kDetectFunction, path + ":" + work[i].func->name);
-      }
-      if (metered) {
-        BudgetMeter meter(*budget);
-        per_function[i] = DetectInFunction(project, work[i].file, *work[i].func, &meter);
-      } else {
-        per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
-      }
-    } catch (const std::exception& e) {
-      per_function[i].clear();
-      per_function_quarantine[i] = std::make_unique<QuarantinedUnit>(
-          QuarantinedUnit{path, work[i].func->name, "detect", e.what()});
-    }
-  });
-
-  std::vector<UnusedDefCandidate> all;
-  for (auto& found : per_function) {
-    for (auto& cand : found) {
-      all.push_back(std::move(cand));
-    }
-  }
-  size_t quarantine_count = 0;
-  if (isolate) {
-    for (auto& record : per_function_quarantine) {
-      if (record != nullptr) {
-        quarantined->push_back(std::move(*record));
-        ++quarantine_count;
-      }
-    }
-  }
-  if (MetricsEnabled()) {
-    MetricsRegistry& registry = MetricsRegistry::Global();
-    registry.GetCounter("detect.functions").Add(work.size());
-    registry.GetCounter("detect.candidates").Add(all.size());
-    if (quarantine_count > 0) {
-      registry.GetCounter("fault.quarantined.detect").Add(quarantine_count);
-    }
-  }
-  return all;
+  return std::move(result.candidates);
 }
 
 }  // namespace vc

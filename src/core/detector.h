@@ -15,6 +15,8 @@
 
 #include "src/core/project.h"
 #include "src/core/unused_def.h"
+#include "src/dataflow/define_sets.h"
+#include "src/dataflow/liveness.h"
 #include "src/support/fault.h"
 
 namespace vc {
@@ -26,6 +28,16 @@ namespace vc {
 std::vector<UnusedDefCandidate> DetectInFunction(const Project& project, FileId file,
                                                  const IrFunction& func,
                                                  BudgetMeter* meter = nullptr);
+
+// The replay half of DetectInFunction, over caller-supplied fix points. The
+// checker framework calls this with CheckerContext's memoized analyses so N
+// checkers share one liveness/define-set computation; DetectInFunction is
+// the compute-then-replay composition.
+std::vector<UnusedDefCandidate> DetectInFunctionWith(const Project& project, FileId file,
+                                                     const IrFunction& func,
+                                                     const LivenessResult& liveness,
+                                                     const DefineSetResult& defines,
+                                                     BudgetMeter* meter = nullptr);
 
 // Detects candidates across every function of every unit. Functions are
 // analyzed independently across `jobs` worker lanes (1 = serial, 0 = all

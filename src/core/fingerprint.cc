@@ -23,6 +23,13 @@ std::string SlotIdentity(const UnusedDefCandidate& candidate) {
 std::string FingerprintKey(const UnusedDefCandidate& candidate) {
   std::string key;
   key.reserve(128);
+  // Per-checker namespace keeps checkers' findings in disjoint identity
+  // spaces. Empty for unused-def: its fingerprints predate the checker
+  // framework and must not change across the migration.
+  if (!candidate.fingerprint_ns.empty()) {
+    key += candidate.fingerprint_ns;
+    key += "::";
+  }
   key += candidate.file;
   key += '|';
   key += candidate.function;

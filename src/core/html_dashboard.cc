@@ -196,17 +196,21 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
   const RunRecord& latest = runs.back();
   const RunRecord* previous = runs.size() >= 2 ? &runs[runs.size() - 2] : nullptr;
 
-  // New/fixed deltas against the previous run, by fingerprint.
+  // New/fixed deltas against the previous run, keyed by the
+  // (checker, fingerprint) pair (fingerprints are only unique per checker).
+  auto finding_key = [](const LedgerFinding& finding) {
+    return finding.checker + "\x1f" + finding.fingerprint;
+  };
   std::set<std::string> latest_fps;
   std::set<std::string> prev_fps;
   for (const LedgerFinding& finding : latest.findings) {
-    latest_fps.insert(finding.fingerprint);
+    latest_fps.insert(finding_key(finding));
   }
   size_t new_count = 0;
   size_t fixed_count = 0;
   if (previous != nullptr) {
     for (const LedgerFinding& finding : previous->findings) {
-      prev_fps.insert(finding.fingerprint);
+      prev_fps.insert(finding_key(finding));
     }
     for (const std::string& fp : latest_fps) {
       if (!prev_fps.count(fp)) {
@@ -261,12 +265,14 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
   if (latest.findings.empty()) {
     out += "<p class=\"empty\">No findings \xe2\x80\x94 clean run.</p>\n";
   } else {
-    out += "<table>\n<tr><th>status</th><th>fingerprint</th><th>file</th><th>line</th>"
-           "<th>function</th><th>variable</th><th>kind</th><th>familiarity</th></tr>\n";
+    out += "<table>\n<tr><th>status</th><th>checker</th><th>fingerprint</th><th>file</th>"
+           "<th>line</th><th>function</th><th>variable</th><th>kind</th>"
+           "<th>familiarity</th></tr>\n";
     for (const LedgerFinding& finding : latest.findings) {
-      bool is_new = previous != nullptr && !prev_fps.count(finding.fingerprint);
+      bool is_new = previous != nullptr && !prev_fps.count(finding_key(finding));
       out += "<tr><td><span class=\"badge" + std::string(is_new ? " badge-new" : "") + "\">" +
              (is_new ? "new" : "persistent") + "</span></td>";
+      out += "<td>" + EscapeHtml(finding.checker) + "</td>";
       out += "<td class=\"fp\">" + EscapeHtml(finding.fingerprint) + "</td>";
       out += "<td>" + EscapeHtml(finding.file) + "</td>";
       out += "<td>" + std::to_string(finding.line) + "</td>";
@@ -279,13 +285,14 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
   }
   if (previous != nullptr && fixed_count > 0) {
     out += "<h2>Fixed since " + EscapeHtml(previous->run_id) + "</h2>\n<table>\n"
-           "<tr><th>status</th><th>fingerprint</th><th>file</th><th>function</th>"
-           "<th>variable</th><th>kind</th></tr>\n";
+           "<tr><th>status</th><th>checker</th><th>fingerprint</th><th>file</th>"
+           "<th>function</th><th>variable</th><th>kind</th></tr>\n";
     for (const LedgerFinding& finding : previous->findings) {
-      if (latest_fps.count(finding.fingerprint)) {
+      if (latest_fps.count(finding_key(finding))) {
         continue;
       }
       out += "<tr><td><span class=\"badge badge-fixed\">fixed</span></td>";
+      out += "<td>" + EscapeHtml(finding.checker) + "</td>";
       out += "<td class=\"fp\">" + EscapeHtml(finding.fingerprint) + "</td>";
       out += "<td>" + EscapeHtml(finding.file) + "</td>";
       out += "<td>" + EscapeHtml(finding.function) + "</td>";

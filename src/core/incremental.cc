@@ -1,8 +1,10 @@
-#include "src/core/incremental.h"
-
 #include <chrono>
 #include <set>
 
+#include "src/checkers/checker.h"
+#include "src/checkers/checker_context.h"
+#include "src/checkers/registry.h"
+#include "src/core/analysis.h"
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
 #include "src/support/thread_pool.h"
@@ -29,6 +31,16 @@ IncrementalResult Analysis::RunOnCommit(const Repository& repo, CommitId commit_
   }
 
   Project project = Project::FromSources(files, options_.config, options_.jobs);
+
+  // The same checker set a full run would use, minus any checker that cannot
+  // analyze this project (the incremental path has no quarantine channel, so
+  // unsupported checkers are simply skipped).
+  std::vector<const Checker*> checkers;
+  for (const Checker* checker : CheckerRegistry::Global().Resolve(options_.checkers)) {
+    if (checker->Unsupported(project, options_.traits).empty()) {
+      checkers.push_back(checker);
+    }
+  }
 
   // Detect only in functions whose range overlaps a changed line. The work
   // list is gathered serially (in unit/function order) and the per-function
@@ -65,7 +77,16 @@ IncrementalResult Analysis::RunOnCommit(const Repository& repo, CommitId commit_
 
   std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
   ParallelFor(options_.jobs, work.size(), [&](size_t i) {
-    per_function[i] = DetectInFunction(project, work[i].file, *work[i].func);
+    CheckerContext ctx(project, work[i].file, *work[i].func);
+    for (const Checker* checker : checkers) {
+      std::vector<UnusedDefCandidate> found = checker->Check(ctx);
+      for (UnusedDefCandidate& cand : found) {
+        cand.checker = checker->name();
+        cand.fingerprint_ns = checker->fingerprint_namespace();
+        cand.from_baseline = checker->is_baseline();
+        per_function[i].push_back(std::move(cand));
+      }
+    }
   });
   std::vector<UnusedDefCandidate> candidates;
   for (auto& found : per_function) {
@@ -92,13 +113,6 @@ IncrementalResult Analysis::RunOnCommit(const Repository& repo, CommitId commit_
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
-}
-
-IncrementalResult AnalyzeCommit(const Repository& repo, CommitId commit_id,
-                                const ValueCheckOptions& options, Config config) {
-  AnalysisOptions merged = options;
-  merged.config = std::move(config);
-  return Analysis(std::move(merged)).RunOnCommit(repo, commit_id);
 }
 
 }  // namespace vc

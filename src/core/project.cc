@@ -116,7 +116,7 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
       compile_one();
     } catch (const std::exception& e) {
       file_quarantine[i] = std::make_unique<QuarantinedUnit>(
-          QuarantinedUnit{sm_.Path(file), "", "parse", e.what()});
+          QuarantinedUnit{sm_.Path(file), "", "parse", e.what(), ""});
       file_diags[i] = DiagnosticEngine();
       pp_[i] = PreprocessResult();
       units_[i] = TranslationUnit();

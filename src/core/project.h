@@ -32,6 +32,18 @@
 
 namespace vc {
 
+// Facts about the analyzed codebase that gate whether a checker can run on
+// it at all (Table 5's "-*: report errors during analysis" cells). Checkers
+// declare incompatibility via Checker::Unsupported(); the driver quarantines
+// them instead of running them.
+struct ProjectTraits {
+  // Plain C vs C++-heavy codebase: Smatch's parser only handles C.
+  bool is_pure_c = true;
+  // Kernel-style extensions (inline asm, attribute soup): break fb-infer's
+  // clang-plugin capture on Linux.
+  bool uses_kernel_extensions = false;
+};
+
 // Project-wide view of one function name.
 struct FunctionInfo {
   std::string name;

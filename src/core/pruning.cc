@@ -211,6 +211,9 @@ class PeerMatcher {
     std::set<std::tuple<std::string, FileId, int>> unused_assigned;
     std::set<std::pair<std::string, int>> unused_params;  // (function, index)
     for (const UnusedDefCandidate& cand : all) {
+      if (cand.checker != "unused-def") {
+        continue;  // peer statistics are defined over unused definitions only
+      }
       if (cand.is_param && cand.var != nullptr) {
         unused_params.insert({cand.function, cand.var->param_index});
       } else if (cand.origin_callee != nullptr && !cand.is_synthetic) {
@@ -310,6 +313,13 @@ PruneStats RunPruning(const Project& project, std::vector<UnusedDefCandidate>& c
   span.Arg("candidates", static_cast<int64_t>(candidates.size()));
   for (UnusedDefCandidate& cand : candidates) {
     if (cand.pruned_by != PruneReason::kNone) {
+      continue;
+    }
+    if (cand.checker != "unused-def") {
+      // The §5 patterns model intentional *unused definitions* (cursor loops,
+      // config-guarded uses, customarily-ignored values); other checkers'
+      // findings pass through unpruned — keeping a checker's findings
+      // identical whether it runs alone or alongside others.
       continue;
     }
     if (options.config_dependency) {

@@ -1,5 +1,7 @@
 #include "src/core/report_formats.h"
 
+#include "src/checkers/checker.h"
+#include "src/checkers/registry.h"
 #include "src/support/json_writer.h"
 #include "src/support/table_writer.h"
 
@@ -17,6 +19,7 @@ void WriteFinding(JsonWriter& json, const UnusedDefCandidate& cand, const Reposi
   json.Int("column", cand.def_loc.column);
   json.String("function", cand.function);
   json.String("variable", cand.slot_name);
+  json.String("checker", cand.checker);
   json.String("kind", CandidateKindName(cand.kind));
   json.Bool("cross_scope", cand.cross_scope);
   json.Bool("is_parameter", cand.is_param);
@@ -44,7 +47,7 @@ void WriteFinding(JsonWriter& json, const UnusedDefCandidate& cand, const Reposi
 
 }  // namespace
 
-std::string ReportToJson(const ValueCheckReport& report, const Repository* repo) {
+std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
   JsonWriter json;
   json.BeginObject();
   json.String("tool", "valuecheck");
@@ -55,13 +58,21 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   // activity); v4 adds the per-finding "fingerprint" — the stable
   // content-based identity the run ledger diffs on (src/core/fingerprint.h);
   // v5 adds the always-present fault-isolation block: "degraded" plus the
-  // "quarantined" array of {path, function, stage, reason} records.
+  // "quarantined" array of {path, function, stage, reason} records; v6 adds
+  // the checker framework's identity channel — the top-level "checkers" array
+  // (the resolved checker set, registry order), a "checker" field on every
+  // finding, and a "checker" field on quarantine records that name one.
   // See DESIGN.md §"JSON report schema" for the contract.
-  json.Int("schema_version", 5);
+  json.Int("schema_version", 6);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
   json.Int("jobs", report.jobs);
+  json.Key("checkers").BeginArray();
+  for (const std::string& name : report.checkers) {
+    json.StringValue(name);
+  }
+  json.EndArray();
   json.Bool("degraded", report.degraded);
 
   json.Key("diagnostics").BeginObject();
@@ -76,6 +87,9 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
     json.String("function", unit.function);
     json.String("stage", unit.stage);
     json.String("reason", unit.reason);
+    if (!unit.checker.empty()) {
+      json.String("checker", unit.checker);
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -164,7 +178,7 @@ std::string ReportToJson(const ValueCheckReport& report, const Repository* repo)
   return json.str();
 }
 
-std::string ReportToSarif(const ValueCheckReport& report) {
+std::string ReportToSarif(const AnalysisReport& report) {
   JsonWriter json;
   json.BeginObject();
   json.String("$schema",
@@ -194,18 +208,40 @@ std::string ReportToSarif(const ValueCheckReport& report) {
     json.EndObject();
     json.EndObject();
   }
+  // Checkers beyond unused-def get one rule each, named after the checker
+  // (the per-kind rules above cover the five unused-def kinds).
+  for (const std::string& name : report.checkers) {
+    if (name == "unused-def") {
+      continue;
+    }
+    const Checker* checker = CheckerRegistry::Global().Find(name);
+    json.BeginObject();
+    json.String("id", name);
+    json.Key("shortDescription").BeginObject();
+    json.String("text", checker != nullptr ? checker->description() : name);
+    json.EndObject();
+    json.EndObject();
+  }
   json.EndArray();    // rules
   json.EndObject();   // driver
   json.EndObject();   // tool
 
   json.Key("results").BeginArray();
   for (const UnusedDefCandidate& cand : report.findings) {
+    const bool unused_def = cand.checker == "unused-def";
     json.BeginObject();
-    json.String("ruleId", CandidateKindName(cand.kind));
+    // unused-def keeps its historical per-kind rule ids; every other checker
+    // reports under its own single rule.
+    json.String("ruleId", unused_def ? CandidateKindName(cand.kind) : cand.checker);
     json.String("level", "warning");
     json.Key("message").BeginObject();
-    json.String("text", "Unused definition of '" + cand.slot_name + "' in function '" +
-                            cand.function + "' (" + CandidateKindName(cand.kind) + ")");
+    if (unused_def) {
+      json.String("text", "Unused definition of '" + cand.slot_name + "' in function '" +
+                              cand.function + "' (" + CandidateKindName(cand.kind) + ")");
+    } else {
+      json.String("text", cand.checker + ": '" + cand.slot_name + "' in function '" +
+                              cand.function + "' (" + CandidateKindName(cand.kind) + ")");
+    }
     json.EndObject();
     json.Key("locations").BeginArray().BeginObject();
     json.Key("physicalLocation").BeginObject();
@@ -238,7 +274,7 @@ std::string ReportToSarif(const ValueCheckReport& report) {
   return json.str();
 }
 
-std::string RenderStageMetricsTable(const ValueCheckReport& report) {
+std::string RenderStageMetricsTable(const AnalysisReport& report) {
   if (!report.stage.collected) {
     return "";
   }

@@ -13,6 +13,7 @@ namespace {
 LedgerFinding ToLedgerFinding(const UnusedDefCandidate& cand) {
   LedgerFinding finding;
   finding.fingerprint = cand.fingerprint;
+  finding.checker = cand.checker;
   finding.file = cand.file;
   finding.line = cand.def_loc.line;
   finding.function = cand.function;
@@ -30,8 +31,18 @@ void SortFindings(std::vector<LedgerFinding>& findings) {
               if (a.file != b.file) {
                 return a.file < b.file;
               }
+              if (a.checker != b.checker) {
+                return a.checker < b.checker;
+              }
               return a.fingerprint < b.fingerprint;
             });
+}
+
+// Diff identity: fingerprints are already namespaced per checker, but the
+// explicit pair keeps identity correct even for checkers with an empty
+// namespace (unused-def's legacy fingerprints).
+std::string FindingKey(const LedgerFinding& finding) {
+  return finding.checker + "\x1f" + finding.fingerprint;
 }
 
 double PruneRate(int64_t pruned, int64_t tested) {
@@ -47,6 +58,7 @@ RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
   record.label = label;
   record.jobs = report.jobs;
   record.degraded = report.degraded;
+  record.checkers = report.checkers;
   for (const UnusedDefCandidate& cand : report.findings) {
     record.findings.push_back(ToLedgerFinding(cand));
   }
@@ -88,19 +100,46 @@ RunDiff ComputeRunDiff(const RunRecord& a, const RunRecord& b,
   diff.run_a = a.run_id;
   diff.run_b = b.run_id;
 
+  // Checker-set drift. A finding is only classified new/fixed when the other
+  // run could have produced it (its checker was enabled there). Records
+  // written before the checker framework carry no checker list; treat an
+  // absent list as "every checker" so their findings still classify.
+  std::set<std::string> checkers_a(a.checkers.begin(), a.checkers.end());
+  std::set<std::string> checkers_b(b.checkers.begin(), b.checkers.end());
+  auto enabled_in_a = [&](const std::string& checker) {
+    return checkers_a.empty() || checkers_a.count(checker) > 0;
+  };
+  auto enabled_in_b = [&](const std::string& checker) {
+    return checkers_b.empty() || checkers_b.count(checker) > 0;
+  };
+  for (const std::string& name : checkers_b) {
+    if (!checkers_a.count(name)) {
+      diff.checkers_added.push_back(name);
+    }
+  }
+  for (const std::string& name : checkers_a) {
+    if (!checkers_b.count(name)) {
+      diff.checkers_removed.push_back(name);
+    }
+  }
+
   std::set<std::string> in_a;
   std::set<std::string> in_b;
   for (const LedgerFinding& finding : a.findings) {
-    in_a.insert(finding.fingerprint);
+    in_a.insert(FindingKey(finding));
   }
   for (const LedgerFinding& finding : b.findings) {
-    in_b.insert(finding.fingerprint);
+    in_b.insert(FindingKey(finding));
   }
   for (const LedgerFinding& finding : b.findings) {
-    (in_a.count(finding.fingerprint) ? diff.persistent : diff.added).push_back(finding);
+    if (in_a.count(FindingKey(finding))) {
+      diff.persistent.push_back(finding);
+    } else if (enabled_in_a(finding.checker)) {
+      diff.added.push_back(finding);
+    }
   }
   for (const LedgerFinding& finding : a.findings) {
-    if (!in_b.count(finding.fingerprint)) {
+    if (!in_b.count(FindingKey(finding)) && enabled_in_b(finding.checker)) {
       diff.fixed.push_back(finding);
     }
   }
@@ -191,6 +230,16 @@ std::string RenderDiffText(const RunDiff& diff, bool include_timings) {
   out += "diff " + diff.run_a + " -> " + diff.run_b + ": " +
          std::to_string(diff.added.size()) + " new, " + std::to_string(diff.fixed.size()) +
          " fixed, " + std::to_string(diff.persistent.size()) + " persistent\n";
+  if (!diff.checkers_added.empty() || !diff.checkers_removed.empty()) {
+    out += "checkers changed:";
+    for (const std::string& name : diff.checkers_added) {
+      out += " +" + name;
+    }
+    for (const std::string& name : diff.checkers_removed) {
+      out += " -" + name;
+    }
+    out += " (their findings are not classified as new/fixed)\n";
+  }
 
   auto section = [&](const char* title, const std::vector<LedgerFinding>& findings,
                      const char* marker) {
@@ -201,8 +250,9 @@ std::string RenderDiffText(const RunDiff& diff, bool include_timings) {
     out += title;
     out += ":\n";
     for (const LedgerFinding& finding : findings) {
-      out += std::string("  ") + marker + " [" + finding.fingerprint + "] " + finding.file +
-             " " + finding.function + "(): " + finding.variable + " (" + finding.kind + ")\n";
+      out += std::string("  ") + marker + " [" + finding.checker + ":" + finding.fingerprint +
+             "] " + finding.file + " " + finding.function + "(): " + finding.variable + " (" +
+             finding.kind + ")\n";
     }
   };
   section("new findings", diff.added, "+");
@@ -255,11 +305,22 @@ std::string DiffToJson(const RunDiff& diff) {
   json.BeginObject();
   json.String("run_a", diff.run_a);
   json.String("run_b", diff.run_b);
+  json.Key("checkers_added").BeginArray();
+  for (const std::string& name : diff.checkers_added) {
+    json.StringValue(name);
+  }
+  json.EndArray();
+  json.Key("checkers_removed").BeginArray();
+  for (const std::string& name : diff.checkers_removed) {
+    json.StringValue(name);
+  }
+  json.EndArray();
   auto findings = [&](const char* key, const std::vector<LedgerFinding>& list) {
     json.Key(key).BeginArray();
     for (const LedgerFinding& finding : list) {
       json.BeginObject();
       json.String("fingerprint", finding.fingerprint);
+      json.String("checker", finding.checker);
       json.String("file", finding.file);
       json.Int("line", finding.line);
       json.String("function", finding.function);

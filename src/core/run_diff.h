@@ -56,10 +56,17 @@ struct MetricDelta {
 struct RunDiff {
   std::string run_a;  // baseline run id
   std::string run_b;
-  // Fingerprint classification. "new" = only in B, "fixed" = only in A.
+  // (checker, fingerprint) classification. "new" = only in B, "fixed" = only
+  // in A. A finding whose checker the other run did not enable is excluded
+  // from these lists — enabling a checker is not "new bugs" and disabling one
+  // is not "bugs fixed"; the checkers_added/checkers_removed note carries
+  // that information instead.
   std::vector<LedgerFinding> added;
   std::vector<LedgerFinding> fixed;
   std::vector<LedgerFinding> persistent;
+  // Checker-set drift between the runs (names only in B / only in A).
+  std::vector<std::string> checkers_added;
+  std::vector<std::string> checkers_removed;
   std::vector<MetricDelta> deltas;
   // Human-readable threshold breaches (one line each); empty = check passes.
   std::vector<std::string> regressions;

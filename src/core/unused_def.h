@@ -22,6 +22,12 @@ enum class CandidateKind {
   kUnusedParam,       // scenario 2: argument value never used in the callee
   kOverwrittenParam,  // scenario 2 variant: argument overwritten in the callee
   kPlainUnused,       // unused, but not one of the cross-scope shapes
+  // Kinds owned by the non-unused-def checkers (src/checkers/). Appended so
+  // the original five keep their serialized names and ordinals.
+  kDoubleOverwrite,   // store killed by a second store, no read between
+  kDeadGlobalStore,   // global store locally killed before any read or call
+  kOutParamUnused,    // out-parameter filled by a call, never read after
+  kStaleCopy,         // copy read after its source was modified
 };
 
 const char* CandidateKindName(CandidateKind kind);
@@ -78,6 +84,17 @@ struct UnusedDefCandidate {
 
   // --- Filled by ranking ---
   double familiarity = 0.0;
+
+  // --- Filled by the checker driver (src/checkers/driver.cc) ---
+  // Which checker produced this candidate. The unused-definition detector —
+  // the paper's tool — is "unused-def"; its fingerprint namespace is empty so
+  // pre-framework fingerprints survive the migration byte-identical.
+  std::string checker = "unused-def";
+  std::string fingerprint_ns;  // prefixes the fingerprint content key
+  bool from_baseline = false;  // produced by a §8.4 baseline checker
+  // Free-text detail for checkers whose findings don't fit the kind taxonomy
+  // (the baseline tools' original description strings live here).
+  std::string note;
 
   // --- Filled at report assembly (src/core/fingerprint.h) ---
   // Stable content-based identity, line-shift-robust; what the run ledger

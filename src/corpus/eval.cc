@@ -28,20 +28,11 @@ ToolEval EvaluateLocations(const GroundTruth& truth, const std::string& tool,
   return eval;
 }
 
-std::vector<std::pair<std::string, int>> LocationsOf(const ValueCheckReport& report) {
+std::vector<std::pair<std::string, int>> LocationsOf(const AnalysisReport& report) {
   std::vector<std::pair<std::string, int>> locations;
   locations.reserve(report.findings.size());
   for (const UnusedDefCandidate& cand : report.findings) {
     locations.emplace_back(cand.file, cand.def_loc.line);
-  }
-  return locations;
-}
-
-std::vector<std::pair<std::string, int>> LocationsOf(const BaselineResult& result) {
-  std::vector<std::pair<std::string, int>> locations;
-  locations.reserve(result.findings.size());
-  for (const BaselineFinding& finding : result.findings) {
-    locations.emplace_back(finding.file, finding.loc.line);
   }
   return locations;
 }
@@ -56,16 +47,24 @@ std::vector<std::pair<std::string, int>> LocationsOf(
   return locations;
 }
 
-ToolEval EvaluateBaseline(const GroundTruth& truth, const std::string& tool,
-                          const BaselineResult& result) {
-  if (!result.ok) {
-    ToolEval eval;
-    eval.tool = tool;
-    eval.ok = false;
-    eval.error = result.error;
-    return eval;
+ToolEval EvaluateChecker(const GroundTruth& truth, const std::string& tool,
+                         const AnalysisReport& report, const std::string& checker) {
+  for (const QuarantinedUnit& unit : report.quarantined) {
+    if (unit.stage == "checker" && unit.checker == checker) {
+      ToolEval eval;
+      eval.tool = tool;
+      eval.ok = false;
+      eval.error = unit.reason;
+      return eval;
+    }
   }
-  return EvaluateLocations(truth, tool, LocationsOf(result));
+  std::vector<std::pair<std::string, int>> locations;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    if (cand.checker == checker) {
+      locations.emplace_back(cand.file, cand.def_loc.line);
+    }
+  }
+  return EvaluateLocations(truth, tool, locations);
 }
 
 }  // namespace vc

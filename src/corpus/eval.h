@@ -9,8 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/bug_finder.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 #include "src/corpus/ground_truth.h"
 
 namespace vc {
@@ -34,14 +33,16 @@ ToolEval EvaluateLocations(const GroundTruth& truth, const std::string& tool,
                            const std::vector<std::pair<std::string, int>>& locations);
 
 // Location extraction.
-std::vector<std::pair<std::string, int>> LocationsOf(const ValueCheckReport& report);
-std::vector<std::pair<std::string, int>> LocationsOf(const BaselineResult& result);
+std::vector<std::pair<std::string, int>> LocationsOf(const AnalysisReport& report);
 std::vector<std::pair<std::string, int>> LocationsOf(
     const std::vector<UnusedDefCandidate>& candidates);
 
-// Scores a baseline run end to end (propagates tool errors).
-ToolEval EvaluateBaseline(const GroundTruth& truth, const std::string& tool,
-                          const BaselineResult& result);
+// Scores one checker's slice of a report: only findings the named checker
+// produced count, and a checker-stage quarantine record for it (an
+// Unsupported() gate, Table 5's "tool cannot analyze this codebase" cells)
+// propagates as ok=false with the quarantine reason.
+ToolEval EvaluateChecker(const GroundTruth& truth, const std::string& tool,
+                         const AnalysisReport& report, const std::string& checker);
 
 }  // namespace vc
 

@@ -66,6 +66,13 @@ class AppGenerator {
     EmitHintParamSites();
     EmitHintVarSites();
     EmitPeerSites();
+    // The checker-framework populations come last: profiles that keep them at
+    // zero (all four paper-calibrated apps) consume an identical rng stream,
+    // so their locked table numbers cannot drift.
+    EmitDoubleOverwriteSites();
+    EmitDeadGlobalStoreSites();
+    EmitOutParamSites();
+    EmitStaleCopySites();
     CloseFile();
     return std::move(app_);
   }
@@ -891,6 +898,150 @@ class AppGenerator {
           file_->AddLine(rx, "}");
         }
       }
+    }
+  }
+
+  // --- Checker-framework bug classes -----------------------------------------
+  //
+  // These sites target the non-unused-def checkers (src/checkers/) and are
+  // invisible to the unused-definition detector by construction: the slots
+  // are address-taken, global, or genuinely read. Labels are set inline (no
+  // LabelBug) so the prior-bug budget and the weighted-category rng draws of
+  // the paper populations are untouched.
+
+  // double-overwrite: an address-taken local stored by one developer and
+  // stored again by another before any read.
+  void EmitDoubleOverwriteSites() {
+    for (int i = 0; i < counts_.double_overwrite; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_a = PickCalmResponsible();
+      AuthorId author_b = PickBugResponsible();
+      if (author_b == author_a) {
+        author_b = DifferentFrom(author_a, /*maintainer_pool=*/false);
+      }
+      int ra = NewRound(author_a, "stage device state " + t);
+      file_->AddLine(ra, "static int " + prefix_ + "_dov_rd_" + t + "(int *p) {");
+      file_->AddLine(ra, "  return *p + 1;");
+      file_->AddLine(ra, "}");
+      file_->AddLine(ra, "int " + prefix_ + "_dov_" + t + "(int av) {");
+      int site_line = file_->AddLine(ra, "  int dv_" + t + " = av + 1;");
+      int rb = NewRound(author_b, "restage device state " + t);
+      file_->AddLine(rb, "  dv_" + t + " = av + 7;");
+      // The read keeps dv live after the call, so the out-param checker stays
+      // silent here; the address-taken slot keeps unused-def silent.
+      file_->AddLine(ra, "  return " + prefix_ + "_dov_rd_" + t + "(&dv_" + t + ") + dv_" + t +
+                             ";");
+      file_->AddLine(ra, "}");
+
+      GtSite site = BaseSite(SiteCategory::kRealDoubleOverwrite, site_line);
+      site.is_real_bug = true;
+      site.missing_check = false;
+      site.expect_cross_scope = true;
+      site.component = "other";
+      site.severity = "medium";
+      app_.truth.Add(site);
+    }
+  }
+
+  // dead-global-store: a global assigned by one developer and reset by
+  // another in the same block with no intervening read or call.
+  void EmitDeadGlobalStoreSites() {
+    for (int i = 0; i < counts_.dead_global_store; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_a = PickCalmResponsible();
+      AuthorId author_b = PickBugResponsible();
+      if (author_b == author_a) {
+        author_b = DifferentFrom(author_a, /*maintainer_pool=*/false);
+      }
+      int ra = NewRound(author_a, "export status flag " + t);
+      file_->AddLine(ra, "int g_" + prefix_ + "_st_" + t + ";");
+      file_->AddLine(ra, "int " + prefix_ + "_dgs_" + t + "(int v) {");
+      int site_line = file_->AddLine(ra, "  g_" + prefix_ + "_st_" + t + " = v + 1;");
+      int rb = NewRound(author_b, "clear status flag " + t);
+      file_->AddLine(rb, "  g_" + prefix_ + "_st_" + t + " = 0;");
+      file_->AddLine(ra, "  return v;");
+      file_->AddLine(ra, "}");
+
+      GtSite site = BaseSite(SiteCategory::kRealDeadGlobalStore, site_line);
+      site.is_real_bug = true;
+      site.missing_check = false;
+      site.expect_cross_scope = true;
+      site.component = "other";
+      site.severity = "medium";
+      app_.truth.Add(site);
+    }
+  }
+
+  // out-param-unused: a callee (one developer) fills an out-parameter whose
+  // value the caller (another developer) never reads.
+  void EmitOutParamSites() {
+    for (int i = 0; i < counts_.out_param_unused; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_y = PickCalmResponsible();  // callee implementer
+      AuthorId author_x = PickBugResponsible();   // forgetful caller
+      if (author_x == author_y) {
+        author_x = DifferentFrom(author_y, /*maintainer_pool=*/false);
+      }
+      int ry = NewRound(author_y, "fill result record " + t);
+      file_->AddLine(ry, "static int " + prefix_ + "_fill_" + t + "(int *out, int v) {");
+      file_->AddLine(ry, "  *out = v + 3;");
+      file_->AddLine(ry, "  return 0;");
+      file_->AddLine(ry, "}");
+      int rx = NewRound(author_x, "query record status " + t);
+      file_->AddLine(rx, "int " + prefix_ + "_opu_" + t + "(int v) {");
+      file_->AddLine(rx, "  int q_" + t + " = 0;");
+      int site_line =
+          file_->AddLine(rx, "  if (" + prefix_ + "_fill_" + t + "(&q_" + t + ", v) > 0) {");
+      file_->AddLine(rx, "    g_sink = v;");
+      file_->AddLine(rx, "  }");
+      file_->AddLine(rx, "  return v + 1;");
+      file_->AddLine(rx, "}");
+
+      GtSite site = BaseSite(SiteCategory::kRealOutParamUnused, site_line);
+      site.is_real_bug = true;
+      site.missing_check = true;
+      site.expect_cross_scope = true;
+      site.component = "other";
+      site.severity = "medium";
+      app_.truth.Add(site);
+    }
+  }
+
+  // stale-copy: one developer snapshots a value, another updates the source,
+  // and the snapshot is read afterwards.
+  void EmitStaleCopySites() {
+    for (int i = 0; i < counts_.stale_copy; ++i) {
+      RotateIfLarge();
+      int id = NextId();
+      const std::string t = Tag(id);
+      AuthorId author_a = PickCalmResponsible();
+      AuthorId author_b = PickBugResponsible();
+      if (author_b == author_a) {
+        author_b = DifferentFrom(author_a, /*maintainer_pool=*/false);
+      }
+      int ra = NewRound(author_a, "snapshot baseline " + t);
+      file_->AddLine(ra, "int " + prefix_ + "_stc_" + t + "(int v) {");
+      file_->AddLine(ra, "  int base_" + t + " = v + 2;");
+      int site_line = file_->AddLine(ra, "  int snap_" + t + " = base_" + t + ";");
+      int rb = NewRound(author_b, "rebase before publish " + t);
+      file_->AddLine(rb, "  base_" + t + " = v + 9;");
+      file_->AddLine(ra, "  g_sink = snap_" + t + ";");
+      file_->AddLine(ra, "  return base_" + t + ";");
+      file_->AddLine(ra, "}");
+
+      GtSite site = BaseSite(SiteCategory::kRealStaleCopy, site_line);
+      site.is_real_bug = true;
+      site.missing_check = false;
+      site.expect_cross_scope = true;
+      site.component = "other";
+      site.severity = "medium";
+      app_.truth.Add(site);
     }
   }
 

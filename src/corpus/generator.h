@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/bug_finder.h"
+#include "src/core/project.h"
 #include "src/corpus/ground_truth.h"
 #include "src/corpus/profile.h"
 #include "src/vcs/repository.h"

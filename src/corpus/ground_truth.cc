@@ -44,6 +44,14 @@ const char* SiteCategoryName(SiteCategory category) {
       return "coverity-bait-overwrite";
     case SiteCategory::kCoverityBaitChecked:
       return "coverity-bait-checked";
+    case SiteCategory::kRealDoubleOverwrite:
+      return "real-double-overwrite";
+    case SiteCategory::kRealDeadGlobalStore:
+      return "real-dead-global-store";
+    case SiteCategory::kRealOutParamUnused:
+      return "real-out-param-unused";
+    case SiteCategory::kRealStaleCopy:
+      return "real-stale-copy";
   }
   return "unknown";
 }

@@ -52,6 +52,12 @@ enum class SiteCategory {
   kInferBait,                     // same-author cross-block overwrite
   kCoverityBaitOverwrite,         // same-author same-block overwrite
   kCoverityBaitChecked,           // intentional ignore of a mostly-checked fn
+  // Checker-framework bug classes (src/checkers/), injected only by profiles
+  // with nonzero new-class counts — the per-checker precision/recall eval.
+  kRealDoubleOverwrite,           // address-taken slot stored twice, no read
+  kRealDeadGlobalStore,           // global stored twice in one block
+  kRealOutParamUnused,            // out-parameter filled, never read by caller
+  kRealStaleCopy,                 // copy read after its source was updated
 };
 
 const char* SiteCategoryName(SiteCategory category);

@@ -41,6 +41,10 @@ ProjectProfile ProjectProfile::Scaled(double factor) const {
   c.infer_bait = Scale(c.infer_bait, factor);
   c.coverity_bait_overwrite = Scale(c.coverity_bait_overwrite, factor);
   c.coverity_bait_checked = Scale(c.coverity_bait_checked, factor);
+  c.double_overwrite = Scale(c.double_overwrite, factor);
+  c.dead_global_store = Scale(c.dead_global_store, factor);
+  c.out_param_unused = Scale(c.out_param_unused, factor);
+  c.stale_copy = Scale(c.stale_copy, factor);
   c.filler_functions = Scale(c.filler_functions, factor);
   c.prior_bugs_detected = std::min(c.prior_bugs_detected,
                                    c.retval_ignored + c.retval_overwritten_same_block);

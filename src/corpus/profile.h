@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "src/baselines/bug_finder.h"
+#include "src/core/project.h"
 
 namespace vc {
 
@@ -54,6 +54,13 @@ struct ProfileCounts {
   int infer_bait = 0;
   int coverity_bait_overwrite = 0;
   int coverity_bait_checked = 0;
+  // Checker-framework bug classes (src/checkers/). Emitted after every other
+  // population, so the paper-calibrated profiles (which keep these at zero)
+  // draw an unchanged rng stream and their table numbers stay locked.
+  int double_overwrite = 0;
+  int dead_global_store = 0;
+  int out_param_unused = 0;
+  int stale_copy = 0;
   // Background.
   int filler_functions = 0;
   // Author pool sizes.

@@ -42,6 +42,10 @@ struct QuarantinedUnit {
   std::string function;
   std::string stage;
   std::string reason;
+  // Which checker hit the fault, when the quarantine is checker-scoped (the
+  // "checker" stage, or a single checker crashing inside "detect"). Empty for
+  // parse-stage and whole-function records.
+  std::string checker;
 };
 
 // Named injection sites, one per pipeline stage that isolates units. The unit

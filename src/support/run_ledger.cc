@@ -110,10 +110,16 @@ std::string RunRecordToJson(const RunRecord& record) {
   json.String("options", record.options_summary);
   json.Int("jobs", record.jobs);
   json.Bool("degraded", record.degraded);
+  json.Key("checkers").BeginArray();
+  for (const std::string& name : record.checkers) {
+    json.StringValue(name);
+  }
+  json.EndArray();
   json.Key("findings").BeginArray();
   for (const LedgerFinding& finding : record.findings) {
     json.BeginObject();
     json.String("fingerprint", finding.fingerprint);
+    json.String("checker", finding.checker);
     json.String("file", finding.file);
     json.Int("line", finding.line);
     json.String("function", finding.function);
@@ -147,9 +153,18 @@ std::optional<RunRecord> RunRecordFromJson(const std::string& line, std::string*
   record.jobs = static_cast<int>(value->GetInt("jobs", 1));
   // Absent in pre-fault-isolation records; default reads as a clean run.
   record.degraded = value->GetBool("degraded");
+  // Absent in pre-framework records, which could only have run unused-def.
+  if (value->Has("checkers")) {
+    for (const JsonValue& entry : value->Get("checkers").Items()) {
+      record.checkers.push_back(entry.AsString());
+    }
+  } else {
+    record.checkers.push_back("unused-def");
+  }
   for (const JsonValue& entry : value->Get("findings").Items()) {
     LedgerFinding finding;
     finding.fingerprint = entry.GetString("fingerprint");
+    finding.checker = entry.GetString("checker", "unused-def");
     finding.file = entry.GetString("file");
     finding.line = static_cast<int>(entry.GetInt("line"));
     finding.function = entry.GetString("function");

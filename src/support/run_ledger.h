@@ -26,6 +26,10 @@ namespace vc {
 // shifts, the fingerprint does not).
 struct LedgerFinding {
   std::string fingerprint;
+  // The checker that produced the finding. Diff identity is the
+  // (checker, fingerprint) pair; records written before the checker framework
+  // read back as "unused-def" (the only checker that existed then).
+  std::string checker = "unused-def";
   std::string file;
   int line = 0;
   std::string function;
@@ -82,6 +86,10 @@ struct RunRecord {
   // of what a clean run would report) — diffs against it should be read with
   // that in mind.
   bool degraded = false;
+  // The checker set the run executed, in registry order. Pre-framework
+  // records read back as {"unused-def"}; the differ uses this to tell "the
+  // finding was fixed" apart from "its checker wasn't enabled".
+  std::vector<std::string> checkers;
   std::vector<LedgerFinding> findings;
   LedgerMetrics metrics;
 };

@@ -11,6 +11,8 @@ namespace testing {
 namespace {
 
 void AppendCandidate(std::string& out, const UnusedDefCandidate& cand) {
+  out += cand.checker;
+  out += ':';
   out += cand.fingerprint;
   out += '|';
   out += cand.file;
@@ -50,8 +52,10 @@ void AppendCandidate(std::string& out, const UnusedDefCandidate& cand) {
 // and the faulted run so subset-equality of fingerprints holds by
 // construction (every other prune pattern is function- or file-local).
 AnalysisReport AnalyzeForDegraded(const TestProgram& program, int jobs, uint64_t seed,
-                                  double rate, bool inject) {
+                                  double rate, bool inject,
+                                  const std::vector<std::string>& checkers) {
   AnalysisOptions options;
+  options.checkers = checkers;
   options.cross_scope_only = false;
   options.jobs = jobs;
   options.prune.peer_definition = false;
@@ -73,6 +77,8 @@ std::string SerializeQuarantine(const AnalysisReport& report) {
     out += unit.stage;
     out += '|';
     out += unit.reason;
+    out += '|';
+    out += unit.checker;
     out += '\n';
   }
   return out;
@@ -137,6 +143,7 @@ OracleRunner::OracleRunner(OracleOptions options) : options_(std::move(options))
 AnalysisReport OracleRunner::Analyze(const TestProgram& program, int jobs,
                                      bool collect_metrics) const {
   AnalysisOptions options;
+  options.checkers = options_.checkers;
   options.cross_scope_only = false;
   options.jobs = jobs;
   options.collect_metrics = collect_metrics;
@@ -171,7 +178,7 @@ std::string OracleRunner::SerializeFindings(const AnalysisReport& report) {
 std::set<std::string> OracleRunner::FingerprintSet(const AnalysisReport& report) {
   std::set<std::string> set;
   for (const UnusedDefCandidate& cand : report.findings) {
-    set.insert(cand.fingerprint);
+    set.insert(cand.checker + ":" + cand.fingerprint);
   }
   return set;
 }
@@ -247,8 +254,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           {OracleKind::kJsonRoundTrip, "", "report JSON does not parse: " + error});
     } else {
       const JsonValue& findings = doc->Get("findings");
-      if (doc->GetInt("schema_version") != 5) {
-        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 5"});
+      if (doc->GetInt("schema_version") != 6) {
+        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 6"});
       } else if (findings.Size() != with_metrics.findings.size()) {
         verdict.failures.push_back(
             {OracleKind::kJsonRoundTrip, "",
@@ -259,6 +266,7 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           const UnusedDefCandidate& cand = with_metrics.findings[i];
           const JsonValue& entry = findings.At(i);
           if (entry.GetString("fingerprint") != cand.fingerprint ||
+              entry.GetString("checker") != cand.checker ||
               entry.GetString("file") != cand.file ||
               entry.GetInt("line") != cand.def_loc.line ||
               entry.GetInt("column") != cand.def_loc.column ||
@@ -315,7 +323,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
     // iteration to iteration even when the same seed reruns other oracles.
     const uint64_t seed = options_.mutation_seed ^ 0x9e3779b97f4a7c15ull;
     AnalysisReport clean =
-        AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/false);
+        AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/false,
+                           options_.checkers);
     if (clean.degraded || !clean.quarantined.empty()) {
       verdict.failures.push_back(
           {OracleKind::kDegradedRun, "", "clean run (no injection) reports degraded"});
@@ -324,7 +333,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
       AnalysisReport faulted;
       try {
         faulted =
-            AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/true);
+            AnalyzeForDegraded(program, jobs.front(), seed, options_.fault_rate, /*inject=*/true,
+                               options_.checkers);
       } catch (const std::exception& e) {
         aborted = true;
         verdict.failures.push_back(
@@ -355,7 +365,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           AnalysisReport report;
           try {
             report =
-                AnalyzeForDegraded(program, jobs[i], seed, options_.fault_rate, /*inject=*/true);
+                AnalyzeForDegraded(program, jobs[i], seed, options_.fault_rate, /*inject=*/true,
+                                   options_.checkers);
           } catch (const std::exception& e) {
             verdict.failures.push_back(
                 {OracleKind::kDegradedRun, "",

@@ -10,7 +10,7 @@
 //   metrics_parity    — collect_metrics on vs. off does not change findings
 //   json_round_trip   — ReportToJson output parses back through json_reader
 //                       with every finding field intact
-//   metamorphic       — the finding fingerprint set is stable under every
+//   metamorphic       — the (checker, fingerprint) set is stable under every
 //                       semantics-preserving transform in mutator.h
 //   degraded_run      — under deterministic fault injection the pipeline
 //                       still completes, reports degraded, and the surviving
@@ -67,6 +67,10 @@ struct OracleVerdict {
 };
 
 struct OracleOptions {
+  // Checkers the analyzed runs enable (AnalysisOptions::checkers); empty
+  // means the registry's default set. Every oracle then covers the whole
+  // multi-checker surface: fingerprints are compared checker-qualified.
+  std::vector<std::string> checkers;
   // Job counts the determinism oracle compares; the first entry is the
   // serial baseline the others must match byte for byte.
   std::vector<int> jobs = {1, 2, 8};
@@ -102,8 +106,9 @@ class OracleRunner {
   // diagnostics counts. Timings and pool stats are deliberately excluded.
   static std::string SerializeFindings(const AnalysisReport& report);
 
-  // The fingerprint set the metamorphic oracle compares (ordinal suffixes
-  // make duplicates distinct, so a set is lossless).
+  // The checker-qualified fingerprint set ("checker:fingerprint") the
+  // metamorphic oracle compares (ordinal suffixes make duplicates distinct,
+  // so a set is lossless).
   static std::set<std::string> FingerprintSet(const AnalysisReport& report);
 
  private:

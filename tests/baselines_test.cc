@@ -1,12 +1,12 @@
-// Baseline-tool envelope tests: what each comparison tool must and must not
-// detect, per the paper's §8.4 characterization.
+// Baseline-checker envelope tests: what each §8.4 comparison tool must and
+// must not detect, per the paper's characterization. The baselines run
+// through the same checker framework as everything else: one checker per run,
+// raw envelope (no cross-scope filter, no ranking), capability gaps surfacing
+// as checker-stage quarantine records.
 
 #include <gtest/gtest.h>
 
-#include "src/baselines/clang_unused.h"
-#include "src/baselines/coverity_unused.h"
-#include "src/baselines/infer_unused.h"
-#include "src/baselines/smatch_unused.h"
+#include "src/core/analysis.h"
 
 namespace vc {
 namespace {
@@ -17,9 +17,28 @@ Project Make(const std::string& code) {
   return project;
 }
 
-bool Reports(const BaselineResult& result, const std::string& slot, int line = -1) {
-  for (const BaselineFinding& finding : result.findings) {
-    if (finding.slot == slot && (line < 0 || finding.loc.line == line)) {
+AnalysisReport RunChecker(const Project& project, const std::string& checker,
+                          ProjectTraits traits = ProjectTraits()) {
+  AnalysisOptions options;
+  options.checkers = {checker};
+  options.traits = traits;
+  options.cross_scope_only = false;
+  options.ranking.enabled = false;
+  return Analysis(options).Run(project);
+}
+
+bool Unsupported(const AnalysisReport& report, const std::string& checker) {
+  for (const QuarantinedUnit& unit : report.quarantined) {
+    if (unit.stage == "checker" && unit.checker == checker) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Reports(const AnalysisReport& report, const std::string& slot, int line = -1) {
+  for (const UnusedDefCandidate& cand : report.findings) {
+    if (cand.slot_name == slot && (line < 0 || cand.def_loc.line == line)) {
       return true;
     }
   }
@@ -43,73 +62,72 @@ constexpr const char* kFig8 =
     "  return 1;\n"
     "}\n";
 
-// --- Clang -------------------------------------------------------------------
+// --- baseline-clang ----------------------------------------------------------
 
 TEST(ClangUnused, ReportsNeverReadVariable) {
   Project project = Make("int g(int);\nint f(int a) { int dead = g(a); return a; }");
-  BaselineResult result = ClangUnused().Find(project, {});
-  EXPECT_TRUE(Reports(result, "dead"));
-  EXPECT_EQ(result.findings[0].description, "variable set but never used");
+  AnalysisReport report = RunChecker(project, "baseline-clang");
+  EXPECT_TRUE(Reports(report, "dead"));
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].note, "variable set but never used");
+  EXPECT_EQ(report.findings[0].checker, "baseline-clang");
+  EXPECT_TRUE(report.findings[0].from_baseline);
 }
 
 TEST(ClangUnused, ReportsDeclaredNeverTouched) {
   Project project = Make("int f(int a) { int ghost; return a; }");
-  BaselineResult result = ClangUnused().Find(project, {});
-  EXPECT_TRUE(Reports(result, "ghost"));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-clang"), "ghost"));
 }
 
 TEST(ClangUnused, AnyReadHidesDeadStore) {
   // Flow-insensitive: the read after the overwrite makes the variable "used".
   Project project = Make(kFig8);
-  BaselineResult result = ClangUnused().Find(project, {});
-  EXPECT_TRUE(result.findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-clang").findings.empty());
 }
 
 TEST(ClangUnused, AddressTakenNotReported) {
   Project project = Make("void g(int *);\nvoid f(void) { int x = 1; g(&x); }");
-  BaselineResult result = ClangUnused().Find(project, {});
-  EXPECT_TRUE(result.findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-clang").findings.empty());
 }
 
 TEST(ClangUnused, AttributeSuppresses) {
   Project project = Make("int g(int);\nint f(int a) { int d [[maybe_unused]] = g(a); return a; }");
-  EXPECT_TRUE(ClangUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-clang").findings.empty());
 }
 
 TEST(ClangUnused, ParamsNotReported) {
   Project project = Make("int f(int a, int unused_p) { return a; }");
-  EXPECT_TRUE(ClangUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-clang").findings.empty());
 }
 
-// --- Infer -------------------------------------------------------------------
+// --- baseline-infer ----------------------------------------------------------
 
 TEST(InferUnused, DetectsDeadStoreAcrossBlocks) {
   Project project = Make(kFig8);
-  BaselineResult result = InferUnused().Find(project, {});
-  EXPECT_TRUE(Reports(result, "ret", 4));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-infer"), "ret", 4));
 }
 
 TEST(InferUnused, FailsOnKernelExtensions) {
   Project project = Make("int f(int a) { return a; }");
   ProjectTraits traits;
   traits.uses_kernel_extensions = true;
-  BaselineResult result = InferUnused().Find(project, traits);
-  EXPECT_FALSE(result.ok);
-  EXPECT_TRUE(result.findings.empty());
+  AnalysisReport report = RunChecker(project, "baseline-infer", traits);
+  EXPECT_TRUE(Unsupported(report, "baseline-infer"));
+  EXPECT_TRUE(report.findings.empty());
 }
 
 TEST(InferUnused, SkipsZeroInitializer) {
   Project project = Make(
       "int g(int);\n"
       "int f(int a) { int ret = 0; ret = g(a); return ret; }");
-  EXPECT_TRUE(InferUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-infer").findings.empty());
 }
 
 TEST(InferUnused, ReportsNonZeroInitializer) {
   Project project = Make(
       "int g(int);\n"
       "int f(int a) { int ret = a + 1; ret = g(a); return ret; }");
-  EXPECT_TRUE(Reports(InferUnused().Find(project, {}), "ret"));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-infer"), "ret"));
 }
 
 TEST(InferUnused, SkipsParamsFieldsAndIgnoredReturns) {
@@ -125,7 +143,7 @@ TEST(InferUnused, SkipsParamsFieldsAndIgnoredReturns) {
       "  g(v);\n"                 // ignored return
       "  return p + st.x + st.y;\n"
       "}");
-  EXPECT_TRUE(InferUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-infer").findings.empty());
 }
 
 TEST(InferUnused, ReportsCursors) {
@@ -139,49 +157,47 @@ TEST(InferUnused, ReportsCursors) {
       "  *o = 0;\n"
       "  o = o + 1;\n"
       "}");
-  EXPECT_TRUE(Reports(InferUnused().Find(project, {}), "o", 6));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-infer"), "o", 6));
 }
 
-// --- Smatch -------------------------------------------------------------------
+// --- baseline-smatch ---------------------------------------------------------
 
 TEST(SmatchUnused, FailsOnCpp) {
   Project project = Make("int f(int a) { return a; }");
   ProjectTraits traits;
   traits.is_pure_c = false;
-  BaselineResult result = SmatchUnused().Find(project, traits);
-  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(Unsupported(RunChecker(project, "baseline-smatch", traits), "baseline-smatch"));
 }
 
 TEST(SmatchUnused, ReportsAssignedNeverReferencedCallResult) {
   Project project = Make("int g(int);\nint f(int a) { int rc = g(a); return a; }");
-  EXPECT_TRUE(Reports(SmatchUnused().Find(project, {}), "rc"));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-smatch"), "rc"));
 }
 
 TEST(SmatchUnused, MissesFig8DueToFlowInsensitivity) {
   Project project = Make(kFig8);
-  BaselineResult result = SmatchUnused().Find(project, {});
-  EXPECT_FALSE(Reports(result, "ret"));
+  EXPECT_FALSE(Reports(RunChecker(project, "baseline-smatch"), "ret"));
 }
 
 TEST(SmatchUnused, ReportsBareCallToProjectFunction) {
   Project project = Make(
       "int status(int v) { return v; }\n"
       "void f(int v) { status(v); }");
-  EXPECT_TRUE(Reports(SmatchUnused().Find(project, {}), "status"));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-smatch"), "status"));
 }
 
 TEST(SmatchUnused, IgnoresBareCallToExtern) {
   // Library functions are whitelisted as ignorable.
   Project project = Make("void f(int v) { printf_like(v); }");
-  EXPECT_TRUE(SmatchUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-smatch").findings.empty());
 }
 
 TEST(SmatchUnused, IgnoresVoidCalls) {
   Project project = Make("void log_it(int v) { }\nvoid f(int v) { log_it(v); }");
-  EXPECT_TRUE(SmatchUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-smatch").findings.empty());
 }
 
-// --- Coverity -----------------------------------------------------------------
+// --- baseline-coverity -------------------------------------------------------
 
 TEST(CoverityUnused, DetectsSameBlockOverwrite) {
   Project project = Make(
@@ -194,13 +210,12 @@ TEST(CoverityUnused, DetectsSameBlockOverwrite) {
       "  }\n"
       "  return 0;\n"
       "}");
-  EXPECT_TRUE(Reports(CoverityUnused().Find(project, {}), "st", 4));
+  EXPECT_TRUE(Reports(RunChecker(project, "baseline-coverity"), "st", 4));
 }
 
 TEST(CoverityUnused, MissesCrossBlockOverwrite) {
   Project project = Make(kFig8);
-  BaselineResult result = CoverityUnused().Find(project, {});
-  EXPECT_FALSE(Reports(result, "ret"));
+  EXPECT_FALSE(Reports(RunChecker(project, "baseline-coverity"), "ret"));
 }
 
 TEST(CoverityUnused, CheckedReturnNeedsTwoCallSites) {
@@ -209,7 +224,7 @@ TEST(CoverityUnused, CheckedReturnNeedsTwoCallSites) {
   Project project = Make(
       "int once(int v) { return v; }\n"
       "void f(int v) { once(v); }");
-  EXPECT_TRUE(CoverityUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-coverity").findings.empty());
 }
 
 TEST(CoverityUnused, CheckedReturnFlagsMinorityIgnorer) {
@@ -220,10 +235,10 @@ TEST(CoverityUnused, CheckedReturnFlagsMinorityIgnorer) {
   }
   code += "void ig(int v) { chk(v); }\n";
   Project project = Make(code);
-  BaselineResult result = CoverityUnused().Find(project, {});
-  ASSERT_EQ(result.findings.size(), 1u);
-  EXPECT_EQ(result.findings[0].slot, "chk");
-  EXPECT_EQ(result.findings[0].function, "ig");
+  AnalysisReport report = RunChecker(project, "baseline-coverity");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].slot_name, "chk");
+  EXPECT_EQ(report.findings[0].function, "ig");
 }
 
 TEST(CoverityUnused, CheckedReturnRespectsRatio) {
@@ -235,7 +250,7 @@ TEST(CoverityUnused, CheckedReturnRespectsRatio) {
     code += "void ig" + t + "(int v) { chk(v + " + t + "); }\n";
   }
   Project project = Make(code);
-  EXPECT_TRUE(CoverityUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-coverity").findings.empty());
 }
 
 TEST(CoverityUnused, SkipsCursorsZeroInitsParamsFields) {
@@ -252,7 +267,24 @@ TEST(CoverityUnused, SkipsCursorsZeroInitsParamsFields) {
       "  st.y = v;\n"
       "  return z + p + st.x + st.y;\n"
       "}");
-  EXPECT_TRUE(CoverityUnused().Find(project, {}).findings.empty());
+  EXPECT_TRUE(RunChecker(project, "baseline-coverity").findings.empty());
+}
+
+// --- framework behavior shared by all baselines ------------------------------
+
+TEST(BaselineCheckers, ExcludedFromDefaultRuns) {
+  // A default (no --checkers) run never executes a baseline checker.
+  Project project = Make("int g(int);\nint f(int a) { int dead = g(a); return a; }");
+  AnalysisOptions options;
+  options.cross_scope_only = false;
+  options.ranking.enabled = false;
+  AnalysisReport report = Analysis(options).Run(project);
+  for (const std::string& name : report.checkers) {
+    EXPECT_EQ(name.rfind("baseline-", 0), std::string::npos) << name;
+  }
+  for (const UnusedDefCandidate& cand : report.findings) {
+    EXPECT_FALSE(cand.from_baseline) << cand.checker;
+  }
 }
 
 }  // namespace

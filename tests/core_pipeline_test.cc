@@ -3,7 +3,7 @@
 // Fig. 1a (overwritten definition), Fig. 1b (overwritten parameter),
 // Fig. 8 (overwritten return value missed by other tools).
 
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 
 #include <gtest/gtest.h>
 
@@ -72,7 +72,7 @@ TEST(CorePipeline, Fig8OverwrittenRetvalCrossScope) {
   two.Commit(two.alice_, "acl.c", v1, "add posix acl support");
   two.Commit(two.bob_, "acl.c", v2, "fix mask calculation");
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   ASSERT_EQ(report.findings.size(), 1u);
   const UnusedDefCandidate& cand = report.findings[0];
   EXPECT_EQ(cand.function, "fsal_acl_posix");
@@ -97,7 +97,7 @@ TEST(CorePipeline, SameAuthorOverwriteIsNotCrossScope) {
       "}\n";
   two.Commit(two.alice_, "work.c", v1);
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   EXPECT_TRUE(report.findings.empty());
   // The candidate exists but is same-author.
   ASSERT_EQ(report.non_cross_scope, 1);
@@ -130,7 +130,7 @@ TEST(CorePipeline, Fig1bOverwrittenParameterCrossScope) {
   two.Commit(two.bob_, "logfile.c", v1, "add logfile module");
   two.Commit(two.alice_, "logfile.c", v2, "open headers log");
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   ASSERT_EQ(report.findings.size(), 1u);
   const UnusedDefCandidate& cand = report.findings[0];
   EXPECT_EQ(cand.kind, CandidateKind::kOverwrittenParam);
@@ -151,7 +151,7 @@ TEST(CorePipeline, LibraryRetvalIgnoredIsCrossScope) {
       "}\n";
   two.Commit(two.alice_, "io.c", v1);
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   ASSERT_EQ(report.findings.size(), 1u);
   EXPECT_EQ(report.findings[0].kind, CandidateKind::kUnusedRetVal);
   EXPECT_TRUE(report.findings[0].is_synthetic);
@@ -175,9 +175,9 @@ TEST(CorePipeline, CursorPatternIsPruned) {
 
   // The trailing increment is not on an authorship boundary, so run without
   // the cross-scope filter to exercise the pruning stage on it.
-  ValueCheckOptions options;
+  AnalysisOptions options;
   options.cross_scope_only = false;
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_, options);
+  AnalysisReport report = Analysis(options).RunOnRepository(two.repo_);
   EXPECT_TRUE(report.findings.empty());
   EXPECT_GE(report.prune_stats.cursor, 1);
 }
@@ -195,7 +195,7 @@ TEST(CorePipeline, UnusedHintIsPruned) {
   two.Commit(two.alice_, "flush.c", v1);
   two.Commit(two.bob_, "flush.c", v2);
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   EXPECT_TRUE(report.findings.empty());
   EXPECT_EQ(report.prune_stats.unused_hints, 1);
 }
@@ -220,7 +220,7 @@ TEST(CorePipeline, ConfigGuardedUseIsPruned) {
 
   // USE_ICMP is not defined: the use of `host` is not compiled, but the
   // configuration-dependency pruning must find it in the raw region text.
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   for (const UnusedDefCandidate& cand : report.findings) {
     EXPECT_NE(cand.slot_name, "host") << "config-guarded use must be pruned";
   }
@@ -240,7 +240,7 @@ TEST(CorePipeline, PeerDefinitionPruningSuppressesPrintfLikeCalls) {
   }
   two.Commit(two.alice_, "ops.c", code);
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   EXPECT_TRUE(report.findings.empty());
   EXPECT_EQ(report.prune_stats.peer_definition, 12);
 }
@@ -270,7 +270,7 @@ TEST(CorePipeline, FieldSensitiveDetection) {
       "}\n";
   two.Commit(two.bob_, "ctx.c", v2, "reset host");
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   ASSERT_EQ(report.findings.size(), 1u);
   EXPECT_TRUE(report.findings[0].is_field_slot);
   EXPECT_EQ(report.findings[0].slot_name, "sctx#0");
@@ -292,7 +292,7 @@ TEST(CorePipeline, AddressTakenSlotIsSuppressed) {
   std::string v2 = v1 + "int c2(int x) {\n  return getval(x);\n}\n";
   two.Commit(two.bob_, "a.c", v2);
 
-  ValueCheckReport report = RunValueCheckOnRepository(two.repo_);
+  AnalysisReport report = Analysis().RunOnRepository(two.repo_);
   for (const UnusedDefCandidate& cand : report.findings) {
     EXPECT_NE(cand.slot_name, "pset");
   }
@@ -346,7 +346,7 @@ TEST(CorePipeline, RankingOrdersByFamiliarity) {
     f2_buggy = updated;
   }
 
-  ValueCheckReport report = RunValueCheckOnRepository(repo);
+  AnalysisReport report = Analysis().RunOnRepository(repo);
   ASSERT_EQ(report.findings.size(), 2u);
   // The newcomer's finding (low familiarity) ranks first.
   EXPECT_EQ(report.findings[0].responsible_author, newcomer);

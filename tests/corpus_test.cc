@@ -6,14 +6,10 @@
 
 #include <set>
 
-#include "src/baselines/clang_unused.h"
-#include "src/baselines/coverity_unused.h"
-#include "src/baselines/infer_unused.h"
-#include "src/baselines/smatch_unused.h"
+#include "src/core/analysis.h"
 #include "src/corpus/eval.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
-#include "src/core/valuecheck.h"
 
 namespace vc {
 namespace {
@@ -21,18 +17,33 @@ namespace {
 struct AppRun {
   GeneratedApp app;
   Project project;
-  ValueCheckReport report;
+  AnalysisReport report;
 };
 
-AppRun RunApp(const ProjectProfile& profile,
-              ValueCheckOptions options = ValueCheckOptions()) {
+// The paper-number tests lock in the unused-definition detector alone; the
+// checker framework's other bug classes have their own populations (see
+// PerCheckerPrecisionRecall) and must not perturb these tables.
+AppRun RunApp(const ProjectProfile& profile, AnalysisOptions options = AnalysisOptions()) {
+  options.checkers = {"unused-def"};
   AppRun run;
   run.app = GenerateApp(profile);
   run.project = Project::FromRepository(run.app.repo);
   EXPECT_FALSE(run.project.diags().HasErrors())
       << run.project.diags().Render(run.project.sources()).substr(0, 2000);
-  run.report = RunValueCheck(run.project, &run.app.repo, options);
+  run.report = Analysis(options).Run(run.project, &run.app.repo);
   return run;
+}
+
+// Runs the §8.4 baseline checkers the way the paper ran the tools: raw
+// detection envelopes, no cross-scope filter, no ranking.
+AnalysisReport RunBaselines(const Project& project, const ProjectTraits& traits) {
+  AnalysisOptions options;
+  options.checkers = {"baseline-clang", "baseline-infer", "baseline-smatch",
+                      "baseline-coverity"};
+  options.traits = traits;
+  options.cross_scope_only = false;
+  options.ranking.enabled = false;
+  return Analysis(options).Run(project);
 }
 
 // --- Generator invariants (scaled profiles keep tests fast) --------------------
@@ -71,7 +82,7 @@ TEST(CorpusGenerator, EverySiteLineMatchesLedger) {
 TEST(CorpusGenerator, BlameGivesCrossAuthorsForCrossSites) {
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.15));
   Project project = Project::FromRepository(app.repo);
-  ValueCheckReport report = RunValueCheck(project, &app.repo);
+  AnalysisReport report = Analysis().Run(project, &app.repo);
   // Every reported finding must be cross-scope by construction.
   for (const UnusedDefCandidate& cand : report.findings) {
     EXPECT_TRUE(cand.cross_scope);
@@ -150,11 +161,6 @@ TEST(Reproduction, Table2AndTable4PerApplication) {
 }
 
 TEST(Reproduction, Table5ToolComparison) {
-  ClangUnused clang;
-  InferUnused infer;
-  SmatchUnused smatch;
-  CoverityUnused coverity;
-
   struct Expected {
     const char* app;
     bool infer_ok;
@@ -175,30 +181,28 @@ TEST(Reproduction, Table5ToolComparison) {
     GeneratedApp app = GenerateApp(profiles[i]);
     Project project = Project::FromRepository(app.repo);
     const Expected& e = expected[i];
+    AnalysisReport report = RunBaselines(project, app.traits);
 
     // Clang finds nothing anywhere (§8.4.1: maintainers already clean its
     // warnings).
-    ToolEval clang_eval = EvaluateBaseline(app.truth, "Clang", clang.Find(project, app.traits));
+    ToolEval clang_eval = EvaluateChecker(app.truth, "Clang", report, "baseline-clang");
     EXPECT_EQ(clang_eval.found, 0) << e.app;
 
-    ToolEval infer_eval =
-        EvaluateBaseline(app.truth, "Infer", infer.Find(project, app.traits));
-    EXPECT_EQ(infer_eval.ok, e.infer_ok) << e.app;
+    ToolEval infer_eval = EvaluateChecker(app.truth, "Infer", report, "baseline-infer");
+    EXPECT_EQ(infer_eval.ok, e.infer_ok) << e.app << ": " << infer_eval.error;
     if (e.infer_ok) {
       EXPECT_EQ(infer_eval.found, e.infer_found) << e.app;
       EXPECT_EQ(infer_eval.real, e.infer_real) << e.app;
     }
 
-    ToolEval smatch_eval =
-        EvaluateBaseline(app.truth, "Smatch", smatch.Find(project, app.traits));
-    EXPECT_EQ(smatch_eval.ok, e.smatch_ok) << e.app;
+    ToolEval smatch_eval = EvaluateChecker(app.truth, "Smatch", report, "baseline-smatch");
+    EXPECT_EQ(smatch_eval.ok, e.smatch_ok) << e.app << ": " << smatch_eval.error;
     if (e.smatch_ok) {
       EXPECT_EQ(smatch_eval.found, e.smatch_found) << e.app;
       EXPECT_EQ(smatch_eval.real, e.smatch_real) << e.app;
     }
 
-    ToolEval cov_eval =
-        EvaluateBaseline(app.truth, "Coverity", coverity.Find(project, app.traits));
+    ToolEval cov_eval = EvaluateChecker(app.truth, "Coverity", report, "baseline-coverity");
     EXPECT_EQ(cov_eval.found, e.cov_found) << e.app;
     EXPECT_EQ(cov_eval.real, e.cov_real) << e.app;
   }
@@ -223,7 +227,7 @@ TEST(Reproduction, TotalsMatchPaperHeadline) {
 TEST(Reproduction, WithoutAuthorshipPoolNear2259) {
   int pool = 0;
   for (const ProjectProfile& profile : AllProfiles()) {
-    ValueCheckOptions options;
+    AnalysisOptions options;
     options.cross_scope_only = false;
     AppRun run = RunApp(profile, options);
     pool += static_cast<int>(run.report.findings.size());
@@ -291,10 +295,10 @@ TEST(Reproduction, RankingAblationsDropBugYield) {
       return real;
     };
     full += count_top20(RunApp(profile));
-    ValueCheckOptions na;
+    AnalysisOptions na;
     na.cross_scope_only = false;
     no_auth += count_top20(RunApp(profile, na));
-    ValueCheckOptions nf;
+    AnalysisOptions nf;
     nf.ranking.enabled = false;
     no_fam += count_top20(RunApp(profile, nf));
   }
@@ -308,12 +312,77 @@ TEST(Reproduction, ScaledProfilesPreserveOrdering) {
   // more real bugs than every baseline with a lower FP rate.
   GeneratedApp app = GenerateApp(MysqlProfile().Scaled(0.2));
   Project project = Project::FromRepository(app.repo);
-  ValueCheckReport report = RunValueCheck(project, &app.repo);
+  AnalysisOptions vc_options;
+  vc_options.checkers = {"unused-def"};
+  AnalysisReport report = Analysis(vc_options).Run(project, &app.repo);
   ToolEval vc_eval = EvaluateLocations(app.truth, "VC", LocationsOf(report));
-  ToolEval infer_eval =
-      EvaluateBaseline(app.truth, "Infer", InferUnused().Find(project, app.traits));
+  ToolEval infer_eval = EvaluateChecker(app.truth, "Infer",
+                                        RunBaselines(project, app.traits), "baseline-infer");
   EXPECT_GT(vc_eval.real, infer_eval.real);
   EXPECT_LT(vc_eval.FpRate(), infer_eval.FpRate());
+}
+
+// --- Checker-framework bug classes: exact per-checker precision/recall ----------
+
+// A dedicated profile (not one of the paper's four) whose populations target
+// the non-unused-def checkers. Because every site is labeled at injection,
+// precision and recall per checker are exact, like the paper tables above.
+ProjectProfile CheckerEvalProfile() {
+  ProjectProfile p;
+  p.name = "CheckerEval";
+  p.seed = 0xc4ec;
+  ProfileCounts& c = p.counts;
+  c.double_overwrite = 6;
+  c.dead_global_store = 5;
+  c.out_param_unused = 4;
+  c.stale_copy = 5;
+  c.filler_functions = 25;
+  c.maintainers = 4;
+  c.drive_by = 12;
+  return p;
+}
+
+TEST(CheckerFramework, PerCheckerPrecisionRecall) {
+  GeneratedApp app = GenerateApp(CheckerEvalProfile());
+  Project project = Project::FromRepository(app.repo);
+  ASSERT_FALSE(project.diags().HasErrors())
+      << project.diags().Render(project.sources()).substr(0, 2000);
+  // Default checker set (every non-baseline checker), full pipeline.
+  AnalysisReport report = Analysis().Run(project, &app.repo);
+
+  struct Expected {
+    const char* checker;
+    SiteCategory category;
+    int count;
+  };
+  const Expected expected[] = {
+      {"double-overwrite", SiteCategory::kRealDoubleOverwrite, 6},
+      {"dead-global-store", SiteCategory::kRealDeadGlobalStore, 5},
+      {"out-param-unused", SiteCategory::kRealOutParamUnused, 4},
+      {"stale-copy", SiteCategory::kRealStaleCopy, 5},
+  };
+  for (const Expected& e : expected) {
+    ASSERT_EQ(app.truth.CountCategory(e.category), e.count) << e.checker;
+    ToolEval eval = EvaluateChecker(app.truth, e.checker, report, e.checker);
+    EXPECT_TRUE(eval.ok) << e.checker << ": " << eval.error;
+    EXPECT_EQ(eval.found, e.count) << e.checker;     // recall: every site reported
+    EXPECT_EQ(eval.real, e.count) << e.checker;      // precision: every report real
+    EXPECT_EQ(eval.unmatched, 0) << e.checker;       // nothing outside the ledger
+  }
+
+  // The populations are invisible to the unused-definition detector: each
+  // checker's findings are its own class, not another detector's echo.
+  ToolEval unused = EvaluateChecker(app.truth, "unused-def", report, "unused-def");
+  EXPECT_EQ(unused.found, 0);
+
+  // Checker attribution on every finding, with disjoint fingerprint spaces.
+  std::set<std::string> keys;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    EXPECT_FALSE(cand.checker.empty());
+    EXPECT_TRUE(keys.insert(cand.checker + "\x1f" + cand.fingerprint).second)
+        << cand.checker << " " << cand.fingerprint;
+  }
+  EXPECT_EQ(static_cast<int>(report.findings.size()), 6 + 5 + 4 + 5);
 }
 
 }  // namespace

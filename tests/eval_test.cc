@@ -49,11 +49,10 @@ TEST(GroundTruth, IdsAreStableAndCountsWork) {
 
 TEST(GroundTruth, CategoryNamesAreUnique) {
   std::set<std::string> names;
-  for (int i = 0; i <= static_cast<int>(SiteCategory::kCoverityBaitChecked); ++i) {
+  for (int i = 0; i <= static_cast<int>(SiteCategory::kRealStaleCopy); ++i) {
     names.insert(SiteCategoryName(static_cast<SiteCategory>(i)));
   }
-  EXPECT_EQ(names.size(),
-            static_cast<size_t>(SiteCategory::kCoverityBaitChecked) + 1);
+  EXPECT_EQ(names.size(), static_cast<size_t>(SiteCategory::kRealStaleCopy) + 1);
 }
 
 // --- EvaluateLocations -----------------------------------------------------------
@@ -97,15 +96,41 @@ TEST(Eval, EmptyReportHasZeroFpRate) {
   EXPECT_DOUBLE_EQ(eval.FpRate(), 0.0);
 }
 
-TEST(Eval, BaselineErrorPropagates) {
+TEST(Eval, CheckerQuarantinePropagatesAsError) {
   GroundTruth truth;
-  BaselineResult result;
-  result.ok = false;
-  result.error = "boom";
-  ToolEval eval = EvaluateBaseline(truth, "t", result);
+  truth.Add(MakeSite("a.c", 10, true));
+  AnalysisReport report;
+  UnusedDefCandidate cand;
+  cand.file = "a.c";
+  cand.def_loc.line = 10;
+  cand.checker = "baseline-smatch";
+  report.findings.push_back(cand);
+  report.quarantined.push_back({"", "", "checker", "boom", "baseline-smatch"});
+  ToolEval eval = EvaluateChecker(truth, "t", report, "baseline-smatch");
   EXPECT_FALSE(eval.ok);
   EXPECT_EQ(eval.error, "boom");
   EXPECT_EQ(eval.found, 0);
+}
+
+TEST(Eval, CheckerSliceScoresOnlyItsOwnFindings) {
+  GroundTruth truth;
+  truth.Add(MakeSite("a.c", 10, true));
+  truth.Add(MakeSite("a.c", 20, false));
+  AnalysisReport report;
+  UnusedDefCandidate mine;
+  mine.file = "a.c";
+  mine.def_loc.line = 10;
+  mine.checker = "double-overwrite";
+  report.findings.push_back(mine);
+  UnusedDefCandidate other;
+  other.file = "a.c";
+  other.def_loc.line = 20;
+  other.checker = "unused-def";
+  report.findings.push_back(other);
+  ToolEval eval = EvaluateChecker(truth, "t", report, "double-overwrite");
+  EXPECT_TRUE(eval.ok);
+  EXPECT_EQ(eval.found, 1);
+  EXPECT_EQ(eval.real, 1);
 }
 
 // --- SyntheticFile -----------------------------------------------------------------

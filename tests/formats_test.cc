@@ -57,7 +57,7 @@ TEST(JsonWriter, StringValuesInArray) {
 
 struct Exported {
   Repository repo;
-  ValueCheckReport report;
+  AnalysisReport report;
 };
 
 Exported MakeReport() {
@@ -76,7 +76,7 @@ Exported MakeReport() {
   std::string v2 = v1;
   v2.replace(v2.find("  return ret;"), 13, "  ret = helper(x + 2);\n  return ret;");
   e.repo.AddCommit(bob, 2, "tweak", {{"w.c", v2}});
-  e.report = RunValueCheckOnRepository(e.repo);
+  e.report = Analysis().RunOnRepository(e.repo);
   return e;
 }
 
@@ -127,7 +127,7 @@ TEST(ReportFormats, SarifStructure) {
 }
 
 TEST(ReportFormats, EmptyReport) {
-  ValueCheckReport report;
+  AnalysisReport report;
   std::string json = ReportToJson(report);
   EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
   std::string sarif = ReportToSarif(report);

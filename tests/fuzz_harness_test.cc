@@ -166,6 +166,30 @@ TEST(Oracle, FingerprintSetNonEmptyForFindings) {
   EXPECT_FALSE(OracleRunner::FingerprintSet(report).empty());
 }
 
+TEST(Oracle, FingerprintSetIsCheckerQualified) {
+  // The metamorphic oracle compares checker-qualified fingerprints, so a
+  // finding migrating between checkers is a divergence even when the raw
+  // fingerprint happens to collide.
+  OracleRunner runner;
+  AnalysisReport report = runner.Analyze(OverwriteProgram(), 1, false);
+  ASSERT_FALSE(report.findings.empty());
+  std::set<std::string> expected;
+  for (const auto& cand : report.findings) {
+    EXPECT_FALSE(cand.checker.empty());
+    expected.insert(cand.checker + ":" + cand.fingerprint);
+  }
+  EXPECT_EQ(OracleRunner::FingerprintSet(report), expected);
+}
+
+TEST(Oracle, CheckersOptionNarrowsTheAnalyzedRun) {
+  OracleOptions options;
+  options.checkers = {"unused-def"};
+  OracleRunner runner(options);
+  AnalysisReport report = runner.Analyze(OverwriteProgram(), 1, false);
+  ASSERT_EQ(report.checkers, std::vector<std::string>{"unused-def"});
+  EXPECT_TRUE(runner.Check(OverwriteProgram()).Passed());
+}
+
 TEST(Oracle, NamesRoundTrip) {
   for (OracleKind kind : AllOracles()) {
     auto parsed = OracleKindFromName(OracleKindName(kind));

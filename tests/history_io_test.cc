@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 #include "src/vcs/history_io.h"
 
 namespace vc {
@@ -130,7 +130,7 @@ TEST(HistoryIo, PipelineOverLoadedHistoryFindsCrossScopeBug) {
   std::string error;
   std::optional<Repository> repo = LoadHistory(text, &error);
   ASSERT_TRUE(repo.has_value()) << error;
-  ValueCheckReport report = RunValueCheckOnRepository(*repo);
+  AnalysisReport report = Analysis().RunOnRepository(*repo);
   ASSERT_EQ(report.findings.size(), 1u);
   EXPECT_EQ(report.findings[0].kind, CandidateKind::kOverwrittenDef);
   EXPECT_EQ(repo->GetAuthor(report.findings[0].responsible_author).name, "bob");

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/incremental.h"
+#include "src/core/analysis.h"
 
 namespace vc {
 namespace {
@@ -31,7 +31,7 @@ TEST(Incremental, AnalyzesOnlyTouchedFunctions) {
   v2.replace(v2.find("  return ret;"), 13, "  ret = helper(x + 2);\n  return ret;");
   CommitId c2 = repo.AddCommit(bob, 2, "tweak work", {{"a.c", v2}});
 
-  IncrementalResult result = AnalyzeCommit(repo, c2);
+  IncrementalResult result = Analysis().RunOnCommit(repo, c2);
   EXPECT_EQ(result.files_analyzed, 1);
   EXPECT_EQ(result.functions_analyzed, 1);  // only work()
   ASSERT_EQ(result.findings.size(), 1u);
@@ -48,7 +48,7 @@ TEST(Incremental, CleanCommitYieldsNoFindings) {
   std::string v2 = v1 + "int g(int y) {\n  return y * 2;\n}\n";
   CommitId c2 = repo.AddCommit(alice, 2, "add g", {{"a.c", v2}});
 
-  IncrementalResult result = AnalyzeCommit(repo, c2);
+  IncrementalResult result = Analysis().RunOnCommit(repo, c2);
   EXPECT_EQ(result.functions_analyzed, 1);
   EXPECT_TRUE(result.findings.empty());
 }
@@ -73,7 +73,7 @@ TEST(Incremental, UsesBlameAtTheCommitNotHead) {
   // still see alice/bob authorship.
   repo.AddCommit(repo.AddAuthor("carol"), 3, "rewrite", {{"a.c", "int unrelated(int q) {\n  return q;\n}\n"}});
 
-  IncrementalResult result = AnalyzeCommit(repo, c2);
+  IncrementalResult result = Analysis().RunOnCommit(repo, c2);
   ASSERT_EQ(result.findings.size(), 1u);
   EXPECT_EQ(result.findings[0].def_author, repo.FindAuthor("alice"));
   EXPECT_EQ(result.findings[0].responsible_author, repo.FindAuthor("bob"));
@@ -90,7 +90,7 @@ TEST(Incremental, MultiFileCommit) {
   std::string b2 = b1 + "int gb(int y) {\n  int t = y;\n  return t;\n}\n";
   CommitId c2 = repo.AddCommit(bob, 2, "extend both", {{"a.c", a2}, {"b.c", b2}});
 
-  IncrementalResult result = AnalyzeCommit(repo, c2);
+  IncrementalResult result = Analysis().RunOnCommit(repo, c2);
   EXPECT_EQ(result.files_analyzed, 2);
   EXPECT_EQ(result.functions_analyzed, 2);
   // ga ignores a library return value: one cross-scope finding.
@@ -116,12 +116,12 @@ TEST(Incremental, FasterThanFullAnalysisOnLargeRepo) {
   std::string patched = files["f0.c"] + "int extra(int z) {\n  return z;\n}\n";
   CommitId c2 = repo.AddCommit(alice, 2, "small change", {{"f0.c", patched}});
 
-  IncrementalResult inc = AnalyzeCommit(repo, c2);
+  IncrementalResult inc = Analysis().RunOnCommit(repo, c2);
   EXPECT_EQ(inc.files_analyzed, 1);
   EXPECT_EQ(inc.functions_analyzed, 1);
 
   Project full = Project::FromRepository(repo);
-  ValueCheckReport report = RunValueCheck(full, &repo);
+  AnalysisReport report = Analysis().Run(full, &repo);
   // The incremental run parses ~1/40th of the code; it must be faster.
   EXPECT_LT(inc.seconds, report.analysis_seconds);
 }

@@ -1,0 +1,175 @@
+// The checker-framework migration gate. The unused-definition detector moved
+// from a hardwired pipeline stage onto the vc::Checker interface; these tests
+// pin that `--checkers unused-def` on the checked-in corpus still produces
+// the pre-refactor findings and fingerprints, byte for byte, at every job
+// count — and that each checker's output is deterministic and composable
+// (a solo run equals its slice of a combined run).
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/core/analysis.h"
+#include "src/corpus/generator.h"
+#include "src/corpus/profile.h"
+
+namespace vc {
+namespace {
+
+const char* kCorpusFiles[] = {
+    "netdev.c",
+    "ringbuf.c",
+    "sched.c",
+    "fuzz/fuzz_param_overwrite.c",
+    "fuzz/fuzz_global_loop.c",
+};
+
+// The findings the pre-refactor pipeline (no checker framework) reported on
+// examples/corpus, serialized "fingerprint file line function variable kind"
+// and sorted. Captured from the last commit before the vc::Checker migration.
+const char* kPreRefactorGolden[] = {
+    "10ec8d33bb657678 examples/corpus/netdev.c 12 bring_up status plain-unused",
+    "387b845b9f2431ae examples/corpus/fuzz/fuzz_param_overwrite.c 7 fn1 v4 plain-unused",
+    "970f8d8463fc9318 examples/corpus/fuzz/fuzz_param_overwrite.c 6 fn1 v4 overwritten-param",
+    "cca4591951de5324 examples/corpus/fuzz/fuzz_global_loop.c 15 fn7 v15 plain-unused",
+    "f08cf68f27a6a8ed examples/corpus/fuzz/fuzz_param_overwrite.c 6 fn1 v5 unused-param",
+    "f6375c18a6431613 examples/corpus/fuzz/fuzz_global_loop.c 13 fn7 v13 unused-param",
+};
+
+std::vector<std::pair<std::string, std::string>> CorpusSources() {
+  std::vector<std::pair<std::string, std::string>> sources;
+  for (const char* relative : kCorpusFiles) {
+    std::ifstream in(std::string(VALUECHECK_CORPUS_DIR) + "/" + relative);
+    EXPECT_TRUE(in.good()) << relative;
+    std::stringstream contents;
+    contents << in.rdbuf();
+    sources.push_back({std::string("examples/corpus/") + relative, contents.str()});
+  }
+  return sources;
+}
+
+// Source-mode analysis, exactly as the CLI configures it for a directory of
+// sources: no history, so the cross-scope filter and ranking are off.
+AnalysisOptions SourceMode(std::vector<std::string> checkers, int jobs) {
+  AnalysisOptions options;
+  options.checkers = std::move(checkers);
+  options.cross_scope_only = false;
+  options.ranking.enabled = false;
+  options.jobs = jobs;
+  return options;
+}
+
+std::vector<std::string> Serialize(const AnalysisReport& report) {
+  std::vector<std::string> lines;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    lines.push_back(cand.fingerprint + " " + cand.file + " " +
+                    std::to_string(cand.def_loc.line) + " " + cand.function + " " +
+                    cand.slot_name + " " + CandidateKindName(cand.kind));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(MigrationEquivalence, UnusedDefAloneMatchesPreRefactorGolden) {
+  std::vector<std::pair<std::string, std::string>> sources = CorpusSources();
+  for (int jobs : {1, 2, 8}) {
+    AnalysisReport report =
+        Analysis(SourceMode({"unused-def"}, jobs)).RunOnSources(sources);
+    std::vector<std::string> expected(std::begin(kPreRefactorGolden),
+                                      std::end(kPreRefactorGolden));
+    EXPECT_EQ(Serialize(report), expected) << "jobs=" << jobs;
+    // The prune accounting the old pipeline reported on this corpus.
+    EXPECT_EQ(report.prune_stats.original, 7) << "jobs=" << jobs;
+    EXPECT_EQ(report.prune_stats.config_dependency, 1) << "jobs=" << jobs;
+    EXPECT_EQ(report.prune_stats.remaining, 6) << "jobs=" << jobs;
+    ASSERT_EQ(report.checkers, std::vector<std::string>{"unused-def"});
+    for (const UnusedDefCandidate& cand : report.findings) {
+      EXPECT_EQ(cand.checker, "unused-def");
+    }
+  }
+}
+
+TEST(MigrationEquivalence, DefaultCheckerSetAddsNothingOnThisCorpus) {
+  // examples/corpus contains no double-overwrite / dead-global-store /
+  // out-param-unused / stale-copy patterns, so the default multi-checker run
+  // reports exactly the unused-def findings. The CLI golden locks and the
+  // self-diff smoke rely on this.
+  std::vector<std::pair<std::string, std::string>> sources = CorpusSources();
+  AnalysisReport all = Analysis(SourceMode({}, 1)).RunOnSources(sources);
+  EXPECT_EQ(all.checkers.size(), 5u);
+  std::vector<std::string> expected(std::begin(kPreRefactorGolden),
+                                    std::end(kPreRefactorGolden));
+  EXPECT_EQ(Serialize(all), expected);
+}
+
+// A generated repository where every checker has something to find.
+ProjectProfile CheckerMixProfile() {
+  ProjectProfile profile;
+  profile.name = "CheckerMix";
+  profile.seed = 0x5eedu;
+  profile.counts.retval_ignored = 6;
+  profile.counts.param_unused = 4;
+  profile.counts.double_overwrite = 5;
+  profile.counts.dead_global_store = 4;
+  profile.counts.out_param_unused = 3;
+  profile.counts.stale_copy = 4;
+  profile.counts.filler_functions = 20;
+  return profile;
+}
+
+std::set<std::string> CheckerQualifiedFingerprints(const AnalysisReport& report) {
+  std::set<std::string> set;
+  for (const UnusedDefCandidate& cand : report.findings) {
+    set.insert(cand.checker + ":" + cand.fingerprint);
+  }
+  return set;
+}
+
+TEST(PerCheckerDeterminism, EachCheckerAloneIsByteIdenticalAcrossJobs) {
+  GeneratedApp app = GenerateApp(CheckerMixProfile());
+  for (const std::string& checker :
+       {std::string("unused-def"), std::string("double-overwrite"),
+        std::string("dead-global-store"), std::string("out-param-unused"),
+        std::string("stale-copy")}) {
+    AnalysisOptions serial;
+    serial.checkers = {checker};
+    serial.jobs = 1;
+    AnalysisReport baseline = Analysis(serial).RunOnRepository(app.repo);
+    std::string expected = baseline.ToCsv();
+    for (int jobs : {2, 8}) {
+      AnalysisOptions options;
+      options.checkers = {checker};
+      options.jobs = jobs;
+      AnalysisReport report = Analysis(options).RunOnRepository(app.repo);
+      EXPECT_EQ(report.ToCsv(), expected) << checker << " jobs=" << jobs;
+      EXPECT_EQ(Serialize(report), Serialize(baseline)) << checker << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(PerCheckerDeterminism, SoloRunsEqualSlicesOfCombinedRun) {
+  GeneratedApp app = GenerateApp(CheckerMixProfile());
+  AnalysisReport combined = Analysis().RunOnRepository(app.repo);
+  ASSERT_EQ(combined.checkers.size(), 5u);
+
+  std::set<std::string> combined_fps = CheckerQualifiedFingerprints(combined);
+  ASSERT_FALSE(combined_fps.empty());
+  std::set<std::string> union_of_solos;
+  for (const std::string& checker : combined.checkers) {
+    AnalysisOptions options;
+    options.checkers = {checker};
+    AnalysisReport solo = Analysis(options).RunOnRepository(app.repo);
+    for (const UnusedDefCandidate& cand : solo.findings) {
+      EXPECT_EQ(cand.checker, checker);
+      union_of_solos.insert(cand.checker + ":" + cand.fingerprint);
+    }
+  }
+  EXPECT_EQ(union_of_solos, combined_fps);
+}
+
+}  // namespace
+}  // namespace vc

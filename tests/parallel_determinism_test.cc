@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "src/core/analysis.h"
-#include "src/core/incremental.h"
 #include "src/core/report_formats.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
@@ -107,20 +106,24 @@ TEST(ParallelDeterminism, IncrementalFindingsIdenticalAcrossJobs) {
   }
 }
 
-TEST(ParallelDeterminism, LegacyShimsMatchFacade) {
+TEST(ParallelDeterminism, ExplicitCheckerListMatchesDefaultRun) {
+  // The default checker set and the same set spelled out via options.checkers
+  // are the same run: resolution is by registry order, not request spelling.
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.1));
-  AnalysisReport via_facade = Analysis(WithJobs(4)).RunOnRepository(app.repo);
-  ValueCheckOptions legacy;
-  legacy.jobs = 4;
-  ValueCheckReport via_shim = RunValueCheckOnRepository(app.repo, legacy);
-  EXPECT_EQ(via_shim.ToCsv(), via_facade.ToCsv());
+  AnalysisReport via_default = Analysis(WithJobs(4)).RunOnRepository(app.repo);
+  AnalysisOptions spelled = WithJobs(4);
+  spelled.checkers = {"stale-copy", "unused-def", "out-param-unused", "dead-global-store",
+                      "double-overwrite"};
+  AnalysisReport via_spelled = Analysis(spelled).RunOnRepository(app.repo);
+  EXPECT_EQ(via_spelled.ToCsv(), via_default.ToCsv());
+  EXPECT_EQ(via_spelled.checkers, via_default.checkers);
 }
 
 TEST(ParallelDeterminism, JsonReportCarriesSchemaV4Metadata) {
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.1));
   AnalysisReport report = Analysis(WithJobs(2)).RunOnRepository(app.repo);
   std::string json = ReportToJson(report, &app.repo);
-  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
   EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(json.find("\"parse_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"detect_seconds\":"), std::string::npos);

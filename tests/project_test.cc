@@ -6,7 +6,7 @@
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
 #include "src/core/project.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 
 namespace vc {
 namespace {
@@ -148,7 +148,7 @@ TEST(Authorship, MixedOverwritersNotCrossScope) {
   v2.replace(v2.find("    r = 2;"), 10, "    r = 2 + c;");
   repo.AddCommit(alice, 1, "v1", {{"f.c", v1}});
   repo.AddCommit(bob, 2, "v2", {{"f.c", v2}});
-  ValueCheckReport report = RunValueCheckOnRepository(repo);
+  AnalysisReport report = Analysis().RunOnRepository(repo);
   EXPECT_TRUE(report.findings.empty());
   EXPECT_EQ(report.non_cross_scope, 1);
 }

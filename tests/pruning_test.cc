@@ -6,7 +6,7 @@
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
 #include "src/core/pruning.h"
-#include "src/core/valuecheck.h"
+#include "src/core/analysis.h"
 
 namespace vc {
 namespace {
@@ -324,7 +324,7 @@ TEST(Pruning, StaleCodeDisabledByDefault) {
       "}\n";
   repo.AddCommit(a, 1000, "add debug probe counters", {{"x.c", v1}});
   repo.AddCommit(b, 2000, "extend", {{"x.c", v1 + "int h(int q) {\n  return q;\n}\n"}});
-  ValueCheckReport report = RunValueCheckOnRepository(repo);
+  AnalysisReport report = Analysis().RunOnRepository(repo);
   ASSERT_EQ(report.findings.size(), 1u);
   EXPECT_EQ(report.prune_stats.stale_code, 0);
 }
@@ -341,9 +341,9 @@ TEST(Pruning, StaleCodePrunesDebugCommit) {
       "}\n";
   repo.AddCommit(a, 1000, "add debug probe counters", {{"x.c", v1}});
   repo.AddCommit(b, 2000, "extend", {{"x.c", v1 + "int h(int q) {\n  return q;\n}\n"}});
-  ValueCheckOptions options;
+  AnalysisOptions options;
   options.prune.stale_code = true;
-  ValueCheckReport report = RunValueCheckOnRepository(repo, options);
+  AnalysisReport report = Analysis(options).RunOnRepository(repo);
   EXPECT_TRUE(report.findings.empty());
   EXPECT_EQ(report.prune_stats.stale_code, 1);
 }
@@ -360,9 +360,9 @@ TEST(Pruning, StaleCodeSparesOrdinaryCommits) {
       "}\n";
   repo.AddCommit(a, 1000, "add status probe", {{"x.c", v1}});
   repo.AddCommit(b, 2000, "extend", {{"x.c", v1 + "int h(int q) {\n  return q;\n}\n"}});
-  ValueCheckOptions options;
+  AnalysisOptions options;
   options.prune.stale_code = true;
-  ValueCheckReport report = RunValueCheckOnRepository(repo, options);
+  AnalysisReport report = Analysis(options).RunOnRepository(repo);
   EXPECT_EQ(report.findings.size(), 1u);
 }
 
@@ -382,10 +382,10 @@ TEST(Pruning, StaleCodeUntouchedFunctionWithDebugLine) {
   repo.AddCommit(a, 1000, "add tracing path", {{"x.c", v1}});
   repo.AddCommit(b, 1000 + 900 * kDay, "unrelated",
                  {{"x.c", v1 + "int h(int q) {\n  return q;\n}\n"}});
-  ValueCheckOptions options;
+  AnalysisOptions options;
   options.prune.stale_code = true;
   options.prune.stale_days = 730;
-  ValueCheckReport report = RunValueCheckOnRepository(repo, options);
+  AnalysisReport report = Analysis(options).RunOnRepository(repo);
   // The hint pattern would also match the "debug" comment? No: hints match
   // the literal keyword "unused" only. Stale-code takes it.
   EXPECT_TRUE(report.findings.empty());

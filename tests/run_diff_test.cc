@@ -136,7 +136,7 @@ TEST(RunDiff, DefaultTextRenderingHoldsNoTimings) {
   std::string text = RenderDiffText(diff);
   EXPECT_NE(text.find("diff r0001 -> r0002: 1 new, 0 fixed, 1 persistent"),
             std::string::npos);
-  EXPECT_NE(text.find("[ffff]"), std::string::npos);
+  EXPECT_NE(text.find("[unused-def:ffff]"), std::string::npos);
   EXPECT_EQ(text.find("detect_seconds"), std::string::npos)
       << "timing leaked into the deterministic rendering";
 

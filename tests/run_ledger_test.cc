@@ -35,10 +35,10 @@ RunRecord SampleRecord(const std::string& label) {
   record.label = label;
   record.options_summary = "all-scopes no-prune-cursor";
   record.jobs = 4;
-  record.findings.push_back(
-      {"0123456789abcdef", "src/a.c", 42, "handle", "ret", "overwritten_def", 0.25});
-  record.findings.push_back(
-      {"fedcba9876543210", "src/b.c", 7, "drive", "got", "unused_retval", 0.0});
+  record.findings.push_back({"0123456789abcdef", "unused-def", "src/a.c", 42, "handle", "ret",
+                             "overwritten_def", 0.25});
+  record.findings.push_back({"fedcba9876543210", "double-overwrite", "src/b.c", 7, "drive", "got",
+                             "unused_retval", 0.0});
   LedgerMetrics& m = record.metrics;
   m.collected = true;
   m.analysis_seconds = 1.5;

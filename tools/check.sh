@@ -29,8 +29,51 @@ run_config() {
   echo "=== [${name}] ctest ==="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
   self_diff_smoke "${name}" "${build_dir}"
+  checker_smoke "${name}" "${build_dir}"
   fuzz_smoke "${name}" "${build_dir}"
   fault_smoke "${name}" "${build_dir}"
+}
+
+# Per-checker smoke: every registered checker (from --list-checkers, baselines
+# included) must run alone over the examples corpus without a usage or
+# internal error (exit 0 or 1), and an unknown checker name must be rejected
+# with exit 2 plus the usage text.
+checker_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  echo "=== [${name}] per-checker smoke ==="
+  local checkers
+  checkers="$("${vc}" --list-checkers | awk -F'|' 'NR > 2 && NF > 2 { gsub(/ /, "", $2); if ($2 != "") print $2 }')"
+  if [ "$(printf '%s\n' "${checkers}" | wc -l)" -lt 5 ]; then
+    echo "checker smoke: --list-checkers returned fewer than 5 checkers" >&2
+    return 1
+  fi
+  local checker rc
+  for checker in ${checkers}; do
+    rc=0
+    "${vc}" analyze --checkers "${checker}" --jobs 2 examples/corpus >/dev/null 2>&1 || rc=$?
+    if [ "${rc}" -ge 2 ]; then
+      echo "checker smoke: --checkers ${checker} failed (exit ${rc})" >&2
+      return 1
+    fi
+  done
+  rc=0
+  local usage
+  usage="$("${vc}" analyze --checkers bogus examples/corpus 2>&1 >/dev/null)" || rc=$?
+  if [ "${rc}" -ne 2 ]; then
+    echo "checker smoke: --checkers bogus exited ${rc}, want 2" >&2
+    return 1
+  fi
+  if ! printf '%s' "${usage}" | grep -q "unknown checker"; then
+    echo "checker smoke: --checkers bogus did not explain the rejection" >&2
+    return 1
+  fi
+  if ! printf '%s' "${usage}" | grep -q "usage"; then
+    echo "checker smoke: --checkers bogus did not print usage" >&2
+    return 1
+  fi
+  echo "checker smoke: ok"
 }
 
 # Differential fuzz smoke: a fixed-seed vc_fuzz campaign (~200 generated

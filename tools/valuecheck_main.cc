@@ -30,7 +30,7 @@
 //
 // analyze exit codes: 0 no findings, 1 findings, 2 usage/parse error,
 // 3 quarantined units under --strict (graceful mode reports the quarantine on
-// stderr and in the schema-v5 report but keeps the 0/1 contract).
+// stderr and in the schema-v6 report but keeps the 0/1 contract).
 
 #include <algorithm>
 #include <chrono>
@@ -45,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include "src/checkers/checker.h"
+#include "src/checkers/registry.h"
 #include "src/core/analysis.h"
 #include "src/core/html_dashboard.h"
 #include "src/core/report_formats.h"
@@ -300,7 +302,45 @@ const FlagSpec kFlags[] = {
        o.analysis.ranking.use_ea_model = true;
        return true;
      }},
+    {"--checkers", "LIST", "AnalysisOptions::checkers",
+     "comma-separated checker names to run (see --list-checkers;\n"
+     "default: every non-baseline checker)",
+     [](CliOptions& o, const std::string& v) {
+       std::vector<std::string> names;
+       for (std::string_view part : vc::Split(v, ',')) {
+         std::string name = std::string(vc::Trim(part));
+         if (name.empty()) {
+           continue;
+         }
+         if (vc::CheckerRegistry::Global().Find(name) == nullptr) {
+           std::fprintf(stderr,
+                        "valuecheck: --checkers: unknown checker '%s' (see --list-checkers)\n",
+                        name.c_str());
+           return false;
+         }
+         names.push_back(std::move(name));
+       }
+       if (names.empty()) {
+         std::fprintf(stderr, "valuecheck: --checkers expects at least one checker name\n");
+         return false;
+       }
+       o.analysis.checkers = std::move(names);
+       return true;
+     }},
 };
+
+void PrintCheckerList(FILE* out) {
+  vc::TableWriter table({"name", "kind", "description"});
+  for (const vc::Checker* checker : vc::CheckerRegistry::Global().All()) {
+    table.AddRow({checker->name(), checker->is_baseline() ? "baseline" : "default",
+                  checker->description()});
+  }
+  std::fputs(table.RenderText().c_str(), out);
+  std::fputs(
+      "\nBaseline checkers model the §8.4 comparison tools; they are excluded\n"
+      "from the default set and only run when named in --checkers.\n",
+      out);
+}
 
 void PrintUsage(FILE* out) {
   std::fputs(
@@ -338,6 +378,7 @@ void PrintUsage(FILE* out) {
     std::fprintf(out, "  %-21s[%s]\n", "", flag.maps_to);
   }
   std::fputs(
+      "  --list-checkers      print the registered checkers and exit\n"
       "  --help, -h           print this summary\n"
       "\ndiff options:\n"
       "  --check              exit 1 on new findings or metric regressions\n"
@@ -373,6 +414,10 @@ bool ParseAnalyzeArgs(const std::vector<std::string>& args, CliOptions& options)
     }
     if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
+      std::exit(0);
+    }
+    if (arg == "--list-checkers") {
+      PrintCheckerList(stdout);
       std::exit(0);
     }
     if (arg.rfind("--", 0) != 0) {
@@ -524,6 +569,9 @@ std::string SummarizeOptions(const CliOptions& options, bool has_history) {
   }
   if (options.analysis.ranking.use_ea_model) {
     parts.push_back("ea-model");
+  }
+  if (!options.analysis.checkers.empty()) {
+    parts.push_back("checkers=" + vc::Join(options.analysis.checkers, ","));
   }
   if (options.analysis.fault.enabled()) {
     char buf[64];

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/checkers/registry.h"
 #include "src/testing/fuzz.h"
 #include "src/testing/oracle.h"
 
@@ -38,6 +39,8 @@ void PrintUsage(std::FILE* out) {
                "                    clean_frontend jobs_determinism metrics_parity\n"
                "                    json_round_trip metamorphic degraded_run\n"
                "                    (default: all)\n"
+               "  --checkers LIST   comma-separated checker names the analyzed runs\n"
+               "                    enable (default: the registry's default set)\n"
                "  --corpus-dir DIR  write minimized reproducers here (default:\n"
                "                    fuzz-failures; pass '' to keep in memory)\n"
                "  --max-files N     files per generated program (default 3)\n"
@@ -120,6 +123,29 @@ int main(int argc, char** argv) {
       }
       if (options.oracle.enabled.empty()) {
         std::fprintf(stderr, "vc_fuzz: --oracles selected nothing\n");
+        return 2;
+      }
+    } else if (arg == "--checkers") {
+      std::string list = next("--checkers");
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) {
+          if (vc::CheckerRegistry::Global().Find(name) == nullptr) {
+            std::fprintf(stderr, "vc_fuzz: unknown checker '%s'\n", name.c_str());
+            return 2;
+          }
+          options.oracle.checkers.push_back(name);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+      if (options.oracle.checkers.empty()) {
+        std::fprintf(stderr, "vc_fuzz: --checkers selected nothing\n");
         return 2;
       }
     } else if (arg == "--corpus-dir") {
