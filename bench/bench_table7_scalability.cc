@@ -47,6 +47,12 @@ struct SweepPoint {
   double prune_seconds = 0.0;
   double rank_seconds = 0.0;
   vc::ThreadPoolStats pool;    // corpus total pool activity (flows summed)
+  // Memory accounting totals (schema v3): exact byte counts summed over the
+  // corpus — identical at every jobs value — plus the process peak RSS
+  // observed by the end of the sweep point (monotone, machine-dependent).
+  uint64_t mem_tracked_bytes = 0;
+  uint64_t mem_tracked_objects = 0;
+  uint64_t mem_peak_rss_bytes = 0;
 };
 
 SweepPoint FullCorpusPoint(const std::vector<vc::GeneratedApp>& apps, int jobs) {
@@ -73,6 +79,12 @@ SweepPoint FullCorpusPoint(const std::vector<vc::GeneratedApp>& apps, int jobs) 
         std::max(point.pool.queue_depth_hwm, report.stage.pool.queue_depth_hwm);
     point.pool.worker_idle_seconds += report.stage.pool.worker_idle_seconds;
     point.pool.workers = report.stage.pool.workers;
+    if (report.memory.collected) {
+      point.mem_tracked_bytes += report.memory.TrackedBytes();
+      point.mem_tracked_objects += report.memory.TrackedObjects();
+      point.mem_peak_rss_bytes =
+          std::max(point.mem_peak_rss_bytes, report.memory.peak_rss_bytes);
+    }
   }
   return point;
 }
@@ -138,13 +150,15 @@ int main() {
   // --- Parallel engine sweep -------------------------------------------------
   int hardware = ResolveJobs(0);
   TableWriter sweep_table(
-      {"jobs", "Full Time", "Speedup vs jobs=1", "parse", "detect", "steals", "idle"});
+      {"jobs", "Full Time", "Speedup vs jobs=1", "parse", "detect", "steals", "idle",
+       "tracked MB"});
   JsonWriter json;
   json.BeginObject();
   json.String("bench", "scalability");
-  // v1 carried only jobs/seconds/speedup per sweep point; v2 adds the
-  // pipeline's own per-stage seconds and thread-pool activity (StageMetrics).
-  json.Int("schema_version", 2);
+  // v1 carried only jobs/seconds/speedup per sweep point; v2 added the
+  // pipeline's own per-stage seconds and thread-pool activity (StageMetrics);
+  // v3 adds the memory block (exact tracked bytes/objects + sampled peak RSS).
+  json.Int("schema_version", 3);
   json.Int("hardware_threads", hardware);
   json.Int("total_loc", total_loc);
   json.Key("sweep").BeginArray();
@@ -175,6 +189,9 @@ int main() {
     record.metrics.pool_tasks = static_cast<int64_t>(point.pool.tasks_executed);
     record.metrics.pool_steals = static_cast<int64_t>(point.pool.steals);
     record.metrics.pool_idle_seconds = point.pool.worker_idle_seconds;
+    record.metrics.mem_collected = point.mem_tracked_bytes > 0;
+    record.metrics.mem_tracked_bytes = static_cast<int64_t>(point.mem_tracked_bytes);
+    record.metrics.mem_peak_rss_bytes = static_cast<int64_t>(point.mem_peak_rss_bytes);
     std::string ledger_error;
     if (ledger.Append(std::move(record), &ledger_error).empty()) {
       std::printf("(ledger append failed: %s)\n", ledger_error.c_str());
@@ -187,7 +204,8 @@ int main() {
                         FormatDouble(speedup, 2) + "x", FormatSeconds(point.parse_seconds),
                         FormatSeconds(point.detect_seconds),
                         std::to_string(point.pool.steals),
-                        FormatSeconds(point.pool.worker_idle_seconds)});
+                        FormatSeconds(point.pool.worker_idle_seconds),
+                        FormatDouble(static_cast<double>(point.mem_tracked_bytes) / 1e6, 1)});
     json.BeginObject();
     json.Int("jobs", jobs);
     json.Double("seconds", point.seconds);
@@ -206,6 +224,11 @@ int main() {
     json.Int("steals", static_cast<int64_t>(point.pool.steals));
     json.Int("queue_depth_hwm", static_cast<int64_t>(point.pool.queue_depth_hwm));
     json.Double("worker_idle_seconds", point.pool.worker_idle_seconds);
+    json.EndObject();
+    json.Key("memory").BeginObject();
+    json.Int("tracked_bytes", static_cast<int64_t>(point.mem_tracked_bytes));
+    json.Int("tracked_objects", static_cast<int64_t>(point.mem_tracked_objects));
+    json.Int("peak_rss_bytes", static_cast<int64_t>(point.mem_peak_rss_bytes));
     json.EndObject();
     json.EndObject();
   }

@@ -9,6 +9,7 @@
 #ifndef VALUECHECK_SRC_AST_AST_H_
 #define VALUECHECK_SRC_AST_AST_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,8 @@ class AstContext {
   T* New(Args&&... args) {
     auto node = std::make_unique<T>(std::forward<Args>(args)...);
     T* raw = node.get();
+    node_bytes_ += sizeof(T);
+    ++node_count_;
     nodes_.push_back(std::move(node));
     return raw;
   }
@@ -38,9 +41,17 @@ class AstContext {
   TypeTable& types() { return types_; }
   const TypeTable& types() const { return types_; }
 
+  // Exact sizeof-footprint of the arena's nodes (excludes out-of-line vectors
+  // and strings): the arena is per-file single-threaded, so plain counters
+  // stay exact and deterministic. Consumed by the memory tracker.
+  uint64_t node_bytes() const { return node_bytes_; }
+  uint64_t node_count() const { return node_count_; }
+
  private:
   TypeTable types_;
   std::vector<std::unique_ptr<AstNode>> nodes_;
+  uint64_t node_bytes_ = 0;
+  uint64_t node_count_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -43,6 +43,11 @@ class CheckerContext {
   // Shorthand for liveness().address_taken (forces the liveness pass).
   const SlotSet& address_taken() { return liveness().address_taken; }
 
+  // True once some checker has forced the points-to pass; lets the driver
+  // attribute points-to memory without computing the analysis just to
+  // measure it.
+  bool points_to_computed() const { return points_to_ != nullptr; }
+
  private:
   const Project& project_;
   FileId file_;

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "src/checkers/checker_context.h"
+#include "src/support/events.h"
+#include "src/support/memstats.h"
 #include "src/support/metrics.h"
 #include "src/support/thread_pool.h"
 #include "src/support/trace.h"
@@ -50,15 +52,39 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       MetricsEnabled() ? &MetricsRegistry::Global().GetHistogram("detect.function_seconds")
                        : nullptr;
   const bool metered = budget != nullptr && !budget->Unlimited();
+  const bool track_memory = MemoryTrackingEnabled();
   std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
   // Slot-indexed like per_function, so the quarantine list merges in the same
   // deterministic serial order as the findings regardless of scheduling.
   std::vector<std::vector<QuarantinedUnit>> per_function_quarantine(work.size());
+  // Slot-indexed points-to footprints: summing after the join is
+  // order-independent, so the byte counts match at any job count.
+  std::vector<PointsTo::Footprint> per_function_mem(track_memory ? work.size() : 0);
+  if (ProgressEnabled()) {
+    ProgressMeter::Global().SetPhase("detect");
+    ProgressMeter::Global().AddTotalFunctions(work.size());
+  }
   ParallelFor(jobs, work.size(), [&](size_t i) {
     TraceSpan span("detect_fn", "detect");
     span.Arg("function", work[i].func->name);
     ScopedTimer timer(nullptr, fn_histogram);
     const std::string& path = project.sources().Path(work[i].file);
+    // Runs on every exit path: the progress heartbeat never misses a
+    // function, quarantined or not.
+    struct FunctionTick {
+      ~FunctionTick() {
+        if (ProgressEnabled()) {
+          ProgressMeter::Global().FunctionDone();
+        }
+      }
+    } tick;
+    // Attributes the function's points-to state (if a checker forced the
+    // analysis) before its context dies; called on each exit path below.
+    auto record_points_to = [&](CheckerContext& ctx) {
+      if (track_memory && ctx.points_to_computed()) {
+        per_function_mem[i] = ctx.points_to().MemoryFootprint();
+      }
+    };
 
     auto run_one = [&](const Checker* checker, CheckerContext& ctx) {
       std::vector<UnusedDefCandidate> found = checker->Check(ctx);
@@ -75,6 +101,7 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       for (const Checker* checker : runnable) {
         run_one(checker, ctx);
       }
+      record_points_to(ctx);
       return;
     }
 
@@ -112,6 +139,7 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
             QuarantinedUnit{path, work[i].func->name, "detect", e.what(), checker->name()});
       }
     }
+    record_points_to(ctx);
   });
 
   std::vector<uint64_t> per_checker_counts(runnable.size(), 0);
@@ -132,6 +160,25 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       result.quarantined.push_back(std::move(record));
       ++quarantine_count;
     }
+  }
+  for (size_t c = 0; c < runnable.size(); ++c) {
+    result.per_checker.push_back({runnable[c]->name(), per_checker_counts[c]});
+    if (RunEventsEnabled()) {
+      RunEvent("checker_done")
+          .Str("checker", runnable[c]->name())
+          .Num("candidates", per_checker_counts[c])
+          .Emit();
+    }
+  }
+  if (track_memory) {
+    for (const PointsTo::Footprint& fp : per_function_mem) {
+      result.points_to_bytes += fp.bytes;
+      result.points_to_entries += fp.entries;
+    }
+    MemoryTracker& tracker = MemoryTracker::Global();
+    tracker.Add(MemCategory::kPointsToSets, result.points_to_bytes,
+                result.points_to_entries);
+    tracker.SampleRss();
   }
   if (MetricsEnabled()) {
     MetricsRegistry& registry = MetricsRegistry::Global();

@@ -31,6 +31,18 @@ struct CheckerRunResult {
   // Unsupported-checker records (stage "checker") first, then per-function
   // records in visit order.
   std::vector<QuarantinedUnit> quarantined;
+  // Candidate count per runnable checker, in registration order (feeds
+  // per-checker report/ledger stats and the dashboard precision trend).
+  struct PerChecker {
+    std::string name;
+    uint64_t candidates = 0;
+  };
+  std::vector<PerChecker> per_checker;
+  // Points-to memory attributed to this run (summed over every function
+  // whose context forced the analysis); zeros when memory tracking is off.
+  // Deterministic at any job count.
+  uint64_t points_to_bytes = 0;
+  uint64_t points_to_entries = 0;
 };
 
 // Runs `checkers` over every function. Candidates come back stamped with

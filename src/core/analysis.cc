@@ -8,7 +8,9 @@
 #include "src/core/authorship.h"
 #include "src/core/detector.h"
 #include "src/core/fingerprint.h"
+#include "src/support/events.h"
 #include "src/support/logging.h"
+#include "src/support/memstats.h"
 #include "src/support/metrics.h"
 #include "src/support/table_writer.h"
 #include "src/support/thread_pool.h"
@@ -37,10 +39,16 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   if (collect) {
     // The registry switch is what instrumentation sites deeper in the
     // pipeline (detector, pruning, ranking, thread pool) consult; flipping it
-    // here makes one facade option govern the whole layer.
+    // here makes one facade option govern the whole layer. Memory tracking
+    // rides the same switch.
     MetricsRegistry::Global().Enable();
+    MemoryTracker::Global().Enable();
   }
   TraceSpan run_span("analysis.run", "pipeline");
+  // RSS stage samples: VmHWM is monotone, so each sample is "process peak up
+  // to this stage boundary". The run-start sample covers the parse stage
+  // (project construction precedes Run).
+  const uint64_t rss_at_start = collect ? ProcessPeakRssBytes() : 0;
   auto start = std::chrono::steady_clock::now();
   AnalysisReport report;
   report.jobs = ResolveJobs(options_.jobs);
@@ -65,24 +73,36 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
     report.checkers.push_back(checker->name());
   }
   std::vector<UnusedDefCandidate> candidates;
+  CheckerRunResult detect;
   {
     TraceSpan span("detect", "pipeline");
-    CheckerRunResult detect = RunCheckers(project, checkers, options_.traits, options_.jobs,
-                                          &options_.budget, &options_.fault, /*isolate=*/true);
+    RunEvent("stage_start").Str("stage", "detect").Emit();
+    detect = RunCheckers(project, checkers, options_.traits, options_.jobs,
+                         &options_.budget, &options_.fault, /*isolate=*/true);
     candidates = std::move(detect.candidates);
     for (QuarantinedUnit& unit : detect.quarantined) {
       report.quarantined.push_back(std::move(unit));
     }
     span.Arg("candidates", static_cast<int64_t>(candidates.size()));
+    RunEvent("stage_end")
+        .Str("stage", "detect")
+        .Num("candidates", static_cast<int64_t>(candidates.size()))
+        .Emit();
   }
   report.detect_seconds = SecondsSince(detect_start);
+  const uint64_t rss_after_detect = collect ? ProcessPeakRssBytes() : 0;
+  for (const CheckerRunResult::PerChecker& pc : detect.per_checker) {
+    report.checker_stats.push_back({pc.name, pc.candidates, 0});
+  }
 
   // 2. Classify authorship (cross-scope scenarios of §3.1).
   auto authorship_start = std::chrono::steady_clock::now();
   {
     TraceSpan span("authorship", "pipeline");
+    RunEvent("stage_start").Str("stage", "authorship").Emit();
     AuthorshipAnalyzer authorship(project, repo);
     authorship.ClassifyAll(candidates);
+    RunEvent("stage_end").Str("stage", "authorship").Emit();
   }
   double authorship_seconds = SecondsSince(authorship_start);
   report.raw_candidates = candidates;
@@ -93,6 +113,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   std::vector<UnusedDefCandidate> pool;
   {
     TraceSpan span("cross_scope_filter", "pipeline");
+    RunEvent("stage_start").Str("stage", "cross_scope_filter").Emit();
     for (const UnusedDefCandidate& cand : candidates) {
       if (options_.cross_scope_only && !cand.cross_scope) {
         ++report.non_cross_scope;
@@ -100,6 +121,11 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
       }
       pool.push_back(cand);
     }
+    RunEvent("stage_end")
+        .Str("stage", "cross_scope_filter")
+        .Num("kept", static_cast<int64_t>(pool.size()))
+        .Num("dropped", static_cast<int64_t>(report.non_cross_scope))
+        .Emit();
   }
   double filter_seconds = SecondsSince(filter_start);
 
@@ -107,6 +133,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   // candidate set: whether a value is customarily ignored is a property of
   // the codebase, not of the cross-scope subset.
   auto prune_start = std::chrono::steady_clock::now();
+  RunEvent("stage_start").Str("stage", "prune").Emit();
   try {
     TraceSpan span("prune", "pipeline");
     report.prune_stats = RunPruning(project, pool, options_.prune, &candidates, repo);
@@ -122,9 +149,14 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
       report.findings.push_back(cand);
     }
   }
+  RunEvent("stage_end")
+      .Str("stage", "prune")
+      .Num("survivors", static_cast<int64_t>(report.findings.size()))
+      .Emit();
 
   // 5. Rank by code familiarity.
   auto rank_start = std::chrono::steady_clock::now();
+  RunEvent("stage_start").Str("stage", "rank").Emit();
   RankStats rank_stats;
   try {
     TraceSpan span("rank", "pipeline");
@@ -133,6 +165,7 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
     // Findings keep their pre-rank (deterministic pool) order.
     report.quarantined.push_back({"", "", "rank", std::string("stage failed: ") + e.what(), ""});
   }
+  RunEvent("stage_end").Str("stage", "rank").Emit();
   double rank_seconds = SecondsSince(rank_start);
 
   // Injected prune/rank faults act as a post-stage filter keyed on the
@@ -178,6 +211,52 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
 
   report.analysis_seconds = SecondsSince(start);
 
+  for (const UnusedDefCandidate& cand : report.findings) {
+    for (AnalysisReport::CheckerStat& stat : report.checker_stats) {
+      if (stat.name == cand.checker) {
+        ++stat.findings;
+        break;
+      }
+    }
+  }
+
+  if (RunEventsEnabled()) {
+    for (const QuarantinedUnit& unit : report.quarantined) {
+      RunEvent("quarantine")
+          .Str("file", unit.path)
+          .Str("function", unit.function)
+          .Str("stage", unit.stage)
+          .Str("checker", unit.checker)
+          .Emit();
+    }
+  }
+
+  if (collect) {
+    MemoryStats& mem = report.memory;
+    mem.collected = true;
+    Project::FileMemory parse_mem = project.ParseMemoryTotal();
+    mem.categories[static_cast<int>(MemCategory::kAstNodes)] = parse_mem.ast;
+    mem.categories[static_cast<int>(MemCategory::kIrInstructions)] = parse_mem.ir;
+    mem.categories[static_cast<int>(MemCategory::kInternedStrings)] = parse_mem.strings;
+    mem.categories[static_cast<int>(MemCategory::kPointsToSets)] = {
+        detect.points_to_bytes, detect.points_to_entries};
+    MemoryTracker& tracker = MemoryTracker::Global();
+    tracker.SampleRss();
+    mem.peak_rss_bytes = tracker.peak_rss_bytes();
+    const uint64_t rss_at_end = ProcessPeakRssBytes();
+    const uint64_t parse_bytes = parse_mem.TotalBytes();
+    const uint64_t detect_bytes = detect.points_to_bytes;
+    mem.stages.push_back({"parse", parse_bytes, parse_bytes, rss_at_start});
+    mem.stages.push_back(
+        {"detect", detect_bytes, parse_bytes + detect_bytes, rss_after_detect});
+    for (const char* stage : {"authorship", "cross_scope_filter", "prune", "rank"}) {
+      // These stages only annotate/filter existing candidates; tracked
+      // categories do not grow, so the delta is zero by construction.
+      mem.stages.push_back({stage, 0, parse_bytes + detect_bytes, rss_at_end});
+    }
+    tracker.PublishRegistryGauges();
+  }
+
   if (collect) {
     StageMetrics& stage = report.stage;
     stage.detect_seconds = report.detect_seconds;
@@ -222,6 +301,10 @@ AnalysisReport Analysis::RunOnRepository(const Repository& repo) const {
 }
 
 AnalysisReport Analysis::RunOnRepositoryAt(const Repository& repo, CommitId commit) const {
+  if (options_.collect_metrics) {
+    MetricsRegistry::Global().Enable();
+    MemoryTracker::Global().Enable();
+  }
   auto start = std::chrono::steady_clock::now();
   std::shared_ptr<Project> project;
   {
@@ -262,6 +345,7 @@ void Analysis::FinishParseMetrics(AnalysisReport& report, double parse_seconds) 
 Project Analysis::BuildFromRepository(const Repository& repo) const {
   if (options_.collect_metrics) {
     MetricsRegistry::Global().Enable();
+    MemoryTracker::Global().Enable();
   }
   TraceSpan span("parse", "pipeline");
   return Project::FromRepository(repo, options_.config, options_.jobs, &options_.fault,
@@ -272,6 +356,7 @@ Project Analysis::BuildFromSources(
     const std::vector<std::pair<std::string, std::string>>& files) const {
   if (options_.collect_metrics) {
     MetricsRegistry::Global().Enable();
+    MemoryTracker::Global().Enable();
   }
   TraceSpan span("parse", "pipeline");
   return Project::FromSources(files, options_.config, options_.jobs, &options_.fault,

@@ -33,6 +33,7 @@
 #include "src/core/pruning.h"
 #include "src/core/ranking.h"
 #include "src/core/unused_def.h"
+#include "src/support/memstats.h"
 #include "src/support/thread_pool.h"
 #include "src/vcs/repository.h"
 
@@ -129,8 +130,21 @@ struct AnalysisReport {
   // The checkers this report ran, resolved names in registry order (the JSON
   // report, the ledger, and run diffs key findings by (checker, fingerprint)).
   std::vector<std::string> checkers;
+  // Per-checker candidate and surviving-finding counts, in registry order.
+  // Always populated (cheap and deterministic); feeds the ledger and the
+  // dashboard's per-checker precision trend (findings / candidates).
+  struct CheckerStat {
+    std::string name;
+    uint64_t candidates = 0;
+    uint64_t findings = 0;
+  };
+  std::vector<CheckerStat> checker_stats;
   // Observability block; populated when AnalysisOptions::collect_metrics.
   StageMetrics stage;
+  // Memory accounting (schema v7); populated when collect_metrics. Byte and
+  // object counts are exact and identical at any job count; only the RSS
+  // samples vary run to run.
+  MemoryStats memory;
   // Set by the repository entry points: keeps the analyzed project (and with
   // it the AST/IR that finding pointers reference) alive as long as the
   // report.

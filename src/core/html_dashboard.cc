@@ -246,18 +246,82 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
   std::vector<double> seconds_trend;
   std::vector<double> prune_trend;
   std::vector<double> detect_trend;
+  std::vector<double> parse_trend;
   for (const RunRecord& run : runs) {
     findings_trend.push_back(static_cast<double>(run.findings.size()));
     seconds_trend.push_back(run.metrics.analysis_seconds);
     prune_trend.push_back(PruneRatePercent(run.metrics));
     detect_trend.push_back(run.metrics.detect_seconds);
+    parse_trend.push_back(run.metrics.parse_seconds);
   }
   out += "<h2>Trends (" + std::to_string(runs.size()) + " runs)</h2>\n<div class=\"cards\">";
   out += "<div class=\"card\"><h3>findings</h3>" + Sparkline(findings_trend, 0) + "</div>";
   out += "<div class=\"card\"><h3>analysis seconds</h3>" + Sparkline(seconds_trend, 3) + "</div>";
   out += "<div class=\"card\"><h3>prune rate %</h3>" + Sparkline(prune_trend, 1) + "</div>";
+  out += "<div class=\"card\"><h3>parse seconds</h3>" + Sparkline(parse_trend, 3) + "</div>";
   out += "<div class=\"card\"><h3>detect seconds</h3>" + Sparkline(detect_trend, 3) + "</div>";
   out += "</div>\n";
+
+  // Per-checker trends: findings count and precision (surviving findings /
+  // raw candidates). Series are built per checker name over the runs that
+  // recorded stats for it — pre-v2 records carry none and simply don't
+  // contribute points, so mixed-version ledgers still render.
+  std::vector<std::string> checker_names;
+  for (const RunRecord& run : runs) {
+    for (const LedgerCheckerStat& stat : run.checker_stats) {
+      if (std::find(checker_names.begin(), checker_names.end(), stat.name) ==
+          checker_names.end()) {
+        checker_names.push_back(stat.name);
+      }
+    }
+  }
+  if (!checker_names.empty()) {
+    out += "<h2>Per-checker trends</h2>\n<div class=\"cards\">";
+    for (const std::string& name : checker_names) {
+      std::vector<double> checker_findings;
+      std::vector<double> checker_precision;
+      for (const RunRecord& run : runs) {
+        for (const LedgerCheckerStat& stat : run.checker_stats) {
+          if (stat.name != name) {
+            continue;
+          }
+          checker_findings.push_back(static_cast<double>(stat.findings));
+          checker_precision.push_back(
+              stat.candidates > 0
+                  ? 100.0 * static_cast<double>(stat.findings) /
+                        static_cast<double>(stat.candidates)
+                  : 0.0);
+        }
+      }
+      out += "<div class=\"card\"><h3>" + EscapeHtml(name) + " findings</h3>" +
+             Sparkline(checker_findings, 0) + "</div>";
+      out += "<div class=\"card\"><h3>" + EscapeHtml(name) +
+             " precision % (findings/candidates)</h3>" + Sparkline(checker_precision, 1) +
+             "</div>";
+    }
+    out += "</div>\n";
+  }
+
+  // Memory trends over the runs that collected accounting (--metrics). The
+  // tracked series is exact and deterministic; peak RSS is a per-run sample.
+  std::vector<double> mem_tracked_mb;
+  std::vector<double> mem_rss_mb;
+  for (const RunRecord& run : runs) {
+    if (!run.metrics.mem_collected) {
+      continue;
+    }
+    mem_tracked_mb.push_back(static_cast<double>(run.metrics.mem_tracked_bytes) / 1e6);
+    mem_rss_mb.push_back(static_cast<double>(run.metrics.mem_peak_rss_bytes) / 1e6);
+  }
+  if (!mem_tracked_mb.empty()) {
+    out += "<h2>Memory (" + std::to_string(mem_tracked_mb.size()) +
+           " run(s) with accounting)</h2>\n<div class=\"cards\">";
+    out += "<div class=\"card\"><h3>tracked MB (exact)</h3>" + Sparkline(mem_tracked_mb, 2) +
+           "</div>";
+    out += "<div class=\"card\"><h3>peak RSS MB (sampled)</h3>" + Sparkline(mem_rss_mb, 1) +
+           "</div>";
+    out += "</div>\n";
+  }
 
   // Latest findings, new ones flagged (badge carries a text label, so the
   // state never rides on color alone).

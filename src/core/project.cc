@@ -4,7 +4,9 @@
 
 #include "src/ir/ir_builder.h"
 #include "src/parser/parser.h"
+#include "src/support/events.h"
 #include "src/support/logging.h"
+#include "src/support/memstats.h"
 #include "src/support/metrics.h"
 #include "src/support/string_util.h"
 #include "src/support/thread_pool.h"
@@ -76,11 +78,26 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
   const double deadline_seconds =
       budget != nullptr ? budget->unit_deadline_seconds : 0.0;
   const int parse_depth = budget != nullptr ? budget->parse_depth_limit : 0;
+  // Memory tracking is decided once per build: per-file footprints fill
+  // slot-indexed storage (order-independent), then merge into category
+  // totals, so the counts are exact at any job count.
+  const bool track_memory = MemoryTrackingEnabled();
+  if (track_memory) {
+    memory_collected_ = true;
+    file_memory_.resize(n);
+  }
+  if (ProgressEnabled()) {
+    ProgressMeter::Global().SetPhase("parse");
+    ProgressMeter::Global().AddTotalFiles(n);
+  }
   ParallelFor(jobs, n, [&](size_t i) {
     FileId file = static_cast<FileId>(i);
     TraceSpan span("parse_lower", "parse");
     span.Arg("file", sm_.Path(file));
     ScopedTimer timer(nullptr, file_histogram);
+    if (RunEventsEnabled()) {
+      RunEvent("stage_start").Str("stage", "parse_file").Str("file", sm_.Path(file)).Emit();
+    }
     auto compile_one = [&] {
       const auto start = std::chrono::steady_clock::now();
       auto check_deadline = [&] {
@@ -105,26 +122,69 @@ void Project::CompileAll(std::vector<std::pair<std::string, std::string>> files,
     };
     if (!isolate) {
       compile_one();
-      return;
+    } else {
+      // Isolation boundary: any exception (injected, deadline, or a real
+      // front-end bug) quarantines this file only. The slot is rebuilt as an
+      // empty-but-valid unit — downstream stages iterate modules() without
+      // null checks — and its partial diagnostics are dropped so an injected
+      // fault cannot masquerade as a source error and fail the run.
+      try {
+        compile_one();
+      } catch (const std::exception& e) {
+        file_quarantine[i] = std::make_unique<QuarantinedUnit>(
+            QuarantinedUnit{sm_.Path(file), "", "parse", e.what(), ""});
+        file_diags[i] = DiagnosticEngine();
+        pp_[i] = PreprocessResult();
+        units_[i] = TranslationUnit();
+        units_[i].file = file;
+        modules_[i] = std::make_unique<IrModule>();
+        modules_[i]->file = file;
+      }
     }
-    // Isolation boundary: any exception (injected, deadline, or a real
-    // front-end bug) quarantines this file only. The slot is rebuilt as an
-    // empty-but-valid unit — downstream stages iterate modules() without
-    // null checks — and its partial diagnostics are dropped so an injected
-    // fault cannot masquerade as a source error and fail the run.
-    try {
-      compile_one();
-    } catch (const std::exception& e) {
-      file_quarantine[i] = std::make_unique<QuarantinedUnit>(
-          QuarantinedUnit{sm_.Path(file), "", "parse", e.what(), ""});
-      file_diags[i] = DiagnosticEngine();
-      pp_[i] = PreprocessResult();
-      units_[i] = TranslationUnit();
-      units_[i].file = file;
-      modules_[i] = std::make_unique<IrModule>();
-      modules_[i]->file = file;
+    if (track_memory) {
+      FileMemory& mem = file_memory_[i];
+      if (units_[i].context != nullptr) {
+        mem.ast.bytes = units_[i].context->node_bytes();
+        mem.ast.objects = units_[i].context->node_count();
+      }
+      IrFootprint ir_fp = ModuleFootprint(*modules_[i]);
+      mem.ir.bytes = ir_fp.bytes;
+      mem.ir.objects = ir_fp.instructions;
+      // Identifier storage: function and slot names are the interning
+      // candidate set (the payload a string-interner would deduplicate).
+      for (const auto& func : modules_[i]->functions) {
+        mem.strings.bytes += func->name.size();
+        ++mem.strings.objects;
+        for (int s = 0; s < func->slots.size(); ++s) {
+          mem.strings.bytes += func->slots[s].name.size();
+          ++mem.strings.objects;
+        }
+      }
+    }
+    if (RunEventsEnabled()) {
+      RunEvent event("stage_end");
+      event.Str("stage", "parse_file").Str("file", sm_.Path(file));
+      if (track_memory) {
+        const FileMemory& mem = file_memory_[i];
+        event.Num("ast_bytes", mem.ast.bytes)
+            .Num("ir_bytes", mem.ir.bytes)
+            .Num("string_bytes", mem.strings.bytes);
+      }
+      event.Flag("quarantined", file_quarantine[i] != nullptr);
+      event.Emit();
+    }
+    if (ProgressEnabled()) {
+      ProgressMeter::Global().FileDone();
     }
   });
+  if (track_memory) {
+    FileMemory total = ParseMemoryTotal();
+    MemoryTracker& tracker = MemoryTracker::Global();
+    tracker.Add(MemCategory::kAstNodes, total.ast);
+    tracker.Add(MemCategory::kIrInstructions, total.ir);
+    tracker.Add(MemCategory::kInternedStrings, total.strings);
+    tracker.SampleRss();
+  }
   for (const DiagnosticEngine& engine : file_diags) {
     diags_.Append(engine);
   }
@@ -180,6 +240,16 @@ void Project::BuildIndex() {
       }
     }
   }
+}
+
+Project::FileMemory Project::ParseMemoryTotal() const {
+  FileMemory total;
+  for (const FileMemory& mem : file_memory_) {
+    total.ast += mem.ast;
+    total.ir += mem.ir;
+    total.strings += mem.strings;
+  }
+  return total;
 }
 
 int Project::TotalLines() const {

@@ -27,6 +27,7 @@
 #include "src/lexer/preprocessor.h"
 #include "src/support/diagnostics.h"
 #include "src/support/fault.h"
+#include "src/support/memstats.h"
 #include "src/support/source_manager.h"
 #include "src/vcs/repository.h"
 
@@ -111,6 +112,21 @@ class Project {
   // Files quarantined during construction (parse stage), in file order.
   const std::vector<QuarantinedUnit>& quarantined() const { return quarantined_; }
 
+  // Per-file parse-stage memory attribution (AST / IR / identifier strings).
+  struct FileMemory {
+    MemCount ast;
+    MemCount ir;
+    MemCount strings;
+
+    uint64_t TotalBytes() const { return ast.bytes + ir.bytes + strings.bytes; }
+  };
+
+  // True when construction ran with memory tracking on; file_memory() is
+  // empty otherwise. Counts are exact and identical at any job count.
+  bool memory_collected() const { return memory_collected_; }
+  const std::vector<FileMemory>& file_memory() const { return file_memory_; }
+  FileMemory ParseMemoryTotal() const;
+
  private:
   void CompileAll(std::vector<std::pair<std::string, std::string>> files, const Config& config,
                   int jobs, const FaultInjector* fault, const ResourceBudget* budget);
@@ -123,6 +139,8 @@ class Project {
   std::vector<PreprocessResult> pp_;  // indexed by FileId
   std::map<std::string, FunctionInfo> index_;
   std::vector<QuarantinedUnit> quarantined_;
+  bool memory_collected_ = false;
+  std::vector<FileMemory> file_memory_;  // indexed by FileId
 };
 
 }  // namespace vc

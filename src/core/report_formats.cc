@@ -61,9 +61,13 @@ std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
   // "quarantined" array of {path, function, stage, reason} records; v6 adds
   // the checker framework's identity channel — the top-level "checkers" array
   // (the resolved checker set, registry order), a "checker" field on every
-  // finding, and a "checker" field on quarantine records that name one.
+  // finding, and a "checker" field on quarantine records that name one; v7
+  // adds the always-present "checker_stats" array (per-checker candidate and
+  // finding counts) and, when the run collected metrics, the "memory" block —
+  // per-category byte/object counts, the per-stage tracked-byte peaks, and
+  // the (nondeterministic) peak-RSS samples.
   // See DESIGN.md §"JSON report schema" for the contract.
-  json.Int("schema_version", 6);
+  json.Int("schema_version", 7);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
@@ -71,6 +75,15 @@ std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
   json.Key("checkers").BeginArray();
   for (const std::string& name : report.checkers) {
     json.StringValue(name);
+  }
+  json.EndArray();
+  json.Key("checker_stats").BeginArray();
+  for (const AnalysisReport::CheckerStat& stat : report.checker_stats) {
+    json.BeginObject();
+    json.String("checker", stat.name);
+    json.Int("candidates", static_cast<int64_t>(stat.candidates));
+    json.Int("findings", static_cast<int64_t>(stat.findings));
+    json.EndObject();
   }
   json.EndArray();
   json.Bool("degraded", report.degraded);
@@ -166,6 +179,33 @@ std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
     json.EndObject();
 
     json.EndObject();  // metrics
+  }
+
+  if (report.memory.collected) {
+    const MemoryStats& mem = report.memory;
+    json.Key("memory").BeginObject();
+    json.Key("categories").BeginObject();
+    for (int c = 0; c < kMemCategoryCount; ++c) {
+      json.Key(MemCategoryName(static_cast<MemCategory>(c))).BeginObject();
+      json.Int("bytes", static_cast<int64_t>(mem.categories[c].bytes));
+      json.Int("objects", static_cast<int64_t>(mem.categories[c].objects));
+      json.EndObject();
+    }
+    json.EndObject();  // categories
+    json.Int("tracked_bytes", static_cast<int64_t>(mem.TrackedBytes()));
+    json.Int("tracked_objects", static_cast<int64_t>(mem.TrackedObjects()));
+    json.Int("peak_rss_bytes", static_cast<int64_t>(mem.peak_rss_bytes));
+    json.Key("stages").BeginArray();
+    for (const StageMemory& stage_mem : mem.stages) {
+      json.BeginObject();
+      json.String("stage", stage_mem.stage);
+      json.Int("tracked_bytes_delta", static_cast<int64_t>(stage_mem.tracked_bytes_delta));
+      json.Int("tracked_bytes_peak", static_cast<int64_t>(stage_mem.tracked_bytes_peak));
+      json.Int("rss_bytes", static_cast<int64_t>(stage_mem.rss_bytes));
+      json.EndObject();
+    }
+    json.EndArray();  // stages
+    json.EndObject();  // memory
   }
 
   json.Int("non_cross_scope", report.non_cross_scope);
@@ -326,7 +366,25 @@ std::string RenderStageMetricsTable(const AnalysisReport& report) {
   pool.AddRow({"queue_depth_hwm", std::to_string(stage.pool.queue_depth_hwm)});
   pool.AddRow({"worker_idle_seconds", FormatDouble(stage.pool.worker_idle_seconds, 3)});
 
-  return table.RenderText() + "\n" + pool.RenderText();
+  std::string out = table.RenderText() + "\n" + pool.RenderText();
+  if (report.memory.collected) {
+    const MemoryStats& mem = report.memory;
+    auto mb = [](uint64_t bytes) {
+      return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 3);
+    };
+    TableWriter memory({"memory", "bytes", "MB", "objects"});
+    for (int c = 0; c < kMemCategoryCount; ++c) {
+      memory.AddRow({MemCategoryName(static_cast<MemCategory>(c)),
+                     std::to_string(mem.categories[c].bytes), mb(mem.categories[c].bytes),
+                     std::to_string(mem.categories[c].objects)});
+    }
+    memory.AddRow({"tracked_total", std::to_string(mem.TrackedBytes()),
+                   mb(mem.TrackedBytes()), std::to_string(mem.TrackedObjects())});
+    memory.AddRow(
+        {"peak_rss", std::to_string(mem.peak_rss_bytes), mb(mem.peak_rss_bytes), ""});
+    out += "\n" + memory.RenderText();
+  }
+  return out;
 }
 
 }  // namespace vc

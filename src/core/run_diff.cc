@@ -91,6 +91,27 @@ RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
   m.pool_tasks = static_cast<int64_t>(report.stage.pool.tasks_executed);
   m.pool_steals = static_cast<int64_t>(report.stage.pool.steals);
   m.pool_idle_seconds = report.stage.pool.worker_idle_seconds;
+
+  for (const AnalysisReport::CheckerStat& stat : report.checker_stats) {
+    record.checker_stats.push_back({stat.name, static_cast<int64_t>(stat.candidates),
+                                    static_cast<int64_t>(stat.findings)});
+  }
+  if (report.memory.collected) {
+    auto cat = [&](MemCategory category) {
+      return report.memory.categories[static_cast<size_t>(category)];
+    };
+    m.mem_collected = true;
+    m.mem_ast_bytes = static_cast<int64_t>(cat(MemCategory::kAstNodes).bytes);
+    m.mem_ast_objects = static_cast<int64_t>(cat(MemCategory::kAstNodes).objects);
+    m.mem_ir_bytes = static_cast<int64_t>(cat(MemCategory::kIrInstructions).bytes);
+    m.mem_ir_objects = static_cast<int64_t>(cat(MemCategory::kIrInstructions).objects);
+    m.mem_points_to_bytes = static_cast<int64_t>(cat(MemCategory::kPointsToSets).bytes);
+    m.mem_points_to_objects = static_cast<int64_t>(cat(MemCategory::kPointsToSets).objects);
+    m.mem_strings_bytes = static_cast<int64_t>(cat(MemCategory::kInternedStrings).bytes);
+    m.mem_strings_objects = static_cast<int64_t>(cat(MemCategory::kInternedStrings).objects);
+    m.mem_tracked_bytes = static_cast<int64_t>(report.memory.TrackedBytes());
+    m.mem_peak_rss_bytes = static_cast<int64_t>(report.memory.peak_rss_bytes);
+  }
   return record;
 }
 
@@ -152,7 +173,8 @@ RunDiff ComputeRunDiff(const RunRecord& a, const RunRecord& b,
   const LedgerMetrics& ma = a.metrics;
   const LedgerMetrics& mb = b.metrics;
   auto counter = [&](const std::string& name, double before, double after) {
-    diff.deltas.push_back({name, before, after, /*timing=*/false, /*regressed=*/false});
+    diff.deltas.push_back(
+        {name, before, after, /*timing=*/false, /*sampled=*/false, /*regressed=*/false});
   };
   counter("findings", static_cast<double>(a.findings.size()),
           static_cast<double>(b.findings.size()));
@@ -164,6 +186,18 @@ RunDiff ComputeRunDiff(const RunRecord& a, const RunRecord& b,
           static_cast<double>(mb.candidates_detected));
   counter("pruned_total", static_cast<double>(ma.prune_total),
           static_cast<double>(mb.prune_total));
+  // Memory: tracked bytes are exact/deterministic; peak RSS is a per-run
+  // sample (reported, never gated — no counter is). Only comparable when both
+  // runs actually collected memory (pre-v2 records read back as not
+  // collected), so mixed-version diffs skip the rows instead of inventing
+  // zero baselines.
+  if (ma.mem_collected && mb.mem_collected) {
+    counter("mem_tracked_bytes", static_cast<double>(ma.mem_tracked_bytes),
+            static_cast<double>(mb.mem_tracked_bytes));
+    diff.deltas.push_back({"mem_peak_rss_bytes", static_cast<double>(ma.mem_peak_rss_bytes),
+                           static_cast<double>(mb.mem_peak_rss_bytes),
+                           /*timing=*/false, /*sampled=*/true, /*regressed=*/false});
+  }
 
   // Per-pattern prune rates, joined by name (patterns may differ across tool
   // versions; unmatched ones are compared against an absent 0/0 side).
@@ -264,6 +298,12 @@ std::string RenderDiffText(const RunDiff& diff, bool include_timings) {
     if (delta.timing) {
       continue;
     }
+    // Sampled rows (peak RSS) vary run to run even on identical inputs, so
+    // they ride with the equally nondeterministic --timings view; the
+    // default rendering stays byte-identical for identical analyses.
+    if (delta.sampled && !include_timings) {
+      continue;
+    }
     any_counter = true;
     bool rate = delta.name.rfind("prune_rate.", 0) == 0;
     auto fmt = [&](double value) {
@@ -340,6 +380,7 @@ std::string DiffToJson(const RunDiff& diff) {
     json.Double("before", delta.before);
     json.Double("after", delta.after);
     json.Bool("timing", delta.timing);
+    json.Bool("sampled", delta.sampled);
     json.Bool("regressed", delta.regressed);
     json.EndObject();
   }

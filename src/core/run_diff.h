@@ -43,13 +43,15 @@ struct RegressionThresholds {
 };
 
 // One compared metric. `regressed` is set per the thresholds above; timing
-// metrics are marked `timing` so renderers can keep the deterministic
-// sections separate.
+// metrics are marked `timing` and machine-dependent point samples (peak RSS)
+// are marked `sampled` so renderers can keep the deterministic sections
+// separate.
 struct MetricDelta {
   std::string name;
   double before = 0.0;
   double after = 0.0;
   bool timing = false;
+  bool sampled = false;
   bool regressed = false;
 };
 

@@ -152,4 +152,31 @@ IrFunction* IrModule::FindFunction(const std::string& name) const {
   return nullptr;
 }
 
+IrFootprint FunctionFootprint(const IrFunction& func) {
+  IrFootprint fp;
+  fp.bytes = sizeof(IrFunction);
+  fp.bytes += static_cast<uint64_t>(func.slots.size()) * sizeof(Slot);
+  fp.bytes += func.param_slots.size() * sizeof(SlotId);
+  fp.bytes += func.return_locs.size() * sizeof(SourceLoc);
+  fp.bytes += func.call_sites.size() * sizeof(CallSite);
+  for (const auto& block : func.blocks) {
+    fp.bytes += sizeof(BasicBlock);
+    fp.bytes += (block->succs.size() + block->preds.size()) * sizeof(BlockId);
+    fp.bytes += block->insts.size() * sizeof(Instruction);
+    fp.instructions += block->insts.size();
+    for (const Instruction& inst : block->insts) {
+      fp.bytes += inst.operands.size() * sizeof(ValueId);
+    }
+  }
+  return fp;
+}
+
+IrFootprint ModuleFootprint(const IrModule& module) {
+  IrFootprint fp;
+  for (const auto& func : module.functions) {
+    fp += FunctionFootprint(*func);
+  }
+  return fp;
+}
+
 }  // namespace vc

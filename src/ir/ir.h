@@ -189,6 +189,24 @@ class IrModule {
   IrFunction* FindFunction(const std::string& name) const;
 };
 
+// Sizeof-based memory footprint of lowered IR, for the memory tracker.
+// Counts element sizes (not vector capacities) so the result is exact and
+// identical at any --jobs value; out-of-line string storage is attributed to
+// the interned-strings category by the caller, not here.
+struct IrFootprint {
+  uint64_t bytes = 0;
+  uint64_t instructions = 0;
+
+  IrFootprint& operator+=(const IrFootprint& other) {
+    bytes += other.bytes;
+    instructions += other.instructions;
+    return *this;
+  }
+};
+
+IrFootprint FunctionFootprint(const IrFunction& func);
+IrFootprint ModuleFootprint(const IrModule& module);
+
 }  // namespace vc
 
 #endif  // VALUECHECK_SRC_IR_IR_H_

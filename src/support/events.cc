@@ -1,0 +1,192 @@
+#include "src/support/events.h"
+
+#include "src/support/json_writer.h"
+#include "src/support/string_util.h"
+#include "src/support/table_writer.h"
+
+namespace vc {
+
+RunEventLog& RunEventLog::Global() {
+  static RunEventLog* log = new RunEventLog();  // never destroyed
+  return *log;
+}
+
+bool RunEventLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    return false;
+  }
+  seq_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void RunEventLog::Close() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+int64_t RunEventLog::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RunEventLog::Write(const std::string& type, int64_t ts_us,
+                        const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    return;
+  }
+  // Fixed field order: "event", "seq", "ts_us", then type-specific fields in
+  // emission order (the golden test asserts this layout).
+  std::string line = "{\"event\":\"" + type + "\",\"seq\":" + std::to_string(seq_++) +
+                     ",\"ts_us\":" + std::to_string(ts_us);
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += value;
+  }
+  line += "}\n";
+  out_ << line;
+}
+
+RunEvent::RunEvent(const char* type) : active_(RunEventsEnabled()), type_(type) {
+  if (active_) {
+    ts_us_ = RunEventLog::Global().NowMicros();
+  }
+}
+
+RunEvent& RunEvent::Str(const char* key, const std::string& value) {
+  if (active_) {
+    fields_.emplace_back(key, "\"" + JsonWriter::Escape(value) + "\"");
+  }
+  return *this;
+}
+
+RunEvent& RunEvent::Num(const char* key, int64_t value) {
+  if (active_) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  return *this;
+}
+
+RunEvent& RunEvent::Dbl(const char* key, double value) {
+  if (active_) {
+    fields_.emplace_back(key, FormatDouble(value, 6));
+  }
+  return *this;
+}
+
+RunEvent& RunEvent::Flag(const char* key, bool value) {
+  if (active_) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  return *this;
+}
+
+void RunEvent::Emit() {
+  if (!active_ || emitted_) {
+    return;
+  }
+  emitted_ = true;
+  RunEventLog::Global().Write(type_, ts_us_, fields_);
+}
+
+ProgressMeter& ProgressMeter::Global() {
+  static ProgressMeter* meter = new ProgressMeter();  // never destroyed
+  return *meter;
+}
+
+void ProgressMeter::Start(std::FILE* out) {
+  if (enabled()) {
+    return;
+  }
+  out_ = out;
+  start_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { RenderLoop(); });
+}
+
+void ProgressMeter::Stop() {
+  if (!enabled()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+  // Final state line, then release the terminal line.
+  std::string line = RenderLine();
+  std::fprintf(out_, "\r%s", line.c_str());
+  for (size_t i = line.size(); i < last_width_; ++i) {
+    std::fputc(' ', out_);
+  }
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void ProgressMeter::RenderLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    lock.unlock();
+    std::string line = RenderLine();
+    std::fprintf(out_, "\r%s", line.c_str());
+    // Blank out any residue from a longer previous line.
+    for (size_t i = line.size(); i < last_width_; ++i) {
+      std::fputc(' ', out_);
+    }
+    std::fflush(out_);
+    last_width_ = line.size();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(100), [this] { return stopping_; });
+  }
+}
+
+std::string ProgressMeter::RenderLine() const {
+  uint64_t files_done = files_done_.load(std::memory_order_relaxed);
+  uint64_t files_total = files_total_.load(std::memory_order_relaxed);
+  uint64_t fns_done = functions_done_.load(std::memory_order_relaxed);
+  uint64_t fns_total = functions_total_.load(std::memory_order_relaxed);
+  uint64_t findings = findings_.load(std::memory_order_relaxed);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+
+  std::string line = "[";
+  line += phase_.load(std::memory_order_relaxed);
+  line += "] files " + std::to_string(files_done) + "/" + std::to_string(files_total);
+  line += " fns " + std::to_string(fns_done) + "/" + std::to_string(fns_total);
+  line += " findings " + std::to_string(findings);
+
+  // Throughput and ETA from whichever unit the current phase is consuming.
+  uint64_t done = fns_total > 0 ? fns_done : files_done;
+  uint64_t total = fns_total > 0 ? fns_total : files_total;
+  const char* unit = fns_total > 0 ? "fn/s" : "file/s";
+  if (elapsed > 0.0 && done > 0) {
+    double rate = static_cast<double>(done) / elapsed;
+    line += " " + FormatDouble(rate, 1) + " " + unit;
+    if (total > done) {
+      line += " ETA " + FormatDouble(static_cast<double>(total - done) / rate, 1) + "s";
+    }
+  }
+  line += " " + FormatDouble(elapsed, 1) + "s";
+  return line;
+}
+
+}  // namespace vc

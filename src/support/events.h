@@ -1,0 +1,142 @@
+// Live run observability channels:
+//
+//   * RunEventLog — a machine-readable JSONL event stream (--events FILE).
+//     One JSON object per line, field order fixed per event type: "event",
+//     "seq", "ts_us", then type-specific fields in emission order. "seq" is
+//     assigned under the writer mutex, so it is dense, starts at 0, and
+//     strictly increases in file order even when workers race. Event types:
+//     run_start, stage_start, stage_end (whole stages and per file),
+//     checker_done, quarantine, run_end.
+//
+//   * ProgressMeter — a human heartbeat (--progress): a background thread
+//     redraws one stderr status line (~10 Hz) with files/functions done,
+//     findings so far, throughput, and an ETA extrapolated from the current
+//     rate. All producer-side updates are relaxed atomics; the pipeline never
+//     blocks on rendering.
+//
+// Neither channel influences analysis results: producers check the enabled
+// flags (two relaxed loads when off) and only ever append to a side channel.
+
+#ifndef VALUECHECK_SRC_SUPPORT_EVENTS_H_
+#define VALUECHECK_SRC_SUPPORT_EVENTS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vc {
+
+class RunEventLog {
+ public:
+  static RunEventLog& Global();
+
+  // Opens (truncates) the sink and enables emission; returns false on I/O
+  // failure (the log stays disabled).
+  bool Open(const std::string& path);
+  // Flushes and disables. Safe to call when never opened.
+  void Close();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Called by RunEvent::Emit: stamps "seq" and writes one line.
+  void Write(const std::string& type, int64_t ts_us,
+             const std::vector<std::pair<std::string, std::string>>& fields);
+
+  // Microseconds since Open().
+  int64_t NowMicros() const;
+
+ private:
+  RunEventLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;  // serializes lines; guards out_/seq_
+  std::ofstream out_;
+  int64_t seq_ = 0;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+inline bool RunEventsEnabled() { return RunEventLog::Global().enabled(); }
+
+// Builder for one event line. A no-op when the log is disabled at
+// construction. Values are rendered to JSON up front; keys are
+// code-controlled literals and are not escaped.
+class RunEvent {
+ public:
+  explicit RunEvent(const char* type);
+
+  RunEvent& Str(const char* key, const std::string& value);
+  RunEvent& Num(const char* key, int64_t value);
+  RunEvent& Num(const char* key, uint64_t value) {
+    return Num(key, static_cast<int64_t>(value));
+  }
+  RunEvent& Dbl(const char* key, double value);
+  RunEvent& Flag(const char* key, bool value);
+
+  // Writes the line (assigning "seq" under the log mutex). Idempotent.
+  void Emit();
+  ~RunEvent() { Emit(); }
+
+  RunEvent(const RunEvent&) = delete;
+  RunEvent& operator=(const RunEvent&) = delete;
+
+ private:
+  bool active_;
+  bool emitted_ = false;
+  const char* type_;
+  int64_t ts_us_ = 0;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class ProgressMeter {
+ public:
+  static ProgressMeter& Global();
+
+  // Starts the render thread writing to `out` (stderr in the CLI).
+  void Start(std::FILE* out);
+  // Final render + newline, then joins the render thread.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void SetPhase(const char* phase) { phase_.store(phase, std::memory_order_relaxed); }
+  void AddTotalFiles(uint64_t n) { files_total_.fetch_add(n, std::memory_order_relaxed); }
+  void FileDone() { files_done_.fetch_add(1, std::memory_order_relaxed); }
+  void AddTotalFunctions(uint64_t n) {
+    functions_total_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void FunctionDone() { functions_done_.fetch_add(1, std::memory_order_relaxed); }
+  void AddFindings(uint64_t n) { findings_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  ProgressMeter() = default;
+  void RenderLoop();
+  std::string RenderLine() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const char*> phase_{""};
+  std::atomic<uint64_t> files_done_{0};
+  std::atomic<uint64_t> files_total_{0};
+  std::atomic<uint64_t> functions_done_{0};
+  std::atomic<uint64_t> functions_total_{0};
+  std::atomic<uint64_t> findings_{0};
+
+  std::FILE* out_ = nullptr;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  size_t last_width_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline bool ProgressEnabled() { return ProgressMeter::Global().enabled(); }
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_EVENTS_H_

@@ -1,6 +1,7 @@
 #include "src/support/metrics.h"
 
 #include <cassert>
+#include <cstdio>
 
 #include "src/support/table_writer.h"
 
@@ -31,16 +32,16 @@ void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
 
 }  // namespace
 
-void Histogram::RecordMicros(uint64_t micros) {
-  int bucket = Log2Floor(micros);
+void Histogram::RecordNanos(uint64_t nanos) {
+  int bucket = Log2Floor(nanos);
   if (bucket >= kBuckets) {
     bucket = kBuckets - 1;
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
-  AtomicMin(min_micros_, micros);
-  AtomicMax(max_micros_, micros);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  AtomicMin(min_nanos_, nanos);
+  AtomicMax(max_nanos_, nanos);
 }
 
 double Histogram::mean_seconds() const {
@@ -49,12 +50,12 @@ double Histogram::mean_seconds() const {
 }
 
 double Histogram::min_seconds() const {
-  uint64_t v = min_micros_.load(std::memory_order_relaxed);
-  return v == UINT64_MAX ? 0.0 : static_cast<double>(v) / 1e6;
+  uint64_t v = min_nanos_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0.0 : static_cast<double>(v) / 1e9;
 }
 
 double Histogram::max_seconds() const {
-  return static_cast<double>(max_micros_.load(std::memory_order_relaxed)) / 1e6;
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
 }
 
 double Histogram::PercentileSeconds(double p) const {
@@ -74,7 +75,7 @@ double Histogram::PercentileSeconds(double p) const {
     seen += BucketCount(b);
     if (seen >= rank) {
       // Upper bound of the bucket, clamped by the exact observed max.
-      double upper = static_cast<double>(uint64_t{1} << (b + 1)) / 1e6;
+      double upper = static_cast<double>(uint64_t{1} << (b + 1)) / 1e9;
       double max = max_seconds();
       return upper < max ? upper : max;
     }
@@ -87,9 +88,9 @@ void Histogram::Reset() {
     bucket.store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
-  sum_micros_.store(0, std::memory_order_relaxed);
-  min_micros_.store(UINT64_MAX, std::memory_order_relaxed);
-  max_micros_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -183,6 +184,69 @@ std::string MetricsRegistry::RenderTable(bool include_zero) const {
     }
   }
   return table.RenderText();
+}
+
+namespace {
+
+// Prometheus metric name: "vc_" prefix, every byte outside [a-zA-Z0-9_:]
+// replaced with '_'. (Our dotted names become underscored:
+// "detect.candidates" -> "vc_detect_candidates".)
+std::string PrometheusName(const std::string& name) {
+  std::string out = "vc_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Shortest round-trippable decimal for bucket bounds and sums; avoids
+// locale-dependent formatting.
+std::string PrometheusDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string pname = PrometheusName(name) + "_total";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " histogram\n";
+    // Cumulative buckets in seconds, up to the highest occupied bucket.
+    int top = -1;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (histogram->BucketCount(b) > 0) {
+        top = b;
+      }
+    }
+    uint64_t cumulative = 0;
+    for (int b = 0; b <= top; ++b) {
+      cumulative += histogram->BucketCount(b);
+      double upper = static_cast<double>(uint64_t{1} << (b + 1)) / 1e9;
+      out += pname + "_bucket{le=\"" + PrometheusDouble(upper) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_bucket{le=\"+Inf\"} " + std::to_string(histogram->count()) + "\n";
+    out += pname + "_sum " + PrometheusDouble(histogram->sum_seconds()) + "\n";
+    out += pname + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -58,22 +58,27 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Log-scale latency histogram over microseconds: bucket b counts samples in
-// [2^b, 2^(b+1)) µs (bucket 0 additionally holds sub-microsecond samples).
-// Concurrent Record calls are lock-free; count/sum/min/max are exact,
-// percentiles are bucket-resolution approximations.
+// Log-scale latency histogram over nanoseconds: bucket b counts samples in
+// [2^b, 2^(b+1)) ns (bucket 0 additionally holds sub-nanosecond samples).
+// Nanosecond-internal storage keeps sub-microsecond stages (fast per-function
+// detect spans) from all collapsing into one bucket; seconds appear only at
+// the export accessors. Concurrent Record calls are lock-free;
+// count/sum/min/max are exact, percentiles are bucket-resolution
+// approximations.
 class Histogram {
  public:
-  static constexpr int kBuckets = 40;  // 2^39 µs ≈ 6.4 days: plenty
+  static constexpr int kBuckets = 50;  // 2^49 ns ≈ 6.5 days: plenty
 
   void Record(double seconds) {
-    RecordMicros(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e6));
+    RecordNanos(seconds <= 0.0 ? 0 : static_cast<uint64_t>(seconds * 1e9));
   }
-  void RecordMicros(uint64_t micros);
+  void RecordNanos(uint64_t nanos);
+  // Compatibility shim for call sites that measure in microseconds.
+  void RecordMicros(uint64_t micros) { RecordNanos(micros * 1000); }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_seconds() const {
-    return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) / 1e6;
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e9;
   }
   double mean_seconds() const;
   double min_seconds() const;
@@ -85,8 +90,8 @@ class Histogram {
   uint64_t BucketCount(int bucket) const {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
-  // Inclusive lower bound of a bucket, in microseconds.
-  static uint64_t BucketLowerMicros(int bucket) {
+  // Inclusive lower bound of a bucket, in nanoseconds.
+  static uint64_t BucketLowerNanos(int bucket) {
     return bucket == 0 ? 0 : (uint64_t{1} << bucket);
   }
 
@@ -95,9 +100,9 @@ class Histogram {
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_micros_{0};
-  std::atomic<uint64_t> min_micros_{UINT64_MAX};
-  std::atomic<uint64_t> max_micros_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
 };
 
 // One name-sorted row of a registry snapshot, pre-formatted for tables/JSON.
@@ -133,6 +138,13 @@ class MetricsRegistry {
   // Aligned text table of the snapshot (via TableWriter); histogram times in
   // milliseconds. Skips zero-count metrics unless include_zero.
   std::string RenderTable(bool include_zero = false) const;
+
+  // Prometheus text exposition (version 0.0.4) of every registered metric.
+  // Names are prefixed "vc_" and sanitized to [a-zA-Z0-9_:]; counters gain a
+  // "_total" suffix per convention. Histograms export cumulative le-buckets
+  // in seconds plus _sum/_count. Name-sorted within each metric kind, so the
+  // dump is layout-stable.
+  std::string RenderPrometheus() const;
 
   // Zeroes every metric (registrations survive, references stay valid).
   void ResetAll();

@@ -1,0 +1,111 @@
+#include "src/support/profile_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+namespace vc {
+
+namespace {
+
+// Frame names must not contain the collapsed format's separators.
+std::string SanitizeFrame(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ';' || c == ' ' || c == '\n' || c == '\t') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+struct OpenFrame {
+  std::string name;
+  int64_t end_ts = 0;       // exclusive end of the span
+  int64_t dur = 0;          // total duration
+  int64_t children_dur = 0; // duration covered by direct children
+};
+
+}  // namespace
+
+std::string CollapseTraceEvents(std::vector<TraceEvent> events) {
+  // Group by thread: containment only makes sense within one thread's spans.
+  std::map<int, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& event : events) {
+    by_tid[event.tid].push_back(&event);
+  }
+
+  std::map<std::string, uint64_t> weights;
+  for (auto& [tid, spans] : by_tid) {
+    // Parents sort before children: earlier start first, and on a tie the
+    // longer (outer) span first.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_micros != b->ts_micros) {
+                         return a->ts_micros < b->ts_micros;
+                       }
+                       return a->dur_micros > b->dur_micros;
+                     });
+    std::vector<OpenFrame> stack;
+    auto pop = [&] {
+      OpenFrame frame = stack.back();
+      // Path is the full open stack including the frame being closed.
+      std::string path;
+      for (const OpenFrame& f : stack) {
+        if (!path.empty()) {
+          path += ';';
+        }
+        path += f.name;
+      }
+      stack.pop_back();
+      int64_t self = frame.dur - frame.children_dur;
+      if (self > 0) {
+        weights[path] += static_cast<uint64_t>(self);
+      }
+    };
+    for (const TraceEvent* span : spans) {
+      while (!stack.empty() && span->ts_micros >= stack.back().end_ts) {
+        pop();
+      }
+      if (!stack.empty()) {
+        stack.back().children_dur += span->dur_micros;
+      }
+      OpenFrame frame;
+      frame.name = SanitizeFrame(span->name);
+      frame.end_ts = span->ts_micros + span->dur_micros;
+      frame.dur = span->dur_micros;
+      stack.push_back(std::move(frame));
+    }
+    while (!stack.empty()) {
+      pop();
+    }
+  }
+
+  // Degenerate traces (every span sub-microsecond) would fold to nothing;
+  // keep at least the top-level spans visible with a 1µs floor.
+  if (weights.empty() && !events.empty()) {
+    for (const TraceEvent& event : events) {
+      std::string name = SanitizeFrame(event.name);
+      uint64_t w = event.dur_micros > 0 ? static_cast<uint64_t>(event.dur_micros) : 1;
+      weights[name] = std::max(weights[name], w);
+    }
+  }
+
+  // std::map iteration is already sorted: byte-stable output.
+  std::string out;
+  for (const auto& [path, weight] : weights) {
+    out += path + " " + std::to_string(weight) + "\n";
+  }
+  return out;
+}
+
+bool WriteCollapsedProfile(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out << CollapseTraceEvents(TraceCollector::Global().SnapshotEvents());
+  return out.good();
+}
+
+}  // namespace vc

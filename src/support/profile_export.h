@@ -1,0 +1,30 @@
+// Collapsed-stack profile export: folds the TraceCollector's flat complete
+// spans into flamegraph.pl's collapsed format — one line per unique stack,
+// "frame;frame;frame <weight>", weight in microseconds of self time.
+//
+// Stacks are reconstructed per thread by time-interval containment: spans are
+// sorted by (start asc, duration desc) and a span nests under the innermost
+// still-open span that contains it. Self time is a span's duration minus the
+// total duration of its direct children, clamped at zero. Output lines are
+// sorted, so identical traces fold to byte-identical profiles.
+
+#ifndef VALUECHECK_SRC_SUPPORT_PROFILE_EXPORT_H_
+#define VALUECHECK_SRC_SUPPORT_PROFILE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/trace.h"
+
+namespace vc {
+
+// Pure fold over a span list (testable without the global collector).
+std::string CollapseTraceEvents(std::vector<TraceEvent> events);
+
+// Folds TraceCollector::Global()'s buffered spans and writes them to `path`.
+// Returns false on I/O failure.
+bool WriteCollapsedProfile(const std::string& path);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_PROFILE_EXPORT_H_

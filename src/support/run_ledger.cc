@@ -61,6 +61,24 @@ void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
   json.Int("steals", m.pool_steals);
   json.Double("idle_seconds", m.pool_idle_seconds);
   json.EndObject();
+  // v2: memory accounting. Only written when collected, so records from runs
+  // without --metrics stay byte-compatible with v1 readers (which ignore
+  // unknown keys anyway).
+  if (m.mem_collected) {
+    json.Key("memory").BeginObject();
+    json.Bool("collected", true);
+    json.Int("ast_bytes", m.mem_ast_bytes);
+    json.Int("ast_objects", m.mem_ast_objects);
+    json.Int("ir_bytes", m.mem_ir_bytes);
+    json.Int("ir_objects", m.mem_ir_objects);
+    json.Int("points_to_bytes", m.mem_points_to_bytes);
+    json.Int("points_to_objects", m.mem_points_to_objects);
+    json.Int("strings_bytes", m.mem_strings_bytes);
+    json.Int("strings_objects", m.mem_strings_objects);
+    json.Int("tracked_bytes", m.mem_tracked_bytes);
+    json.Int("peak_rss_bytes", m.mem_peak_rss_bytes);
+    json.EndObject();
+  }
   json.EndObject();  // metrics
 }
 
@@ -95,6 +113,21 @@ LedgerMetrics ReadMetrics(const JsonValue& value) {
   m.pool_tasks = pool.GetInt("tasks");
   m.pool_steals = pool.GetInt("steals");
   m.pool_idle_seconds = pool.GetDouble("idle_seconds");
+  // Absent in pre-v2 records; every field defaults to zero / not-collected.
+  if (value.Has("memory")) {
+    const JsonValue& mem = value.Get("memory");
+    m.mem_collected = mem.GetBool("collected");
+    m.mem_ast_bytes = mem.GetInt("ast_bytes");
+    m.mem_ast_objects = mem.GetInt("ast_objects");
+    m.mem_ir_bytes = mem.GetInt("ir_bytes");
+    m.mem_ir_objects = mem.GetInt("ir_objects");
+    m.mem_points_to_bytes = mem.GetInt("points_to_bytes");
+    m.mem_points_to_objects = mem.GetInt("points_to_objects");
+    m.mem_strings_bytes = mem.GetInt("strings_bytes");
+    m.mem_strings_objects = mem.GetInt("strings_objects");
+    m.mem_tracked_bytes = mem.GetInt("tracked_bytes");
+    m.mem_peak_rss_bytes = mem.GetInt("peak_rss_bytes");
+  }
   return m;
 }
 
@@ -115,6 +148,19 @@ std::string RunRecordToJson(const RunRecord& record) {
     json.StringValue(name);
   }
   json.EndArray();
+  // v2: per-checker stats. Skipped when empty so records round-trip without
+  // inventing data for pre-v2 runs.
+  if (!record.checker_stats.empty()) {
+    json.Key("checker_stats").BeginArray();
+    for (const LedgerCheckerStat& stat : record.checker_stats) {
+      json.BeginObject();
+      json.String("checker", stat.name);
+      json.Int("candidates", stat.candidates);
+      json.Int("findings", stat.findings);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
   json.Key("findings").BeginArray();
   for (const LedgerFinding& finding : record.findings) {
     json.BeginObject();
@@ -160,6 +206,16 @@ std::optional<RunRecord> RunRecordFromJson(const std::string& line, std::string*
     }
   } else {
     record.checkers.push_back("unused-def");
+  }
+  // Absent in pre-v2 records: stays empty ("not recorded").
+  if (value->Has("checker_stats")) {
+    for (const JsonValue& entry : value->Get("checker_stats").Items()) {
+      LedgerCheckerStat stat;
+      stat.name = entry.GetString("checker");
+      stat.candidates = entry.GetInt("candidates");
+      stat.findings = entry.GetInt("findings");
+      record.checker_stats.push_back(std::move(stat));
+    }
   }
   for (const JsonValue& entry : value->Get("findings").Items()) {
     LedgerFinding finding;

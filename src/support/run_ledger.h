@@ -45,6 +45,14 @@ struct LedgerPrunePattern {
   int64_t pruned = 0;
 };
 
+// Per-checker candidate/finding counts (ledger-schema v2; feeds the
+// dashboard's precision trend). Pre-v2 records read back with an empty list.
+struct LedgerCheckerStat {
+  std::string name;
+  int64_t candidates = 0;
+  int64_t findings = 0;
+};
+
 // The metrics slice of a run: schema-v3 StageMetrics flattened to plain
 // numbers. `collected` mirrors AnalysisOptions::collect_metrics; when false
 // only the always-available timings are meaningful.
@@ -70,12 +78,29 @@ struct LedgerMetrics {
   int64_t pool_tasks = 0;
   int64_t pool_steals = 0;
   double pool_idle_seconds = 0.0;
+  // Memory accounting (ledger-schema v2, report-schema v7). Byte/object
+  // counts are exact and deterministic; peak RSS is a per-run sample. All
+  // zero (mem_collected false) in pre-v2 records.
+  bool mem_collected = false;
+  int64_t mem_ast_bytes = 0;
+  int64_t mem_ast_objects = 0;
+  int64_t mem_ir_bytes = 0;
+  int64_t mem_ir_objects = 0;
+  int64_t mem_points_to_bytes = 0;
+  int64_t mem_points_to_objects = 0;
+  int64_t mem_strings_bytes = 0;
+  int64_t mem_strings_objects = 0;
+  int64_t mem_tracked_bytes = 0;
+  int64_t mem_peak_rss_bytes = 0;
 };
 
 // One analysis run. `run_id` is assigned by RunLedger::Append when empty
 // ("r0001", "r0002", ... in append order).
 struct RunRecord {
-  static constexpr int kSchemaVersion = 1;
+  // v1: initial schema. v2: per-checker stats + memory accounting fields;
+  // every addition reads back as zero/empty from older lines, so mixed-version
+  // ledgers load and diff cleanly.
+  static constexpr int kSchemaVersion = 2;
 
   std::string run_id;
   int64_t timestamp_ms = 0;     // caller-supplied wall clock (0 = unknown)
@@ -90,6 +115,9 @@ struct RunRecord {
   // records read back as {"unused-def"}; the differ uses this to tell "the
   // finding was fixed" apart from "its checker wasn't enabled".
   std::vector<std::string> checkers;
+  // Per-checker candidates/findings in registry order (empty in pre-v2
+  // records — consumers must treat "absent" as "not recorded", not zero).
+  std::vector<LedgerCheckerStat> checker_stats;
   std::vector<LedgerFinding> findings;
   LedgerMetrics metrics;
 };

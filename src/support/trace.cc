@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "src/support/json_writer.h"
+#include "src/support/metrics.h"
 
 namespace vc {
 
@@ -48,6 +49,11 @@ TraceCollector::ThreadBuffer& TraceCollector::LocalBuffer() {
 
 void TraceCollector::Record(TraceEvent event) {
   ThreadBuffer& buffer = LocalBuffer();
+  if (buffer.events.size() >= thread_buffer_cap()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter("trace.dropped_spans").Add(1);
+    return;
+  }
   event.tid = buffer.tid;
   buffer.events.push_back(std::move(event));
 }
@@ -59,6 +65,26 @@ size_t TraceCollector::EventCount() const {
     total += buffer->events.size();
   }
   return total;
+}
+
+std::vector<TraceEvent> TraceCollector::SnapshotEvents() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      for (const TraceEvent& event : buffer->events) {
+        events.push_back(event);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_micros != b.ts_micros) {
+                       return a.ts_micros < b.ts_micros;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return events;
 }
 
 std::string TraceCollector::ToJson() const {
@@ -102,6 +128,14 @@ std::string TraceCollector::ToJson() const {
   }
   json.EndArray();
   json.String("displayTimeUnit", "ms");
+  uint64_t dropped = dropped_count();
+  if (dropped > 0) {
+    // Explicit cap note: the trace is incomplete, and by how much.
+    json.Int("droppedEvents", static_cast<int64_t>(dropped));
+    json.String("droppedNote",
+                "per-thread buffer cap (" + std::to_string(thread_buffer_cap()) +
+                    " events) reached; " + std::to_string(dropped) + " span(s) dropped");
+  }
   json.EndObject();
   return json.str();
 }
@@ -120,6 +154,7 @@ void TraceCollector::Clear() {
   for (auto& buffer : buffers_) {
     buffer->events.clear();
   }
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 void TraceSpan::Begin(std::string name, const char* category) {

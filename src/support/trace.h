@@ -44,6 +44,10 @@ struct TraceEvent {
 
 class TraceCollector {
  public:
+  // Per-thread buffer cap: spans past this are dropped (counted, never
+  // silently) so a pathological run cannot grow the trace without bound.
+  static constexpr size_t kDefaultThreadBufferCap = 1u << 20;
+
   static TraceCollector& Global();
 
   // Starts a collection epoch: drops buffered events and re-bases timestamps.
@@ -54,10 +58,27 @@ class TraceCollector {
   // Microseconds since the current epoch's Enable() call.
   int64_t NowMicros() const;
 
-  // Appends a complete event to the calling thread's buffer.
+  // Appends a complete event to the calling thread's buffer. Once a thread's
+  // buffer holds thread_buffer_cap() events, further spans are dropped and
+  // counted in dropped_count() plus the "trace.dropped_spans" registry
+  // counter; ToJson() carries an explicit cap note.
   void Record(TraceEvent event);
 
   size_t EventCount() const;
+  // Spans dropped due to the per-thread cap since the last Enable()/Clear().
+  uint64_t dropped_count() const { return dropped_.load(std::memory_order_relaxed); }
+
+  size_t thread_buffer_cap() const {
+    return thread_buffer_cap_.load(std::memory_order_relaxed);
+  }
+  // Test hook: shrink the cap to exercise the overflow path cheaply.
+  void SetThreadBufferCapForTest(size_t cap) {
+    thread_buffer_cap_.store(cap, std::memory_order_relaxed);
+  }
+
+  // Stable-ordered copy of every buffered event, sorted by (ts, tid) like
+  // ToJson(); input for the collapsed-stack profile exporter.
+  std::vector<TraceEvent> SnapshotEvents() const;
 
   // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
   // Events are ordered by (ts, tid) so output is layout-stable.
@@ -80,6 +101,8 @@ class TraceCollector {
   ThreadBuffer& LocalBuffer();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<size_t> thread_buffer_cap_{kDefaultThreadBufferCap};
   std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
   mutable std::mutex mutex_;  // guards buffers_ registration and export
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

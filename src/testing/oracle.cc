@@ -254,8 +254,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           {OracleKind::kJsonRoundTrip, "", "report JSON does not parse: " + error});
     } else {
       const JsonValue& findings = doc->Get("findings");
-      if (doc->GetInt("schema_version") != 6) {
-        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 6"});
+      if (doc->GetInt("schema_version") != 7) {
+        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 7"});
       } else if (findings.Size() != with_metrics.findings.size()) {
         verdict.failures.push_back(
             {OracleKind::kJsonRoundTrip, "",

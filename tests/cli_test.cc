@@ -263,11 +263,12 @@ TEST_F(CliTest, ObservabilityDoesNotChangeFindings) {
                                       " --log-level=debug --jobs=2" + fmt);
     EXPECT_EQ(plain.exit_code, observed.exit_code) << format;
     if (std::string(format) == "json") {
-      // The JSON report legitimately gains the metrics block; findings and
-      // prune stats within it must agree.
+      // The JSON report legitimately gains the metrics + memory blocks;
+      // the findings array (not the checker_stats "findings" counts, hence
+      // the "[" anchor) must agree byte for byte.
       EXPECT_NE(observed.output.find("\"metrics\":"), std::string::npos);
-      size_t plain_findings = plain.output.find("\"findings\":");
-      size_t observed_findings = observed.output.find("\"findings\":");
+      size_t plain_findings = plain.output.find("\"findings\":[");
+      size_t observed_findings = observed.output.find("\"findings\":[");
       ASSERT_NE(plain_findings, std::string::npos);
       ASSERT_NE(observed_findings, std::string::npos);
       EXPECT_EQ(plain.output.substr(plain_findings),
@@ -297,7 +298,7 @@ TEST_F(CliTest, BadLogLevelRejectedWithUsage) {
 TEST_F(CliTest, JsonReportCarriesDiagnosticsBlock) {
   std::string path = Write("buggy.c", kBuggy);
   RunResult result = RunCli(path + " --format=json");
-  EXPECT_NE(result.output.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(result.output.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(result.output.find("\"diagnostics\":{\"warnings\":"), std::string::npos);
 }
 
@@ -417,6 +418,85 @@ TEST_F(CliTest, ReportHtmlRendersTrendDashboard) {
   EXPECT_NE(html.find("r0002"), std::string::npos);
 }
 
+TEST_F(CliTest, ObservabilityFlagsProduceArtifactsWithoutPerturbingFindings) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  std::string events_path = (dir_ / "obs" / "events.jsonl").string();
+  std::string profile_path = (dir_ / "obs" / "profile.folded").string();
+  std::string prom_path = (dir_ / "obs" / "metrics.prom").string();
+
+  RunResult plain = RunCliStdout("--format=json --jobs=2 " + dir_.string());
+  RunResult observed = RunCliStdout(
+      "--format=json --jobs=2 --progress --events=" + events_path +
+      " --profile=" + profile_path + " --metrics-out=" + prom_path + " " + dir_.string());
+  EXPECT_EQ(plain.exit_code, observed.exit_code);
+  // --metrics-out implies metrics collection, so the JSON gains the metrics
+  // and memory blocks; the findings tail must be byte-identical.
+  EXPECT_NE(observed.output.find("\"memory\":{"), std::string::npos);
+  EXPECT_NE(observed.output.find("\"tracked_bytes\":"), std::string::npos);
+  size_t plain_findings = plain.output.find("\"findings\":[");
+  size_t observed_findings = observed.output.find("\"findings\":[");
+  ASSERT_NE(plain_findings, std::string::npos);
+  ASSERT_NE(observed_findings, std::string::npos);
+  EXPECT_EQ(plain.output.substr(plain_findings), observed.output.substr(observed_findings));
+
+  // Events stream: JSONL bracketed by run_start/run_end, with per-file stages.
+  std::ifstream events_in(events_path);
+  ASSERT_TRUE(events_in.good()) << "events not written: " << events_path;
+  std::string events((std::istreambuf_iterator<char>(events_in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(events.rfind("{\"event\":\"run_start\",\"seq\":0,", 0), 0u)
+      << events.substr(0, 120);
+  EXPECT_NE(events.find("\"event\":\"stage_end\""), std::string::npos);
+  EXPECT_NE(events.find("\"event\":\"checker_done\""), std::string::npos);
+  EXPECT_NE(events.find("\"event\":\"run_end\""), std::string::npos);
+  EXPECT_NE(events.find("\"findings\":"), std::string::npos);
+
+  // Collapsed profile: non-empty, every line "frame[;frame...] weight".
+  std::ifstream profile_in(profile_path);
+  ASSERT_TRUE(profile_in.good()) << "profile not written: " << profile_path;
+  std::string line;
+  int profile_lines = 0;
+  while (std::getline(profile_in, line)) {
+    ++profile_lines;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+  }
+  EXPECT_GT(profile_lines, 0);
+
+  // Prometheus dump: typed vc_-prefixed families incl. the mem gauges.
+  std::ifstream prom_in(prom_path);
+  ASSERT_TRUE(prom_in.good()) << "metrics not written: " << prom_path;
+  std::string prom((std::istreambuf_iterator<char>(prom_in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(prom.find("# TYPE vc_detect_functions_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("vc_mem_tracked_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("_bucket{le="), std::string::npos);
+}
+
+TEST_F(CliTest, DashboardRendersPerCheckerAndMemoryTrends) {
+  std::string path = Write("buggy.c", kBuggy);
+  std::string ledger = (dir_ / "ledger").string();
+  // Three ledger runs (--ledger implies metrics, hence memory accounting).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(RunCli("analyze --ledger=" + ledger + " " + path).exit_code, 1);
+  }
+  std::string html_path = (dir_ / "dashboard.html").string();
+  RunResult report = RunCli("report --ledger=" + ledger + " --html=" + html_path);
+  EXPECT_EQ(report.exit_code, 0) << report.output;
+  std::ifstream in(html_path);
+  ASSERT_TRUE(in.good());
+  std::string html((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(html.find("Per-checker trends"), std::string::npos);
+  EXPECT_NE(html.find("unused-def findings"), std::string::npos);
+  EXPECT_NE(html.find("precision % (findings/candidates)"), std::string::npos);
+  EXPECT_NE(html.find("Memory (3 run(s) with accounting)"), std::string::npos);
+  EXPECT_NE(html.find("tracked MB (exact)"), std::string::npos);
+  EXPECT_NE(html.find("peak RSS MB (sampled)"), std::string::npos);
+}
+
 TEST_F(CliTest, DiffOnMissingLedgerExitsTwo) {
   RunResult result = RunCli("diff --ledger=" + (dir_ / "nope").string());
   EXPECT_EQ(result.exit_code, 2);
@@ -462,7 +542,7 @@ TEST_F(CliTest, FaultInjectJsonReportCarriesQuarantineBlock) {
   Write("buggy.c", kBuggy);
   RunResult result = RunCliStdout(dir_.string() + " --format=json --fault-inject 1:1.0");
   EXPECT_EQ(result.exit_code, 0);
-  EXPECT_NE(result.output.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(result.output.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(result.output.find("\"degraded\":true"), std::string::npos);
   EXPECT_NE(result.output.find("\"quarantined\":[{"), std::string::npos);
   EXPECT_NE(result.output.find("\"stage\":\"parse\""), std::string::npos);

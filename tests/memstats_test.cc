@@ -1,0 +1,156 @@
+// Memory-accounting substrate tests: the MemoryTracker's concurrent
+// exactness contract (relaxed atomic sums commute, so 8 racing threads lose
+// nothing — run under TSan in the sanitizer configs), RSS sampling, registry
+// gauge publication, and the run-level attribution equality that the
+// pipeline-facing tests in parallel_determinism_test.cc rely on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/analysis.h"
+#include "src/support/memstats.h"
+#include "src/support/metrics.h"
+
+namespace vc {
+namespace {
+
+TEST(MemCategory, NamesAreStableSnakeCase) {
+  EXPECT_STREQ(MemCategoryName(MemCategory::kAstNodes), "ast_nodes");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kIrInstructions), "ir_instructions");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kPointsToSets), "points_to_sets");
+  EXPECT_STREQ(MemCategoryName(MemCategory::kInternedStrings), "interned_strings");
+}
+
+TEST(MemoryTracker, ConcurrentAddsAreExactAcrossEightThreads) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  tracker.ResetAll();
+  tracker.Enable();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Rotate categories so every slot sees contention from every thread.
+        tracker.Add(static_cast<MemCategory>(i % kMemCategoryCount),
+                    static_cast<uint64_t>(i % 7) + 1, 1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  uint64_t expected_bytes = 0;
+  uint64_t expected_objects[kMemCategoryCount] = {};
+  uint64_t expected_cat_bytes[kMemCategoryCount] = {};
+  for (int i = 0; i < kPerThread; ++i) {
+    int c = i % kMemCategoryCount;
+    expected_cat_bytes[c] += static_cast<uint64_t>(i % 7) + 1;
+    expected_objects[c] += 1;
+  }
+  for (int c = 0; c < kMemCategoryCount; ++c) {
+    MemCount count = tracker.Get(static_cast<MemCategory>(c));
+    EXPECT_EQ(count.bytes, expected_cat_bytes[c] * kThreads) << "category " << c;
+    EXPECT_EQ(count.objects, expected_objects[c] * kThreads) << "category " << c;
+    expected_bytes += expected_cat_bytes[c] * kThreads;
+  }
+  EXPECT_EQ(tracker.TotalTrackedBytes(), expected_bytes);
+
+  tracker.ResetAll();
+  tracker.Disable();
+  EXPECT_EQ(tracker.TotalTrackedBytes(), 0u);
+}
+
+TEST(MemoryTracker, RssSampleKeepsHighWaterMark) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  tracker.ResetAll();
+  tracker.SampleRss();
+  uint64_t first = tracker.peak_rss_bytes();
+  // A live process always has a nonzero peak RSS on Linux (VmHWM or
+  // ru_maxrss); if both probes fail this is 0 and the expectation flags it.
+  EXPECT_GT(first, 0u);
+  tracker.SampleRss();
+  EXPECT_GE(tracker.peak_rss_bytes(), first);  // monotone high-water mark
+  tracker.ResetAll();
+}
+
+TEST(MemoryTracker, PublishRegistryGaugesExportsMemMetrics) {
+  MemoryTracker& tracker = MemoryTracker::Global();
+  tracker.ResetAll();
+  tracker.Enable();
+  tracker.Add(MemCategory::kAstNodes, 1234, 10);
+  tracker.Add(MemCategory::kPointsToSets, 500, 5);
+  tracker.SampleRss();
+  tracker.PublishRegistryGauges();
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("mem.ast_nodes.bytes").value(), 1234);
+  EXPECT_EQ(registry.GetGauge("mem.ast_nodes.objects").value(), 10);
+  EXPECT_EQ(registry.GetGauge("mem.points_to_sets.bytes").value(), 500);
+  EXPECT_EQ(registry.GetGauge("mem.tracked_bytes").value(), 1234 + 500);
+  EXPECT_GT(registry.GetGauge("mem.peak_rss_bytes").value(), 0);
+
+  // The Prometheus exposition carries them (sanitized names).
+  std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("vc_mem_ast_nodes_bytes 1234"), std::string::npos);
+  EXPECT_NE(prom.find("vc_mem_tracked_bytes 1734"), std::string::npos);
+
+  tracker.ResetAll();
+  tracker.Disable();
+}
+
+TEST(ProcessPeakRss, ReturnsPlausibleValue) {
+  uint64_t rss = ProcessPeakRssBytes();
+  // More than 1 MB (any live process) and less than 1 TB (sanity).
+  EXPECT_GT(rss, 1u << 20);
+  EXPECT_LT(rss, uint64_t{1} << 40);
+}
+
+// Run-level attribution: the per-run MemoryStats assembled from slot-indexed
+// sums must not depend on scheduling. This is the source-file variant of the
+// repository-level test in parallel_determinism_test.cc, small enough to run
+// under TSan quickly.
+TEST(MemoryStats, SourceRunsAgreeAtJobs1And8) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (int i = 0; i < 16; ++i) {
+    std::string name = "m" + std::to_string(i) + ".c";
+    files.emplace_back(name,
+                       "int f" + std::to_string(i) +
+                           "(int a, int b) {\n"
+                           "  int dead = a + b;\n"
+                           "  dead = b;\n"
+                           "  int *p = &a;\n"
+                           "  return *p + dead;\n"
+                           "}\n");
+  }
+  AnalysisOptions serial;
+  serial.jobs = 1;
+  serial.collect_metrics = true;
+  AnalysisReport baseline = Analysis(serial).RunOnSources(files);
+  ASSERT_TRUE(baseline.memory.collected);
+  EXPECT_GT(baseline.memory.TrackedBytes(), 0u);
+
+  AnalysisOptions parallel;
+  parallel.jobs = 8;
+  parallel.collect_metrics = true;
+  AnalysisReport report = Analysis(parallel).RunOnSources(files);
+  ASSERT_TRUE(report.memory.collected);
+  for (int c = 0; c < kMemCategoryCount; ++c) {
+    EXPECT_EQ(report.memory.categories[c].bytes, baseline.memory.categories[c].bytes)
+        << "category " << c;
+    EXPECT_EQ(report.memory.categories[c].objects, baseline.memory.categories[c].objects)
+        << "category " << c;
+  }
+  EXPECT_EQ(report.memory.TrackedBytes(), baseline.memory.TrackedBytes());
+  MetricsRegistry::Global().Disable();
+  MemoryTracker::Global().Disable();
+}
+
+}  // namespace
+}  // namespace vc

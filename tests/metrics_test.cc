@@ -92,21 +92,41 @@ TEST(Histogram, ExactCountSumMinMax) {
   EXPECT_NEAR(histogram.mean_seconds(), 370e-6, 1e-12);
 }
 
-TEST(Histogram, BucketsAreLogScale) {
+TEST(Histogram, BucketsAreLogScaleNanoseconds) {
   Histogram histogram;
-  histogram.RecordMicros(0);   // bucket 0
-  histogram.RecordMicros(1);   // bucket 0: [1, 2)
-  histogram.RecordMicros(2);   // bucket 1: [2, 4)
-  histogram.RecordMicros(3);   // bucket 1
-  histogram.RecordMicros(4);   // bucket 2: [4, 8)
-  histogram.RecordMicros(7);   // bucket 2
-  histogram.RecordMicros(8);   // bucket 3: [8, 16)
+  histogram.RecordNanos(0);   // bucket 0
+  histogram.RecordNanos(1);   // bucket 0: [1, 2)
+  histogram.RecordNanos(2);   // bucket 1: [2, 4)
+  histogram.RecordNanos(3);   // bucket 1
+  histogram.RecordNanos(4);   // bucket 2: [4, 8)
+  histogram.RecordNanos(7);   // bucket 2
+  histogram.RecordNanos(8);   // bucket 3: [8, 16)
   EXPECT_EQ(histogram.BucketCount(0), 2u);
   EXPECT_EQ(histogram.BucketCount(1), 2u);
   EXPECT_EQ(histogram.BucketCount(2), 2u);
   EXPECT_EQ(histogram.BucketCount(3), 1u);
-  EXPECT_EQ(Histogram::BucketLowerMicros(0), 0u);
-  EXPECT_EQ(Histogram::BucketLowerMicros(3), 8u);
+  EXPECT_EQ(Histogram::BucketLowerNanos(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerNanos(3), 8u);
+}
+
+TEST(Histogram, SubMicrosecondSamplesStayDistinct) {
+  // The ns-internal representation separates samples the old µs-internal
+  // histogram collapsed into one bucket at zero.
+  Histogram histogram;
+  histogram.RecordNanos(100);  // bucket 6: [64, 128)
+  histogram.RecordNanos(900);  // bucket 9: [512, 1024)
+  EXPECT_EQ(histogram.BucketCount(6), 1u);
+  EXPECT_EQ(histogram.BucketCount(9), 1u);
+  EXPECT_DOUBLE_EQ(histogram.min_seconds(), 100e-9);
+  EXPECT_DOUBLE_EQ(histogram.max_seconds(), 900e-9);
+  EXPECT_DOUBLE_EQ(histogram.sum_seconds(), 1000e-9);
+}
+
+TEST(Histogram, MicrosShimScalesToNanos) {
+  Histogram histogram;
+  histogram.RecordMicros(1);  // 1000 ns -> bucket 9: [512, 1024)
+  EXPECT_EQ(histogram.BucketCount(9), 1u);
+  EXPECT_DOUBLE_EQ(histogram.sum_seconds(), 1e-6);
 }
 
 TEST(Histogram, ConcurrentRecordsKeepCountAndSumExact) {
@@ -151,10 +171,10 @@ TEST(Histogram, PercentilesBracketTheDistribution) {
   double p50 = histogram.PercentileSeconds(0.50);
   double p95 = histogram.PercentileSeconds(0.95);
   double p100 = histogram.PercentileSeconds(1.0);
-  // p50/p95 land in the [8,16)µs bucket; upper bound is 16µs.
+  // p50/p95 land in the [8192,16384)ns bucket; upper bound is 16.384µs.
   EXPECT_GE(p50, 10e-6);
-  EXPECT_LE(p50, 16e-6);
-  EXPECT_LE(p95, 16e-6);
+  EXPECT_LE(p50, 16.384e-6);
+  EXPECT_LE(p95, 16.384e-6);
   // The max percentile must see the outlier (clamped to observed max).
   EXPECT_GE(p100, 64e-3);
   EXPECT_LE(p100, 100e-3 + 1e-9);
@@ -221,6 +241,30 @@ TEST(MetricsRegistry, RenderTableMentionsNonZeroMetrics) {
   std::string table = registry.RenderTable();
   EXPECT_NE(table.find("test.render.hits"), std::string::npos);
   EXPECT_NE(table.find("counter"), std::string::npos);
+}
+
+TEST(MetricsRegistry, RenderPrometheusExposesEveryMetricKind) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom.hits").Add(4);
+  registry.GetGauge("test.prom.depth").Set(17);
+  Histogram& histogram = registry.GetHistogram("test.prom.lat");
+  histogram.Reset();
+  histogram.RecordNanos(1000);
+  histogram.RecordNanos(3000);
+
+  std::string out = registry.RenderPrometheus();
+  // Names are vc_-prefixed and sanitized ('.' -> '_'); counters get _total.
+  EXPECT_NE(out.find("# TYPE vc_test_prom_hits_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("vc_test_prom_hits_total 4\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE vc_test_prom_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("vc_test_prom_depth 17\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE vc_test_prom_lat histogram\n"), std::string::npos);
+  // Buckets are cumulative with bounds in seconds: 1000ns lands in the
+  // [512,1024)ns bucket, upper bound 1.024e-06 s.
+  EXPECT_NE(out.find("vc_test_prom_lat_bucket{le=\"1.024e-06\"} 1\n"), std::string::npos);
+  EXPECT_NE(out.find("vc_test_prom_lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("vc_test_prom_lat_sum 4e-06\n"), std::string::npos);
+  EXPECT_NE(out.find("vc_test_prom_lat_count 2\n"), std::string::npos);
 }
 
 TEST(MetricsRegistry, EnableDisableToggleMetricsEnabled) {

@@ -123,7 +123,7 @@ TEST(ParallelDeterminism, JsonReportCarriesSchemaV4Metadata) {
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.1));
   AnalysisReport report = Analysis(WithJobs(2)).RunOnRepository(app.repo);
   std::string json = ReportToJson(report, &app.repo);
-  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(json.find("\"parse_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"detect_seconds\":"), std::string::npos);
@@ -154,12 +154,53 @@ TEST(ParallelDeterminism, ObservabilityDoesNotPerturbFindings) {
     EXPECT_GT(report.stage.functions_analyzed, 0u);
     EXPECT_EQ(report.stage.candidates_detected, report.raw_candidates.size());
 
-    // Spans were collected from the traced run.
+    // Spans were collected from the traced run, and none were dropped: the
+    // pipeline's span volume sits far below the per-thread buffer cap, so any
+    // drop here means the cap logic (or a span flood) regressed.
     EXPECT_GT(collector.EventCount(), 0u) << "jobs=" << jobs;
+    EXPECT_EQ(collector.dropped_count(), 0u) << "jobs=" << jobs;
     std::string trace = collector.ToJson();
     EXPECT_NE(trace.find("\"analysis.run\""), std::string::npos);
     EXPECT_NE(trace.find("\"detect\""), std::string::npos);
     collector.Clear();
+  }
+  MetricsRegistry::Global().Disable();
+}
+
+TEST(ParallelDeterminism, MemoryAccountingIsByteIdenticalAcrossJobs) {
+  GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.15));
+  AnalysisOptions serial = WithJobs(1);
+  serial.collect_metrics = true;
+  AnalysisReport baseline = Analysis(serial).RunOnRepository(app.repo);
+  ASSERT_TRUE(baseline.memory.collected);
+  EXPECT_GT(baseline.memory.TrackedBytes(), 0u);
+  EXPECT_GT(baseline.memory.TrackedObjects(), 0u);
+
+  for (int jobs : {2, 8}) {
+    AnalysisOptions options = WithJobs(jobs);
+    options.collect_metrics = true;
+    AnalysisReport report = Analysis(options).RunOnRepository(app.repo);
+    ASSERT_TRUE(report.memory.collected) << "jobs=" << jobs;
+    // Every byte and object count — totals, per category, and per stage —
+    // is exact; only the RSS samples are allowed to differ.
+    EXPECT_EQ(report.memory.TrackedBytes(), baseline.memory.TrackedBytes()) << "jobs=" << jobs;
+    EXPECT_EQ(report.memory.TrackedObjects(), baseline.memory.TrackedObjects());
+    for (int c = 0; c < kMemCategoryCount; ++c) {
+      EXPECT_EQ(report.memory.categories[c].bytes, baseline.memory.categories[c].bytes)
+          << "jobs=" << jobs << " category=" << c;
+      EXPECT_EQ(report.memory.categories[c].objects, baseline.memory.categories[c].objects)
+          << "jobs=" << jobs << " category=" << c;
+    }
+    ASSERT_EQ(report.memory.stages.size(), baseline.memory.stages.size());
+    for (size_t s = 0; s < baseline.memory.stages.size(); ++s) {
+      EXPECT_EQ(report.memory.stages[s].stage, baseline.memory.stages[s].stage);
+      EXPECT_EQ(report.memory.stages[s].tracked_bytes_delta,
+                baseline.memory.stages[s].tracked_bytes_delta)
+          << "jobs=" << jobs << " stage=" << baseline.memory.stages[s].stage;
+      EXPECT_EQ(report.memory.stages[s].tracked_bytes_peak,
+                baseline.memory.stages[s].tracked_bytes_peak)
+          << "jobs=" << jobs << " stage=" << baseline.memory.stages[s].stage;
+    }
   }
   MetricsRegistry::Global().Disable();
 }

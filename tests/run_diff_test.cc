@@ -180,6 +180,39 @@ TEST(RunDiff, JsonCarriesCheckVerdict) {
   EXPECT_NE(json.find("\"new\":[{\"fingerprint\":\"aaaa\""), std::string::npos);
 }
 
+TEST(RunDiff, MemoryDeltasOnlyWhenBothRunsCollected) {
+  RunRecord a = MakeRun("r0001", {Finding("aaaa")});
+  RunRecord b = MakeRun("r0002", {Finding("aaaa")});
+  a.metrics.mem_collected = true;
+  a.metrics.mem_tracked_bytes = 1000;
+  a.metrics.mem_peak_rss_bytes = 5000;
+  b.metrics.mem_collected = true;
+  b.metrics.mem_tracked_bytes = 1500;
+  b.metrics.mem_peak_rss_bytes = 7000;
+
+  RunDiff diff = ComputeRunDiff(a, b);
+  // Memory rows are reported, never regression-gated.
+  EXPECT_FALSE(diff.HasRegressions());
+  std::string with_timings = RenderDiffText(diff, /*include_timings=*/true);
+  EXPECT_NE(with_timings.find("mem_tracked_bytes"), std::string::npos);
+  EXPECT_NE(with_timings.find("mem_peak_rss_bytes"), std::string::npos);
+  // The exact tracked count is deterministic and renders by default; the
+  // sampled peak-RSS row is machine-dependent and stays out of the default
+  // (byte-identical) rendering.
+  std::string plain = RenderDiffText(diff);
+  EXPECT_NE(plain.find("mem_tracked_bytes"), std::string::npos);
+  EXPECT_EQ(plain.find("mem_peak_rss_bytes"), std::string::npos);
+
+  // Mixed-version diff: the baseline predates memory accounting, so the
+  // memory rows disappear instead of rendering a bogus delta from zero.
+  RunRecord old = MakeRun("r0000", {Finding("aaaa")});
+  ASSERT_FALSE(old.metrics.mem_collected);
+  std::string mixed = RenderDiffText(ComputeRunDiff(old, b), /*include_timings=*/true);
+  EXPECT_EQ(mixed.find("mem_tracked_bytes"), std::string::npos);
+  EXPECT_EQ(mixed.find("mem_peak_rss_bytes"), std::string::npos);
+  EXPECT_FALSE(ComputeRunDiff(old, b).HasRegressions());
+}
+
 TEST(RunDiff, MakeRunRecordCarriesFindingsAndMetrics) {
   AnalysisOptions options;
   options.cross_scope_only = false;
@@ -209,6 +242,13 @@ TEST(RunDiff, MakeRunRecordCarriesFindingsAndMetrics) {
   EXPECT_GT(record.metrics.functions_analyzed, 0);
   ASSERT_EQ(record.metrics.prune_patterns.size(), 5u);
   EXPECT_EQ(record.metrics.prune_patterns[0].name, "config_dependency");
+
+  // v2 payloads ride along when the run collected metrics.
+  EXPECT_TRUE(record.metrics.mem_collected);
+  EXPECT_GT(record.metrics.mem_tracked_bytes, 0);
+  EXPECT_GT(record.metrics.mem_peak_rss_bytes, 0);
+  ASSERT_FALSE(record.checker_stats.empty());
+  EXPECT_FALSE(record.checker_stats[0].name.empty());
 }
 
 }  // namespace

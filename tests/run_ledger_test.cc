@@ -205,6 +205,85 @@ TEST_F(RunLedgerTest, DegradedAndQuarantineCountersRoundTrip) {
   EXPECT_EQ(old->metrics.quarantined_units, 0);
 }
 
+TEST_F(RunLedgerTest, MemoryAndCheckerStatsRoundTripInV2Records) {
+  RunRecord record = SampleRecord("v2");
+  record.run_id = "r0001";
+  record.metrics.mem_collected = true;
+  record.metrics.mem_ast_bytes = 1000;
+  record.metrics.mem_ast_objects = 10;
+  record.metrics.mem_ir_bytes = 2000;
+  record.metrics.mem_ir_objects = 20;
+  record.metrics.mem_points_to_bytes = 300;
+  record.metrics.mem_points_to_objects = 3;
+  record.metrics.mem_strings_bytes = 40;
+  record.metrics.mem_strings_objects = 4;
+  record.metrics.mem_tracked_bytes = 3340;
+  record.metrics.mem_peak_rss_bytes = 50000000;
+  record.checker_stats.push_back({"unused-def", 9, 2});
+  record.checker_stats.push_back({"double-overwrite", 4, 1});
+
+  std::optional<RunRecord> back = RunRecordFromJson(RunRecordToJson(record));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->metrics.mem_collected);
+  EXPECT_EQ(back->metrics.mem_ast_bytes, 1000);
+  EXPECT_EQ(back->metrics.mem_ir_objects, 20);
+  EXPECT_EQ(back->metrics.mem_points_to_bytes, 300);
+  EXPECT_EQ(back->metrics.mem_strings_objects, 4);
+  EXPECT_EQ(back->metrics.mem_tracked_bytes, 3340);
+  EXPECT_EQ(back->metrics.mem_peak_rss_bytes, 50000000);
+  ASSERT_EQ(back->checker_stats.size(), 2u);
+  EXPECT_EQ(back->checker_stats[0].name, "unused-def");
+  EXPECT_EQ(back->checker_stats[0].candidates, 9);
+  EXPECT_EQ(back->checker_stats[1].findings, 1);
+}
+
+// Schema v1 lines (pre memory accounting / per-checker stats) must keep
+// loading: absent blocks read as "not recorded", never as an error.
+TEST_F(RunLedgerTest, PreV2RecordsLoadWithAbsentMeansNotRecorded) {
+  std::string error;
+  std::optional<RunRecord> old = RunRecordFromJson(
+      "{\"schema\":1,\"run_id\":\"r0001\",\"label\":\"legacy\",\"jobs\":2,"
+      "\"findings\":[],\"metrics\":{\"collected\":true,\"analysis_seconds\":1.0}}",
+      &error);
+  ASSERT_TRUE(old.has_value()) << error;
+  EXPECT_FALSE(old->metrics.mem_collected);
+  EXPECT_EQ(old->metrics.mem_tracked_bytes, 0);
+  EXPECT_EQ(old->metrics.mem_peak_rss_bytes, 0);
+  EXPECT_TRUE(old->checker_stats.empty());
+  // And a v2 writer never re-emits the absent blocks for such a record.
+  std::string rewritten = RunRecordToJson(*old);
+  EXPECT_EQ(rewritten.find("\"memory\""), std::string::npos);
+  EXPECT_EQ(rewritten.find("\"checker_stats\""), std::string::npos);
+}
+
+TEST_F(RunLedgerTest, MixedVersionLedgerLoadsAllRecords) {
+  RunLedger ledger(LedgerDir());
+  ledger.Append(SampleRecord("v1-era"));  // no memory, no checker stats
+  RunRecord modern = SampleRecord("v2-era");
+  modern.metrics.mem_collected = true;
+  modern.metrics.mem_tracked_bytes = 1234;
+  modern.checker_stats.push_back({"unused-def", 5, 2});
+  ledger.Append(modern);
+  // A literal pre-v2 line as an old binary would have written it.
+  {
+    std::ofstream out(ledger.LedgerFile(), std::ios::app);
+    out << "{\"schema\":1,\"run_id\":\"r0003\",\"label\":\"ancient\","
+           "\"findings\":[],\"metrics\":{}}\n";
+  }
+  std::string error;
+  int skipped = 0;
+  std::optional<std::vector<RunRecord>> runs = ledger.Load(&error, &skipped);
+  ASSERT_TRUE(runs.has_value()) << error;
+  EXPECT_EQ(skipped, 0);
+  ASSERT_EQ(runs->size(), 3u);
+  EXPECT_FALSE((*runs)[0].metrics.mem_collected);
+  EXPECT_TRUE((*runs)[1].metrics.mem_collected);
+  EXPECT_EQ((*runs)[1].metrics.mem_tracked_bytes, 1234);
+  ASSERT_EQ((*runs)[1].checker_stats.size(), 1u);
+  EXPECT_FALSE((*runs)[2].metrics.mem_collected);
+  EXPECT_TRUE((*runs)[2].checker_stats.empty());
+}
+
 // Append is a single O_APPEND write() per record, so concurrent appenders
 // (CI jobs sharing one ledger) must never tear each other's lines. Run ids
 // are preassigned: id *assignment* reads the ledger first and is only

@@ -32,6 +32,7 @@ run_config() {
   checker_smoke "${name}" "${build_dir}"
   fuzz_smoke "${name}" "${build_dir}"
   fault_smoke "${name}" "${build_dir}"
+  observability_smoke "${name}" "${build_dir}"
 }
 
 # Per-checker smoke: every registered checker (from --list-checkers, baselines
@@ -166,6 +167,52 @@ fault_smoke() {
     return 1
   fi
   echo "fault smoke: ok"
+}
+
+# Observability smoke: one analyze with every observability channel on
+# (--progress heartbeat, --events JSONL, --profile collapsed stacks,
+# --metrics-out Prometheus dump) must produce well-formed artifacts — each
+# validated structurally by vc_obs_lint — and byte-identical stdout findings
+# versus a flag-less run: instrumentation may never perturb results.
+observability_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  local lint="${build_dir}/tools/vc_obs_lint"
+  echo "=== [${name}] observability smoke ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"; trap - RETURN' RETURN
+  # The corpus contains findings, so exit 1 is success; only >= 2 fails.
+  local rc=0
+  "${vc}" analyze --jobs 2 --metrics examples/corpus \
+    >"${tmp}/plain.out" 2>/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "observability smoke: baseline analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  rc=0
+  "${vc}" analyze --jobs 2 --metrics --progress \
+    --events "${tmp}/events.jsonl" \
+    --profile "${tmp}/profile.folded" \
+    --metrics-out "${tmp}/metrics.prom" \
+    examples/corpus >"${tmp}/instrumented.out" 2>/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "observability smoke: instrumented analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  if ! cmp -s "${tmp}/plain.out" "${tmp}/instrumented.out"; then
+    echo "observability smoke: instrumentation changed stdout findings" >&2
+    diff "${tmp}/plain.out" "${tmp}/instrumented.out" | head -20 >&2
+    return 1
+  fi
+  "${lint}" events "${tmp}/events.jsonl" || {
+    echo "observability smoke: events stream failed lint" >&2; return 1; }
+  "${lint}" prom "${tmp}/metrics.prom" || {
+    echo "observability smoke: Prometheus dump failed lint" >&2; return 1; }
+  "${lint}" folded "${tmp}/profile.folded" || {
+    echo "observability smoke: collapsed profile failed lint" >&2; return 1; }
+  echo "observability smoke: ok"
 }
 
 for config in "${CONFIGS[@]}"; do

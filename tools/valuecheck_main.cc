@@ -30,7 +30,11 @@
 //
 // analyze exit codes: 0 no findings, 1 findings, 2 usage/parse error,
 // 3 quarantined units under --strict (graceful mode reports the quarantine on
-// stderr and in the schema-v6 report but keeps the 0/1 contract).
+// stderr and in the schema-v7 report but keeps the 0/1 contract).
+//
+// Observability flags (--metrics, --metrics-out, --trace, --profile,
+// --events, --progress) only ever write to stderr or side files: findings on
+// stdout are byte-identical with any combination of them on or off.
 
 #include <algorithm>
 #include <chrono>
@@ -51,8 +55,11 @@
 #include "src/core/html_dashboard.h"
 #include "src/core/report_formats.h"
 #include "src/core/run_diff.h"
+#include "src/support/events.h"
 #include "src/support/logging.h"
+#include "src/support/memstats.h"
 #include "src/support/metrics.h"
+#include "src/support/profile_export.h"
 #include "src/support/run_ledger.h"
 #include "src/support/string_util.h"
 #include "src/support/table_writer.h"
@@ -117,9 +124,13 @@ struct CliOptions {
   std::string history_path;
   std::string format = "text";
   std::string trace_path;
+  std::string profile_path;
+  std::string events_path;
+  std::string metrics_out_path;
   std::string ledger_dir;
   std::string label;
   bool metrics = false;
+  bool progress = false;
   int top = -1;
   bool all_scopes = false;
   bool strict = false;
@@ -197,6 +208,40 @@ const FlagSpec kFlags[] = {
      "chrome://tracing or Perfetto); parent dirs are created",
      [](CliOptions& o, const std::string& v) {
        o.trace_path = v;
+       return true;
+     }},
+    {"--profile", "FILE", "observability",
+     "write a collapsed-stack CPU profile of the run (one\n"
+     "`frame;frame count` line per stack, flamegraph.pl /\n"
+     "speedscope format); built from the same spans as --trace",
+     [](CliOptions& o, const std::string& v) {
+       o.profile_path = v;
+       return true;
+     }},
+    {"--events", "FILE", "observability",
+     "stream machine-readable run events (run_start, per-file and\n"
+     "per-stage stage_start/stage_end, checker_done, quarantine,\n"
+     "run_end) as JSON lines to FILE while the run executes",
+     [](CliOptions& o, const std::string& v) {
+       o.events_path = v;
+       return true;
+     }},
+    {"--metrics-out", "FILE", "observability",
+     "dump the metrics registry (every counter, gauge, and\n"
+     "histogram, including mem.*) in Prometheus text exposition\n"
+     "format to FILE; implies metrics collection without the\n"
+     "--metrics stderr tables",
+     [](CliOptions& o, const std::string& v) {
+       o.metrics_out_path = v;
+       o.analysis.collect_metrics = true;
+       return true;
+     }},
+    {"--progress", nullptr, "observability",
+     "live one-line progress heartbeat on stderr (files/functions\n"
+     "done, findings, throughput, ETA); findings on stdout are\n"
+     "byte-identical with or without it",
+     [](CliOptions& o, const std::string&) {
+       o.progress = true;
        return true;
      }},
     {"--metrics", nullptr, "AnalysisOptions::collect_metrics",
@@ -599,8 +644,37 @@ int RunAnalyze(const std::vector<std::string>& args) {
     }
     TraceCollector::Global().Enable();
   }
+  // The collapsed-stack profile is derived from the same spans as --trace,
+  // so --profile alone also turns the collector on.
+  if (!options.profile_path.empty()) {
+    if (!EnsureParentDir(options.profile_path)) {
+      return 2;
+    }
+    TraceCollector::Global().Enable();
+  }
   if (options.metrics) {
     MetricsRegistry::Global().Enable();
+  }
+  if (!options.metrics_out_path.empty()) {
+    if (!EnsureParentDir(options.metrics_out_path)) {
+      return 2;
+    }
+    MetricsRegistry::Global().Enable();
+  }
+  if (!options.events_path.empty()) {
+    if (!EnsureParentDir(options.events_path) ||
+        !RunEventLog::Global().Open(options.events_path)) {
+      std::fprintf(stderr, "valuecheck: cannot write events to %s\n",
+                   options.events_path.c_str());
+      return 2;
+    }
+    RunEvent("run_start")
+        .Str("mode", options.history_path.empty() ? "sources" : "history")
+        .Num("jobs", static_cast<int64_t>(options.analysis.jobs))
+        .Emit();
+  }
+  if (options.progress) {
+    ProgressMeter::Global().Start(stderr);
   }
 
   Repository repo;
@@ -643,6 +717,22 @@ int RunAnalyze(const std::vector<std::string>& args) {
   if (report.stage.collected) {
     report.stage.parse_seconds = parse_seconds;
     report.stage.files_parsed = project.units().size();
+  }
+
+  // The heartbeat line ends (with a final render + newline) before anything
+  // else is printed, so the report never interleaves with a redraw.
+  if (options.progress) {
+    ProgressMeter::Global().AddFindings(report.findings.size());
+    ProgressMeter::Global().Stop();
+  }
+  if (RunEventsEnabled()) {
+    RunEvent("run_end")
+        .Num("findings", static_cast<uint64_t>(report.findings.size()))
+        .Num("quarantined", static_cast<uint64_t>(report.quarantined.size()))
+        .Flag("degraded", report.degraded)
+        .Dbl("analysis_seconds", report.analysis_seconds)
+        .Emit();
+    RunEventLog::Global().Close();
   }
 
   // Quarantine summary on stderr (stdout is reserved for the report, which
@@ -700,16 +790,31 @@ int RunAnalyze(const std::vector<std::string>& args) {
     std::fputs("\n=== metrics registry ===\n", stderr);
     std::fputs(MetricsRegistry::Global().RenderTable().c_str(), stderr);
   }
-  if (!options.trace_path.empty()) {
+  if (!options.metrics_out_path.empty()) {
+    std::ofstream prom(options.metrics_out_path, std::ios::trunc | std::ios::binary);
+    prom << MetricsRegistry::Global().RenderPrometheus();
+    prom.flush();
+    if (!prom) {
+      std::fprintf(stderr, "valuecheck: cannot write metrics to %s\n",
+                   options.metrics_out_path.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("wrote Prometheus metrics to " + options.metrics_out_path);
+  }
+  if (!options.trace_path.empty() || !options.profile_path.empty()) {
     TraceCollector& collector = TraceCollector::Global();
     collector.Disable();
-    if (!collector.WriteJson(options.trace_path)) {
+    if (!options.trace_path.empty() && !collector.WriteJson(options.trace_path)) {
       std::fprintf(stderr, "valuecheck: cannot write trace to %s\n",
                    options.trace_path.c_str());
       return 2;
     }
-    VC_LOG_INFO("wrote " + std::to_string(collector.EventCount()) + " trace event(s) to " +
-                options.trace_path);
+    if (!options.profile_path.empty() && !WriteCollapsedProfile(options.profile_path)) {
+      std::fprintf(stderr, "valuecheck: cannot write profile to %s\n",
+                   options.profile_path.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("wrote " + std::to_string(collector.EventCount()) + " trace event(s)");
   }
   if (options.strict && report.degraded) {
     return 3;  // quarantine is an error under --strict (see exit-code table)

@@ -1,0 +1,256 @@
+// vc_obs_lint — validator for the observability artifacts valuecheck emits,
+// used by tools/check.sh's observability smoke and handy interactively:
+//
+//   vc_obs_lint events FILE   one JSON object per line, parsed with the
+//                             project json_reader; "event"/"seq"/"ts_us"
+//                             present on every line; "seq" dense from 0 and
+//                             strictly increasing in file order; first event
+//                             run_start, last run_end
+//   vc_obs_lint prom FILE     Prometheus text exposition 0.0.4: every sample
+//                             line is `name{...} value` with a [a-zA-Z_:]
+//                             leading character, every metric has a # TYPE,
+//                             and at least one vc_ sample exists
+//   vc_obs_lint folded FILE   collapsed-stack: every line is
+//                             `frame(;frame)* <positive integer>`, and the
+//                             file is non-empty
+//
+// Exit 0 on success (prints one summary line), 1 on any violation (first
+// violation printed with its line number), 2 on usage/IO errors.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/json_reader.h"
+
+namespace {
+
+int Fail(const std::string& path, int line_no, const std::string& message) {
+  std::fprintf(stderr, "vc_obs_lint: %s:%d: %s\n", path.c_str(), line_no, message.c_str());
+  return 1;
+}
+
+std::optional<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "vc_obs_lint: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+int LintEvents(const std::string& path) {
+  std::optional<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.has_value()) {
+    return 2;
+  }
+  if (lines->empty()) {
+    return Fail(path, 0, "event stream is empty");
+  }
+  int64_t expected_seq = 0;
+  std::string first_type;
+  std::string last_type;
+  for (size_t i = 0; i < lines->size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string& line = (*lines)[i];
+    if (line.empty()) {
+      return Fail(path, line_no, "empty line in JSONL stream");
+    }
+    std::string error;
+    std::optional<vc::JsonValue> value = vc::ParseJson(line, &error);
+    if (!value.has_value()) {
+      return Fail(path, line_no, "unparsable JSON: " + error);
+    }
+    if (!value->IsObject()) {
+      return Fail(path, line_no, "line is not a JSON object");
+    }
+    if (!value->Has("event") || !value->Has("seq") || !value->Has("ts_us")) {
+      return Fail(path, line_no, "missing required field (event/seq/ts_us)");
+    }
+    int64_t seq = value->GetInt("seq", -1);
+    if (seq != expected_seq) {
+      return Fail(path, line_no,
+                  "seq " + std::to_string(seq) + ", expected " + std::to_string(expected_seq) +
+                      " (must be dense and strictly increasing)");
+    }
+    ++expected_seq;
+    if (value->GetInt("ts_us", -1) < 0) {
+      return Fail(path, line_no, "negative ts_us");
+    }
+    last_type = value->GetString("event");
+    if (i == 0) {
+      first_type = last_type;
+    }
+  }
+  if (first_type != "run_start") {
+    return Fail(path, 1, "first event is '" + first_type + "', expected run_start");
+  }
+  if (last_type != "run_end") {
+    return Fail(path, static_cast<int>(lines->size()),
+                "last event is '" + last_type + "', expected run_end");
+  }
+  std::printf("vc_obs_lint: %s: %zu event(s) OK\n", path.c_str(), lines->size());
+  return 0;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+              (i > 0 && std::isdigit(static_cast<unsigned char>(c)));
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Base metric name of a sample line: everything before the first '{' or ' '.
+std::string SampleName(const std::string& line) {
+  size_t end = line.find_first_of("{ ");
+  return end == std::string::npos ? line : line.substr(0, end);
+}
+
+int LintProm(const std::string& path) {
+  std::optional<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.has_value()) {
+    return 2;
+  }
+  std::vector<std::string> typed;  // names declared by # TYPE, in order
+  size_t samples = 0;
+  bool any_vc = false;
+  for (size_t i = 0; i < lines->size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string& line = (*lines)[i];
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, kind, name, type;
+      meta >> hash >> kind >> name >> type;
+      if (kind == "TYPE") {
+        if (!ValidMetricName(name)) {
+          return Fail(path, line_no, "bad metric name '" + name + "' in TYPE line");
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return Fail(path, line_no, "unknown metric type '" + type + "'");
+        }
+        typed.push_back(name);
+      }
+      continue;
+    }
+    // Sample line: NAME[{labels}] VALUE
+    std::string name = SampleName(line);
+    if (!ValidMetricName(name)) {
+      return Fail(path, line_no, "bad sample metric name '" + name + "'");
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      return Fail(path, line_no, "sample line has no value");
+    }
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    bool inf_nan = value == "+Inf" || value == "-Inf" || value == "NaN";
+    if (!inf_nan && (end == value.c_str() || *end != '\0')) {
+      return Fail(path, line_no, "unparsable sample value '" + value + "'");
+    }
+    // Histogram series (_bucket/_sum/_count) belong to their base TYPE name.
+    bool declared = false;
+    for (const std::string& t : typed) {
+      if (name == t || name == t + "_bucket" || name == t + "_sum" || name == t + "_count") {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      return Fail(path, line_no, "sample '" + name + "' has no preceding # TYPE declaration");
+    }
+    if (name.rfind("vc_", 0) == 0) {
+      any_vc = true;
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    return Fail(path, 0, "no samples in exposition");
+  }
+  if (!any_vc) {
+    return Fail(path, 0, "no vc_-prefixed samples (wrong file?)");
+  }
+  std::printf("vc_obs_lint: %s: %zu sample(s), %zu metric(s) OK\n", path.c_str(), samples,
+              typed.size());
+  return 0;
+}
+
+int LintFolded(const std::string& path) {
+  std::optional<std::vector<std::string>> lines = ReadLines(path);
+  if (!lines.has_value()) {
+    return 2;
+  }
+  size_t stacks = 0;
+  for (size_t i = 0; i < lines->size(); ++i) {
+    const int line_no = static_cast<int>(i) + 1;
+    const std::string& line = (*lines)[i];
+    if (line.empty()) {
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) {
+      return Fail(path, line_no, "expected 'stack weight', got '" + line + "'");
+    }
+    const std::string weight = line.substr(space + 1);
+    char* end = nullptr;
+    long long parsed = std::strtoll(weight.c_str(), &end, 10);
+    if (end == weight.c_str() || *end != '\0' || parsed <= 0) {
+      return Fail(path, line_no, "weight must be a positive integer, got '" + weight + "'");
+    }
+    const std::string stack = line.substr(0, space);
+    if (stack.front() == ';' || stack.back() == ';' || stack.find(";;") != std::string::npos) {
+      return Fail(path, line_no, "malformed frame list '" + stack + "'");
+    }
+    ++stacks;
+  }
+  if (stacks == 0) {
+    return Fail(path, 0, "no stacks in profile");
+  }
+  std::printf("vc_obs_lint: %s: %zu stack(s) OK\n", path.c_str(), stacks);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded> FILE\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+  if (mode == "events") {
+    return LintEvents(path);
+  }
+  if (mode == "prom") {
+    return LintProm(path);
+  }
+  if (mode == "folded") {
+    return LintFolded(path);
+  }
+  std::fprintf(stderr, "vc_obs_lint: unknown mode '%s' (expected events, prom, folded)\n",
+               mode.c_str());
+  return 2;
+}
