@@ -5,9 +5,11 @@
 #ifndef VALUECHECK_BENCH_BENCH_UTIL_H_
 #define VALUECHECK_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/analysis.h"
@@ -51,6 +53,30 @@ inline std::vector<AppEval> RunAllApps(AnalysisOptions options = AnalysisOptions
 inline bool IsRealBug(const AppEval& run, const UnusedDefCandidate& cand) {
   const GtSite* site = run.app.truth.Match(cand.file, cand.def_loc.line);
   return site != nullptr && site->is_real_bug;
+}
+
+// Best-of-N repeat measurement. Sub-second sweep points are noise-dominated
+// when timed once (scheduler wakeups and first-touch page faults easily
+// swing +-20%, which used to print "speedups" like 0.87x); the minimum over
+// N runs is the standard estimator for the undisturbed cost. Returns
+// {best_seconds, mean_seconds}; `fn` runs exactly `repeats` times.
+template <typename Fn>
+inline std::pair<double, double> BestOfN(int repeats, Fn&& fn) {
+  double best = 0.0;
+  double total = 0.0;
+  repeats = repeats < 1 ? 1 : repeats;
+  for (int i = 0; i < repeats; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    total += seconds;
+    if (i == 0 || seconds < best) {
+      best = seconds;
+    }
+  }
+  return {best, total / repeats};
 }
 
 inline std::string ResultPath(const std::string& filename) {

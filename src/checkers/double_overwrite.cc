@@ -81,9 +81,20 @@ std::vector<UnusedDefCandidate> DoubleOverwriteChecker::Check(CheckerContext& ct
     }
   };
 
-  // Fix point: block in-states start optimistic (intersection over the preds
-  // that already have an out-state) and only shrink, so the iteration
-  // converges. Unreachable blocks keep an empty state and report nothing.
+  // Fix point: "no out-state yet" is TOP. A block's in-state is the
+  // intersection over the preds that have materialized an out-state; as more
+  // preds materialize (or their outs shrink), that intersection only
+  // shrinks, the transfer is monotone, so every out-state descends after its
+  // first assignment and the iteration converges.
+  //
+  // The one trap is a block whose preds exist but have ALL still-TOP outs:
+  // seeding it from the empty map would be BOTTOM, not TOP — its out-state
+  // could later have to grow, and a grown state flowing around a loop can
+  // oscillate against the intersection forever (a 1-core sweep over a
+  // generated corpus found exactly that: recursion + address-taken local +
+  // an if inside a loop never converged). Such blocks are skipped until a
+  // pred materializes; blocks with no preds at all (the entry, or dead
+  // code) correctly start from "nothing pending".
   const size_t num_blocks = func.blocks.size();
   std::vector<PendingMap> out(num_blocks);
   std::vector<bool> has_out(num_blocks, false);
@@ -106,6 +117,9 @@ std::vector<UnusedDefCandidate> DoubleOverwriteChecker::Check(CheckerContext& ct
         } else {
           IntersectInto(in, out[pred]);
         }
+      }
+      if (first && !block->preds.empty()) {
+        continue;  // every pred is still TOP: stay TOP, revisit next pass
       }
       for (const Instruction& inst : block->insts) {
         transfer(inst, in, nullptr);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <ctime>
+#include <map>
 #include <set>
 
 #include "src/support/table_writer.h"
@@ -51,15 +53,19 @@ double PruneRatePercent(const LedgerMetrics& m) {
 // One single-series sparkline: a 2px polyline plus hoverable point markers
 // (native <title> tooltips — the zero-script stand-in for a tooltip layer).
 // Single series, so no legend; the tile caption names it and the last value
-// is direct-labeled.
-std::string Sparkline(const std::vector<double>& values, int decimals) {
+// is direct-labeled. `labels` names each point in its tooltip (empty =
+// "run N", the ledger-trend default); `empty_note` is shown when there are
+// too few points to draw a line.
+std::string LabeledSparkline(const std::vector<double>& values,
+                             const std::vector<std::string>& labels, int decimals,
+                             const std::string& empty_note) {
   const double width = 260.0;
   const double height = 56.0;
   const double pad = 6.0;
   std::string svg = "<svg class=\"spark\" viewBox=\"0 0 260 72\" role=\"img\" "
                     "preserveAspectRatio=\"none\">";
   if (values.size() < 2) {
-    svg += "<text x=\"8\" y=\"40\" class=\"spark-empty\">need \xe2\x89\xa5 2 runs for a trend"
+    svg += "<text x=\"8\" y=\"40\" class=\"spark-empty\">" + EscapeHtml(empty_note) +
            "</text></svg>";
     return svg;
   }
@@ -88,10 +94,10 @@ std::string Sparkline(const std::vector<double>& values, int decimals) {
   }
   svg += "<polyline class=\"spark-line\" fill=\"none\" points=\"" + points + "\"/>";
   for (size_t i = 0; i < values.size(); ++i) {
+    std::string label = i < labels.size() ? labels[i] : "run " + std::to_string(i + 1);
     svg += "<circle class=\"spark-dot\" cx=\"" + FormatDouble(x_at(i), 1) + "\" cy=\"" +
-           FormatDouble(y_at(values[i]), 1) + "\" r=\"4\"><title>run " +
-           std::to_string(i + 1) + ": " + FormatDouble(values[i], decimals) +
-           "</title></circle>";
+           FormatDouble(y_at(values[i]), 1) + "\" r=\"4\"><title>" + EscapeHtml(label) +
+           ": " + FormatDouble(values[i], decimals) + "</title></circle>";
   }
   // Direct label on the newest value only (selective labeling).
   svg += "<text class=\"spark-label\" x=\"" + FormatDouble(x_at(values.size() - 1) - 4, 1) +
@@ -99,6 +105,10 @@ std::string Sparkline(const std::vector<double>& values, int decimals) {
          "\" text-anchor=\"end\">" + FormatDouble(values.back(), decimals) + "</text>";
   svg += "</svg>";
   return svg;
+}
+
+std::string Sparkline(const std::vector<double>& values, int decimals) {
+  return LabeledSparkline(values, {}, decimals, "need \xe2\x89\xa5 2 runs for a trend");
 }
 
 void StatTile(std::string& out, const std::string& value, const std::string& caption,
@@ -320,6 +330,79 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
            "</div>";
     out += "<div class=\"card\"><h3>peak RSS MB (sampled)</h3>" + Sparkline(mem_rss_mb, 1) +
            "</div>";
+    out += "</div>\n";
+  }
+
+  // Scalability observatory: utilization/imbalance/critical-path trends over
+  // the runs that produced a perf report (--perf-report or the scalability
+  // bench). Pre-v3 records carry no perf block and contribute no points.
+  std::vector<double> util_trend;
+  std::vector<double> imbalance_trend;
+  std::vector<double> critical_trend;
+  for (const RunRecord& run : runs) {
+    if (!run.metrics.perf_collected) {
+      continue;
+    }
+    util_trend.push_back(100.0 * run.metrics.perf_utilization);
+    imbalance_trend.push_back(run.metrics.perf_imbalance_ratio);
+    critical_trend.push_back(run.metrics.perf_critical_path_seconds);
+  }
+  if (!util_trend.empty()) {
+    out += "<h2>Scalability (" + std::to_string(util_trend.size()) +
+           " run(s) with perf reports)</h2>\n<div class=\"cards\">";
+    out += "<div class=\"card\"><h3>worker utilization % (mean)</h3>" +
+           Sparkline(util_trend, 1) + "</div>";
+    out += "<div class=\"card\"><h3>imbalance (max/mean busy)</h3>" +
+           Sparkline(imbalance_trend, 2) + "</div>";
+    out += "<div class=\"card\"><h3>critical path seconds</h3>" +
+           Sparkline(critical_trend, 3) + "</div>";
+    out += "</div>\n";
+  }
+
+  // Speedup curves from the newest scalability bench sweep: records labeled
+  // "bench:scalability <profile> jobs=N" by bench_table7_scalability. Newest
+  // record wins per (profile, jobs); a curve renders once its profile has a
+  // jobs=1 baseline.
+  const std::string kBenchPrefix = "bench:scalability ";
+  std::vector<std::string> sweep_profiles;                       // first-seen order
+  std::map<std::string, std::map<int, double>> sweep_seconds;    // profile -> jobs -> s
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+    if (it->label.rfind(kBenchPrefix, 0) != 0) {
+      continue;
+    }
+    size_t jobs_pos = it->label.rfind(" jobs=");
+    if (jobs_pos == std::string::npos || jobs_pos <= kBenchPrefix.size()) {
+      continue;
+    }
+    std::string profile = it->label.substr(kBenchPrefix.size(), jobs_pos - kBenchPrefix.size());
+    int jobs = std::atoi(it->label.c_str() + jobs_pos + 6);
+    if (jobs < 1 || sweep_seconds[profile].count(jobs)) {
+      continue;  // older duplicate of a point we already have
+    }
+    if (std::find(sweep_profiles.begin(), sweep_profiles.end(), profile) ==
+        sweep_profiles.end()) {
+      sweep_profiles.push_back(profile);
+    }
+    sweep_seconds[profile][jobs] = it->metrics.analysis_seconds;
+  }
+  if (!sweep_profiles.empty()) {
+    out += "<h2>Speedup vs jobs (latest bench sweep)</h2>\n<div class=\"cards\">";
+    for (const std::string& profile : sweep_profiles) {
+      const std::map<int, double>& points = sweep_seconds[profile];
+      auto base = points.find(1);
+      if (base == points.end() || base->second <= 0.0) {
+        continue;
+      }
+      std::vector<double> speedups;
+      std::vector<std::string> labels;
+      for (const auto& [jobs, seconds] : points) {
+        speedups.push_back(seconds > 0.0 ? base->second / seconds : 0.0);
+        labels.push_back("jobs=" + std::to_string(jobs));
+      }
+      out += "<div class=\"card\"><h3>" + EscapeHtml(profile) + " speedup</h3>" +
+             LabeledSparkline(speedups, labels, 2, "need jobs=1 and one more point") +
+             "</div>";
+    }
     out += "</div>\n";
   }
 

@@ -1,7 +1,9 @@
 // Zero-dependency single-file HTML dashboard over the run ledger: latest-run
 // stat tiles, the new/fixed delta against the previous run, the latest
 // findings table, trend sparklines (findings, analysis time, prune rate,
-// candidates) across every ledger run, and the run history table. Everything
+// candidates, worker utilization/imbalance from perf reports), speedup-vs-jobs
+// curves from the newest scalability bench sweep, and the run history table.
+// Everything
 // is inline (CSS + SVG, no scripts, no network fetches) so the file can be
 // attached to a CI artifact or mailed around and still render.
 

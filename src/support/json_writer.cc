@@ -99,6 +99,10 @@ JsonWriter& JsonWriter::Int(const std::string& key, int64_t value) {
 
 JsonWriter& JsonWriter::Double(const std::string& key, double value) {
   Key(key);
+  return DoubleValue(value);
+}
+
+JsonWriter& JsonWriter::DoubleValue(double value) {
   Separate();
   // JSON has no NaN/Infinity literals; "%g" would emit them and corrupt the
   // document. RFC 8259's only representation for a non-finite number is null.

@@ -28,6 +28,7 @@ class JsonWriter {
   // Array-element forms.
   JsonWriter& StringValue(const std::string& value);
   JsonWriter& IntValue(int64_t value);
+  JsonWriter& DoubleValue(double value);
 
   const std::string& str() const { return out_; }
 

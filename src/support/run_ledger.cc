@@ -79,6 +79,20 @@ void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
     json.Int("peak_rss_bytes", m.mem_peak_rss_bytes);
     json.EndObject();
   }
+  // v3: scalability-observatory summary. Written only for --perf-report
+  // runs, same compatibility story as the v2 memory block.
+  if (m.perf_collected) {
+    json.Key("perf").BeginObject();
+    json.Bool("collected", true);
+    json.Double("wall_seconds", m.perf_wall_seconds);
+    json.Double("critical_path_seconds", m.perf_critical_path_seconds);
+    json.Double("serial_fraction", m.perf_serial_fraction);
+    json.Double("utilization", m.perf_utilization);
+    json.Double("max_busy_seconds", m.perf_max_busy_seconds);
+    json.Double("mean_busy_seconds", m.perf_mean_busy_seconds);
+    json.Double("imbalance_ratio", m.perf_imbalance_ratio);
+    json.EndObject();
+  }
   json.EndObject();  // metrics
 }
 
@@ -127,6 +141,18 @@ LedgerMetrics ReadMetrics(const JsonValue& value) {
     m.mem_strings_objects = mem.GetInt("strings_objects");
     m.mem_tracked_bytes = mem.GetInt("tracked_bytes");
     m.mem_peak_rss_bytes = mem.GetInt("peak_rss_bytes");
+  }
+  // Absent in pre-v3 records and runs without --perf-report.
+  if (value.Has("perf")) {
+    const JsonValue& perf = value.Get("perf");
+    m.perf_collected = perf.GetBool("collected");
+    m.perf_wall_seconds = perf.GetDouble("wall_seconds");
+    m.perf_critical_path_seconds = perf.GetDouble("critical_path_seconds");
+    m.perf_serial_fraction = perf.GetDouble("serial_fraction");
+    m.perf_utilization = perf.GetDouble("utilization");
+    m.perf_max_busy_seconds = perf.GetDouble("max_busy_seconds");
+    m.perf_mean_busy_seconds = perf.GetDouble("mean_busy_seconds");
+    m.perf_imbalance_ratio = perf.GetDouble("imbalance_ratio");
   }
   return m;
 }

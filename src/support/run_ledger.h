@@ -92,15 +92,28 @@ struct LedgerMetrics {
   int64_t mem_strings_objects = 0;
   int64_t mem_tracked_bytes = 0;
   int64_t mem_peak_rss_bytes = 0;
+  // Scalability observatory summary (ledger-schema v3): the headline numbers
+  // of a --perf-report run, so the dashboard can trend utilization and
+  // imbalance without re-reading perf-report files. All zero
+  // (perf_collected false) in pre-v3 records and runs without --perf-report.
+  bool perf_collected = false;
+  double perf_wall_seconds = 0.0;
+  double perf_critical_path_seconds = 0.0;
+  double perf_serial_fraction = 0.0;
+  double perf_utilization = 0.0;  // mean across observed workers
+  double perf_max_busy_seconds = 0.0;
+  double perf_mean_busy_seconds = 0.0;
+  double perf_imbalance_ratio = 0.0;
 };
 
 // One analysis run. `run_id` is assigned by RunLedger::Append when empty
 // ("r0001", "r0002", ... in append order).
 struct RunRecord {
-  // v1: initial schema. v2: per-checker stats + memory accounting fields;
-  // every addition reads back as zero/empty from older lines, so mixed-version
-  // ledgers load and diff cleanly.
-  static constexpr int kSchemaVersion = 2;
+  // v1: initial schema. v2: per-checker stats + memory accounting fields.
+  // v3: perf (scalability observatory) summary fields. Every addition reads
+  // back as zero/empty from older lines, so mixed-version ledgers load and
+  // diff cleanly.
+  static constexpr int kSchemaVersion = 3;
 
   std::string run_id;
   int64_t timestamp_ms = 0;     // caller-supplied wall clock (0 = unknown)

@@ -16,6 +16,17 @@ namespace {
 // Set while a thread is executing ParallelFor lanes; nested loops run inline.
 thread_local bool tls_in_parallel_region = false;
 
+// This thread's accounting slot in the pool that owns it: 1..N for pool
+// workers, 0 for everything else (external callers running lane 0).
+thread_local int tls_worker_slot = 0;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // One chunk of the iteration space: [begin, end).
 using Chunk = std::pair<size_t, size_t>;
 
@@ -28,9 +39,9 @@ struct ForState {
     std::deque<Chunk> chunks;
   };
 
-  explicit ForState(size_t lane_count, size_t total,
+  explicit ForState(ThreadPool* owner, size_t lane_count, size_t total,
                     const std::function<void(size_t)>& body_fn)
-      : body(body_fn), remaining(total) {
+      : pool(owner), body(body_fn), remaining(total) {
     lanes.reserve(lane_count);
     for (size_t i = 0; i < lane_count; ++i) {
       lanes.push_back(std::make_unique<Lane>());
@@ -39,8 +50,10 @@ struct ForState {
 
   // Pops from the lane's own deque front; on miss, steals from the back of
   // the lane currently holding the most chunks. Returns false only when every
-  // deque is empty (all work claimed).
-  bool PopOrSteal(size_t self, Chunk& out) {
+  // deque is empty (all work claimed). `stolen` reports whether the chunk
+  // came from another lane's deque.
+  bool PopOrSteal(size_t self, Chunk& out, bool& stolen) {
+    stolen = false;
     {
       Lane& lane = *lanes[self];
       std::lock_guard<std::mutex> lock(lane.mutex);
@@ -51,6 +64,11 @@ struct ForState {
         return true;
       }
     }
+    // Own deque missed: everything from here on is steal hunting. The
+    // miss-to-acquired latency feeds the steal-latency histogram, clocked
+    // only while metrics are on.
+    bool timed = MetricsEnabled();
+    uint64_t hunt_start = timed ? NowNanos() : 0;
     while (true) {
       size_t victim = lanes.size();
       size_t victim_load = 0;
@@ -75,6 +93,10 @@ struct ForState {
       lanes[victim]->chunks.pop_back();
       chunks_claimed.fetch_add(1, std::memory_order_relaxed);
       steals.fetch_add(1, std::memory_order_relaxed);
+      stolen = true;
+      if (timed) {
+        pool->RecordStealLatency(NowNanos() - hunt_start);
+      }
       return true;
     }
   }
@@ -85,8 +107,17 @@ struct ForState {
   void RunLane(size_t self) {
     bool was_in_region = tls_in_parallel_region;
     tls_in_parallel_region = true;
+    bool timed = MetricsEnabled();
+    uint64_t lane_start = timed ? NowNanos() : 0;
+    uint64_t lane_chunks = 0;
+    uint64_t lane_steals = 0;
     Chunk chunk;
-    while (PopOrSteal(self, chunk)) {
+    bool stolen = false;
+    while (PopOrSteal(self, chunk, stolen)) {
+      ++lane_chunks;
+      if (stolen) {
+        ++lane_steals;
+      }
       size_t len = chunk.second - chunk.first;
       if (!abort.load(std::memory_order_relaxed)) {
         try {
@@ -111,6 +142,8 @@ struct ForState {
         done_cv.notify_all();
       }
     }
+    pool->CreditLaneRun(ThreadPool::CurrentWorkerSlot(), lane_chunks,
+                        lane_steals, timed ? NowNanos() - lane_start : 0);
     tls_in_parallel_region = was_in_region;
   }
 
@@ -119,6 +152,7 @@ struct ForState {
     done_cv.wait(lock, [this] { return remaining.load() == 0; });
   }
 
+  ThreadPool* pool;
   const std::function<void(size_t)>& body;
   std::vector<std::unique_ptr<Lane>> lanes;
   std::atomic<size_t> remaining;
@@ -137,6 +171,10 @@ int ResolveJobs(int jobs) {
   if (jobs > 0) {
     return jobs;
   }
+  return HardwareThreads();
+}
+
+int HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
@@ -144,8 +182,11 @@ int ResolveJobs(int jobs) {
 ThreadPool::ThreadPool(int threads) {
   int count = std::max(1, threads);
   workers_.reserve(static_cast<size_t>(count));
+  // Slot 0 aggregates external callers; slots 1..count are the workers.
+  worker_counters_ = std::make_unique<WorkerCounters[]>(
+      static_cast<size_t>(count) + 1);
   for (int i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -167,7 +208,8 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int slot) {
+  tls_worker_slot = slot;
   while (true) {
     std::function<void()> task;
     {
@@ -231,7 +273,7 @@ void ThreadPool::ParallelFor(int jobs, size_t n,
   }
 
   size_t lane_count = std::min(static_cast<size_t>(jobs), n);
-  auto state = std::make_shared<ForState>(lane_count, n, body);
+  auto state = std::make_shared<ForState>(this, lane_count, n, body);
   parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   TraceSpan span("parallel_for", "threadpool");
   span.Arg("n", static_cast<int64_t>(n));
@@ -262,6 +304,32 @@ void ThreadPool::ParallelFor(int jobs, size_t n,
   }
 }
 
+void ThreadPool::CreditLaneRun(int slot, uint64_t chunks, uint64_t steals,
+                               uint64_t busy_nanos) {
+  // A caller nested across pools can carry a slot from a bigger pool; fold
+  // anything out of range into the external-caller slot.
+  size_t s = static_cast<size_t>(slot);
+  if (s >= worker_slots()) {
+    s = 0;
+  }
+  WorkerCounters& c = worker_counters_[s];
+  c.lane_runs.fetch_add(1, std::memory_order_relaxed);
+  c.chunks.fetch_add(chunks, std::memory_order_relaxed);
+  c.steals.fetch_add(steals, std::memory_order_relaxed);
+  c.busy_nanos.fetch_add(busy_nanos, std::memory_order_relaxed);
+}
+
+void ThreadPool::RecordStealLatency(uint64_t nanos) {
+  int bucket = 0;
+  while (bucket + 1 < ThreadPoolStats::kStealLatencyBuckets &&
+         nanos >= (uint64_t{1} << bucket)) {
+    ++bucket;
+  }
+  steal_latency_ns_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+int ThreadPool::CurrentWorkerSlot() { return tls_worker_slot; }
+
 ThreadPoolStats ThreadPool::stats() const {
   ThreadPoolStats stats;
   stats.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
@@ -272,6 +340,20 @@ ThreadPoolStats ThreadPool::stats() const {
   stats.worker_idle_seconds =
       static_cast<double>(idle_nanos_.load(std::memory_order_relaxed)) / 1e9;
   stats.workers = thread_count();
+  stats.per_worker.resize(worker_slots());
+  for (size_t i = 0; i < worker_slots(); ++i) {
+    const WorkerCounters& c = worker_counters_[i];
+    ThreadPoolStats::WorkerStats& w = stats.per_worker[i];
+    w.lane_runs = c.lane_runs.load(std::memory_order_relaxed);
+    w.chunks = c.chunks.load(std::memory_order_relaxed);
+    w.steals = c.steals.load(std::memory_order_relaxed);
+    w.busy_seconds =
+        static_cast<double>(c.busy_nanos.load(std::memory_order_relaxed)) / 1e9;
+  }
+  stats.steal_latency_ns.resize(ThreadPoolStats::kStealLatencyBuckets);
+  for (int b = 0; b < ThreadPoolStats::kStealLatencyBuckets; ++b) {
+    stats.steal_latency_ns[b] = steal_latency_ns_[b].load(std::memory_order_relaxed);
+  }
   return stats;
 }
 

@@ -1,0 +1,73 @@
+// Paper-scale corpus profiles over the Mini-C generator.
+//
+// The paper's scalability subjects are shaped very differently: Linux is
+// tens of thousands of small files, MySQL is far fewer but much larger
+// translation units. A CorpusProfile captures one such shape — a file
+// count plus the per-file GenOptions that produce it — at three scales
+// (small ~10k LOC for smokes, medium ~100k+ LOC for acceptance runs,
+// large ~1M+ LOC for real sweeps).
+//
+// Streaming determinism: file `index` of a profile is generated from a
+// seed derived only from (profile.seed, index), with identifier prefix
+// "u<index>_" and path prefix "m<index>_" so independently generated files
+// never collide when combined into one project. Generation is therefore
+// O(one file) in memory — vc_corpusgen streams a million-LOC corpus to
+// disk without ever holding it resident — and WriteCorpus /
+// GenerateCorpusSources / GenerateCorpusFile all agree byte-for-byte.
+
+#ifndef VALUECHECK_SRC_TESTING_CORPUSGEN_H_
+#define VALUECHECK_SRC_TESTING_CORPUSGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/testing/testgen.h"
+
+namespace vc {
+namespace testing {
+
+// One corpus shape: `files` files, each generated with `per_file`
+// (min_files == max_files == 1; prefixes are filled per index).
+struct CorpusProfile {
+  std::string name;    // "linux-like" | "mysql-like"
+  std::string scale;   // "small" | "medium" | "large"
+  uint64_t seed = 1;
+  int files = 0;
+  GenOptions per_file;
+};
+
+// Known profile/scale names, in presentation order.
+std::vector<std::string> CorpusProfileNames();
+std::vector<std::string> CorpusScaleNames();
+
+// Builds a named profile. Returns false (leaving `out` untouched) for an
+// unknown profile or scale name.
+bool MakeCorpusProfile(const std::string& name, const std::string& scale,
+                       uint64_t seed, CorpusProfile* out);
+
+// File `index` (0-based) of the profile; depends only on (seed, index,
+// shape).
+SourceFile GenerateCorpusFile(const CorpusProfile& profile, int index);
+
+// Whole corpus as (path, content) pairs for Project::FromSources — for
+// tests and benches; prefer WriteCorpus at large scale.
+std::vector<std::pair<std::string, std::string>> GenerateCorpusSources(
+    const CorpusProfile& profile);
+
+struct CorpusStats {
+  int files = 0;
+  int64_t lines = 0;
+  int64_t bytes = 0;
+};
+
+// Streams the corpus file-by-file into `dir` (created if missing). Holds at
+// most one file in memory. Returns false and fills `error` on I/O failure.
+bool WriteCorpus(const CorpusProfile& profile, const std::string& dir,
+                 CorpusStats* stats, std::string* error);
+
+}  // namespace testing
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_TESTING_CORPUSGEN_H_

@@ -89,11 +89,11 @@ class Generator {
     for (int f = 0; f < num_files_; ++f) {
       if (options_.gen_structs && rng_.NextBool(0.6)) {
         StructPlan st;
-        st.name = "st" + std::to_string(name_counter_++);
+        st.name = MintName("st");
         st.file = f;
         int nfields = static_cast<int>(rng_.NextInRange(2, 3));
         for (int i = 0; i < nfields; ++i) {
-          st.fields.push_back("fd" + std::to_string(name_counter_++));
+          st.fields.push_back(MintName("fd"));
         }
         structs_.push_back(st);
       }
@@ -102,24 +102,24 @@ class Generator {
         en.file = f;
         int n = static_cast<int>(rng_.NextInRange(2, 3));
         for (int i = 0; i < n; ++i) {
-          en.constants.emplace_back("EN" + std::to_string(name_counter_++),
+          en.constants.emplace_back(MintName("EN"),
                                     static_cast<int>(rng_.NextInRange(0, 40)));
         }
         enums_.push_back(en);
       }
       if (options_.gen_typedefs && rng_.NextBool(0.3)) {
-        typedefs_.push_back({"td" + std::to_string(name_counter_++), f});
+        typedefs_.push_back({MintName("td"), f});
       }
       if (options_.gen_globals && rng_.NextBool(0.5)) {
         int n = static_cast<int>(rng_.NextInRange(1, 2));
         for (int i = 0; i < n; ++i) {
-          globals_.push_back({"g" + std::to_string(name_counter_++), f});
+          globals_.push_back({MintName("g"), f});
         }
       }
       int nfuncs = static_cast<int>(rng_.NextInRange(1, options_.max_functions_per_file));
       for (int i = 0; i < nfuncs; ++i) {
         FuncPlan fn;
-        fn.name = "fn" + std::to_string(name_counter_++);
+        fn.name = MintName("fn");
         fn.file = f;
         fn.is_static = rng_.NextBool(0.15);
         double which = rng_.NextDouble();
@@ -172,7 +172,7 @@ class Generator {
 
   SourceFile EmitFile(int f) {
     SourceFile file;
-    file.path = "gen" + std::to_string(f) + ".c";
+    file.path = options_.file_prefix + "gen" + std::to_string(f) + ".c";
     lines_ = &file.lines;
 
     for (const StructPlan& st : structs_) {
@@ -236,7 +236,7 @@ class Generator {
         sig += ", ";
       }
       Var param;
-      param.name = "v" + std::to_string(name_counter_++);
+      param.name = MintName("v");
       param.kind = fn.param_kinds[p];
       param.struct_index = fn.param_structs[p];
       if (param.kind == Kind::kStructVal) {
@@ -684,7 +684,7 @@ class Generator {
 
   Var NewVar(Kind kind) {
     Var v;
-    v.name = "v" + std::to_string(name_counter_++);
+    v.name = MintName("v");
     v.kind = kind;
     return v;
   }
@@ -756,6 +756,12 @@ class Generator {
   }
 
   void Line(std::string text) { lines_->push_back(std::move(text)); }
+
+  // All identifiers come from one counter, so every minted name is unique
+  // program-wide; the optional prefix makes them unique corpus-wide.
+  std::string MintName(const char* base) {
+    return options_.ident_prefix + base + std::to_string(name_counter_++);
+  }
 
   Rng rng_;
   GenOptions options_;

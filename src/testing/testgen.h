@@ -55,6 +55,14 @@ struct GenOptions {
   bool gen_typedefs = true;
   bool gen_globals = true;
   bool gen_pointers = true;
+  // Prefixes applied to every minted identifier / emitted file path. The
+  // corpus profile generator (corpusgen.h) uses them to combine many
+  // independently generated programs into one project without identifier or
+  // path collisions. Defaults keep classic output byte-identical.
+  // ident_prefix must be a valid identifier head ("u12_"); file_prefix is
+  // prepended verbatim to the "gen<N>.c" path.
+  std::string ident_prefix;
+  std::string file_prefix;
 };
 
 TestProgram GenerateProgram(uint64_t seed, const GenOptions& options = GenOptions());

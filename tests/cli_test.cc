@@ -475,6 +475,33 @@ TEST_F(CliTest, ObservabilityFlagsProduceArtifactsWithoutPerturbingFindings) {
   EXPECT_NE(prom.find("_bucket{le="), std::string::npos);
 }
 
+TEST_F(CliTest, PerfReportWritesAnalyticsWithoutPerturbingFindings) {
+  Write("sub/buggy.c", kBuggy);
+  Write("clean.c", kClean);
+  std::string perf_path = (dir_ / "obs" / "perf.json").string();
+
+  RunResult plain = RunCliStdout("--format=csv --jobs=2 " + dir_.string());
+  RunResult observed = RunCliStdout("--format=csv --jobs=2 --perf-report=" +
+                                    perf_path + " " + dir_.string());
+  EXPECT_EQ(plain.exit_code, observed.exit_code);
+  EXPECT_EQ(plain.output, observed.output);
+
+  std::ifstream in(perf_path);
+  ASSERT_TRUE(in.good()) << "perf report not written: " << perf_path;
+  std::string perf((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Stable field order from the first byte; vc_obs_lint perf checks the rest.
+  EXPECT_EQ(perf.rfind("{\"schema_version\":1,\"wall_seconds\":", 0), 0u)
+      << perf.substr(0, 120);
+  for (const char* key :
+       {"\"critical_path\":{", "\"folded\":[", "\"serial_fraction\":",
+        "\"workers\":[", "\"utilization\":", "\"timeline\":[",
+        "\"mean_utilization\":", "\"imbalance\":{", "\"steals\":{",
+        "\"latency_ns_log2\":["}) {
+    EXPECT_NE(perf.find(key), std::string::npos) << key;
+  }
+}
+
 TEST_F(CliTest, DashboardRendersPerCheckerAndMemoryTrends) {
   std::string path = Write("buggy.c", kBuggy);
   std::string ledger = (dir_ / "ledger").string();

@@ -1,0 +1,284 @@
+// Tests for the scalability observatory's span analytics: span-graph
+// reconstruction (same-tid nesting + cross-tid fork edges), critical-path
+// computation and its wall-clock clamp, busy/idle utilization, the Amdahl
+// serial-fraction fit, dropped-span accounting, and the stable-field-order
+// JSON rendering — plus structural determinism of the whole report under
+// input shuffling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/support/json_reader.h"
+#include "src/support/span_analysis.h"
+#include "src/support/trace.h"
+
+namespace vc {
+namespace {
+
+TraceEvent Ev(const char* name, int tid, int64_t ts, int64_t dur) {
+  TraceEvent event;
+  event.name = name;
+  event.tid = tid;
+  event.ts_micros = ts;
+  event.dur_micros = dur;
+  return event;
+}
+
+PerfInputs Inputs(double wall = 0.0, int jobs = 1) {
+  PerfInputs inputs;
+  inputs.wall_seconds = wall;
+  inputs.jobs = jobs;
+  inputs.hardware_threads = 4;
+  return inputs;
+}
+
+// ---------------------------------------------------------------------------
+// Empty input
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, EmptyTraceYieldsStructurallyCompleteReport) {
+  PerfReport report = AnalyzeSpans({}, Inputs());
+  EXPECT_EQ(report.span_count, 0u);
+  EXPECT_EQ(report.critical_path_seconds, 0.0);
+  EXPECT_TRUE(report.critical_path.empty());
+  EXPECT_TRUE(report.workers.empty());
+  EXPECT_EQ(report.mean_utilization, 0.0);
+  EXPECT_EQ(report.serial_fraction, 1.0);  // no measured work = serial
+
+  // The JSON render must still be complete and parseable.
+  std::string json = PerfReportToJson(report);
+  std::string error;
+  std::optional<JsonValue> value = ParseJson(json, &error);
+  ASSERT_TRUE(value.has_value()) << error;
+  EXPECT_EQ(value->GetInt("schema_version", -1), PerfReport::kSchemaVersion);
+  EXPECT_TRUE(value->Has("critical_path"));
+  EXPECT_TRUE(value->Has("workers"));
+  EXPECT_TRUE(value->Has("steals"));
+}
+
+// ---------------------------------------------------------------------------
+// Same-tid nesting
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, SingleThreadNestingAndCriticalPath) {
+  // root [0,1000] containing child [100,500) (with grandchild [150,250))
+  // and sibling [600,900).
+  std::vector<TraceEvent> events = {
+      Ev("root", 0, 0, 1000),
+      Ev("child", 0, 100, 400),
+      Ev("grandchild", 0, 150, 100),
+      Ev("sibling", 0, 600, 300),
+  };
+  SpanGraph graph = SpanGraph::Build(events);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  ASSERT_EQ(graph.roots.size(), 1u);
+  const SpanNode& root = graph.nodes[graph.roots[0]];
+  EXPECT_EQ(root.name, "root");
+  EXPECT_EQ(root.parent, -1);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(graph.nodes[root.children[0]].name, "child");
+  EXPECT_EQ(graph.nodes[root.children[1]].name, "sibling");
+  EXPECT_EQ(graph.nodes[root.children[0]].children.size(), 1u);
+
+  // Same-tid children are sequential: the chain is the whole root span.
+  EXPECT_EQ(root.critical_micros, 1000);
+
+  PerfReport report = AnalyzeSpans(events, Inputs());
+  EXPECT_DOUBLE_EQ(report.wall_seconds, 0.001);  // window = 1000us
+  EXPECT_DOUBLE_EQ(report.critical_path_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(report.critical_path_fraction, 1.0);
+
+  // Folded listing covers the full chain, in first-seen stack order, and its
+  // contributions sum to the critical path.
+  std::vector<std::string> stacks;
+  double total = 0.0;
+  for (const CriticalPathStep& step : report.critical_path) {
+    stacks.push_back(step.stack);
+    total += step.seconds;
+  }
+  EXPECT_EQ(stacks, (std::vector<std::string>{
+                        "root", "root;child", "root;child;grandchild",
+                        "root;sibling"}));
+  EXPECT_NEAR(total, report.critical_path_seconds, 1e-9);
+
+  // One worker, fully busy (intervals cover the window).
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_EQ(report.workers[0].spans, 4u);
+  EXPECT_DOUBLE_EQ(report.workers[0].utilization, 1.0);
+  EXPECT_EQ(report.serial_fraction, 1.0);  // one worker = serial
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tid fork edges + the wall clamp
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, CrossTidForkJoinAttachesAndClampsToWall) {
+  // Two worker lanes whose windows overlap (neither contains the other), so
+  // cross-tid attachment anchors both to the containing run span on tid 0.
+  std::vector<TraceEvent> events = {
+      Ev("run", 0, 0, 1000),
+      Ev("lane_a", 1, 100, 600),
+      Ev("lane_b", 2, 150, 600),
+  };
+  SpanGraph graph = SpanGraph::Build(events);
+  ASSERT_EQ(graph.roots.size(), 1u);
+  const SpanNode& run = graph.nodes[graph.roots[0]];
+  ASSERT_EQ(run.children.size(), 2u);
+  EXPECT_EQ(graph.nodes[run.children[0]].name, "lane_a");
+  EXPECT_EQ(graph.nodes[run.children[0]].parent, graph.roots[0]);
+  EXPECT_EQ(graph.nodes[run.children[1]].name, "lane_b");
+
+  // Uncovered self time (1000, nothing on tid 0 is covered by same-tid
+  // children) + heaviest lane (600) would be 1600 — the clamp caps the
+  // chain at the containing span's own duration.
+  EXPECT_EQ(run.critical_micros, 1000);
+
+  PerfReport report = AnalyzeSpans(events, Inputs());
+  EXPECT_LE(report.critical_path_seconds, report.wall_seconds);
+  ASSERT_EQ(report.workers.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.workers[0].busy_seconds, 1000e-6);
+  EXPECT_DOUBLE_EQ(report.workers[1].busy_seconds, 600e-6);
+  EXPECT_DOUBLE_EQ(report.workers[2].busy_seconds, 600e-6);
+  EXPECT_NEAR(report.total_busy_seconds, 2200e-6, 1e-9);
+  EXPECT_NEAR(report.mean_utilization, (1.0 + 0.6 + 0.6) / 3.0, 1e-9);
+  EXPECT_NEAR(report.imbalance_ratio, 1000.0 / (2200.0 / 3.0), 1e-9);
+  // Amdahl: T = s*W + (1-s)*W/n solved for s = (n*T - W) / (W*(n-1)),
+  // with T=1ms, W=2.2ms, n=3.
+  EXPECT_NEAR(report.serial_fraction, (3 * 0.001 - 0.0022) / (0.0022 * 2), 1e-9);
+}
+
+TEST(SpanAnalysis, ExplicitWallClampWhenSpansOutlastTheClock) {
+  std::vector<TraceEvent> events = {Ev("run", 0, 0, 1000)};
+  PerfInputs inputs = Inputs(/*wall=*/500e-6);
+  PerfReport report = AnalyzeSpans(events, inputs);
+  EXPECT_DOUBLE_EQ(report.wall_seconds, 500e-6);
+  EXPECT_LE(report.critical_path_seconds, report.wall_seconds);
+  EXPECT_DOUBLE_EQ(report.critical_path_fraction, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Overlapping spans: busy time is an interval union, never double-counted
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, OverlappingSpansBusyUnionAndTimelineBounds) {
+  // [0,500) and [400,800) overlap by 100us: union is 800us, not 900.
+  std::vector<TraceEvent> events = {
+      Ev("a", 3, 0, 500),
+      Ev("b", 3, 400, 400),
+  };
+  PerfInputs inputs = Inputs();
+  inputs.timeline_buckets = 8;
+  PerfReport report = AnalyzeSpans(events, inputs);
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.workers[0].busy_seconds, 800e-6);
+  EXPECT_DOUBLE_EQ(report.workers[0].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(report.workers[0].idle_seconds, 0.0);
+  ASSERT_EQ(report.workers[0].timeline.size(), 8u);
+  for (double v : report.workers[0].timeline) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, 1.0);  // fully covered window
+  }
+}
+
+TEST(SpanAnalysis, IdleGapShowsInUtilizationAndTimeline) {
+  // Busy [0,250) and [750,1000): half the window idle.
+  std::vector<TraceEvent> events = {
+      Ev("a", 1, 0, 250),
+      Ev("b", 1, 750, 250),
+  };
+  PerfInputs inputs = Inputs();
+  inputs.timeline_buckets = 4;
+  PerfReport report = AnalyzeSpans(events, inputs);
+  ASSERT_EQ(report.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.workers[0].busy_seconds, 500e-6);
+  EXPECT_DOUBLE_EQ(report.workers[0].idle_seconds, 500e-6);
+  EXPECT_DOUBLE_EQ(report.workers[0].utilization, 0.5);
+  ASSERT_EQ(report.workers[0].timeline.size(), 4u);
+  EXPECT_DOUBLE_EQ(report.workers[0].timeline[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.workers[0].timeline[1], 0.0);
+  EXPECT_DOUBLE_EQ(report.workers[0].timeline[2], 0.0);
+  EXPECT_DOUBLE_EQ(report.workers[0].timeline[3], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dropped spans
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, DroppedSpanCountPassesThrough) {
+  PerfInputs inputs = Inputs();
+  inputs.dropped_spans = 7;
+  PerfReport report = AnalyzeSpans({Ev("run", 0, 0, 100)}, inputs);
+  EXPECT_EQ(report.dropped_spans, 7u);
+  EXPECT_NE(PerfReportToJson(report).find("\"dropped_spans\":7"),
+            std::string::npos);
+}
+
+TEST(SpanAnalysis, CapOverflowedCollectorStillAnalyzable) {
+  TraceCollector& collector = TraceCollector::Global();
+  size_t saved_cap = collector.thread_buffer_cap();
+  collector.SetThreadBufferCapForTest(2);
+  collector.Enable();
+  { TraceSpan span("kept1"); }
+  { TraceSpan span("kept2"); }
+  { TraceSpan span("dropped1"); }
+  { TraceSpan span("dropped2"); }
+  collector.Disable();
+
+  PerfInputs inputs = Inputs();
+  inputs.dropped_spans = collector.dropped_count();
+  PerfReport report = AnalyzeSpans(collector.SnapshotEvents(), inputs);
+  EXPECT_EQ(report.span_count, 2u);
+  EXPECT_EQ(report.dropped_spans, 2u);
+  EXPECT_LE(report.critical_path_seconds, report.wall_seconds + 1e-9);
+
+  collector.SetThreadBufferCapForTest(saved_cap);
+  collector.Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Structural determinism
+// ---------------------------------------------------------------------------
+
+TEST(SpanAnalysis, ReportIsInvariantUnderInputShuffles) {
+  std::vector<TraceEvent> events = {
+      Ev("run", 0, 0, 2000),     Ev("parse", 0, 100, 800),
+      Ev("lane_a", 1, 150, 600), Ev("file1", 1, 200, 200),
+      Ev("file2", 1, 450, 250),  Ev("lane_b", 2, 150, 400),
+      Ev("detect", 0, 1000, 900), Ev("fn", 2, 1100, 300),
+  };
+  PerfInputs inputs = Inputs(/*wall=*/0.002, /*jobs=*/2);
+  std::string baseline = PerfReportToJson(AnalyzeSpans(events, inputs));
+
+  // Any permutation of the event buffer produces the identical report
+  // (Build sorts into a canonical order first).
+  std::vector<TraceEvent> shuffled = events;
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(PerfReportToJson(AnalyzeSpans(shuffled, inputs)), baseline);
+
+  std::rotate(shuffled.begin(), shuffled.begin() + 3, shuffled.end());
+  EXPECT_EQ(PerfReportToJson(AnalyzeSpans(shuffled, inputs)), baseline);
+}
+
+TEST(SpanAnalysis, JsonFieldOrderIsStable) {
+  PerfReport report = AnalyzeSpans({Ev("run", 0, 0, 100)}, Inputs());
+  std::string json = PerfReportToJson(report);
+  const char* order[] = {"\"schema_version\":", "\"wall_seconds\":", "\"jobs\":",
+                         "\"hardware_threads\":", "\"span_count\":",
+                         "\"dropped_spans\":",   "\"critical_path\":",
+                         "\"serial_fraction\":", "\"total_busy_seconds\":",
+                         "\"workers\":",         "\"mean_utilization\":",
+                         "\"imbalance\":",       "\"steals\":"};
+  size_t cursor = 0;
+  for (const char* key : order) {
+    size_t pos = json.find(key, cursor);
+    ASSERT_NE(pos, std::string::npos) << key;
+    cursor = pos;
+  }
+}
+
+}  // namespace
+}  // namespace vc

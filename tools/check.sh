@@ -17,6 +17,12 @@ if [ ${#CONFIGS[@]} -eq 0 ]; then
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+if [ "${JOBS}" -lt 2 ]; then
+  # Scaling assertions (speedup >= 2x etc.) are meaningless on one core; the
+  # bench records its points as underprovisioned and the smoke below only
+  # checks determinism, never speed.
+  echo "warning: underprovisioned machine (${JOBS} core(s) < 2); scaling checks verify determinism only" >&2
+fi
 
 run_config() {
   local name="$1"
@@ -33,6 +39,7 @@ run_config() {
   fuzz_smoke "${name}" "${build_dir}"
   fault_smoke "${name}" "${build_dir}"
   observability_smoke "${name}" "${build_dir}"
+  scaling_smoke "${name}" "${build_dir}"
 }
 
 # Per-checker smoke: every registered checker (from --list-checkers, baselines
@@ -213,6 +220,58 @@ observability_smoke() {
   "${lint}" folded "${tmp}/profile.folded" || {
     echo "observability smoke: collapsed profile failed lint" >&2; return 1; }
   echo "observability smoke: ok"
+}
+
+# Scaling smoke: generate a small corpusgen profile to disk, analyze it at
+# --jobs 1 and --jobs <all cores> and require byte-identical stdout (the core
+# scaling invariant), then validate the --perf-report analytics with
+# `vc_obs_lint perf` and append both runs to a ledger to exercise the perf
+# columns of the run record. Speed is never asserted — see the
+# underprovisioned warning above.
+scaling_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  local gen="${build_dir}/tools/vc_corpusgen"
+  local lint="${build_dir}/tools/vc_obs_lint"
+  echo "=== [${name}] scaling smoke ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"; trap - RETURN' RETURN
+  # 40 linux-like files keep sanitizer-slowed runs in the seconds range.
+  "${gen}" --profile linux-like --scale small --files 40 --quiet \
+    --out "${tmp}/corpus" || {
+    echo "scaling smoke: vc_corpusgen failed" >&2; return 1; }
+  local rc=0
+  "${vc}" analyze --jobs 1 --ledger "${tmp}/ledger" \
+    --perf-report "${tmp}/perf_j1.json" "${tmp}/corpus" \
+    >"${tmp}/j1.out" 2>/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "scaling smoke: --jobs 1 analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  rc=0
+  "${vc}" analyze --jobs 0 --ledger "${tmp}/ledger" \
+    --perf-report "${tmp}/perf_jmax.json" "${tmp}/corpus" \
+    >"${tmp}/jmax.out" 2>/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "scaling smoke: --jobs 0 analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  if ! cmp -s "${tmp}/j1.out" "${tmp}/jmax.out"; then
+    echo "scaling smoke: findings differ between --jobs 1 and --jobs 0" >&2
+    diff "${tmp}/j1.out" "${tmp}/jmax.out" | head -20 >&2
+    return 1
+  fi
+  "${lint}" perf "${tmp}/perf_j1.json" || {
+    echo "scaling smoke: --jobs 1 perf report failed lint" >&2; return 1; }
+  "${lint}" perf "${tmp}/perf_jmax.json" || {
+    echo "scaling smoke: --jobs 0 perf report failed lint" >&2; return 1; }
+  if [ "$(wc -l < "${tmp}/ledger/runs.jsonl" 2>/dev/null || echo 0)" -lt 2 ]; then
+    echo "scaling smoke: ledger did not record both runs" >&2
+    return 1
+  fi
+  echo "scaling smoke: ok"
 }
 
 for config in "${CONFIGS[@]}"; do

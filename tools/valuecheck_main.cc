@@ -61,6 +61,7 @@
 #include "src/support/metrics.h"
 #include "src/support/profile_export.h"
 #include "src/support/run_ledger.h"
+#include "src/support/span_analysis.h"
 #include "src/support/string_util.h"
 #include "src/support/table_writer.h"
 #include "src/support/thread_pool.h"
@@ -125,6 +126,7 @@ struct CliOptions {
   std::string format = "text";
   std::string trace_path;
   std::string profile_path;
+  std::string perf_report_path;
   std::string events_path;
   std::string metrics_out_path;
   std::string ledger_dir;
@@ -216,6 +218,16 @@ const FlagSpec kFlags[] = {
      "speedscope format); built from the same spans as --trace",
      [](CliOptions& o, const std::string& v) {
        o.profile_path = v;
+       return true;
+     }},
+    {"--perf-report", "FILE", "observability",
+     "write per-run performance analytics as JSON: critical path\n"
+     "(folded listing), Amdahl serial fraction, per-worker\n"
+     "utilization timelines, imbalance and steal-latency stats;\n"
+     "validate with `vc_obs_lint perf FILE`",
+     [](CliOptions& o, const std::string& v) {
+       o.perf_report_path = v;
+       o.analysis.collect_metrics = true;
        return true;
      }},
     {"--events", "FILE", "observability",
@@ -644,13 +656,22 @@ int RunAnalyze(const std::vector<std::string>& args) {
     }
     TraceCollector::Global().Enable();
   }
-  // The collapsed-stack profile is derived from the same spans as --trace,
-  // so --profile alone also turns the collector on.
+  // The collapsed-stack profile and the perf report are derived from the
+  // same spans as --trace, so each alone also turns the collector on.
   if (!options.profile_path.empty()) {
     if (!EnsureParentDir(options.profile_path)) {
       return 2;
     }
     TraceCollector::Global().Enable();
+  }
+  if (!options.perf_report_path.empty()) {
+    if (!EnsureParentDir(options.perf_report_path)) {
+      return 2;
+    }
+    TraceCollector::Global().Enable();
+    // Steal latencies and per-worker busy time are clocked only while the
+    // metrics registry is on (collect_metrics was set at flag parse).
+    MetricsRegistry::Global().Enable();
   }
   if (options.metrics) {
     MetricsRegistry::Global().Enable();
@@ -764,6 +785,27 @@ int RunAnalyze(const std::vector<std::string>& args) {
               options.analysis.ranking.enabled);
   }
 
+  // Perf analytics: post-process the span buffers before the ledger
+  // epilogue so the summary columns can ride along in the run record.
+  std::optional<PerfReport> perf;
+  if (!options.perf_report_path.empty()) {
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Disable();
+    PerfInputs inputs;
+    inputs.wall_seconds = report.analysis_seconds;
+    inputs.jobs = report.jobs;
+    inputs.hardware_threads = HardwareThreads();
+    inputs.dropped_spans = collector.dropped_count();
+    inputs.pool = &report.stage.pool;
+    perf = AnalyzeSpans(collector.SnapshotEvents(), inputs);
+    if (!WritePerfReport(*perf, options.perf_report_path)) {
+      std::fprintf(stderr, "valuecheck: cannot write perf report to %s\n",
+                   options.perf_report_path.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("wrote perf report to " + options.perf_report_path);
+  }
+
   // Ledger epilogue: persist the run for later `diff`/`history`/`report`.
   if (!options.ledger_dir.empty()) {
     std::string label = options.label;
@@ -772,6 +814,16 @@ int RunAnalyze(const std::vector<std::string>& args) {
     }
     RunRecord record = MakeRunRecord(report, label, NowMs());
     record.options_summary = SummarizeOptions(options, has_history);
+    if (perf.has_value()) {
+      record.metrics.perf_collected = true;
+      record.metrics.perf_wall_seconds = perf->wall_seconds;
+      record.metrics.perf_critical_path_seconds = perf->critical_path_seconds;
+      record.metrics.perf_serial_fraction = perf->serial_fraction;
+      record.metrics.perf_utilization = perf->mean_utilization;
+      record.metrics.perf_max_busy_seconds = perf->max_busy_seconds;
+      record.metrics.perf_mean_busy_seconds = perf->mean_busy_seconds;
+      record.metrics.perf_imbalance_ratio = perf->imbalance_ratio;
+    }
     std::string error;
     RunLedger ledger(options.ledger_dir);
     std::string run_id = ledger.Append(std::move(record), &error);

@@ -13,6 +13,10 @@
 //   vc_obs_lint folded FILE   collapsed-stack: every line is
 //                             `frame(;frame)* <positive integer>`, and the
 //                             file is non-empty
+//   vc_obs_lint perf FILE     --perf-report JSON: required fields in the
+//                             schema's stable order, critical-path time
+//                             <= wall time, every utilization in [0, 1],
+//                             worker ids dense from 0
 //
 // Exit 0 on success (prints one summary line), 1 on any violation (first
 // violation printed with its line number), 2 on usage/IO errors.
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -197,6 +202,125 @@ int LintProm(const std::string& path) {
   return 0;
 }
 
+// Perf-report lint: the contract of `valuecheck analyze --perf-report`.
+// Structural validity plus the physical invariants the span analytics
+// guarantee by construction — critical path no longer than the wall clock,
+// every utilization a fraction, worker ids dense from 0 — and the stable
+// top-level field order the schema promises.
+int LintPerf(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "vc_obs_lint: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::string raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::string error;
+  std::optional<vc::JsonValue> value = vc::ParseJson(raw, &error);
+  if (!value.has_value()) {
+    return Fail(path, 1, "unparsable JSON: " + error);
+  }
+  if (!value->IsObject()) {
+    return Fail(path, 1, "perf report is not a JSON object");
+  }
+  static const char* kFieldOrder[] = {
+      "schema_version", "wall_seconds",       "jobs",
+      "hardware_threads", "span_count",       "dropped_spans",
+      "critical_path",  "serial_fraction",    "total_busy_seconds",
+      "workers",        "mean_utilization",   "imbalance",
+      "steals"};
+  size_t cursor = 0;
+  for (const char* key : kFieldOrder) {
+    if (!value->Has(key)) {
+      return Fail(path, 1, std::string("missing field '") + key + "'");
+    }
+    size_t pos = raw.find(std::string("\"") + key + "\":", cursor);
+    if (pos == std::string::npos) {
+      return Fail(path, 1, std::string("field '") + key +
+                               "' out of order (stable field order violated)");
+    }
+    cursor = pos;
+  }
+  if (value->GetInt("schema_version") < 1) {
+    return Fail(path, 1, "schema_version must be >= 1");
+  }
+  double wall = value->GetDouble("wall_seconds");
+  if (wall < 0) {
+    return Fail(path, 1, "negative wall_seconds");
+  }
+  if (value->GetInt("jobs") < 1 || value->GetInt("hardware_threads") < 1) {
+    return Fail(path, 1, "jobs and hardware_threads must be >= 1");
+  }
+  if (value->GetInt("span_count", -1) < 0 || value->GetInt("dropped_spans", -1) < 0) {
+    return Fail(path, 1, "negative span_count/dropped_spans");
+  }
+  const vc::JsonValue& cp = value->Get("critical_path");
+  double cp_seconds = cp.GetDouble("seconds");
+  if (cp_seconds < 0 || cp_seconds > wall * (1.0 + 1e-6) + 1e-9) {
+    return Fail(path, 1, "critical_path.seconds " + std::to_string(cp_seconds) +
+                             " exceeds wall_seconds " + std::to_string(wall));
+  }
+  double cp_fraction = cp.GetDouble("fraction");
+  if (cp_fraction < 0 || cp_fraction > 1) {
+    return Fail(path, 1, "critical_path.fraction outside [0, 1]");
+  }
+  for (const vc::JsonValue& step : cp.Get("folded").Items()) {
+    if (step.GetString("stack").empty()) {
+      return Fail(path, 1, "empty stack in critical_path.folded");
+    }
+    if (step.GetDouble("seconds", -1) < 0) {
+      return Fail(path, 1, "negative seconds in critical_path.folded");
+    }
+  }
+  double serial = value->GetDouble("serial_fraction");
+  if (serial < 0 || serial > 1) {
+    return Fail(path, 1, "serial_fraction outside [0, 1]");
+  }
+  const vc::JsonValue& workers = value->Get("workers");
+  if (!workers.IsArray()) {
+    return Fail(path, 1, "workers is not an array");
+  }
+  const std::vector<vc::JsonValue>& items = workers.Items();
+  for (size_t i = 0; i < items.size(); ++i) {
+    const vc::JsonValue& w = items[i];
+    if (w.GetInt("id", -1) != static_cast<int64_t>(i)) {
+      return Fail(path, 1, "worker ids are not dense from 0 (worker " +
+                               std::to_string(i) + ")");
+    }
+    double util = w.GetDouble("utilization", -1);
+    if (util < 0 || util > 1) {
+      return Fail(path, 1, "worker " + std::to_string(i) + " utilization outside [0, 1]");
+    }
+    if (w.GetDouble("busy_seconds", -1) < 0 || w.GetDouble("idle_seconds", -1) < 0) {
+      return Fail(path, 1, "worker " + std::to_string(i) + " has negative busy/idle time");
+    }
+    for (const vc::JsonValue& v : w.Get("timeline").Items()) {
+      double f = v.AsDouble(-1);
+      if (f < 0 || f > 1) {
+        return Fail(path, 1, "worker " + std::to_string(i) + " timeline value outside [0, 1]");
+      }
+    }
+  }
+  double mean_util = value->GetDouble("mean_utilization");
+  if (mean_util < 0 || mean_util > 1) {
+    return Fail(path, 1, "mean_utilization outside [0, 1]");
+  }
+  const vc::JsonValue& imbalance = value->Get("imbalance");
+  if (imbalance.GetDouble("ratio", -1) < 0) {
+    return Fail(path, 1, "negative imbalance.ratio");
+  }
+  const vc::JsonValue& steals = value->Get("steals");
+  if (steals.GetInt("count", -1) < 0) {
+    return Fail(path, 1, "negative steals.count");
+  }
+  for (const vc::JsonValue& bucket : steals.Get("latency_ns_log2").Items()) {
+    if (bucket.AsDouble(-1) < 0) {
+      return Fail(path, 1, "negative steal latency bucket");
+    }
+  }
+  std::printf("vc_obs_lint: %s: perf report, %zu worker(s) OK\n", path.c_str(), items.size());
+  return 0;
+}
+
 int LintFolded(const std::string& path) {
   std::optional<std::vector<std::string>> lines = ReadLines(path);
   if (!lines.has_value()) {
@@ -236,7 +360,7 @@ int LintFolded(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc != 3) {
-    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded> FILE\n");
+    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE\n");
     return 2;
   }
   const std::string mode = argv[1];
@@ -250,7 +374,10 @@ int main(int argc, char** argv) {
   if (mode == "folded") {
     return LintFolded(path);
   }
-  std::fprintf(stderr, "vc_obs_lint: unknown mode '%s' (expected events, prom, folded)\n",
+  if (mode == "perf") {
+    return LintPerf(path);
+  }
+  std::fprintf(stderr, "vc_obs_lint: unknown mode '%s' (expected events, prom, folded, perf)\n",
                mode.c_str());
   return 2;
 }
