@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/incremental.h"
 #include "src/support/json_writer.h"
 #include "src/support/run_ledger.h"
 #include "src/support/span_analysis.h"

@@ -59,6 +59,10 @@ class SmatchUnusedChecker : public Checker {
   }
   bool is_baseline() const override { return true; }
   std::string Unsupported(const Project& project, const ProjectTraits& traits) const override;
+  // Consults the project-wide function index to tell internal calls from
+  // externs, so a change anywhere can flip its verdicts: not cacheable
+  // per-function across commits.
+  bool function_local() const override { return false; }
   std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
 };
 
@@ -69,6 +73,9 @@ class CoverityUnusedChecker : public Checker {
     return "baseline: Coverity-style UNUSED_VALUE + usage-ratio CHECKED_RETURN";
   }
   bool is_baseline() const override { return true; }
+  // The usage-ratio CHECKED_RETURN heuristic aggregates call sites across
+  // the whole function index: not cacheable per-function across commits.
+  bool function_local() const override { return false; }
   std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const override;
 };
 

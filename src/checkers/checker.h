@@ -63,6 +63,14 @@ class Checker {
     return "";
   }
 
+  // True when Check() reads only the context's own function and file — the
+  // default contract. The incremental engine may then carry a function's
+  // cached results across commits that did not touch its dependency slice.
+  // Checkers that walk project-global state (the baseline tools iterate the
+  // whole function index) return false, which forces the engine to re-run
+  // every function on every commit instead of trusting the cache.
+  virtual bool function_local() const { return true; }
+
   // Detects this checker's candidates in the context's function. Runs once
   // per (checker, function) pair under the driver's isolation boundary.
   virtual std::vector<UnusedDefCandidate> Check(CheckerContext& ctx) const = 0;

@@ -12,39 +12,10 @@
 
 namespace vc {
 
-CheckerRunResult RunCheckers(const Project& project, const std::vector<const Checker*>& checkers,
-                             const ProjectTraits& traits, int jobs,
-                             const ResourceBudget* budget, const FaultInjector* fault,
-                             bool isolate) {
-  CheckerRunResult result;
-
-  // Capability gate: a checker that cannot analyze this project at all is
-  // quarantined project-wide (one record, stage "checker") and excluded from
-  // the run, in registration order.
-  std::vector<const Checker*> runnable;
-  for (const Checker* checker : checkers) {
-    std::string reason = checker->Unsupported(project, traits);
-    if (reason.empty()) {
-      runnable.push_back(checker);
-    } else {
-      result.quarantined.push_back(QuarantinedUnit{"", "", "checker", reason, checker->name()});
-    }
-  }
-
-  // Flatten the iteration space so the pool can balance uneven functions,
-  // then merge per-function results in the serial visit order (the
-  // determinism barrier: output never depends on worker scheduling).
-  struct WorkItem {
-    FileId file;
-    const IrFunction* func;
-  };
-  std::vector<WorkItem> work;
-  for (const auto& module : project.modules()) {
-    for (const auto& func : module->functions) {
-      work.push_back({module->file, func.get()});
-    }
-  }
-
+std::vector<FunctionDetect> RunCheckersOnFunctions(
+    const Project& project, const std::vector<const Checker*>& runnable, int jobs,
+    const ResourceBudget* budget, const FaultInjector* fault, bool isolate,
+    const std::vector<CheckerWorkItem>& work) {
   // Observability: one span + histogram sample per function. The histogram
   // reference is resolved once out here (registration locks); per-function
   // clock reads only happen while metrics collection is on.
@@ -53,13 +24,9 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
                        : nullptr;
   const bool metered = budget != nullptr && !budget->Unlimited();
   const bool track_memory = MemoryTrackingEnabled();
-  std::vector<std::vector<UnusedDefCandidate>> per_function(work.size());
-  // Slot-indexed like per_function, so the quarantine list merges in the same
-  // deterministic serial order as the findings regardless of scheduling.
-  std::vector<std::vector<QuarantinedUnit>> per_function_quarantine(work.size());
-  // Slot-indexed points-to footprints: summing after the join is
-  // order-independent, so the byte counts match at any job count.
-  std::vector<PointsTo::Footprint> per_function_mem(track_memory ? work.size() : 0);
+  // Slot-indexed per work item: results merge in the serial work order (the
+  // determinism barrier: output never depends on worker scheduling).
+  std::vector<FunctionDetect> per_function(work.size());
   if (ProgressEnabled()) {
     ProgressMeter::Global().SetPhase("detect");
     ProgressMeter::Global().AddTotalFunctions(work.size());
@@ -82,7 +49,9 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
     // analysis) before its context dies; called on each exit path below.
     auto record_points_to = [&](CheckerContext& ctx) {
       if (track_memory && ctx.points_to_computed()) {
-        per_function_mem[i] = ctx.points_to().MemoryFootprint();
+        PointsTo::Footprint fp = ctx.points_to().MemoryFootprint();
+        per_function[i].points_to_bytes = fp.bytes;
+        per_function[i].points_to_entries = fp.entries;
       }
     };
 
@@ -92,7 +61,7 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
         cand.checker = checker->name();
         cand.fingerprint_ns = checker->fingerprint_namespace();
         cand.from_baseline = checker->is_baseline();
-        per_function[i].push_back(std::move(cand));
+        per_function[i].candidates.push_back(std::move(cand));
       }
     };
 
@@ -116,7 +85,7 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
     } catch (const std::exception& e) {
       // Whole-function quarantine, same record shape as the pre-framework
       // detector (no checker attribution).
-      per_function_quarantine[i].push_back(
+      per_function[i].quarantined.push_back(
           QuarantinedUnit{path, work[i].func->name, "detect", e.what(), ""});
       return;
     }
@@ -131,20 +100,59 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       } catch (const BudgetExceededError& e) {
         // The meter is shared across the function's checkers: once it blows,
         // the remaining checkers would throw on their first Charge too.
-        per_function_quarantine[i].push_back(
+        per_function[i].quarantined.push_back(
             QuarantinedUnit{path, work[i].func->name, "detect", e.what(), checker->name()});
         break;
       } catch (const std::exception& e) {
-        per_function_quarantine[i].push_back(
+        per_function[i].quarantined.push_back(
             QuarantinedUnit{path, work[i].func->name, "detect", e.what(), checker->name()});
       }
     }
     record_points_to(ctx);
   });
 
+  if (track_memory) {
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+    for (const FunctionDetect& fn : per_function) {
+      bytes += fn.points_to_bytes;
+      entries += fn.points_to_entries;
+    }
+    MemoryTracker& tracker = MemoryTracker::Global();
+    tracker.Add(MemCategory::kPointsToSets, bytes, entries);
+    tracker.SampleRss();
+  }
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetCounter("detect.functions").Add(work.size());
+  }
+  return per_function;
+}
+
+std::vector<const Checker*> GateCheckers(const Project& project,
+                                         const std::vector<const Checker*>& checkers,
+                                         const ProjectTraits& traits,
+                                         std::vector<QuarantinedUnit>& quarantined) {
+  // Capability gate: a checker that cannot analyze this project at all is
+  // quarantined project-wide (one record, stage "checker") and excluded from
+  // the run, in registration order.
+  std::vector<const Checker*> runnable;
+  for (const Checker* checker : checkers) {
+    std::string reason = checker->Unsupported(project, traits);
+    if (reason.empty()) {
+      runnable.push_back(checker);
+    } else {
+      quarantined.push_back(QuarantinedUnit{"", "", "checker", reason, checker->name()});
+    }
+  }
+  return runnable;
+}
+
+void MergeFunctionDetects(const std::vector<const Checker*>& runnable,
+                          std::vector<FunctionDetect> per_function, CheckerRunResult& result) {
   std::vector<uint64_t> per_checker_counts(runnable.size(), 0);
-  for (auto& found : per_function) {
-    for (auto& cand : found) {
+  size_t quarantine_count = 0;
+  for (FunctionDetect& fn : per_function) {
+    for (auto& cand : fn.candidates) {
       for (size_t c = 0; c < runnable.size(); ++c) {
         if (runnable[c]->name() == cand.checker) {
           ++per_checker_counts[c];
@@ -153,13 +161,12 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       }
       result.candidates.push_back(std::move(cand));
     }
-  }
-  size_t quarantine_count = 0;
-  for (auto& records : per_function_quarantine) {
-    for (auto& record : records) {
+    for (auto& record : fn.quarantined) {
       result.quarantined.push_back(std::move(record));
       ++quarantine_count;
     }
+    result.points_to_bytes += fn.points_to_bytes;
+    result.points_to_entries += fn.points_to_entries;
   }
   for (size_t c = 0; c < runnable.size(); ++c) {
     result.per_checker.push_back({runnable[c]->name(), per_checker_counts[c]});
@@ -170,19 +177,8 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
           .Emit();
     }
   }
-  if (track_memory) {
-    for (const PointsTo::Footprint& fp : per_function_mem) {
-      result.points_to_bytes += fp.bytes;
-      result.points_to_entries += fp.entries;
-    }
-    MemoryTracker& tracker = MemoryTracker::Global();
-    tracker.Add(MemCategory::kPointsToSets, result.points_to_bytes,
-                result.points_to_entries);
-    tracker.SampleRss();
-  }
   if (MetricsEnabled()) {
     MetricsRegistry& registry = MetricsRegistry::Global();
-    registry.GetCounter("detect.functions").Add(work.size());
     registry.GetCounter("detect.candidates").Add(result.candidates.size());
     for (size_t c = 0; c < runnable.size(); ++c) {
       registry.GetCounter("detect." + runnable[c]->name() + ".candidates")
@@ -192,6 +188,29 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
       registry.GetCounter("fault.quarantined.detect").Add(quarantine_count);
     }
   }
+}
+
+CheckerRunResult RunCheckers(const Project& project, const std::vector<const Checker*>& checkers,
+                             const ProjectTraits& traits, int jobs,
+                             const ResourceBudget* budget, const FaultInjector* fault,
+                             bool isolate) {
+  CheckerRunResult result;
+  std::vector<const Checker*> runnable = GateCheckers(project, checkers, traits, result.quarantined);
+
+  // Flatten the iteration space so the pool can balance uneven functions.
+  // unit_order() keeps the visit order stable whether the project was built
+  // fresh or mutated incrementally.
+  std::vector<CheckerWorkItem> work;
+  for (size_t m : project.unit_order()) {
+    const auto& module = project.modules()[m];
+    for (const auto& func : module->functions) {
+      work.push_back({module->file, func.get()});
+    }
+  }
+
+  MergeFunctionDetects(runnable,
+                       RunCheckersOnFunctions(project, runnable, jobs, budget, fault, isolate, work),
+                       result);
   return result;
 }
 

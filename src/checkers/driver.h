@@ -58,6 +58,53 @@ CheckerRunResult RunCheckers(const Project& project, const std::vector<const Che
                              const ResourceBudget* budget, const FaultInjector* fault,
                              bool isolate);
 
+// One (file, function) unit of detection work.
+struct CheckerWorkItem {
+  FileId file = kInvalidFileId;
+  const IrFunction* func = nullptr;
+};
+
+// One function's complete detect-stage output — exactly what the incremental
+// engine caches and carries over for functions outside a commit's dirty
+// slice. Candidates are stamped; quarantine records use the driver's
+// per-function shapes.
+struct FunctionDetect {
+  std::vector<UnusedDefCandidate> candidates;
+  std::vector<QuarantinedUnit> quarantined;
+  // Points-to footprint of the function's context (zeros when memory
+  // tracking was off or no checker forced the analysis).
+  uint64_t points_to_bytes = 0;
+  uint64_t points_to_entries = 0;
+};
+
+// The capability gate alone: partitions `checkers` into the runnable subset,
+// appending one "checker"-stage quarantine record per unsupported checker in
+// registration order. RunCheckers applies this itself; the incremental
+// engine calls it directly (the gate must re-evaluate on every commit — the
+// project's contents factor into Unsupported()).
+std::vector<const Checker*> GateCheckers(const Project& project,
+                                         const std::vector<const Checker*>& checkers,
+                                         const ProjectTraits& traits,
+                                         std::vector<QuarantinedUnit>& quarantined);
+
+// The merge step of RunCheckers: folds per-function results (already in work
+// order) into `result` — candidates then quarantine records per function,
+// per-checker counts in `runnable` order, points-to sums — and emits the
+// detect.candidates / per-checker / fault.quarantined.detect metrics.
+// `result.quarantined` may already hold gate (and cache) records; function
+// records append after them, matching the full-run record order.
+void MergeFunctionDetects(const std::vector<const Checker*>& runnable,
+                          std::vector<FunctionDetect> per_function, CheckerRunResult& result);
+
+// Work-list core of RunCheckers: runs already-capability-gated `runnable`
+// over an explicit work list, returning per-item results in work order (the
+// merge the full-project driver performs is then a plain concatenation).
+// Emits the same detect.* metrics, scoped to the items actually run.
+std::vector<FunctionDetect> RunCheckersOnFunctions(
+    const Project& project, const std::vector<const Checker*>& runnable, int jobs,
+    const ResourceBudget* budget, const FaultInjector* fault, bool isolate,
+    const std::vector<CheckerWorkItem>& work);
+
 }  // namespace vc
 
 #endif  // VALUECHECK_SRC_CHECKERS_DRIVER_H_

@@ -35,6 +35,16 @@ void RecordStageSeconds(const char* stage, double seconds) {
 }  // namespace
 
 AnalysisReport Analysis::Run(const Project& project, const Repository* repo) const {
+  return RunImpl(project, repo, nullptr);
+}
+
+AnalysisReport Analysis::RunWithDetect(const Project& project, const Repository* repo,
+                                       CheckerRunResult detect) const {
+  return RunImpl(project, repo, &detect);
+}
+
+AnalysisReport Analysis::RunImpl(const Project& project, const Repository* repo,
+                                 CheckerRunResult* precomputed) const {
   const bool collect = options_.collect_metrics;
   if (collect) {
     // The registry switch is what instrumentation sites deeper in the
@@ -77,8 +87,12 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
   {
     TraceSpan span("detect", "pipeline");
     RunEvent("stage_start").Str("stage", "detect").Emit();
-    detect = RunCheckers(project, checkers, options_.traits, options_.jobs,
-                         &options_.budget, &options_.fault, /*isolate=*/true);
+    if (precomputed != nullptr) {
+      detect = std::move(*precomputed);
+    } else {
+      detect = RunCheckers(project, checkers, options_.traits, options_.jobs,
+                           &options_.budget, &options_.fault, /*isolate=*/true);
+    }
     candidates = std::move(detect.candidates);
     for (QuarantinedUnit& unit : detect.quarantined) {
       report.quarantined.push_back(std::move(unit));
@@ -264,9 +278,9 @@ AnalysisReport Analysis::Run(const Project& project, const Repository* repo) con
     stage.filter_seconds = filter_seconds;
     stage.prune_seconds = prune_seconds;
     stage.rank_seconds = rank_seconds;
-    stage.files_parsed = project.units().size();
-    for (const auto& module : project.modules()) {
-      stage.functions_analyzed += module->functions.size();
+    stage.files_parsed = project.unit_order().size();
+    for (size_t i : project.unit_order()) {
+      stage.functions_analyzed += project.modules()[i]->functions.size();
     }
     stage.candidates_detected = candidates.size();
     stage.rank_scored = rank_stats.scored;

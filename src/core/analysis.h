@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/checkers/driver.h"
 #include "src/core/project.h"
 #include "src/core/pruning.h"
 #include "src/core/ranking.h"
@@ -162,14 +163,11 @@ struct AnalysisReport {
   std::string ToCsv() const;
 };
 
-// Result of per-commit incremental analysis (§8.6).
-struct IncrementalResult {
-  // Findings within the functions affected by the commit.
-  std::vector<UnusedDefCandidate> findings;
-  int files_analyzed = 0;
-  int functions_analyzed = 0;
-  double seconds = 0.0;
-};
+// Result of per-commit incremental analysis; defined in
+// src/core/incremental.h (it embeds a full AnalysisReport plus the engine's
+// cache/dirty-slice telemetry).
+struct IncrementalResult;
+class IncrementalEngine;
 
 class Analysis {
  public:
@@ -184,6 +182,14 @@ class Analysis {
   // count as non-cross-scope unless cross_scope_only is disabled).
   AnalysisReport Run(const Project& project, const Repository* repo = nullptr) const;
 
+  // Advanced entry point for the incremental engine: runs every stage after
+  // detection (authorship, cross-scope filter, prune, rank, fingerprint) over
+  // a detect-stage result assembled elsewhere — a mix of cached and freshly
+  // run functions. Byte-identical to Run() when `detect` holds exactly what
+  // RunCheckers would have produced for this project.
+  AnalysisReport RunWithDetect(const Project& project, const Repository* repo,
+                               CheckerRunResult detect) const;
+
   // Builds the project (parallel parse/lower under options().jobs and
   // options().config), then runs; the report owns the project.
   AnalysisReport RunOnRepository(const Repository& repo) const;
@@ -191,10 +197,14 @@ class Analysis {
   AnalysisReport RunOnSources(
       const std::vector<std::pair<std::string, std::string>>& files) const;
 
-  // Per-commit incremental analysis: re-analyzes only the files `commit`
-  // touched and, within them, only the functions overlapping the changed
-  // lines. Authorship uses blame at that commit (not head), so results match
-  // what a CI hook would have seen.
+  // Per-commit incremental analysis through a cached IncrementalEngine
+  // (src/core/incremental.h): re-parses only the files `commit` touched and
+  // re-runs checkers only on the commit's dirty function slice, carrying
+  // cached results for everything else. The returned report holds the
+  // COMPLETE finding set as of `commit` — byte-identical to a full run over
+  // the repository truncated at that commit. Sequential calls with ascending
+  // commits on the same repository reuse the engine's warm caches; any other
+  // pattern rebuilds the engine (correct, just slower).
   IncrementalResult RunOnCommit(const Repository& repo, CommitId commit) const;
 
   // Project construction alone (no detection) with this analysis's config
@@ -207,7 +217,17 @@ class Analysis {
   // Folds the facade-measured parse phase into the report's StageMetrics.
   void FinishParseMetrics(AnalysisReport& report, double parse_seconds) const;
 
+  // Shared pipeline body: with `precomputed` null, runs detection itself
+  // (Run); otherwise consumes the caller's detect result (RunWithDetect).
+  AnalysisReport RunImpl(const Project& project, const Repository* repo,
+                         CheckerRunResult* precomputed) const;
+
   AnalysisOptions options_;
+  // RunOnCommit's warm engine (shared_ptr: IncrementalEngine is incomplete
+  // here). Keyed by source repository identity; reset when the repo changes
+  // or commits arrive out of ascending order.
+  mutable std::shared_ptr<IncrementalEngine> commit_engine_;
+  mutable const Repository* commit_engine_repo_ = nullptr;
 };
 
 }  // namespace vc

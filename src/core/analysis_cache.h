@@ -1,0 +1,115 @@
+// The incremental engine's analysis cache (DESIGN.md §18).
+//
+// Two tiers share one invariant: a cached detect result is valid exactly when
+// (file content, analysis configuration) both match.
+//
+//  * The memory tier is the per-path FileCacheEntry map: the engine's
+//    persistent Project already holds the parsed TU and lowered IR, so the
+//    entry only stores the content hash (parse-skip decision) and each
+//    function's detect-stage output (carry-over decision). Candidate pointers
+//    stay valid because a slot's AST/IR is only replaced when its content
+//    changes — which also invalidates the entry.
+//  * The disk tier (--cache-dir) serializes entries as one JSON file per
+//    source path, keyed by content hash AND a config key folding in the
+//    preprocessor macros, the enabled checker list, project traits, budget
+//    and fault settings, and the cache schema version. Loaded candidates are
+//    value-only (callee_name, slot ids, line/column locations); the engine
+//    rebinds their AST/IR pointers against the live project.
+//
+// A corrupt or truncated disk entry is never fatal: it degrades to a cache
+// miss and surfaces through the quarantine channel ("cache" stage), matching
+// the fault-isolation contract of every other pipeline stage.
+
+#ifndef VALUECHECK_SRC_CORE_ANALYSIS_CACHE_H_
+#define VALUECHECK_SRC_CORE_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/checkers/driver.h"
+#include "src/support/fault.h"
+
+namespace vc {
+
+// Bumped whenever the serialized entry shape or the meaning of any cached
+// field changes; old entries then read as stale (miss), never as garbage.
+inline constexpr int kCacheSchemaVersion = 1;
+
+// FNV-1a 64-bit. Stable across runs and platforms; collisions would carry a
+// stale result, so the 64-bit width matters.
+uint64_t HashContent(std::string_view text);
+
+// Cumulative engine telemetry; published as cache.* metrics and reported in
+// IncrementalResult.
+struct CacheStats {
+  uint64_t parse_hits = 0;         // files whose content hash matched (no re-parse)
+  uint64_t parse_misses = 0;       // files (re)compiled
+  uint64_t detect_carried = 0;     // functions served from cache
+  uint64_t detect_recomputed = 0;  // functions re-run (dirty slice)
+  uint64_t disk_loads = 0;         // file entries restored from --cache-dir
+  uint64_t disk_stores = 0;        // file entries written to --cache-dir
+  uint64_t disk_corrupt = 0;       // unreadable entries degraded to misses
+
+  double DetectHitRate() const {
+    const uint64_t total = detect_carried + detect_recomputed;
+    return total == 0 ? 0.0 : static_cast<double>(detect_carried) / static_cast<double>(total);
+  }
+};
+
+// One file's cached detect-stage state.
+struct FileCacheEntry {
+  uint64_t content_hash = 0;
+  // Per-function results keyed by IR function name. An absent name means the
+  // function must be (re)detected; presence means the stored result equals
+  // what a fresh detect of that function would produce.
+  std::map<std::string, FunctionDetect> functions;
+};
+
+class AnalysisCache {
+ public:
+  // `cache_dir` empty = memory tier only. `config_key` is the canonical
+  // configuration string (see MakeConfigKey in incremental.cc).
+  AnalysisCache(std::string cache_dir, std::string config_key);
+
+  bool has_disk_tier() const { return !cache_dir_.empty(); }
+  const std::string& config_key() const { return config_key_; }
+
+  // Memory tier: get-or-create / lookup / drop the entry for a path.
+  FileCacheEntry& File(const std::string& path) { return files_[path]; }
+  const FileCacheEntry* Find(const std::string& path) const;
+  void Remove(const std::string& path) { files_.erase(path); }
+
+  // Disk tier. Load validates the header (schema version, config key,
+  // content hash) and fills `out.functions` on a hit; a stale or absent entry
+  // is a plain miss, a corrupt one also appends a "cache"-stage quarantine
+  // record. Store writes atomically (tmp + rename) and is a no-op without a
+  // cache dir.
+  bool LoadFromDisk(const std::string& path, uint64_t content_hash, FileCacheEntry& out,
+                    std::vector<QuarantinedUnit>& quarantine);
+  void StoreToDisk(const std::string& path, const FileCacheEntry& entry);
+
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
+  // Mirrors the cumulative stats into the global MetricsRegistry:
+  // cache.parse.hits/misses, cache.detect.carried/recomputed,
+  // cache.disk.loads/stores/corrupt (counters track deltas since the last
+  // publish; cache.files / cache.functions gauges report occupancy).
+  void PublishMetrics();
+
+ private:
+  std::string DiskPath(const std::string& path) const;
+
+  std::string cache_dir_;
+  std::string config_key_;
+  std::map<std::string, FileCacheEntry> files_;
+  CacheStats stats_;
+  CacheStats published_;  // counter values already pushed to the registry
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_CORE_ANALYSIS_CACHE_H_

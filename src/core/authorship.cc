@@ -105,7 +105,7 @@ void AuthorshipAnalyzer::Classify(UnusedDefCandidate& cand) const {
   bool retval_cross = false;
   if (cand.FromCall()) {
     const FunctionInfo* callee =
-        cand.origin_callee != nullptr ? project_.FindFunction(cand.origin_callee->name) : nullptr;
+        !cand.callee_name.empty() ? project_.FindFunction(cand.callee_name) : nullptr;
     if (callee == nullptr || !callee->InProject() || callee->ir == nullptr) {
       // Library call: the implementer is by definition a different author.
       retval_cross = cand.def_author != kInvalidAuthor;

@@ -359,6 +359,43 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
     out += "</div>\n";
   }
 
+  // Incremental engine: full-vs-incremental trend over the runs that carry
+  // the v4 metrics.incremental block (`analyze --incremental` replays and
+  // bench_incremental's sampled points). For bench records analysis_seconds
+  // holds the sampled full-run time, so the two seconds cards together are
+  // the full-vs-incremental comparison; hit rate and dirty-slice cards track
+  // whether the cache keeps doing the work.
+  std::vector<double> inc_seconds_trend;
+  std::vector<double> inc_full_trend;
+  std::vector<double> inc_hit_trend;
+  std::vector<double> inc_dirty_trend;
+  for (const RunRecord& run : runs) {
+    if (!run.metrics.inc_collected) {
+      continue;
+    }
+    inc_seconds_trend.push_back(run.metrics.inc_seconds);
+    inc_full_trend.push_back(run.metrics.analysis_seconds);
+    inc_hit_trend.push_back(100.0 * run.metrics.inc_cache_hit_rate);
+    inc_dirty_trend.push_back(
+        run.metrics.inc_functions_total > 0
+            ? 100.0 * static_cast<double>(run.metrics.inc_functions_dirty) /
+                  static_cast<double>(run.metrics.inc_functions_total)
+            : 0.0);
+  }
+  if (!inc_seconds_trend.empty()) {
+    out += "<h2>Incremental engine (" + std::to_string(inc_seconds_trend.size()) +
+           " incremental run(s))</h2>\n<div class=\"cards\">";
+    out += "<div class=\"card\"><h3>incremental seconds per commit</h3>" +
+           Sparkline(inc_seconds_trend, 4) + "</div>";
+    out += "<div class=\"card\"><h3>full-run seconds (same commits)</h3>" +
+           Sparkline(inc_full_trend, 4) + "</div>";
+    out += "<div class=\"card\"><h3>detect cache hit rate %</h3>" +
+           Sparkline(inc_hit_trend, 1) + "</div>";
+    out += "<div class=\"card\"><h3>dirty slice % of functions</h3>" +
+           Sparkline(inc_dirty_trend, 1) + "</div>";
+    out += "</div>\n";
+  }
+
   // Speedup curves from the newest scalability bench sweep: records labeled
   // "bench:scalability <profile> jobs=N" by bench_table7_scalability. Newest
   // record wins per (profile, jobs); a curve renders once its profile has a

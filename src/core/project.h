@@ -127,9 +127,41 @@ class Project {
   const std::vector<FileMemory>& file_memory() const { return file_memory_; }
   FileMemory ParseMemoryTotal() const;
 
+  // --- Incremental mutation API (used by vc::IncrementalEngine) -----------
+  // Recompiles (or adds) one file. An existing path keeps its FileId — its
+  // slot recompiles in place, and a tombstoned path is revived in its old
+  // slot — so locations in carried-over results stay meaningful. Call
+  // FinishUpdate() after a batch of mutations to rebuild derived state.
+  FileId UpsertFile(const std::string& path, std::string content, const Config& config,
+                    const FaultInjector* fault = nullptr,
+                    const ResourceBudget* budget = nullptr);
+
+  // Tombstones a deleted path: the slot becomes an empty-but-valid unit that
+  // FinishUpdate() drops from the index, diagnostics, and iteration order.
+  // Returns false when the path is not a live file.
+  bool RemoveFile(const std::string& path);
+
+  // Rebuilds diagnostics, the quarantine list, and the function index from
+  // per-slot state, iterating live slots in path-sorted order — the order a
+  // from-scratch repository build compiles in — so the derived state is
+  // byte-identical to a fresh Project over the same live contents.
+  void FinishUpdate();
+
+  // True when `file` is a live (non-tombstoned) slot.
+  bool IsLive(FileId file) const {
+    return file >= 0 && static_cast<size_t>(file) < units_.size() &&
+           (live_.empty() || live_[file] != 0);
+  }
+
+  // Slot indices in the order derived state is built: all slots for a fresh
+  // project, live path-sorted slots after incremental mutations.
+  const std::vector<size_t>& unit_order() const { return unit_order_; }
+
  private:
   void CompileAll(std::vector<std::pair<std::string, std::string>> files, const Config& config,
                   int jobs, const FaultInjector* fault, const ResourceBudget* budget);
+  void CompileSlot(size_t i, const Config& config, const FaultInjector* fault,
+                   const ResourceBudget* budget);
   void BuildIndex();
 
   SourceManager sm_;
@@ -141,6 +173,12 @@ class Project {
   std::vector<QuarantinedUnit> quarantined_;
   bool memory_collected_ = false;
   std::vector<FileMemory> file_memory_;  // indexed by FileId
+  // Per-slot state retained so FinishUpdate() can rebuild the merged views
+  // after any subset of slots recompiles.
+  std::vector<DiagnosticEngine> slot_diags_;
+  std::vector<std::unique_ptr<QuarantinedUnit>> slot_quarantine_;
+  std::vector<char> live_;           // empty = every slot live (fresh build)
+  std::vector<size_t> unit_order_;   // iteration order for derived state
 };
 
 }  // namespace vc

@@ -216,9 +216,9 @@ class PeerMatcher {
       }
       if (cand.is_param && cand.var != nullptr) {
         unused_params.insert({cand.function, cand.var->param_index});
-      } else if (cand.origin_callee != nullptr && !cand.is_synthetic) {
+      } else if (!cand.callee_name.empty() && !cand.is_synthetic) {
         unused_assigned.insert(
-            {cand.origin_callee->name, cand.def_loc.file, cand.def_loc.line});
+            {cand.callee_name, cand.def_loc.file, cand.def_loc.line});
       }
     }
 
@@ -267,8 +267,8 @@ class PeerMatcher {
         return false;
       }
       key = {true, SignatureOf(info->def_decl), cand.var->param_index};
-    } else if (cand.origin_callee != nullptr) {
-      key = {false, cand.origin_callee->name, 0};
+    } else if (!cand.callee_name.empty()) {
+      key = {false, cand.callee_name, 0};
     } else {
       return false;
     }

@@ -2,6 +2,7 @@
 
 #include "src/checkers/checker.h"
 #include "src/checkers/registry.h"
+#include "src/core/incremental.h"
 #include "src/support/json_writer.h"
 #include "src/support/table_writer.h"
 
@@ -47,7 +48,8 @@ void WriteFinding(JsonWriter& json, const UnusedDefCandidate& cand, const Reposi
 
 }  // namespace
 
-std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
+std::string ReportToJson(const AnalysisReport& report, const Repository* repo,
+                         const IncrementalResult* incremental) {
   JsonWriter json;
   json.BeginObject();
   json.String("tool", "valuecheck");
@@ -65,9 +67,12 @@ std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
   // adds the always-present "checker_stats" array (per-checker candidate and
   // finding counts) and, when the run collected metrics, the "memory" block —
   // per-category byte/object counts, the per-stage tracked-byte peaks, and
-  // the (nondeterministic) peak-RSS samples.
+  // the (nondeterministic) peak-RSS samples; v8 adds the optional
+  // "incremental" block (present only for per-commit engine runs): commit id,
+  // files/functions work accounting, fingerprint-level carried/new/fixed
+  // deltas, and the parse/detect cache hit counters.
   // See DESIGN.md §"JSON report schema" for the contract.
-  json.Int("schema_version", 7);
+  json.Int("schema_version", 8);
   json.Double("analysis_seconds", report.analysis_seconds);
   json.Double("parse_seconds", report.parse_seconds);
   json.Double("detect_seconds", report.detect_seconds);
@@ -106,6 +111,31 @@ std::string ReportToJson(const AnalysisReport& report, const Repository* repo) {
     json.EndObject();
   }
   json.EndArray();
+
+  if (incremental != nullptr) {
+    json.Key("incremental").BeginObject();
+    json.Int("commit", static_cast<int64_t>(incremental->commit));
+    json.Int("files_changed", incremental->files_changed);
+    json.Int("files_reparsed", incremental->files_reparsed);
+    json.Int("functions_total", incremental->functions_total);
+    json.Int("functions_dirty", incremental->functions_dirty);
+    json.Int("findings_carried", incremental->findings_carried);
+    json.Int("findings_new", incremental->findings_new);
+    json.Int("findings_fixed", incremental->findings_fixed);
+    json.Double("seconds", incremental->seconds);
+    const CacheStats& cache = incremental->cache;
+    json.Key("cache").BeginObject();
+    json.Int("parse_hits", static_cast<int64_t>(cache.parse_hits));
+    json.Int("parse_misses", static_cast<int64_t>(cache.parse_misses));
+    json.Int("detect_carried", static_cast<int64_t>(cache.detect_carried));
+    json.Int("detect_recomputed", static_cast<int64_t>(cache.detect_recomputed));
+    json.Double("detect_hit_rate", cache.DetectHitRate());
+    json.Int("disk_loads", static_cast<int64_t>(cache.disk_loads));
+    json.Int("disk_stores", static_cast<int64_t>(cache.disk_stores));
+    json.Int("disk_corrupt", static_cast<int64_t>(cache.disk_corrupt));
+    json.EndObject();
+    json.EndObject();
+  }
 
   json.Key("prune_stats").BeginObject();
   json.Int("candidates", report.prune_stats.original);

@@ -18,7 +18,11 @@
 namespace vc {
 
 // `repo` resolves author ids to names; pass null to omit author names.
-std::string ReportToJson(const AnalysisReport& report, const Repository* repo = nullptr);
+// `incremental`, when given, adds the schema-v8 "incremental" block (commit,
+// work accounting, fingerprint deltas, cache hit rates) to the JSON.
+struct IncrementalResult;
+std::string ReportToJson(const AnalysisReport& report, const Repository* repo = nullptr,
+                         const IncrementalResult* incremental = nullptr);
 
 std::string ReportToSarif(const AnalysisReport& report);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/core/incremental.h"
 #include "src/support/json_writer.h"
 #include "src/support/table_writer.h"
 
@@ -113,6 +114,20 @@ RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
     m.mem_peak_rss_bytes = static_cast<int64_t>(report.memory.peak_rss_bytes);
   }
   return record;
+}
+
+void FillIncrementalMetrics(const IncrementalResult& result, LedgerMetrics& metrics) {
+  metrics.inc_collected = true;
+  metrics.inc_commit = result.commit;
+  metrics.inc_files_changed = result.files_changed;
+  metrics.inc_files_reparsed = result.files_reparsed;
+  metrics.inc_functions_total = result.functions_total;
+  metrics.inc_functions_dirty = result.functions_dirty;
+  metrics.inc_findings_carried = result.findings_carried;
+  metrics.inc_findings_new = result.findings_new;
+  metrics.inc_findings_fixed = result.findings_fixed;
+  metrics.inc_cache_hit_rate = result.cache.DetectHitRate();
+  metrics.inc_seconds = result.seconds;
 }
 
 RunDiff ComputeRunDiff(const RunRecord& a, const RunRecord& b,

@@ -28,6 +28,11 @@ namespace vc {
 RunRecord MakeRunRecord(const AnalysisReport& report, const std::string& label,
                         int64_t timestamp_ms);
 
+// Fills the ledger-v4 incremental slice of `metrics` from a per-commit
+// engine result (work accounting + cache hit rate), marking it collected.
+struct IncrementalResult;
+void FillIncrementalMetrics(const IncrementalResult& result, LedgerMetrics& metrics);
+
 // What counts as a regression when diffing run A (baseline) → run B.
 struct RegressionThresholds {
   // Any new finding beyond this count fails the check. 0 = strict.

@@ -101,7 +101,11 @@ struct UnusedDefCandidate {
   // diffs on. 16 hex chars; empty until AssignFingerprints runs.
   std::string fingerprint;
 
-  bool FromCall() const { return origin_callee != nullptr || is_synthetic; }
+  // callee_name (the self-contained copy) is the source of truth here, not
+  // the origin_callee pointer: cache-restored candidates (incremental engine
+  // disk tier) carry only the name, and downstream stages resolve the callee
+  // through the live function index by name anyway.
+  bool FromCall() const { return !callee_name.empty() || is_synthetic; }
 };
 
 }  // namespace vc

@@ -29,6 +29,9 @@ class Config {
     auto it = macros_.find(name);
     return it == macros_.end() ? 0 : it->second;
   }
+  // Sorted name -> value view, for callers that fold the configuration into a
+  // cache key (a config change must invalidate cached analysis results).
+  const std::map<std::string, long long>& macros() const { return macros_; }
 
  private:
   std::map<std::string, long long> macros_;

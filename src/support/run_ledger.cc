@@ -93,6 +93,23 @@ void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
     json.Double("imbalance_ratio", m.perf_imbalance_ratio);
     json.EndObject();
   }
+  // v4: incremental-engine summary. Written only for per-commit runs, same
+  // compatibility story as the v2/v3 optional blocks.
+  if (m.inc_collected) {
+    json.Key("incremental").BeginObject();
+    json.Bool("collected", true);
+    json.Int("commit", m.inc_commit);
+    json.Int("files_changed", m.inc_files_changed);
+    json.Int("files_reparsed", m.inc_files_reparsed);
+    json.Int("functions_total", m.inc_functions_total);
+    json.Int("functions_dirty", m.inc_functions_dirty);
+    json.Int("findings_carried", m.inc_findings_carried);
+    json.Int("findings_new", m.inc_findings_new);
+    json.Int("findings_fixed", m.inc_findings_fixed);
+    json.Double("cache_hit_rate", m.inc_cache_hit_rate);
+    json.Double("seconds", m.inc_seconds);
+    json.EndObject();
+  }
   json.EndObject();  // metrics
 }
 
@@ -153,6 +170,21 @@ LedgerMetrics ReadMetrics(const JsonValue& value) {
     m.perf_max_busy_seconds = perf.GetDouble("max_busy_seconds");
     m.perf_mean_busy_seconds = perf.GetDouble("mean_busy_seconds");
     m.perf_imbalance_ratio = perf.GetDouble("imbalance_ratio");
+  }
+  // Absent in pre-v4 records and full (non-incremental) runs.
+  if (value.Has("incremental")) {
+    const JsonValue& inc = value.Get("incremental");
+    m.inc_collected = inc.GetBool("collected");
+    m.inc_commit = inc.GetInt("commit");
+    m.inc_files_changed = inc.GetInt("files_changed");
+    m.inc_files_reparsed = inc.GetInt("files_reparsed");
+    m.inc_functions_total = inc.GetInt("functions_total");
+    m.inc_functions_dirty = inc.GetInt("functions_dirty");
+    m.inc_findings_carried = inc.GetInt("findings_carried");
+    m.inc_findings_new = inc.GetInt("findings_new");
+    m.inc_findings_fixed = inc.GetInt("findings_fixed");
+    m.inc_cache_hit_rate = inc.GetDouble("cache_hit_rate");
+    m.inc_seconds = inc.GetDouble("seconds");
   }
   return m;
 }

@@ -104,16 +104,31 @@ struct LedgerMetrics {
   double perf_max_busy_seconds = 0.0;
   double perf_mean_busy_seconds = 0.0;
   double perf_imbalance_ratio = 0.0;
+  // Incremental-engine summary (ledger-schema v4): work accounting for a
+  // per-commit run produced by `valuecheck analyze --incremental` or the
+  // incremental bench. All zero (inc_collected false) in full-run records
+  // and pre-v4 lines.
+  bool inc_collected = false;
+  int64_t inc_commit = 0;
+  int64_t inc_files_changed = 0;
+  int64_t inc_files_reparsed = 0;
+  int64_t inc_functions_total = 0;
+  int64_t inc_functions_dirty = 0;
+  int64_t inc_findings_carried = 0;
+  int64_t inc_findings_new = 0;
+  int64_t inc_findings_fixed = 0;
+  double inc_cache_hit_rate = 0.0;  // carried / (carried + recomputed)
+  double inc_seconds = 0.0;         // per-commit wall seconds
 };
 
 // One analysis run. `run_id` is assigned by RunLedger::Append when empty
 // ("r0001", "r0002", ... in append order).
 struct RunRecord {
   // v1: initial schema. v2: per-checker stats + memory accounting fields.
-  // v3: perf (scalability observatory) summary fields. Every addition reads
-  // back as zero/empty from older lines, so mixed-version ledgers load and
-  // diff cleanly.
-  static constexpr int kSchemaVersion = 3;
+  // v3: perf (scalability observatory) summary fields. v4: incremental-engine
+  // summary fields. Every addition reads back as zero/empty from older lines,
+  // so mixed-version ledgers load and diff cleanly.
+  static constexpr int kSchemaVersion = 4;
 
   std::string run_id;
   int64_t timestamp_ms = 0;     // caller-supplied wall clock (0 = unknown)

@@ -26,6 +26,18 @@ FileId SourceManager::AddFile(std::string path, std::string content) {
   return static_cast<FileId>(files_.size() - 1);
 }
 
+void SourceManager::ReplaceContent(FileId id, std::string content) {
+  File& file = files_[id];
+  file.content = std::move(content);
+  file.line_starts.clear();
+  file.line_starts.push_back(0);
+  for (size_t i = 0; i < file.content.size(); ++i) {
+    if (file.content[i] == '\n' && i + 1 < file.content.size()) {
+      file.line_starts.push_back(i + 1);
+    }
+  }
+}
+
 FileId SourceManager::FindByPath(std::string_view path) const {
   for (size_t i = 0; i < files_.size(); ++i) {
     if (files_[i].path == path) {

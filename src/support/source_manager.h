@@ -22,6 +22,11 @@ class SourceManager {
   // layer); `content` is the full text. Returns the new file's id.
   FileId AddFile(std::string path, std::string content);
 
+  // Replaces the text of an already-registered file in place, recomputing its
+  // line index. The id stays valid — the incremental engine relies on a path
+  // keeping its FileId across recompiles so cached locations stay meaningful.
+  void ReplaceContent(FileId id, std::string content);
+
   // Number of registered files.
   int NumFiles() const { return static_cast<int>(files_.size()); }
 

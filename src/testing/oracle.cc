@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/incremental.h"
 #include "src/core/report_formats.h"
 #include "src/support/json_reader.h"
 
@@ -111,6 +112,8 @@ const char* OracleKindName(OracleKind kind) {
       return "metamorphic";
     case OracleKind::kDegradedRun:
       return "degraded_run";
+    case OracleKind::kIncrementalEquivalence:
+      return "incremental_equivalence";
   }
   return "unknown";
 }
@@ -125,8 +128,10 @@ std::optional<OracleKind> OracleKindFromName(const std::string& name) {
 }
 
 std::vector<OracleKind> AllOracles() {
-  return {OracleKind::kCleanFrontend, OracleKind::kJobsDeterminism, OracleKind::kMetricsParity,
-          OracleKind::kJsonRoundTrip, OracleKind::kMetamorphic, OracleKind::kDegradedRun};
+  return {OracleKind::kCleanFrontend,  OracleKind::kJobsDeterminism,
+          OracleKind::kMetricsParity,  OracleKind::kJsonRoundTrip,
+          OracleKind::kMetamorphic,    OracleKind::kDegradedRun,
+          OracleKind::kIncrementalEquivalence};
 }
 
 bool OracleVerdict::Failed(OracleKind kind) const {
@@ -254,8 +259,8 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
           {OracleKind::kJsonRoundTrip, "", "report JSON does not parse: " + error});
     } else {
       const JsonValue& findings = doc->Get("findings");
-      if (doc->GetInt("schema_version") != 7) {
-        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 7"});
+      if (doc->GetInt("schema_version") != 8) {
+        verdict.failures.push_back({OracleKind::kJsonRoundTrip, "", "schema_version != 8"});
       } else if (findings.Size() != with_metrics.findings.size()) {
         verdict.failures.push_back(
             {OracleKind::kJsonRoundTrip, "",
@@ -381,6 +386,46 @@ OracleVerdict OracleRunner::Check(const TestProgram& program) const {
                  "faulted run diverges at jobs=" + std::to_string(jobs[i]) + " from jobs=" +
                      std::to_string(jobs.front()) + " (findings or quarantine list)"});
           }
+        }
+      }
+    }
+  }
+
+  if (Enabled(OracleKind::kIncrementalEquivalence)) {
+    // Replay the program as a history (one commit per file, then an edit
+    // appending a probe function to the first file) and hold the incremental
+    // engine to full-run equivalence at every commit. Serial plus the widest
+    // job count — the jobs_determinism oracle already covers the middle.
+    Repository repo;
+    AuthorId author = repo.AddAuthor("fuzz");
+    int64_t timestamp = 1'650'000'000;
+    std::vector<std::pair<std::string, std::string>> sources = program.ToSources();
+    for (const auto& [path, content] : sources) {
+      repo.AddCommit(author, timestamp += 60, "add " + path, {{path, content}});
+    }
+    repo.AddCommit(author, timestamp += 60, "probe edit",
+                   {{sources.front().first,
+                     sources.front().second +
+                         "\nint inc_probe(int z) {\n  int w = z + 1;\n  return w;\n}\n"}});
+
+    std::set<int> job_counts = {jobs.front(), jobs.back()};
+    for (int job_count : job_counts) {
+      AnalysisOptions options;
+      options.checkers = options_.checkers;
+      options.cross_scope_only = false;
+      options.jobs = job_count;
+      IncrementalEngine engine(options);
+      Analysis full(options);
+      bool diverged = false;
+      for (CommitId commit = 0; commit < repo.NumCommits() && !diverged; ++commit) {
+        IncrementalResult result = engine.AnalyzeCommit(repo, commit);
+        AnalysisReport fresh = full.RunOnRepository(repo.PrefixCopy(commit));
+        if (SerializeFindings(result.report) != SerializeFindings(fresh)) {
+          verdict.failures.push_back(
+              {OracleKind::kIncrementalEquivalence, "",
+               "incremental report diverges from the full run at commit " +
+                   std::to_string(commit) + " (jobs " + std::to_string(job_count) + ")"});
+          diverged = true;
         }
       }
     }

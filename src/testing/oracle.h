@@ -17,6 +17,11 @@
 //                       fingerprints are a subset of the clean run's; the
 //                       quarantine list and findings are identical at every
 //                       job count
+//   incremental_equivalence — replaying the program as a commit-per-file
+//                       history (plus a final edit) through the incremental
+//                       engine yields, at every commit, exactly the findings
+//                       and raw candidates a full run over the truncated
+//                       repository yields
 //
 // OracleOptions::parallel_fault is the harness's own test hook: a corruption
 // applied to parallel (jobs > 1) reports before comparison, simulating a
@@ -47,6 +52,7 @@ enum class OracleKind {
   kJsonRoundTrip,
   kMetamorphic,
   kDegradedRun,
+  kIncrementalEquivalence,
 };
 
 const char* OracleKindName(OracleKind kind);

@@ -28,13 +28,14 @@ CommitId Repository::AddCommit(AuthorId author, int64_t timestamp, std::string m
   commit.message = std::move(message);
   commit.files = std::move(changed_files);
   commit.deleted = std::move(deleted_files);
+  // Cached blame states are NOT invalidated here: they record how far into
+  // the per-file log they have folded, and Blame() lazily advances them over
+  // the new entries.
   for (const auto& [path, content] : commit.files) {
     file_log_[path].push_back(commit.id);
-    blame_cache_.erase(path);
   }
   for (const std::string& path : commit.deleted) {
     file_log_[path].push_back(commit.id);
-    blame_cache_.erase(path);
   }
   commits_.push_back(std::move(commit));
   return commits_.back().id;
@@ -85,25 +86,23 @@ std::vector<CommitId> Repository::LogOf(const std::string& path) const {
   return it == file_log_.end() ? std::vector<CommitId>{} : it->second;
 }
 
-std::vector<LineOrigin> Repository::ReplayBlame(const std::string& path, CommitId up_to) const {
+void Repository::AdvanceBlame(const std::string& path, CommitId up_to,
+                              BlameReplayState& state) const {
   auto it = file_log_.find(path);
   if (it == file_log_.end()) {
-    return {};
+    return;
   }
-
-  std::vector<LineOrigin> attribution;
-  std::string current;  // current file content during the replay
-  bool exists = false;
-
-  for (CommitId commit_id : it->second) {
+  const std::vector<CommitId>& log = it->second;
+  for (; state.log_index < log.size(); ++state.log_index) {
+    CommitId commit_id = log[state.log_index];
     if (commit_id > up_to) {
       break;
     }
     const Commit& commit = commits_[commit_id];
     if (commit.deleted.count(path) > 0) {
-      attribution.clear();
-      current.clear();
-      exists = false;
+      state.attribution.clear();
+      state.content.clear();
+      state.exists = false;
       continue;
     }
     auto file_it = commit.files.find(path);
@@ -111,43 +110,60 @@ std::vector<LineOrigin> Repository::ReplayBlame(const std::string& path, CommitI
       continue;
     }
     const std::string& next = file_it->second;
-    if (!exists) {
+    if (!state.exists) {
       // (Re)creation: every line belongs to this commit.
-      attribution.assign(SplitLines(next).size(), {commit_id, commit.author});
-      current = next;
-      exists = true;
+      state.attribution.assign(SplitLines(next).size(), {commit_id, commit.author});
+      state.content = next;
+      state.exists = true;
       continue;
     }
-    std::vector<std::string_view> old_lines = SplitLines(current);
+    std::vector<std::string_view> old_lines = SplitLines(state.content);
     std::vector<std::string_view> new_lines = SplitLines(next);
     std::vector<Edit> edits = DiffLines(old_lines, new_lines);
     std::vector<LineOrigin> next_attr;
     next_attr.reserve(new_lines.size());
     for (const Edit& edit : edits) {
       if (edit.op == EditOp::kKeep) {
-        next_attr.push_back(attribution[edit.old_index]);
+        next_attr.push_back(state.attribution[edit.old_index]);
       } else if (edit.op == EditOp::kInsert) {
         next_attr.push_back({commit_id, commit.author});
       }
     }
-    attribution = std::move(next_attr);
-    current = next;
+    state.attribution = std::move(next_attr);
+    state.content = next;
   }
-  return attribution;
+}
+
+std::vector<LineOrigin> Repository::ReplayBlame(const std::string& path, CommitId up_to) const {
+  BlameReplayState state;
+  AdvanceBlame(path, up_to, state);
+  return std::move(state.attribution);
 }
 
 const std::vector<LineOrigin>& Repository::Blame(const std::string& path) const {
-  auto cached = blame_cache_.find(path);
-  if (cached != blame_cache_.end()) {
-    return cached->second;
-  }
   CommitId head = commits_.empty() ? kInvalidCommit : static_cast<CommitId>(commits_.size() - 1);
-  auto [it, inserted] = blame_cache_.emplace(path, ReplayBlame(path, head));
-  return it->second;
+  BlameReplayState& state = blame_cache_[path];
+  AdvanceBlame(path, head, state);
+  return state.attribution;
 }
 
 std::vector<LineOrigin> Repository::BlameAt(const std::string& path, CommitId commit) const {
   return ReplayBlame(path, commit);
+}
+
+Repository Repository::PrefixCopy(CommitId up_to) const {
+  Repository copy;
+  for (const Author& author : authors_) {
+    copy.AddAuthor(author.name);
+  }
+  for (const Commit& commit : commits_) {
+    if (commit.id > up_to) {
+      break;
+    }
+    copy.AddCommit(commit.author, commit.timestamp, commit.message, commit.files,
+                   commit.deleted);
+  }
+  return copy;
 }
 
 std::vector<int> Repository::ChangedLines(const std::string& path, CommitId commit) const {

@@ -47,6 +47,18 @@ struct LineOrigin {
   AuthorId author = kInvalidAuthor;
 };
 
+// Resumable blame replay for one path: the fold state after applying a prefix
+// of the path's commit log. Advancing one commit at a time yields exactly the
+// same attribution as a from-scratch replay — this is what makes per-commit
+// incremental blame O(commit delta) instead of O(history) while staying
+// byte-identical to Blame()/BlameAt().
+struct BlameReplayState {
+  std::vector<LineOrigin> attribution;
+  std::string content;  // file content at the replay point
+  bool exists = false;
+  size_t log_index = 0;  // next entry of the path's commit log to apply
+};
+
 class Repository {
  public:
   AuthorId AddAuthor(std::string name);
@@ -69,9 +81,21 @@ class Repository {
   std::vector<CommitId> LogOf(const std::string& path) const;
 
   // Line attribution for head (or historical) contents. One entry per line.
-  // Results for head are cached; the cache is invalidated by AddCommit.
+  // Head results are cached as resumable replay states: a commit touching the
+  // path advances the cached fold instead of replaying the whole log.
   const std::vector<LineOrigin>& Blame(const std::string& path) const;
   std::vector<LineOrigin> BlameAt(const std::string& path, CommitId commit) const;
+
+  // Advances `state` through every log entry of `path` with id <= up_to.
+  // Starting from a default state this reproduces BlameAt(path, up_to);
+  // callers that keep the state across commits pay only for the new entries.
+  void AdvanceBlame(const std::string& path, CommitId up_to, BlameReplayState& state) const;
+
+  // A new repository containing the same authors and commits 0..up_to — the
+  // repository as it existed right after `up_to` landed. This is the baseline
+  // the incremental engine is proven equivalent against: analyzing
+  // PrefixCopy(c) from scratch must match the engine's per-commit result.
+  Repository PrefixCopy(CommitId up_to) const;
 
   // 1-based line numbers (in the post-commit file) that `commit` introduced
   // or modified in `path`; empty when the commit did not touch the path.
@@ -86,7 +110,9 @@ class Repository {
   std::vector<Commit> commits_;
   // Per path: ids of commits touching it (including deletions), oldest first.
   std::map<std::string, std::vector<CommitId>> file_log_;
-  mutable std::map<std::string, std::vector<LineOrigin>> blame_cache_;
+  // Head-blame cache as resumable states; Blame() advances a path's state to
+  // the current head on demand, so AddCommit never discards earlier work.
+  mutable std::map<std::string, BlameReplayState> blame_cache_;
 };
 
 }  // namespace vc

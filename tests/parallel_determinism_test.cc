@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/analysis.h"
+#include "src/core/incremental.h"
 #include "src/core/report_formats.h"
 #include "src/corpus/generator.h"
 #include "src/corpus/profile.h"
@@ -94,14 +95,16 @@ TEST(ParallelDeterminism, IncrementalFindingsIdenticalAcrossJobs) {
 
   for (int jobs : {2, 8}) {
     IncrementalResult result = Analysis(WithJobs(jobs)).RunOnCommit(app.repo, last);
-    ASSERT_EQ(result.findings.size(), baseline.findings.size()) << "jobs=" << jobs;
-    EXPECT_EQ(result.files_analyzed, baseline.files_analyzed);
-    EXPECT_EQ(result.functions_analyzed, baseline.functions_analyzed);
-    for (size_t i = 0; i < baseline.findings.size(); ++i) {
-      EXPECT_EQ(result.findings[i].file, baseline.findings[i].file);
-      EXPECT_EQ(result.findings[i].def_loc.line, baseline.findings[i].def_loc.line);
-      EXPECT_EQ(result.findings[i].slot_name, baseline.findings[i].slot_name);
-      EXPECT_EQ(result.findings[i].kind, baseline.findings[i].kind);
+    ASSERT_EQ(result.findings().size(), baseline.findings().size()) << "jobs=" << jobs;
+    EXPECT_EQ(result.files_reparsed, baseline.files_reparsed);
+    EXPECT_EQ(result.functions_total, baseline.functions_total);
+    EXPECT_EQ(result.functions_dirty, baseline.functions_dirty);
+    for (size_t i = 0; i < baseline.findings().size(); ++i) {
+      EXPECT_EQ(result.findings()[i].file, baseline.findings()[i].file);
+      EXPECT_EQ(result.findings()[i].def_loc.line, baseline.findings()[i].def_loc.line);
+      EXPECT_EQ(result.findings()[i].slot_name, baseline.findings()[i].slot_name);
+      EXPECT_EQ(result.findings()[i].kind, baseline.findings()[i].kind);
+      EXPECT_EQ(result.findings()[i].fingerprint, baseline.findings()[i].fingerprint);
     }
   }
 }
@@ -123,7 +126,7 @@ TEST(ParallelDeterminism, JsonReportCarriesSchemaV4Metadata) {
   GeneratedApp app = GenerateApp(NfsGaneshaProfile().Scaled(0.1));
   AnalysisReport report = Analysis(WithJobs(2)).RunOnRepository(app.repo);
   std::string json = ReportToJson(report, &app.repo);
-  EXPECT_NE(json.find("\"schema_version\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":8"), std::string::npos);
   EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
   EXPECT_NE(json.find("\"parse_seconds\":"), std::string::npos);
   EXPECT_NE(json.find("\"detect_seconds\":"), std::string::npos);

@@ -40,6 +40,7 @@ run_config() {
   fault_smoke "${name}" "${build_dir}"
   observability_smoke "${name}" "${build_dir}"
   scaling_smoke "${name}" "${build_dir}"
+  incremental_smoke "${name}" "${build_dir}"
 }
 
 # Per-checker smoke: every registered checker (from --list-checkers, baselines
@@ -272,6 +273,81 @@ scaling_smoke() {
     return 1
   fi
   echo "scaling smoke: ok"
+}
+
+# Incremental smoke: synthesize a commit history (vc_corpusgen --history),
+# analyze it cold (full run at the head commit) and via --incremental replay,
+# and require byte-identical CSV findings — the engine's equivalence
+# contract, end to end through the real binary. A second replay over the same
+# --cache-dir must report cache reuse (disk loads and carried detect
+# results), and the incremental run's Prometheus dump must contain a
+# well-formed vc_cache_* family (vc_obs_lint prom --require-cache).
+incremental_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  local gen="${build_dir}/tools/vc_corpusgen"
+  local lint="${build_dir}/tools/vc_obs_lint"
+  echo "=== [${name}] incremental smoke ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"; trap - RETURN' RETURN
+  # 30 commits over 3 modules keeps sanitizer-slowed replays in the seconds
+  # range while still mixing every edit shape the generator produces.
+  "${gen}" --history "${tmp}/history.vchist" --commits 30 --modules 3 \
+    --seed 7 --quiet || {
+    echo "incremental smoke: vc_corpusgen --history failed" >&2; return 1; }
+  # Histories can legitimately contain findings, so exit 1 is success; only
+  # >= 2 (usage/internal error) fails.
+  local rc=0
+  "${vc}" analyze --history "${tmp}/history.vchist" --format=csv \
+    >"${tmp}/full.csv" 2>/dev/null || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "incremental smoke: full analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  rc=0
+  "${vc}" analyze --history "${tmp}/history.vchist" --incremental \
+    --cache-dir "${tmp}/cache" --format=csv \
+    >"${tmp}/inc.csv" 2>"${tmp}/inc.err" || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "incremental smoke: incremental analyze failed (exit ${rc})" >&2
+    return 1
+  fi
+  if ! cmp -s "${tmp}/full.csv" "${tmp}/inc.csv"; then
+    echo "incremental smoke: incremental findings differ from the full run" >&2
+    diff "${tmp}/full.csv" "${tmp}/inc.csv" | head -20 >&2
+    return 1
+  fi
+  # Cold-restart replay over the populated cache dir: still identical, and
+  # the cumulative summary line must show the disk tier actually serving
+  # ("disk cache N loaded" with N > 0) plus carried detect results.
+  rc=0
+  "${vc}" analyze --history "${tmp}/history.vchist" --incremental \
+    --cache-dir "${tmp}/cache" --metrics-out "${tmp}/inc.prom" --format=csv \
+    >"${tmp}/inc2.csv" 2>"${tmp}/inc2.err" || rc=$?
+  if [ "${rc}" -ge 2 ]; then
+    echo "incremental smoke: cached replay failed (exit ${rc})" >&2
+    return 1
+  fi
+  if ! cmp -s "${tmp}/full.csv" "${tmp}/inc2.csv"; then
+    echo "incremental smoke: cached replay findings differ from the full run" >&2
+    diff "${tmp}/full.csv" "${tmp}/inc2.csv" | head -20 >&2
+    return 1
+  fi
+  if ! grep -Eq 'disk cache [1-9][0-9]* loaded' "${tmp}/inc2.err"; then
+    echo "incremental smoke: cached replay reported zero disk cache loads" >&2
+    grep 'incremental replay:' "${tmp}/inc2.err" >&2 || true
+    return 1
+  fi
+  if ! grep -Eq '\([1-9][0-9]* carried' "${tmp}/inc2.err"; then
+    echo "incremental smoke: cached replay carried zero detect results" >&2
+    grep 'incremental replay:' "${tmp}/inc2.err" >&2 || true
+    return 1
+  fi
+  "${lint}" prom "${tmp}/inc.prom" --require-cache || {
+    echo "incremental smoke: cache metrics failed lint" >&2; return 1; }
+  echo "incremental smoke: ok"
 }
 
 for config in "${CONFIGS[@]}"; do

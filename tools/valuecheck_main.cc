@@ -53,6 +53,7 @@
 #include "src/checkers/registry.h"
 #include "src/core/analysis.h"
 #include "src/core/html_dashboard.h"
+#include "src/core/incremental.h"
 #include "src/core/report_formats.h"
 #include "src/core/run_diff.h"
 #include "src/support/events.h"
@@ -131,6 +132,8 @@ struct CliOptions {
   std::string metrics_out_path;
   std::string ledger_dir;
   std::string label;
+  std::string cache_dir;
+  bool incremental = false;
   bool metrics = false;
   bool progress = false;
   int top = -1;
@@ -159,6 +162,27 @@ const FlagSpec kFlags[] = {
      "filtering, and familiarity ranking)",
      [](CliOptions& o, const std::string& v) {
        o.history_path = v;
+       return true;
+     }},
+    {"--incremental", nullptr, "incremental engine",
+     "replay the --history commits through the incremental engine:\n"
+     "each commit re-parses only its touched files and re-runs\n"
+     "checkers only on the dirty function slice, yet yields the\n"
+     "complete finding set as of that commit (byte-identical to a\n"
+     "full run). Per-commit work accounting goes to stderr; the\n"
+     "report printed on stdout is the one for the head commit",
+     [](CliOptions& o, const std::string&) {
+       o.incremental = true;
+       return true;
+     }},
+    {"--cache-dir", "DIR", "incremental engine",
+     "persist the per-file analysis cache under DIR so a later\n"
+     "--incremental run in a fresh process skips re-analyzing\n"
+     "functions whose file content, checker set, and configuration\n"
+     "are unchanged; corrupt entries degrade to a re-parse via the\n"
+     "quarantine channel, never a failed run",
+     [](CliOptions& o, const std::string& v) {
+       o.cache_dir = v;
        return true;
      }},
     {"--jobs", "N", "AnalysisOptions::jobs",
@@ -519,6 +543,14 @@ bool ParseAnalyzeArgs(const std::vector<std::string>& args, CliOptions& options)
     PrintUsage(stderr);
     return false;
   }
+  if (options.incremental && options.history_path.empty()) {
+    std::fprintf(stderr, "valuecheck: --incremental requires --history (a commit sequence)\n");
+    return false;
+  }
+  if (!options.cache_dir.empty() && !options.incremental) {
+    std::fprintf(stderr, "valuecheck: --cache-dir only applies with --incremental\n");
+    return false;
+  }
   return true;
 }
 
@@ -720,24 +752,82 @@ int RunAnalyze(const std::vector<std::string>& args) {
   }
 
   Analysis analysis(options.analysis);
-  auto parse_start = std::chrono::steady_clock::now();
-  Project project = has_history
-                        ? analysis.BuildFromRepository(repo)
-                        : analysis.BuildFromSources(CollectSources(options.inputs));
-  double parse_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - parse_start).count();
+  AnalysisReport report;
+  std::optional<IncrementalResult> inc_head;
+  if (options.incremental) {
+    // Replay the whole history commit-by-commit through one warm engine.
+    // Each commit's report is complete (equal to a full run truncated at that
+    // commit); stdout carries the head commit's report through the normal
+    // formatting path, stderr the per-commit work accounting.
+    if (repo.NumCommits() == 0) {
+      std::fprintf(stderr, "valuecheck: --incremental: history has no commits\n");
+      return 2;
+    }
+    IncrementalOptions inc_options;
+    inc_options.cache_dir = options.cache_dir;
+    IncrementalEngine engine(options.analysis, inc_options);
+    std::string label = options.label.empty() ? options.history_path : options.label;
+    for (CommitId commit = 0; commit < repo.NumCommits(); ++commit) {
+      IncrementalResult result = engine.AnalyzeCommit(repo, commit);
+      std::fprintf(stderr,
+                   "valuecheck: commit %d/%d: reparsed %d of %d changed file(s), "
+                   "%d/%d function(s) dirty, findings +%d -%d =%d, %.1f ms\n",
+                   commit + 1, repo.NumCommits(), result.files_reparsed, result.files_changed,
+                   result.functions_dirty, result.functions_total, result.findings_new,
+                   result.findings_fixed, static_cast<int>(result.findings().size()),
+                   result.seconds * 1000.0);
+      // One ledger record per commit, so `history`/`report` can trend the
+      // incremental run the same way CI trends full runs.
+      if (!options.ledger_dir.empty()) {
+        RunRecord record = MakeRunRecord(result.report,
+                                         label + "@c" + std::to_string(commit), NowMs());
+        record.options_summary = SummarizeOptions(options, has_history);
+        FillIncrementalMetrics(result, record.metrics);
+        std::string error;
+        RunLedger ledger(options.ledger_dir);
+        if (ledger.Append(std::move(record), &error).empty()) {
+          std::fprintf(stderr, "valuecheck: ledger append failed: %s\n", error.c_str());
+          return 2;
+        }
+      }
+      if (commit + 1 == repo.NumCommits()) {
+        inc_head = std::move(result);
+      }
+    }
+    const CacheStats& cache = inc_head->cache;
+    std::fprintf(stderr,
+                 "valuecheck: incremental replay: parse cache %llu hit / %llu miss; "
+                 "detect cache %.1f%% hit (%llu carried, %llu recomputed); "
+                 "disk cache %llu loaded, %llu stored, %llu corrupt\n",
+                 static_cast<unsigned long long>(cache.parse_hits),
+                 static_cast<unsigned long long>(cache.parse_misses),
+                 cache.DetectHitRate() * 100.0,
+                 static_cast<unsigned long long>(cache.detect_carried),
+                 static_cast<unsigned long long>(cache.detect_recomputed),
+                 static_cast<unsigned long long>(cache.disk_loads),
+                 static_cast<unsigned long long>(cache.disk_stores),
+                 static_cast<unsigned long long>(cache.disk_corrupt));
+    report = inc_head->report;
+  } else {
+    auto parse_start = std::chrono::steady_clock::now();
+    Project project = has_history
+                          ? analysis.BuildFromRepository(repo)
+                          : analysis.BuildFromSources(CollectSources(options.inputs));
+    double parse_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - parse_start).count();
 
-  if (project.diags().HasErrors()) {
-    std::fputs(project.diags().Render(project.sources()).c_str(), stderr);
-    return 2;
-  }
+    if (project.diags().HasErrors()) {
+      std::fputs(project.diags().Render(project.sources()).c_str(), stderr);
+      return 2;
+    }
 
-  AnalysisReport report = analysis.Run(project, has_history ? &repo : nullptr);
-  report.parse_seconds = parse_seconds;
-  report.analysis_seconds += parse_seconds;
-  if (report.stage.collected) {
-    report.stage.parse_seconds = parse_seconds;
-    report.stage.files_parsed = project.units().size();
+    report = analysis.Run(project, has_history ? &repo : nullptr);
+    report.parse_seconds = parse_seconds;
+    report.analysis_seconds += parse_seconds;
+    if (report.stage.collected) {
+      report.stage.parse_seconds = parse_seconds;
+      report.stage.files_parsed = project.units().size();
+    }
   }
 
   // The heartbeat line ends (with a final render + newline) before anything
@@ -775,7 +865,9 @@ int RunAnalyze(const std::vector<std::string>& args) {
   }
 
   if (options.format == "json") {
-    std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr).c_str());
+    std::printf("%s\n", ReportToJson(report, has_history ? &repo : nullptr,
+                                     inc_head.has_value() ? &*inc_head : nullptr)
+                            .c_str());
   } else if (options.format == "sarif") {
     std::printf("%s\n", ReportToSarif(report).c_str());
   } else if (options.format == "csv") {
@@ -807,7 +899,8 @@ int RunAnalyze(const std::vector<std::string>& args) {
   }
 
   // Ledger epilogue: persist the run for later `diff`/`history`/`report`.
-  if (!options.ledger_dir.empty()) {
+  // Incremental replays already appended one record per commit above.
+  if (!options.ledger_dir.empty() && !options.incremental) {
     std::string label = options.label;
     if (label.empty()) {
       label = has_history ? options.history_path : Join(options.inputs, " ");

@@ -1,20 +1,31 @@
 // vc_corpusgen: streams a deterministic paper-shaped Mini-C corpus to disk.
 //
 //   vc_corpusgen --profile linux-like --scale medium --out /tmp/corpus
+//   vc_corpusgen --history /tmp/h.vchist --commits 50
 //
 // Profiles mirror the paper's scalability subjects (many-small-files
 // "linux-like", fewer-huge-files "mysql-like"); scales run from smoke-sized
 // (small, ~10k LOC) through acceptance-sized (medium, >100k LOC) to
 // sweep-sized (large, >1M LOC). Generation is streamed file-by-file, so the
-// corpus is never held resident. Exit codes: 0 success, 2 usage or I/O
-// error.
+// corpus is never held resident.
+//
+// --history switches to commit-history mode: instead of a directory of
+// sources it writes one .vchist file (the format `valuecheck analyze
+// --history` reads) synthesized by src/testing/history_gen.h — a module
+// graph evolved through rewrites, whitespace touches, file adds/removes,
+// renames, and signature changes. This is what tools/check.sh's incremental
+// smoke and bench/bench_incremental replay. Exit codes: 0 success, 2 usage
+// or I/O error.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "src/testing/corpusgen.h"
+#include "src/testing/history_gen.h"
+#include "src/vcs/history_io.h"
 
 namespace {
 
@@ -23,6 +34,8 @@ void PrintUsage(std::FILE* out) {
       out,
       "usage: vc_corpusgen --profile NAME --scale SCALE --out DIR\n"
       "                    [--files N] [--seed S] [--quiet]\n"
+      "       vc_corpusgen --history FILE [--commits N] [--modules M]\n"
+      "                    [--seed S] [--quiet]\n"
       "\n"
       "  --profile NAME  corpus shape: linux-like (many small files) or\n"
       "                  mysql-like (few huge files)\n"
@@ -30,6 +43,11 @@ void PrintUsage(std::FILE* out) {
       "  --out DIR       output directory (created if missing)\n"
       "  --files N       override the profile's file count (shape per file\n"
       "                  is unchanged; useful for quick smokes)\n"
+      "  --history FILE  write a synthesized commit history (.vchist) instead\n"
+      "                  of a source corpus; replay it with\n"
+      "                  `valuecheck analyze --history FILE [--incremental]`\n"
+      "  --commits N     history mode: number of commits (default 50)\n"
+      "  --modules M     history mode: initial module count (default 4)\n"
       "  --seed S        corpus seed (default 1); same seed, same bytes\n"
       "  --quiet         suppress the summary line\n");
 }
@@ -40,8 +58,11 @@ int main(int argc, char** argv) {
   std::string profile_name;
   std::string scale;
   std::string out_dir;
+  std::string history_path;
   uint64_t seed = 1;
   int files_override = -1;
+  int commits = 50;
+  int modules = 4;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +85,12 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (arg == "--files") {
       files_override = std::atoi(next("--files"));
+    } else if (arg == "--history") {
+      history_path = next("--history");
+    } else if (arg == "--commits") {
+      commits = std::atoi(next("--commits"));
+    } else if (arg == "--modules") {
+      modules = std::atoi(next("--modules"));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -74,6 +101,41 @@ int main(int argc, char** argv) {
       PrintUsage(stderr);
       return 2;
     }
+  }
+
+  if (!history_path.empty()) {
+    if (!profile_name.empty() || !scale.empty() || !out_dir.empty()) {
+      std::fprintf(stderr,
+                   "vc_corpusgen: --history is a separate mode; drop "
+                   "--profile/--scale/--out\n");
+      return 2;
+    }
+    if (commits < 1 || modules < 1) {
+      std::fprintf(stderr, "vc_corpusgen: --commits and --modules must be >= 1\n");
+      return 2;
+    }
+    vc::testing::HistoryGenOptions options;
+    options.seed = seed;
+    options.commits = commits;
+    options.initial_modules = modules;
+    vc::Repository repo = vc::testing::GenerateHistory(options);
+    std::ofstream out(history_path, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "vc_corpusgen: cannot write %s\n", history_path.c_str());
+      return 2;
+    }
+    out << vc::SaveHistory(repo);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "vc_corpusgen: write to %s failed\n", history_path.c_str());
+      return 2;
+    }
+    if (!quiet) {
+      std::printf("history seed=%llu: %d commit(s), %d initial module(s) -> %s\n",
+                  static_cast<unsigned long long>(seed), repo.NumCommits(), modules,
+                  history_path.c_str());
+    }
+    return 0;
   }
 
   if (profile_name.empty() || scale.empty() || out_dir.empty()) {

@@ -6,10 +6,17 @@
 //                             present on every line; "seq" dense from 0 and
 //                             strictly increasing in file order; first event
 //                             run_start, last run_end
-//   vc_obs_lint prom FILE     Prometheus text exposition 0.0.4: every sample
+//   vc_obs_lint prom FILE [--require-cache]
+//                             Prometheus text exposition 0.0.4: every sample
 //                             line is `name{...} value` with a [a-zA-Z_:]
 //                             leading character, every metric has a # TYPE,
-//                             and at least one vc_ sample exists
+//                             and at least one vc_ sample exists. Any
+//                             vc_cache_* samples (the incremental engine's
+//                             cache.* family) must be non-negative and come
+//                             with the vc_cache_files/vc_cache_functions
+//                             gauges; --require-cache additionally fails the
+//                             lint when the family is absent entirely (used
+//                             by the incremental smoke in tools/check.sh)
 //   vc_obs_lint folded FILE   collapsed-stack: every line is
 //                             `frame(;frame)* <positive integer>`, and the
 //                             file is non-empty
@@ -129,7 +136,7 @@ std::string SampleName(const std::string& line) {
   return end == std::string::npos ? line : line.substr(0, end);
 }
 
-int LintProm(const std::string& path) {
+int LintProm(const std::string& path, bool require_cache) {
   std::optional<std::vector<std::string>> lines = ReadLines(path);
   if (!lines.has_value()) {
     return 2;
@@ -137,6 +144,9 @@ int LintProm(const std::string& path) {
   std::vector<std::string> typed;  // names declared by # TYPE, in order
   size_t samples = 0;
   bool any_vc = false;
+  size_t cache_samples = 0;
+  bool cache_files_gauge = false;
+  bool cache_functions_gauge = false;
   for (size_t i = 0; i < lines->size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
     const std::string& line = (*lines)[i];
@@ -189,6 +199,21 @@ int LintProm(const std::string& path) {
     if (name.rfind("vc_", 0) == 0) {
       any_vc = true;
     }
+    // Incremental cache family: counters and gauges are monotone tallies of
+    // parse/detect/disk traffic — a negative value means the publisher
+    // regressed, not that the run was merely cold.
+    if (name.rfind("vc_cache_", 0) == 0) {
+      ++cache_samples;
+      if (std::strtod(value.c_str(), nullptr) < 0) {
+        return Fail(path, line_no, "cache metric '" + name + "' is negative");
+      }
+      if (name == "vc_cache_files") {
+        cache_files_gauge = true;
+      }
+      if (name == "vc_cache_functions") {
+        cache_functions_gauge = true;
+      }
+    }
     ++samples;
   }
   if (samples == 0) {
@@ -197,8 +222,16 @@ int LintProm(const std::string& path) {
   if (!any_vc) {
     return Fail(path, 0, "no vc_-prefixed samples (wrong file?)");
   }
-  std::printf("vc_obs_lint: %s: %zu sample(s), %zu metric(s) OK\n", path.c_str(), samples,
-              typed.size());
+  if (require_cache && cache_samples == 0) {
+    return Fail(path, 0, "no vc_cache_* samples (incremental cache metrics missing)");
+  }
+  if (cache_samples > 0 && (!cache_files_gauge || !cache_functions_gauge)) {
+    return Fail(path, 0,
+                "vc_cache_* family present without the vc_cache_files/"
+                "vc_cache_functions gauges (partial publish)");
+  }
+  std::printf("vc_obs_lint: %s: %zu sample(s), %zu metric(s), %zu cache sample(s) OK\n",
+              path.c_str(), samples, typed.size(), cache_samples);
   return 0;
 }
 
@@ -359,17 +392,28 @@ int LintFolded(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE\n");
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE [--require-cache]\n");
     return 2;
   }
   const std::string mode = argv[1];
   const std::string path = argv[2];
+  bool require_cache = false;
+  if (argc == 4 && std::string(argv[3]) == "--require-cache") {
+    if (mode != "prom") {
+      std::fprintf(stderr, "vc_obs_lint: --require-cache only applies to prom mode\n");
+      return 2;
+    }
+    require_cache = true;
+  } else if (argc != 3) {
+    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE [--require-cache]\n");
+    return 2;
+  }
   if (mode == "events") {
     return LintEvents(path);
   }
   if (mode == "prom") {
-    return LintProm(path);
+    return LintProm(path, require_cache);
   }
   if (mode == "folded") {
     return LintFolded(path);
