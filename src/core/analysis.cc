@@ -109,6 +109,13 @@ AnalysisReport Analysis::RunImpl(const Project& project, const Repository* repo,
     report.checker_stats.push_back({pc.name, pc.candidates, 0});
   }
 
+  // Sources-mode parity switch: with authorship off, classification, pruning,
+  // and ranking all see a null repository, so the run is byte-identical to a
+  // repo-less one regardless of what repository the caller holds.
+  if (!options_.authorship) {
+    repo = nullptr;
+  }
+
   // 2. Classify authorship (cross-scope scenarios of §3.1).
   auto authorship_start = std::chrono::steady_clock::now();
   {

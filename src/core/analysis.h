@@ -54,6 +54,13 @@ struct AnalysisOptions {
   // Keep only cross-scope candidates after authorship classification (§3.1).
   // Disabling reproduces the "w/o Authorship" ablation group.
   bool cross_scope_only = true;
+  // Run the post-detect stages with repository context (blame-based kind
+  // refinement, stale-code pruning, familiarity). Disabling makes every run
+  // behave exactly like a repo-less sources-mode run even when a repository
+  // is available — the serve daemon relies on this for byte-identical
+  // findings against batch `analyze <files>`, since its synthetic
+  // single-author commit log would otherwise reclassify candidate kinds.
+  bool authorship = true;
   PruneOptions prune;
   RankingOptions ranking;
   // Preprocessor macro configuration used when the facade parses sources.

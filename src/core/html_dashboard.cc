@@ -396,6 +396,45 @@ std::string RenderHtmlDashboard(const std::vector<RunRecord>& runs) {
     out += "</div>\n";
   }
 
+  // Serve envelope: latency/throughput/robustness trends over the runs that
+  // carry the v5 serve block (`valuecheck serve` drains and vc_loadgen
+  // reports). Shed/degraded/deadline are plotted as a percentage of requests
+  // so bursts of different sizes stay comparable.
+  std::vector<double> serve_qps_trend;
+  std::vector<double> serve_p50_trend;
+  std::vector<double> serve_p99_trend;
+  std::vector<double> serve_nonok_trend;
+  for (const RunRecord& run : runs) {
+    const LedgerMetrics& m = run.metrics;
+    if (!m.serve_collected) {
+      continue;
+    }
+    serve_qps_trend.push_back(m.serve_qps);
+    serve_p50_trend.push_back(m.serve_p50_ms);
+    serve_p99_trend.push_back(m.serve_p99_ms);
+    const double requests = static_cast<double>(m.serve_requests);
+    serve_nonok_trend.push_back(
+        requests > 0
+            ? 100.0 *
+                  static_cast<double>(m.serve_shed + m.serve_degraded +
+                                      m.serve_deadline + m.serve_failed) /
+                  requests
+            : 0.0);
+  }
+  if (!serve_qps_trend.empty()) {
+    out += "<h2>Serve envelope (" + std::to_string(serve_qps_trend.size()) +
+           " run(s) with serve blocks)</h2>\n<div class=\"cards\">";
+    out += "<div class=\"card\"><h3>throughput QPS</h3>" +
+           Sparkline(serve_qps_trend, 1) + "</div>";
+    out += "<div class=\"card\"><h3>p50 latency ms</h3>" +
+           Sparkline(serve_p50_trend, 1) + "</div>";
+    out += "<div class=\"card\"><h3>p99 latency ms</h3>" +
+           Sparkline(serve_p99_trend, 1) + "</div>";
+    out += "<div class=\"card\"><h3>shed+degraded+deadline+failed %</h3>" +
+           Sparkline(serve_nonok_trend, 1) + "</div>";
+    out += "</div>\n";
+  }
+
   // Speedup curves from the newest scalability bench sweep: records labeled
   // "bench:scalability <profile> jobs=N" by bench_table7_scalability. Newest
   // record wins per (profile, jobs); a curve renders once its profile has a

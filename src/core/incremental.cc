@@ -80,6 +80,8 @@ std::string MakeCacheConfigKey(const AnalysisOptions& options) {
          std::to_string(options.budget.pointer_iteration_limit);
   key += ";fault=" + std::to_string(options.fault.seed()) + ":" +
          std::to_string(options.fault.rate());
+  key += ";authorship=";
+  key += options.authorship ? '1' : '0';
   return key;
 }
 

@@ -91,6 +91,12 @@ class IncrementalEngine {
   const AnalysisOptions& options() const { return analysis_.options(); }
   const CacheStats& cache_stats() const { return cache_.stats(); }
 
+  // Adjusts worker parallelism between commits. Jobs is deliberately absent
+  // from MakeCacheConfigKey — findings are byte-identical at any job count —
+  // so the daemon can honor a per-request `jobs` without invalidating the
+  // warm cache or rebuilding the engine.
+  void set_jobs(int jobs) { analysis_.options().jobs = jobs; }
+
  private:
   // Ingests exactly one commit into the replica and the pending-path set.
   void Ingest(const Repository& source, CommitId commit);

@@ -1,0 +1,330 @@
+#include "src/server/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/server/client.h"
+#include "src/support/json_reader.h"
+#include "src/support/json_writer.h"
+#include "src/support/metrics.h"
+#include "src/support/rng.h"
+#include "src/testing/testgen.h"
+
+namespace vc {
+
+namespace {
+
+using Sources = std::vector<std::pair<std::string, std::string>>;
+
+// One warehouse's codebase: the pristine snapshot plus a few pre-built edited
+// variants. Everything is generated up front (deterministic in the seed) and
+// read-only afterwards, so client threads share it without locks.
+struct Warehouse {
+  std::string name;
+  std::vector<Sources> variants;  // [0] = pristine
+};
+
+std::vector<Warehouse> BuildWarehouses(const LoadGenOptions& options) {
+  std::vector<Warehouse> warehouses;
+  for (int w = 0; w < options.warehouses; ++w) {
+    Warehouse warehouse;
+    warehouse.name = "w" + std::to_string(w);
+    testing::GenOptions gen;
+    gen.min_files = options.files_per_warehouse;
+    gen.max_files = options.files_per_warehouse;
+    gen.ident_prefix = warehouse.name + "_";
+    gen.file_prefix = warehouse.name + "/";
+    testing::TestProgram program =
+        testing::GenerateProgram(options.seed * 1000 + static_cast<uint64_t>(w), gen);
+    Sources base = program.ToSources();
+    warehouse.variants.push_back(base);
+    // Edited variants append one fresh function to the last file — a change
+    // the daemon's incremental engine sees as a single-file delta.
+    for (int v = 1; v <= 4; ++v) {
+      Sources edited = base;
+      std::string fn = warehouse.name + "_extra" + std::to_string(v);
+      edited.back().second += "\nint " + fn + "(int a) {\n  int x;\n  x = a + " +
+                              std::to_string(v) + ";\n  int y;\n  y = x * 2;\n" +
+                              "  return x;\n}\n";
+      warehouse.variants.push_back(std::move(edited));
+    }
+    warehouses.push_back(std::move(warehouse));
+  }
+  return warehouses;
+}
+
+enum class Tx { kAnalyze, kDiff, kHistory, kReport, kPing };
+
+std::string BuildRequest(const LoadGenOptions& options, const std::string& id, Tx tx,
+                         const Warehouse& warehouse, const Sources* sources) {
+  JsonWriter json;
+  json.BeginObject();
+  json.String("id", id);
+  switch (tx) {
+    case Tx::kAnalyze:
+      json.String("method", "analyze");
+      break;
+    case Tx::kDiff:
+      json.String("method", "diff");
+      break;
+    case Tx::kHistory:
+      json.String("method", "history");
+      break;
+    case Tx::kReport:
+      json.String("method", "report");
+      break;
+    case Tx::kPing:
+      json.String("method", "ping");
+      break;
+  }
+  if (tx != Tx::kPing) {
+    json.String("project", warehouse.name);
+  }
+  if (tx == Tx::kAnalyze && sources != nullptr) {
+    json.Key("sources").BeginArray();
+    for (const auto& [path, content] : *sources) {
+      json.BeginObject();
+      json.String("path", path);
+      json.String("content", content);
+      json.EndObject();
+    }
+    json.EndArray();
+    if (!options.fault_spec.empty()) {
+      json.String("fault_inject", options.fault_spec);
+    }
+  }
+  json.Int("jobs", options.jobs);
+  if (options.deadline_ms > 0.0) {
+    json.Double("deadline_ms", options.deadline_ms);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+// Per-thread tallies merged into the report at the end.
+struct ClientTally {
+  uint64_t transactions = 0;
+  uint64_t succeeded = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t deadline = 0;
+  uint64_t failed = 0;
+  uint64_t retried = 0;
+  uint64_t kills = 0;
+  uint64_t reconnects = 0;
+  uint64_t by_tx[5] = {0, 0, 0, 0, 0};
+};
+
+std::unique_ptr<ServeClient> Connect(const LoadGenOptions& options, std::string* error) {
+  if (!options.socket_path.empty()) {
+    return ServeClient::ConnectUnix(options.socket_path, error);
+  }
+  return ServeClient::ConnectTcp(options.tcp_port, error);
+}
+
+void SleepBackoff(const LoadGenOptions& options, Rng& rng, int attempt,
+                  int64_t floor_ms) {
+  double delay = options.backoff_base_ms * static_cast<double>(uint64_t{1} << attempt);
+  delay = std::min(delay, options.backoff_cap_ms);
+  // Deterministic jitter in [delay/2, delay): desynchronizes retry herds
+  // without losing reproducibility for a fixed seed.
+  double jittered = delay / 2.0 + rng.NextDouble() * delay / 2.0;
+  jittered = std::max(jittered, static_cast<double>(floor_ms));
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(jittered));
+}
+
+void RunClient(const LoadGenOptions& options, int client_index,
+               const std::vector<Warehouse>& warehouses, ClientTally& tally,
+               Histogram& latency) {
+  Rng rng(options.seed ^ (0x5bd1e995ULL * static_cast<uint64_t>(client_index + 1)));
+  const std::vector<double> weights = {options.weight_analyze, options.weight_diff,
+                                       options.weight_history, options.weight_report,
+                                       options.weight_ping};
+  std::unique_ptr<ServeClient> client;
+
+  for (int t = 0; t < options.transactions_per_client; ++t) {
+    const Tx tx = static_cast<Tx>(rng.NextWeighted(weights));
+    const Warehouse& warehouse = warehouses[rng.NextBelow(warehouses.size())];
+    const Sources* sources = nullptr;
+    if (tx == Tx::kAnalyze) {
+      size_t variant = rng.NextBool(options.edit_rate)
+                           ? 1 + rng.NextBelow(warehouse.variants.size() - 1)
+                           : 0;
+      sources = &warehouse.variants[variant];
+    }
+    const std::string id =
+        "c" + std::to_string(client_index) + "-t" + std::to_string(t);
+    const std::string request = BuildRequest(options, id, tx, warehouse, sources);
+
+    ++tally.transactions;
+    ++tally.by_tx[static_cast<int>(tx)];
+
+    bool resolved = false;
+    bool last_was_shed = false;
+    for (int attempt = 0; attempt <= options.max_retries && !resolved; ++attempt) {
+      if (attempt > 0) {
+        ++tally.retried;
+      }
+      if (client == nullptr || !client->connected()) {
+        std::string connect_error;
+        client = Connect(options, &connect_error);
+        if (client == nullptr) {
+          ++tally.reconnects;
+          last_was_shed = false;
+          SleepBackoff(options, rng, attempt, 0);
+          continue;
+        }
+        if (attempt > 0) {
+          ++tally.reconnects;
+        }
+      }
+      const auto sent_at = std::chrono::steady_clock::now();
+      if (!client->SendFrame(request)) {
+        client.reset();
+        last_was_shed = false;
+        SleepBackoff(options, rng, attempt, 0);
+        continue;
+      }
+      if (options.kill_rate > 0.0 && rng.NextBool(options.kill_rate)) {
+        // Chaos: yank the connection with the request in flight. The server
+        // must absorb this (and account the request) without us listening.
+        ++tally.kills;
+        client->Close();
+        client.reset();
+        last_was_shed = false;
+        SleepBackoff(options, rng, attempt, 0);
+        continue;
+      }
+      std::string response_json;
+      std::string receive_error;
+      if (!client->ReceiveFrame(&response_json, &receive_error,
+                                options.request_timeout_seconds)) {
+        client.reset();
+        last_was_shed = false;
+        SleepBackoff(options, rng, attempt, 0);
+        continue;
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - sent_at)
+              .count();
+      std::optional<JsonValue> response = ParseJson(response_json);
+      const std::string status =
+          response.has_value() ? response->GetString("status") : "";
+      if (status == "shed") {
+        last_was_shed = true;
+        int64_t retry_after = response->GetInt("retry_after_ms", 10);
+        SleepBackoff(options, rng, attempt, retry_after);
+        continue;
+      }
+      latency.Record(seconds);
+      resolved = true;
+      if (status == "ok") {
+        ++tally.succeeded;
+      } else if (status == "degraded") {
+        ++tally.degraded;
+      } else if (status == "deadline") {
+        ++tally.deadline;
+      } else {
+        ++tally.failed;  // error frame or unparsable response
+      }
+    }
+    if (!resolved) {
+      // Retries exhausted: attribute the transaction to its terminal mode.
+      if (last_was_shed) {
+        ++tally.shed;
+      } else {
+        ++tally.failed;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options) {
+  const std::vector<Warehouse> warehouses = BuildWarehouses(options);
+  std::vector<ClientTally> tallies(static_cast<size_t>(options.clients));
+  Histogram latency;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      RunClient(options, c, warehouses, tallies[static_cast<size_t>(c)], latency);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  LoadGenReport report;
+  for (const ClientTally& tally : tallies) {
+    report.transactions += tally.transactions;
+    report.succeeded += tally.succeeded;
+    report.degraded += tally.degraded;
+    report.shed += tally.shed;
+    report.deadline += tally.deadline;
+    report.failed += tally.failed;
+    report.retried += tally.retried;
+    report.kills += tally.kills;
+    report.reconnects += tally.reconnects;
+    report.analyze += tally.by_tx[0];
+    report.diff += tally.by_tx[1];
+    report.history += tally.by_tx[2];
+    report.report_q += tally.by_tx[3];
+    report.ping += tally.by_tx[4];
+  }
+  report.wall_seconds = wall;
+  report.qps = wall > 0.0 ? static_cast<double>(report.transactions) / wall : 0.0;
+  report.latency_count = latency.count();
+  report.p50_ms = latency.ValueAtQuantile(0.50) * 1e3;
+  report.p95_ms = latency.ValueAtQuantile(0.95) * 1e3;
+  report.p99_ms = latency.ValueAtQuantile(0.99) * 1e3;
+  report.mean_ms = latency.mean_seconds() * 1e3;
+  report.max_ms = latency.max_seconds() * 1e3;
+  return report;
+}
+
+std::string LoadGenReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Int("transactions", static_cast<int64_t>(transactions));
+  json.Int("succeeded", static_cast<int64_t>(succeeded));
+  json.Int("degraded", static_cast<int64_t>(degraded));
+  json.Int("shed", static_cast<int64_t>(shed));
+  json.Int("deadline", static_cast<int64_t>(deadline));
+  json.Int("failed", static_cast<int64_t>(failed));
+  json.Int("retried", static_cast<int64_t>(retried));
+  json.Int("kills", static_cast<int64_t>(kills));
+  json.Int("reconnects", static_cast<int64_t>(reconnects));
+  json.Bool("balanced", Balanced());
+  json.Key("mix").BeginObject();
+  json.Int("analyze", static_cast<int64_t>(analyze));
+  json.Int("diff", static_cast<int64_t>(diff));
+  json.Int("history", static_cast<int64_t>(history));
+  json.Int("report", static_cast<int64_t>(report_q));
+  json.Int("ping", static_cast<int64_t>(ping));
+  json.EndObject();
+  json.Double("wall_seconds", wall_seconds);
+  json.Double("qps", qps);
+  json.Key("latency").BeginObject();
+  json.Int("count", static_cast<int64_t>(latency_count));
+  json.Double("p50_ms", p50_ms);
+  json.Double("p95_ms", p95_ms);
+  json.Double("p99_ms", p99_ms);
+  json.Double("mean_ms", mean_ms);
+  json.Double("max_ms", max_ms);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace vc

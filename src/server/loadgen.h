@@ -1,0 +1,111 @@
+// TPC-C-style closed-loop load harness for the serve daemon (DESIGN.md §19).
+//
+// The mapping follows the TPC-C shape the ROADMAP names: a *warehouse* is one
+// daemon project ("w0", "w1", ...), each with its own deterministically
+// generated Mini-C codebase (src/testing/testgen.h), and the *transaction
+// mix* is weighted analyze / diff / history / report / ping requests. Clients
+// are closed-loop: each thread issues one request, waits for the response,
+// then issues the next — so offered load self-regulates with server latency
+// instead of overrunning it (open-loop would just measure the queue).
+//
+// Robustness behaviors under test:
+//   * shed responses are retried with exponential backoff + deterministic
+//     jitter, honoring the server's retry_after_ms hint as the floor;
+//   * transport failures (server drain, injected connection kills) reconnect
+//     and retry the same transaction up to max_retries;
+//   * chaos: --fault-inject forwards a SEED:RATE spec inside analyze
+//     requests (server-side quarantine), and kill_rate makes the client
+//     close its own connection right after sending (mid-stream disconnect).
+//
+// Every transaction terminates in exactly one outcome —
+// succeeded/degraded/shed/deadline/failed — so the report's accounting
+// identity (transactions == sum of outcomes) is checkable; shed counts the
+// transactions that exhausted retries while shed, not each shed response
+// (those are `retried`).
+
+#ifndef VALUECHECK_SRC_SERVER_LOADGEN_H_
+#define VALUECHECK_SRC_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vc {
+
+struct LoadGenOptions {
+  // Target daemon: unix socket path, or TCP loopback port when path empty.
+  std::string socket_path;
+  int tcp_port = 0;
+
+  int clients = 4;
+  int warehouses = 2;
+  int transactions_per_client = 25;
+  uint64_t seed = 1;
+
+  // Transaction mix weights (TPC-C style; normalized internally).
+  double weight_analyze = 45;
+  double weight_diff = 20;
+  double weight_history = 15;
+  double weight_report = 15;
+  double weight_ping = 5;
+
+  // Per-request knobs forwarded to the server.
+  int jobs = 1;
+  double deadline_ms = 0.0;
+  std::string fault_spec;  // "SEED:RATE" chaos forwarded in analyze requests
+
+  // Probability an analyze carries an edited snapshot (exercises the warm
+  // incremental path; 0 = every analyze resends the pristine warehouse).
+  double edit_rate = 0.5;
+
+  // Chaos: probability of killing the connection right after sending.
+  double kill_rate = 0.0;
+
+  // Retry envelope.
+  int max_retries = 6;
+  double backoff_base_ms = 5.0;
+  double backoff_cap_ms = 500.0;
+
+  double request_timeout_seconds = 60.0;
+
+  // Generated warehouse size.
+  int files_per_warehouse = 3;
+};
+
+struct LoadGenReport {
+  uint64_t transactions = 0;  // == succeeded+degraded+shed+deadline+failed
+  uint64_t succeeded = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;      // gave up while shed (retries exhausted)
+  uint64_t deadline = 0;
+  uint64_t failed = 0;
+  uint64_t retried = 0;   // individual retry attempts across all transactions
+  uint64_t kills = 0;     // chaos connection kills performed
+  uint64_t reconnects = 0;
+
+  uint64_t analyze = 0;
+  uint64_t diff = 0;
+  uint64_t history = 0;
+  uint64_t report_q = 0;
+  uint64_t ping = 0;
+
+  double wall_seconds = 0.0;
+  double qps = 0.0;       // completed transactions / wall
+  uint64_t latency_count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  bool Balanced() const {
+    return transactions == succeeded + degraded + shed + deadline + failed;
+  }
+  // One JSON document (the result/BENCH_serve.json payload body).
+  std::string ToJson() const;
+};
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SERVER_LOADGEN_H_

@@ -1,0 +1,64 @@
+#include "src/server/protocol.h"
+
+namespace vc {
+
+namespace {
+
+constexpr size_t kPrefixBytes = 4;
+
+uint32_t DecodePrefix(const std::string& buffer) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(buffer[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(buffer[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(buffer[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(buffer[3]));
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kPrefixBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame += payload;
+  return frame;
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (error_) {
+    return;
+  }
+  buffer_.append(data, n);
+  // One Feed can complete several frames (a client may batch requests into a
+  // single write); drain every complete one.
+  while (buffer_.size() >= kPrefixBytes) {
+    uint32_t length = DecodePrefix(buffer_);
+    if (length > kMaxFramePayload) {
+      error_ = true;
+      error_message_ = "frame payload of " + std::to_string(length) +
+                       " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+                       "-byte limit";
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() < kPrefixBytes + length) {
+      return;  // payload still arriving
+    }
+    ready_.push_back(buffer_.substr(kPrefixBytes, length));
+    buffer_.erase(0, kPrefixBytes + length);
+  }
+}
+
+bool FrameDecoder::Pop(std::string* payload) {
+  if (ready_.empty()) {
+    return false;
+  }
+  *payload = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace vc

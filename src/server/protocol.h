@@ -1,0 +1,65 @@
+// Wire framing for the `valuecheck serve` daemon (DESIGN.md §19).
+//
+// Every message in either direction is one frame: a 4-byte big-endian
+// unsigned payload length followed by exactly that many bytes of UTF-8 JSON.
+// Length-prefixing (rather than newline-delimited JSONL alone) lets the
+// server pre-validate a frame's size before buffering it — an oversized
+// prefix is rejected immediately instead of letting one client balloon the
+// server's memory — and makes truncation detectable: a connection that closes
+// mid-frame is a protocol error, not a silently shortened document.
+//
+// FrameDecoder is a pure push-parser over received bytes, deliberately free
+// of any socket dependency so the framing edge cases (truncated frames,
+// oversized prefixes, pathological split points) are unit-testable without a
+// server (tests/server_protocol_test.cc).
+
+#ifndef VALUECHECK_SRC_SERVER_PROTOCOL_H_
+#define VALUECHECK_SRC_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace vc {
+
+// Hard ceiling on one frame's payload. Large enough for a full project
+// snapshot plus its JSON escaping; small enough that a malicious length
+// prefix (up to 4 GiB) is refused before any buffering happens.
+inline constexpr uint32_t kMaxFramePayload = 32u << 20;  // 32 MiB
+
+// Renders `payload` as one wire frame (prefix + bytes).
+std::string EncodeFrame(const std::string& payload);
+
+class FrameDecoder {
+ public:
+  // Consumes `n` raw bytes from the stream. No-op once in the error state.
+  void Feed(const char* data, size_t n);
+  void Feed(const std::string& bytes) { Feed(bytes.data(), bytes.size()); }
+
+  // Pops the oldest complete payload; false when none is ready.
+  bool Pop(std::string* payload);
+
+  // Sticky protocol-error state (oversized length prefix). The connection
+  // carrying this stream cannot be resynchronized and must be dropped.
+  bool error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+
+  // True while a frame has started (prefix or payload bytes buffered) but not
+  // finished — a stream ending here was truncated, and a stream *idling* here
+  // is a slow-loris candidate for the server's read timeout.
+  bool mid_frame() const { return !buffer_.empty(); }
+
+  // Bytes buffered for the in-progress frame (diagnostics only).
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;              // prefix + partial payload of one frame
+  std::deque<std::string> ready_;   // completed payloads in arrival order
+  bool error_ = false;
+  std::string error_message_;
+};
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SERVER_PROTOCOL_H_

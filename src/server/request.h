@@ -1,0 +1,83 @@
+// Request/response model for the serve protocol (DESIGN.md §19).
+//
+// A request frame is one JSON object:
+//
+//   {"id": "c3-17",            // client-chosen echo token
+//    "method": "analyze",      // ping|analyze|diff|history|report|shutdown
+//    "project": "w1",          // warehouse/project key (warm-state bucket)
+//    "sources": [{"path": "a.c", "content": "..."}, ...],   // analyze only
+//    "jobs": 2,                // worker lanes for this request (optional)
+//    "checkers": ["unused-def"],        // optional; empty = defaults
+//    "fault_inject": "42:0.1",          // optional chaos spec (SEED:RATE)
+//    "deadline_ms": 500,                // optional per-request deadline
+//    "render": "csv",                   // analyze payload: "csv" (default
+//                                       //   and equivalence-comparable) or
+//                                       //   "json" (full report document)
+//    "debug_sleep_ms": 0}               // test-only; see ServerOptions
+//
+// A response frame echoes the id and carries a status:
+//
+//   ok        request completed; method-specific payload fields
+//   degraded  completed, but units were quarantined (partial results) —
+//             payload fields present, plus quarantine accounting
+//   shed      not executed: admission refused it (queue full or draining);
+//             carries retry_after_ms — the RETRY_AFTER contract
+//   deadline  not executed: its deadline had already expired in queue
+//   error     request is malformed or poisoned; carries code + message.
+//             The connection stays usable — errors quarantine the request,
+//             never the server.
+//
+// Parsing lives here, free of socket types, so malformed-payload handling is
+// unit-testable next to the frame decoder.
+
+#ifndef VALUECHECK_SRC_SERVER_REQUEST_H_
+#define VALUECHECK_SRC_SERVER_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vc {
+
+enum class ServeMethod {
+  kPing,
+  kAnalyze,
+  kDiff,      // findings delta between the project's last two analyses
+  kHistory,   // recent analyses of the project
+  kReport,    // current summary (findings/checker stats) of the project
+  kShutdown,  // begin drain (for tests and orchestration; SIGTERM does same)
+};
+
+const char* ServeMethodName(ServeMethod method);
+
+struct ServeRequest {
+  std::string id;
+  ServeMethod method = ServeMethod::kPing;
+  std::string project;
+  std::vector<std::pair<std::string, std::string>> sources;  // analyze
+  int jobs = 1;
+  std::vector<std::string> checkers;
+  std::string fault_spec;     // "" = no injection
+  double deadline_ms = 0.0;   // <= 0 = server default
+  std::string render = "csv";
+  int64_t debug_sleep_ms = 0;
+};
+
+// Parses one request payload. On failure returns false with a message in
+// *error; *out keeps whatever `id` was recoverable so the error response can
+// still echo it.
+bool ParseServeRequest(const std::string& payload, ServeRequest* out, std::string* error);
+
+// Response builders (shared by the server and by tests asserting shapes).
+// Every response is a complete JSON object; the caller frames it.
+std::string MakeErrorResponse(const std::string& id, const std::string& code,
+                              const std::string& message);
+std::string MakeShedResponse(const std::string& id, int64_t retry_after_ms,
+                             const std::string& reason);
+std::string MakeDeadlineResponse(const std::string& id, double waited_ms);
+std::string MakePongResponse(const std::string& id);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SERVER_REQUEST_H_

@@ -137,4 +137,15 @@ JsonWriter& JsonWriter::IntValue(int64_t value) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& key, const std::string& json) {
+  Key(key);
+  return RawValue(json);
+}
+
+JsonWriter& JsonWriter::RawValue(const std::string& json) {
+  Separate();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace vc

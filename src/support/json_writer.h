@@ -30,6 +30,12 @@ class JsonWriter {
   JsonWriter& IntValue(int64_t value);
   JsonWriter& DoubleValue(double value);
 
+  // Splices pre-rendered JSON (already valid on its own) as a member / an
+  // element. Lets the daemon embed a full ReportToJson() document inside a
+  // response frame without re-parsing it. The caller vouches for validity.
+  JsonWriter& Raw(const std::string& key, const std::string& json);
+  JsonWriter& RawValue(const std::string& json);
+
   const std::string& str() const { return out_; }
 
   static std::string Escape(const std::string& text);

@@ -58,29 +58,29 @@ double Histogram::max_seconds() const {
   return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) / 1e9;
 }
 
-double Histogram::PercentileSeconds(double p) const {
+uint64_t Histogram::ValueAtQuantileNanos(double q) const {
   uint64_t n = count();
   if (n == 0) {
-    return 0.0;
+    return 0;
   }
-  if (p < 0.0) {
-    p = 0.0;
+  if (q < 0.0) {
+    q = 0.0;
   }
-  if (p > 1.0) {
-    p = 1.0;
+  if (q > 1.0) {
+    q = 1.0;
   }
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t max = max_nanos_.load(std::memory_order_relaxed);
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += BucketCount(b);
     if (seen >= rank) {
       // Upper bound of the bucket, clamped by the exact observed max.
-      double upper = static_cast<double>(uint64_t{1} << (b + 1)) / 1e9;
-      double max = max_seconds();
+      uint64_t upper = uint64_t{1} << (b + 1);
       return upper < max ? upper : max;
     }
   }
-  return max_seconds();
+  return max;
 }
 
 void Histogram::Reset() {

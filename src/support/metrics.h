@@ -83,9 +83,18 @@ class Histogram {
   double mean_seconds() const;
   double min_seconds() const;
   double max_seconds() const;
-  // Approximate percentile (p in [0, 1]) as the upper bound of the bucket
-  // containing the p-th sample. Returns 0 for an empty histogram.
-  double PercentileSeconds(double p) const;
+  // Approximate quantile (q in [0, 1]) as the upper bound of the log₂ bucket
+  // containing the q-th sample, clamped by the exact observed max so p100
+  // (and any quantile landing in the top occupied bucket) is exact. Returns 0
+  // for an empty histogram. This is THE percentile code path: stage tables,
+  // Prometheus consumers, the serve latency report, and vc_loadgen all derive
+  // p50/p95/p99 from it.
+  double ValueAtQuantile(double q) const {
+    return static_cast<double>(ValueAtQuantileNanos(q)) / 1e9;
+  }
+  uint64_t ValueAtQuantileNanos(double q) const;
+  // Back-compat alias kept for existing call sites.
+  double PercentileSeconds(double p) const { return ValueAtQuantile(p); }
 
   uint64_t BucketCount(int bucket) const {
     return buckets_[bucket].load(std::memory_order_relaxed);

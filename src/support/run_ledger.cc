@@ -110,6 +110,26 @@ void WriteMetrics(JsonWriter& json, const LedgerMetrics& m) {
     json.Double("seconds", m.inc_seconds);
     json.EndObject();
   }
+  // v5: serving summary. Written only for daemon/loadgen sessions, same
+  // compatibility story as the earlier optional blocks.
+  if (m.serve_collected) {
+    json.Key("serve").BeginObject();
+    json.Bool("collected", true);
+    json.Double("wall_seconds", m.serve_wall_seconds);
+    json.Int("clients", m.serve_clients);
+    json.Int("requests", m.serve_requests);
+    json.Int("succeeded", m.serve_succeeded);
+    json.Int("degraded", m.serve_degraded);
+    json.Int("shed", m.serve_shed);
+    json.Int("deadline", m.serve_deadline);
+    json.Int("failed", m.serve_failed);
+    json.Int("retried", m.serve_retried);
+    json.Double("qps", m.serve_qps);
+    json.Double("p50_ms", m.serve_p50_ms);
+    json.Double("p95_ms", m.serve_p95_ms);
+    json.Double("p99_ms", m.serve_p99_ms);
+    json.EndObject();
+  }
   json.EndObject();  // metrics
 }
 
@@ -185,6 +205,24 @@ LedgerMetrics ReadMetrics(const JsonValue& value) {
     m.inc_findings_fixed = inc.GetInt("findings_fixed");
     m.inc_cache_hit_rate = inc.GetDouble("cache_hit_rate");
     m.inc_seconds = inc.GetDouble("seconds");
+  }
+  // Absent in pre-v5 records and batch (non-serving) runs.
+  if (value.Has("serve")) {
+    const JsonValue& serve = value.Get("serve");
+    m.serve_collected = serve.GetBool("collected");
+    m.serve_wall_seconds = serve.GetDouble("wall_seconds");
+    m.serve_clients = serve.GetInt("clients");
+    m.serve_requests = serve.GetInt("requests");
+    m.serve_succeeded = serve.GetInt("succeeded");
+    m.serve_degraded = serve.GetInt("degraded");
+    m.serve_shed = serve.GetInt("shed");
+    m.serve_deadline = serve.GetInt("deadline");
+    m.serve_failed = serve.GetInt("failed");
+    m.serve_retried = serve.GetInt("retried");
+    m.serve_qps = serve.GetDouble("qps");
+    m.serve_p50_ms = serve.GetDouble("p50_ms");
+    m.serve_p95_ms = serve.GetDouble("p95_ms");
+    m.serve_p99_ms = serve.GetDouble("p99_ms");
   }
   return m;
 }

@@ -119,6 +119,25 @@ struct LedgerMetrics {
   int64_t inc_findings_fixed = 0;
   double inc_cache_hit_rate = 0.0;  // carried / (carried + recomputed)
   double inc_seconds = 0.0;         // per-commit wall seconds
+  // Serving summary (ledger-schema v5): headline numbers of a `valuecheck
+  // serve` session or a vc_loadgen run — request accounting that must balance
+  // (requests == succeeded + degraded + shed + deadline + failed) plus the
+  // latency/throughput envelope. All zero (serve_collected false) in batch
+  // records and pre-v5 lines.
+  bool serve_collected = false;
+  double serve_wall_seconds = 0.0;
+  int64_t serve_clients = 0;
+  int64_t serve_requests = 0;
+  int64_t serve_succeeded = 0;
+  int64_t serve_degraded = 0;
+  int64_t serve_shed = 0;
+  int64_t serve_deadline = 0;
+  int64_t serve_failed = 0;
+  int64_t serve_retried = 0;
+  double serve_qps = 0.0;
+  double serve_p50_ms = 0.0;
+  double serve_p95_ms = 0.0;
+  double serve_p99_ms = 0.0;
 };
 
 // One analysis run. `run_id` is assigned by RunLedger::Append when empty
@@ -126,9 +145,10 @@ struct LedgerMetrics {
 struct RunRecord {
   // v1: initial schema. v2: per-checker stats + memory accounting fields.
   // v3: perf (scalability observatory) summary fields. v4: incremental-engine
-  // summary fields. Every addition reads back as zero/empty from older lines,
-  // so mixed-version ledgers load and diff cleanly.
-  static constexpr int kSchemaVersion = 4;
+  // summary fields. v5: serve (daemon/loadgen) summary fields. Every addition
+  // reads back as zero/empty from older lines, so mixed-version ledgers load
+  // and diff cleanly.
+  static constexpr int kSchemaVersion = 5;
 
   std::string run_id;
   int64_t timestamp_ms = 0;     // caller-supplied wall clock (0 = unknown)

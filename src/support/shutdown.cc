@@ -1,0 +1,55 @@
+#include "src/support/shutdown.h"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace vc {
+
+namespace {
+
+std::atomic<int> g_shutdown_signal{0};
+
+void HandleSignal(int sig) {
+  int expected = 0;
+  if (!g_shutdown_signal.compare_exchange_strong(expected, sig,
+                                                 std::memory_order_relaxed)) {
+    // Second signal: stop being graceful. 128+sig matches the shell status
+    // the default disposition would have produced.
+    _exit(128 + sig);
+  }
+  // Async-signal-safe progress note so an interactive user knows the first
+  // Ctrl-C registered and a second one force-quits.
+  const char note[] = "\nvaluecheck: finishing current work, flushing artifacts"
+                      " (signal again to force quit)\n";
+  ssize_t ignored = write(STDERR_FILENO, note, sizeof(note) - 1);
+  (void)ignored;
+}
+
+}  // namespace
+
+void InstallGracefulShutdown() {
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked accept()/read() in the daemon should return
+  // EINTR so its loop can notice the drain request promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal() { return g_shutdown_signal.load(std::memory_order_relaxed); }
+
+void ResetShutdownForTest() { g_shutdown_signal.store(0, std::memory_order_relaxed); }
+
+void RequestShutdownForTest(int sig) {
+  g_shutdown_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace vc

@@ -1,0 +1,43 @@
+// Graceful SIGINT/SIGTERM handling shared by the batch CLI and the daemon.
+//
+// The contract is two-stage: the FIRST signal only records a shutdown
+// request — the long-lived caller polls ShutdownRequested() at its natural
+// checkpoints (between incremental commits, in the daemon's drain loop, or
+// simply "after the run, before exiting") and gets to finish in-flight work
+// and flush ledger/events/trace artifacts instead of dying mid-write. A
+// SECOND signal means the user is serious: the handler _exit(128+sig)s
+// immediately, which is exactly the default disposition they asked for twice.
+//
+// The handler is async-signal-safe: one atomic store, one write(2) note.
+// Everything interesting (flushing, drain, exit-code selection) happens on
+// the polling thread.
+
+#ifndef VALUECHECK_SRC_SUPPORT_SHUTDOWN_H_
+#define VALUECHECK_SRC_SUPPORT_SHUTDOWN_H_
+
+namespace vc {
+
+// Installs the SIGINT/SIGTERM handlers described above. Idempotent; safe to
+// call from any single thread before worker threads start.
+void InstallGracefulShutdown();
+
+// True once a signal has been received. Cheap (one relaxed load) — poll it
+// from unit-boundary checkpoints.
+bool ShutdownRequested();
+
+// The signal that triggered the request (SIGINT/SIGTERM), or 0 when none.
+// Callers exiting gracefully should return 128 + ShutdownSignal() to keep
+// the conventional shell-visible exit status.
+int ShutdownSignal();
+
+// Re-arms the flag for the next run. Tests (and the daemon, between serve
+// sessions in one process) use this; the CLI never needs it.
+void ResetShutdownForTest();
+
+// Simulates signal delivery without raising one — lets tests exercise every
+// graceful-exit checkpoint deterministically.
+void RequestShutdownForTest(int sig);
+
+}  // namespace vc
+
+#endif  // VALUECHECK_SRC_SUPPORT_SHUTDOWN_H_

@@ -147,9 +147,26 @@ struct ForState {
     tls_in_parallel_region = was_in_region;
   }
 
+  // Waits until every chunk is credited AND every submitted lane task has
+  // dropped its state reference. The second condition pins the final
+  // shared_ptr (and with it any captured exception_ptr) release to the
+  // waiting thread: a straggler worker must never be the one to free state
+  // the waiter just read, since that last-release edge runs through
+  // library-internal refcounting no race detector can observe.
   void WaitDone() {
     std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [this] { return remaining.load() == 0; });
+    done_cv.wait(lock, [this] {
+      return remaining.load() == 0 && holders.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  // Called by a lane task's destructor after it released its reference; the
+  // caller (ParallelFor) still holds one, so `this` is alive until WaitDone
+  // observes the count at zero.
+  void RetireHolder() {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    holders.fetch_sub(1, std::memory_order_release);
+    done_cv.notify_all();
   }
 
   ThreadPool* pool;
@@ -163,6 +180,40 @@ struct ForState {
   std::exception_ptr error;
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::atomic<size_t> holders{0};
+};
+
+// A worker lane's share of a ParallelFor. The destructor drops the shared_ptr
+// BEFORE signalling retirement, so the last ForState reference (and any
+// exception captured inside it) is always released by the ParallelFor caller,
+// never by a pool worker racing past the caller's wait.
+struct LaneTask {
+  LaneTask(std::shared_ptr<ForState> s, size_t lane_index)
+      : state(std::move(s)), lane(lane_index) {
+    state->holders.fetch_add(1, std::memory_order_relaxed);
+  }
+  LaneTask(const LaneTask& other) : state(other.state), lane(other.lane) {
+    if (state) {
+      state->holders.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  LaneTask(LaneTask&& other) noexcept
+      : state(std::move(other.state)), lane(other.lane) {}
+  LaneTask& operator=(const LaneTask&) = delete;
+  LaneTask& operator=(LaneTask&&) = delete;
+  ~LaneTask() {
+    if (!state) {
+      return;
+    }
+    ForState* raw = state.get();
+    state.reset();
+    raw->RetireHolder();
+  }
+
+  void operator()() { state->RunLane(lane); }
+
+  std::shared_ptr<ForState> state;
+  size_t lane;
 };
 
 }  // namespace
@@ -290,7 +341,7 @@ void ThreadPool::ParallelFor(int jobs, size_t n,
   }
 
   for (size_t i = 1; i < lane_count; ++i) {
-    Submit([state, i] { state->RunLane(i); });
+    Submit(LaneTask(state, i));
   }
   state->RunLane(0);
   state->WaitDone();

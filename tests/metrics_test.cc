@@ -181,6 +181,47 @@ TEST(Histogram, PercentilesBracketTheDistribution) {
   EXPECT_DOUBLE_EQ(Histogram().PercentileSeconds(0.5), 0.0);
 }
 
+TEST(Histogram, ValueAtQuantileWalksBucketBoundaries) {
+  Histogram histogram;
+  // 50 samples in [8192,16384)ns, 45 in [65536,131072)ns, 5 in ~[1.05,2.1)ms:
+  // the p50/p95/p99 ranks land in the first, second, and third group.
+  for (int i = 0; i < 50; ++i) {
+    histogram.RecordMicros(10);
+  }
+  for (int i = 0; i < 45; ++i) {
+    histogram.RecordMicros(100);
+  }
+  for (int i = 0; i < 5; ++i) {
+    histogram.RecordMicros(2000);
+  }
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(0.50), 16384u);
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(0.95), 131072u);
+  // p99 lands in the 2ms group; its bucket upper bound (2097152ns) clamps to
+  // the exact observed max.
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(0.99), 2000000u);
+  EXPECT_DOUBLE_EQ(histogram.ValueAtQuantile(0.50), 16384e-9);
+}
+
+TEST(Histogram, ValueAtQuantileClampsToObservedMax) {
+  Histogram histogram;
+  histogram.RecordMicros(10);  // bucket upper bound 16384ns, max 10000ns
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(1.0), 10000u);
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(0.0), 10000u);  // single sample
+}
+
+TEST(Histogram, ValueAtQuantileEdgeCases) {
+  EXPECT_EQ(Histogram().ValueAtQuantileNanos(0.5), 0u);  // empty histogram
+  Histogram histogram;
+  for (int i = 0; i < 4; ++i) {
+    histogram.RecordMicros(1);  // all in one bucket
+  }
+  // Out-of-range quantiles clamp instead of indexing past the counts.
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(-1.0), histogram.ValueAtQuantileNanos(0.0));
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(2.0), histogram.ValueAtQuantileNanos(1.0));
+  // A uniform single-bucket distribution reports that bucket at any quantile.
+  EXPECT_EQ(histogram.ValueAtQuantileNanos(0.0), histogram.ValueAtQuantileNanos(1.0));
+}
+
 TEST(Histogram, ResetClearsEverything) {
   Histogram histogram;
   histogram.RecordMicros(123);

@@ -93,6 +93,60 @@ TEST_F(RunLedgerTest, RecordRoundTripsThroughJson) {
   EXPECT_EQ(back->metrics.pool_tasks, 88);
 }
 
+TEST_F(RunLedgerTest, ServeMetricsRoundTripInV5Records) {
+  RunRecord record;
+  record.label = "serve-session";
+  LedgerMetrics& m = record.metrics;
+  m.serve_collected = true;
+  m.serve_wall_seconds = 12.5;
+  m.serve_clients = 6;
+  m.serve_requests = 240;
+  m.serve_succeeded = 200;
+  m.serve_degraded = 20;
+  m.serve_shed = 12;
+  m.serve_deadline = 5;
+  m.serve_failed = 3;
+  m.serve_retried = 31;
+  m.serve_qps = 19.2;
+  m.serve_p50_ms = 4.5;
+  m.serve_p95_ms = 30.0;
+  m.serve_p99_ms = 55.25;
+
+  std::string error;
+  std::optional<RunRecord> back = RunRecordFromJson(RunRecordToJson(record), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(back->metrics.serve_collected);
+  EXPECT_DOUBLE_EQ(back->metrics.serve_wall_seconds, 12.5);
+  EXPECT_EQ(back->metrics.serve_clients, 6);
+  EXPECT_EQ(back->metrics.serve_requests, 240);
+  EXPECT_EQ(back->metrics.serve_succeeded, 200);
+  EXPECT_EQ(back->metrics.serve_degraded, 20);
+  EXPECT_EQ(back->metrics.serve_shed, 12);
+  EXPECT_EQ(back->metrics.serve_deadline, 5);
+  EXPECT_EQ(back->metrics.serve_failed, 3);
+  EXPECT_EQ(back->metrics.serve_retried, 31);
+  EXPECT_DOUBLE_EQ(back->metrics.serve_qps, 19.2);
+  EXPECT_DOUBLE_EQ(back->metrics.serve_p50_ms, 4.5);
+  EXPECT_DOUBLE_EQ(back->metrics.serve_p95_ms, 30.0);
+  EXPECT_DOUBLE_EQ(back->metrics.serve_p99_ms, 55.25);
+  // The accounting identity survives the round trip.
+  EXPECT_EQ(back->metrics.serve_requests,
+            back->metrics.serve_succeeded + back->metrics.serve_degraded +
+                back->metrics.serve_shed + back->metrics.serve_deadline +
+                back->metrics.serve_failed);
+}
+
+TEST_F(RunLedgerTest, BatchRecordsOmitTheServeBlock) {
+  RunRecord record = SampleRecord("batch");
+  std::string json = RunRecordToJson(record);
+  EXPECT_EQ(json.find("\"serve\""), std::string::npos)
+      << "batch records must not carry an empty serve block";
+  std::optional<RunRecord> back = RunRecordFromJson(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->metrics.serve_collected);
+  EXPECT_EQ(back->metrics.serve_requests, 0);
+}
+
 TEST_F(RunLedgerTest, GarbageLineIsRejectedWithError) {
   std::string error;
   EXPECT_FALSE(RunRecordFromJson("{\"run_id\":", &error).has_value());

@@ -41,6 +41,7 @@ run_config() {
   observability_smoke "${name}" "${build_dir}"
   scaling_smoke "${name}" "${build_dir}"
   incremental_smoke "${name}" "${build_dir}"
+  serve_smoke "${name}" "${build_dir}"
 }
 
 # Per-checker smoke: every registered checker (from --list-checkers, baselines
@@ -348,6 +349,79 @@ incremental_smoke() {
   "${lint}" prom "${tmp}/inc.prom" --require-cache || {
     echo "incremental smoke: cache metrics failed lint" >&2; return 1; }
   echo "incremental smoke: ok"
+}
+
+# Serve smoke: the daemon's robustness contract end to end through the real
+# binaries. Start `valuecheck serve` on a Unix socket, drive it with a
+# chaos-flavored vc_loadgen burst (10% fault injection), and require: the
+# load generator's client-side accounting to balance (exit 0), the daemon to
+# drain cleanly on SIGTERM with balanced server-side accounting (exit 0), the
+# vc_serve_* Prometheus family to pass vc_obs_lint (including the accounting
+# identity), the bench JSON to carry the latency/QPS summary, and the shared
+# ledger to record both sides of the run.
+serve_smoke() {
+  local name="$1"
+  local build_dir="$2"
+  local vc="${build_dir}/tools/valuecheck"
+  local loadgen="${build_dir}/tools/vc_loadgen"
+  local lint="${build_dir}/tools/vc_obs_lint"
+  echo "=== [${name}] serve smoke ==="
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"; trap - RETURN' RETURN
+  "${vc}" serve --socket "${tmp}/sock" --max-inflight 2 --max-queue 8 \
+    --ledger "${tmp}/ledger" --metrics-out "${tmp}/serve.prom" --label smoke \
+    >"${tmp}/serve.out" 2>"${tmp}/serve.err" &
+  local serve_pid=$!
+  # Wait for the startup handshake line; sanitizer builds start slowly.
+  local waited=0
+  while ! grep -q "serving on" "${tmp}/serve.out" 2>/dev/null; do
+    if ! kill -0 "${serve_pid}" 2>/dev/null; then
+      echo "serve smoke: daemon exited before accepting connections" >&2
+      cat "${tmp}/serve.err" >&2
+      return 1
+    fi
+    if [ "${waited}" -ge 300 ]; then
+      echo "serve smoke: daemon did not start within 30s" >&2
+      kill "${serve_pid}" 2>/dev/null || true
+      return 1
+    fi
+    sleep 0.1
+    waited=$((waited + 1))
+  done
+  local rc=0
+  "${loadgen}" --socket "${tmp}/sock" --clients 4 --warehouses 2 \
+    --transactions 6 --seed 7 --files 2 --fault-inject 42:0.10 \
+    --out "${tmp}/BENCH_serve.json" --ledger "${tmp}/ledger" \
+    >"${tmp}/loadgen.out" 2>&1 || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "serve smoke: vc_loadgen failed (exit ${rc})" >&2
+    cat "${tmp}/loadgen.out" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    return 1
+  fi
+  kill -TERM "${serve_pid}"
+  rc=0
+  wait "${serve_pid}" || rc=$?
+  if [ "${rc}" -ne 0 ]; then
+    echo "serve smoke: daemon drain failed (exit ${rc})" >&2
+    cat "${tmp}/serve.err" >&2
+    return 1
+  fi
+  "${lint}" prom "${tmp}/serve.prom" --require-serve || {
+    echo "serve smoke: vc_serve_* metrics failed lint" >&2; return 1; }
+  local key
+  for key in '"p50_ms"' '"p99_ms"' '"qps"' '"succeeded"'; do
+    if ! grep -q "${key}" "${tmp}/BENCH_serve.json"; then
+      echo "serve smoke: bench JSON missing ${key}" >&2
+      return 1
+    fi
+  done
+  if [ "$(wc -l < "${tmp}/ledger/runs.jsonl" 2>/dev/null || echo 0)" -lt 2 ]; then
+    echo "serve smoke: ledger did not record both the loadgen and the drain" >&2
+    return 1
+  fi
+  echo "serve smoke: ok"
 }
 
 for config in "${CONFIGS[@]}"; do

@@ -24,6 +24,13 @@
 //   valuecheck report [--ledger DIR] --html FILE
 //       Self-contained HTML dashboard (findings, deltas, trend sparklines).
 //
+//   valuecheck serve [--socket PATH | --port N] [options]
+//       Long-lived analysis daemon (DESIGN.md §19): warm per-project
+//       incremental state, bounded admission with load shedding, per-request
+//       deadlines and quarantine. SIGTERM/SIGINT drains in-flight requests
+//       and flushes the ledger/metrics artifacts before exiting; drive it
+//       with vc_loadgen.
+//
 // Every analyze flag maps onto a vc::AnalysisOptions field (or a
 // report/output control); the flag table below is the single source of truth
 // and also renders --help.
@@ -47,6 +54,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/checkers/checker.h"
@@ -56,12 +64,14 @@
 #include "src/core/incremental.h"
 #include "src/core/report_formats.h"
 #include "src/core/run_diff.h"
+#include "src/server/server.h"
 #include "src/support/events.h"
 #include "src/support/logging.h"
 #include "src/support/memstats.h"
 #include "src/support/metrics.h"
 #include "src/support/profile_export.h"
 #include "src/support/run_ledger.h"
+#include "src/support/shutdown.h"
 #include "src/support/span_analysis.h"
 #include "src/support/string_util.h"
 #include "src/support/table_writer.h"
@@ -429,6 +439,7 @@ void PrintUsage(FILE* out) {
       "       valuecheck diff    [--ledger DIR] [runA runB] [--check] [diff options]\n"
       "       valuecheck history [--ledger DIR] [--limit N] [--compact N]\n"
       "       valuecheck report  [--ledger DIR] --html FILE\n"
+      "       valuecheck serve   [--socket PATH | --port N] (see serve --help)\n"
       "\n"
       "Arguments after `--` are always input paths, never flags.\n"
       "Run selectors: latest, prev, rNNNN, N (1-based), -N (from newest).\n"
@@ -681,6 +692,11 @@ int RunAnalyze(const std::vector<std::string>& args) {
   if (!ParseAnalyzeArgs(args, options)) {
     return 2;
   }
+  // First SIGINT/SIGTERM requests a graceful stop: the run finishes its
+  // current unit of work (the current commit in --incremental replays, the
+  // whole run otherwise), every artifact epilogue below still executes, and
+  // the exit status is the conventional 128+signal.
+  InstallGracefulShutdown();
 
   if (!options.trace_path.empty()) {
     if (!EnsureParentDir(options.trace_path)) {
@@ -790,8 +806,15 @@ int RunAnalyze(const std::vector<std::string>& args) {
           return 2;
         }
       }
-      if (commit + 1 == repo.NumCommits()) {
-        inc_head = std::move(result);
+      bool last = commit + 1 == repo.NumCommits();
+      inc_head = std::move(result);
+      if (!last && ShutdownRequested()) {
+        // Graceful stop between commits: report the last completed commit and
+        // fall through to the normal artifact epilogues.
+        std::fprintf(stderr,
+                     "valuecheck: interrupted after commit %d/%d; flushing artifacts\n",
+                     commit + 1, repo.NumCommits());
+        break;
       }
     }
     const CacheStats& cache = inc_head->cache;
@@ -961,10 +984,286 @@ int RunAnalyze(const std::vector<std::string>& args) {
     }
     VC_LOG_INFO("wrote " + std::to_string(collector.EventCount()) + " trace event(s)");
   }
+  if (ShutdownRequested()) {
+    return 128 + ShutdownSignal();  // graceful stop — artifacts flushed above
+  }
   if (options.strict && report.degraded) {
     return 3;  // quarantine is an error under --strict (see exit-code table)
   }
   return report.findings.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+struct ServeArgs {
+  vc::ServerOptions server;
+  std::string ledger_dir;
+  std::string label = "serve";
+  std::string metrics_out_path;
+  std::string events_path;
+};
+
+void PrintServeUsage(FILE* out) {
+  std::fputs(
+      "usage: valuecheck serve [--socket PATH | --port N] [options]\n"
+      "\n"
+      "  --socket=PATH        listen on a Unix-domain socket (stale file replaced)\n"
+      "  --port=N             listen on TCP loopback (0 = ephemeral; the resolved\n"
+      "                       address is printed on stdout either way)\n"
+      "  --max-inflight=N     concurrently executing requests (default 2)\n"
+      "  --max-queue=N        queued requests beyond that before shedding with\n"
+      "                       RETRY_AFTER (default 8)\n"
+      "  --deadline-ms=X      default per-request deadline when a request carries\n"
+      "                       none (0 = unlimited)\n"
+      "  --idle-timeout=SEC   drop a connection idle mid-frame this long\n"
+      "                       (slow-loris guard; default 30)\n"
+      "  --history-limit=N    per-project run summaries kept for diff/history\n"
+      "                       (default 64)\n"
+      "  --jobs=N             worker lanes for requests that don't set jobs\n"
+      "  --ledger=DIR         append a serve-session record (request accounting,\n"
+      "                       QPS, p50/p95/p99) to the run ledger on drain\n"
+      "  --label=NAME         ledger record label (default: serve)\n"
+      "  --metrics-out=FILE   dump the vc_serve_* metric family (Prometheus text\n"
+      "                       format) after the drain\n"
+      "  --events=FILE        stream serve_start/serve_drain/serve_end run events\n"
+      "  --allow-debug-sleep  honor the request debug_sleep_ms field (tests only)\n"
+      "  --log-level=LEVEL    stderr log verbosity\n"
+      "\n"
+      "The daemon drains on SIGINT/SIGTERM (or a client `shutdown` request):\n"
+      "new work is shed, in-flight requests finish and respond, artifacts are\n"
+      "flushed, and the exit status reports whether accounting balanced.\n",
+      out);
+}
+
+bool ParseServeArgs(const std::vector<std::string>& args, ServeArgs& out) {
+  auto bad = [&](const std::string& message) {
+    std::fprintf(stderr, "valuecheck serve: %s\n", message.c_str());
+    PrintServeUsage(stderr);
+    return false;
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintServeUsage(stdout);
+      std::exit(0);
+    }
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto need_value = [&]() {
+      if (has_value) {
+        return true;
+      }
+      if (i + 1 >= args.size()) {
+        return bad(name + " expects a value");
+      }
+      value = args[++i];
+      return true;
+    };
+    auto parse_nonneg_int = [&](int& into) {
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return bad(name + " expects a non-negative integer, got '" + value + "'");
+      }
+      into = static_cast<int>(parsed);
+      return true;
+    };
+    auto parse_nonneg_double = [&](double& into) {
+      char* end = nullptr;
+      double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        return bad(name + " expects a non-negative number, got '" + value + "'");
+      }
+      into = parsed;
+      return true;
+    };
+    if (name == "--socket") {
+      if (!need_value()) return false;
+      out.server.socket_path = value;
+    } else if (name == "--port") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_int(out.server.tcp_port)) return false;
+    } else if (name == "--max-inflight") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_int(out.server.max_inflight)) return false;
+      if (out.server.max_inflight < 1) {
+        return bad("--max-inflight must be at least 1");
+      }
+    } else if (name == "--max-queue") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_int(out.server.max_queue)) return false;
+    } else if (name == "--deadline-ms") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_double(out.server.default_deadline_ms)) return false;
+    } else if (name == "--idle-timeout") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_double(out.server.idle_read_timeout_seconds)) return false;
+    } else if (name == "--history-limit") {
+      if (!need_value()) return false;
+      int limit = 0;
+      if (!parse_nonneg_int(limit)) return false;
+      out.server.history_limit = static_cast<size_t>(limit);
+    } else if (name == "--jobs") {
+      if (!need_value()) return false;
+      if (!parse_nonneg_int(out.server.analysis.jobs)) return false;
+    } else if (name == "--ledger") {
+      if (!need_value()) return false;
+      out.ledger_dir = value;
+    } else if (name == "--label") {
+      if (!need_value()) return false;
+      out.label = value;
+    } else if (name == "--metrics-out") {
+      if (!need_value()) return false;
+      out.metrics_out_path = value;
+    } else if (name == "--events") {
+      if (!need_value()) return false;
+      out.events_path = value;
+    } else if (name == "--allow-debug-sleep") {
+      out.server.allow_debug_sleep = true;
+    } else if (name == "--log-level") {
+      if (!need_value()) return false;
+      std::optional<vc::LogLevel> level = vc::ParseLogLevel(value);
+      if (!level.has_value()) {
+        return bad("unknown log level '" + value + "'");
+      }
+      vc::SetLogLevel(*level);
+    } else {
+      return bad("unknown option " + arg);
+    }
+  }
+  return true;
+}
+
+int RunServeCommand(const std::vector<std::string>& args) {
+  using namespace vc;
+  ServeArgs parsed;
+  if (!ParseServeArgs(args, parsed)) {
+    return 2;
+  }
+  if (!parsed.metrics_out_path.empty()) {
+    if (!EnsureParentDir(parsed.metrics_out_path)) {
+      return 2;
+    }
+    MetricsRegistry::Global().Enable();
+  }
+  if (!parsed.events_path.empty()) {
+    if (!EnsureParentDir(parsed.events_path) ||
+        !RunEventLog::Global().Open(parsed.events_path)) {
+      std::fprintf(stderr, "valuecheck serve: cannot write events to %s\n",
+                   parsed.events_path.c_str());
+      return 2;
+    }
+  }
+  // The ledger record wants exact request accounting either way; the registry
+  // family additionally feeds --metrics-out and scrapes.
+  MetricsRegistry::Global().Enable();
+
+  InstallGracefulShutdown();
+  AnalysisServer server(parsed.server);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "valuecheck serve: %s\n", error.c_str());
+    return 2;
+  }
+  // The address line is the startup handshake for wrappers (check.sh waits
+  // for it; TCP mode resolves the ephemeral port here).
+  std::printf("valuecheck: serving on %s (max-inflight=%d, max-queue=%d)\n",
+              server.address().c_str(), parsed.server.max_inflight,
+              parsed.server.max_queue);
+  std::fflush(stdout);
+
+  // Park until a signal or a client `shutdown` request starts the drain.
+  while (!ShutdownRequested() && !server.draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.RequestDrain();
+  server.Wait();
+  ServeTotals totals = server.totals();
+
+  std::fprintf(stderr,
+               "valuecheck serve: drained: %llu request(s) over %llu connection(s) "
+               "in %.2fs — %llu ok, %llu degraded, %llu shed, %llu deadline, "
+               "%llu failed (%llu protocol error(s)); %llu cached, %llu engine "
+               "rebuild(s), %llu project(s); p50 %.1f ms, p99 %.1f ms\n",
+               static_cast<unsigned long long>(totals.requests),
+               static_cast<unsigned long long>(totals.connections),
+               totals.wall_seconds, static_cast<unsigned long long>(totals.succeeded),
+               static_cast<unsigned long long>(totals.degraded),
+               static_cast<unsigned long long>(totals.shed),
+               static_cast<unsigned long long>(totals.deadline),
+               static_cast<unsigned long long>(totals.failed),
+               static_cast<unsigned long long>(totals.protocol_errors),
+               static_cast<unsigned long long>(totals.cached),
+               static_cast<unsigned long long>(totals.engine_rebuilds),
+               static_cast<unsigned long long>(totals.projects), totals.p50_ms,
+               totals.p99_ms);
+
+  bool balanced = totals.requests == totals.Accounted();
+  if (!balanced) {
+    std::fprintf(stderr,
+                 "valuecheck serve: ACCOUNTING IMBALANCE: %llu request(s) but "
+                 "outcomes sum to %llu\n",
+                 static_cast<unsigned long long>(totals.requests),
+                 static_cast<unsigned long long>(totals.Accounted()));
+  }
+
+  if (!parsed.ledger_dir.empty()) {
+    RunRecord record;
+    record.label = parsed.label;
+    record.timestamp_ms = NowMs();
+    record.jobs = parsed.server.analysis.jobs;
+    record.options_summary =
+        "serve max-inflight=" + std::to_string(parsed.server.max_inflight) +
+        " max-queue=" + std::to_string(parsed.server.max_queue);
+    record.metrics.serve_collected = true;
+    record.metrics.serve_wall_seconds = totals.wall_seconds;
+    record.metrics.serve_clients = static_cast<int64_t>(totals.connections);
+    record.metrics.serve_requests = static_cast<int64_t>(totals.requests);
+    record.metrics.serve_succeeded = static_cast<int64_t>(totals.succeeded);
+    record.metrics.serve_degraded = static_cast<int64_t>(totals.degraded);
+    record.metrics.serve_shed = static_cast<int64_t>(totals.shed);
+    record.metrics.serve_deadline = static_cast<int64_t>(totals.deadline);
+    record.metrics.serve_failed = static_cast<int64_t>(totals.failed);
+    record.metrics.serve_qps = totals.wall_seconds > 0.0
+                                   ? static_cast<double>(totals.requests) /
+                                         totals.wall_seconds
+                                   : 0.0;
+    record.metrics.serve_p50_ms = totals.p50_ms;
+    record.metrics.serve_p95_ms = totals.p95_ms;
+    record.metrics.serve_p99_ms = totals.p99_ms;
+    std::string append_error;
+    RunLedger ledger(parsed.ledger_dir);
+    std::string run_id = ledger.Append(std::move(record), &append_error);
+    if (run_id.empty()) {
+      std::fprintf(stderr, "valuecheck serve: ledger append failed: %s\n",
+                   append_error.c_str());
+      return 2;
+    }
+    VC_LOG_INFO("recorded serve session " + run_id + " in " + ledger.LedgerFile());
+  }
+  if (!parsed.metrics_out_path.empty()) {
+    std::ofstream prom(parsed.metrics_out_path, std::ios::trunc | std::ios::binary);
+    prom << MetricsRegistry::Global().RenderPrometheus();
+    prom.flush();
+    if (!prom) {
+      std::fprintf(stderr, "valuecheck serve: cannot write metrics to %s\n",
+                   parsed.metrics_out_path.c_str());
+      return 2;
+    }
+  }
+  if (RunEventsEnabled()) {
+    RunEventLog::Global().Close();
+  }
+  return balanced ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -1222,9 +1521,12 @@ int main(int argc, char** argv) {
   std::string subcommand = "analyze";
   if (!args.empty() &&
       (args[0] == "analyze" || args[0] == "diff" || args[0] == "history" ||
-       args[0] == "report")) {
+       args[0] == "report" || args[0] == "serve")) {
     subcommand = args[0];
     args.erase(args.begin());
+  }
+  if (subcommand == "serve") {
+    return RunServeCommand(args);
   }
   if (subcommand == "diff") {
     return RunDiffCommand(args);

@@ -6,7 +6,7 @@
 //                             present on every line; "seq" dense from 0 and
 //                             strictly increasing in file order; first event
 //                             run_start, last run_end
-//   vc_obs_lint prom FILE [--require-cache]
+//   vc_obs_lint prom FILE [--require-cache] [--require-serve]
 //                             Prometheus text exposition 0.0.4: every sample
 //                             line is `name{...} value` with a [a-zA-Z_:]
 //                             leading character, every metric has a # TYPE,
@@ -16,7 +16,14 @@
 //                             with the vc_cache_files/vc_cache_functions
 //                             gauges; --require-cache additionally fails the
 //                             lint when the family is absent entirely (used
-//                             by the incremental smoke in tools/check.sh)
+//                             by the incremental smoke in tools/check.sh).
+//                             Any vc_serve_* samples (the daemon's serve.*
+//                             family) must be non-negative, carry the
+//                             request-latency histogram, and satisfy the
+//                             admission accounting identity
+//                             requests == ok+degraded+shed+deadline+failed;
+//                             --require-serve additionally fails the lint
+//                             when the family is absent (the serve smoke)
 //   vc_obs_lint folded FILE   collapsed-stack: every line is
 //                             `frame(;frame)* <positive integer>`, and the
 //                             file is non-empty
@@ -136,7 +143,7 @@ std::string SampleName(const std::string& line) {
   return end == std::string::npos ? line : line.substr(0, end);
 }
 
-int LintProm(const std::string& path, bool require_cache) {
+int LintProm(const std::string& path, bool require_cache, bool require_serve) {
   std::optional<std::vector<std::string>> lines = ReadLines(path);
   if (!lines.has_value()) {
     return 2;
@@ -147,6 +154,11 @@ int LintProm(const std::string& path, bool require_cache) {
   size_t cache_samples = 0;
   bool cache_files_gauge = false;
   bool cache_functions_gauge = false;
+  size_t serve_samples = 0;
+  bool serve_latency_histogram = false;
+  // Admission accounting counters; -1 = not seen in the exposition.
+  double serve_requests = -1, serve_ok = -1, serve_degraded = -1;
+  double serve_shed = -1, serve_deadline = -1, serve_failed = -1;
   for (size_t i = 0; i < lines->size(); ++i) {
     const int line_no = static_cast<int>(i) + 1;
     const std::string& line = (*lines)[i];
@@ -214,6 +226,32 @@ int LintProm(const std::string& path, bool require_cache) {
         cache_functions_gauge = true;
       }
     }
+    // Daemon family: every serve.* metric is a tally or a high-water mark,
+    // so a negative sample always means a publisher bug. The request
+    // counters additionally obey the admission-control accounting identity
+    // checked after the scan.
+    if (name.rfind("vc_serve_", 0) == 0) {
+      ++serve_samples;
+      double v = std::strtod(value.c_str(), nullptr);
+      if (v < 0) {
+        return Fail(path, line_no, "serve metric '" + name + "' is negative");
+      }
+      if (name == "vc_serve_request_seconds_count") {
+        serve_latency_histogram = true;
+      } else if (name == "vc_serve_requests_total") {
+        serve_requests = v;
+      } else if (name == "vc_serve_ok_total") {
+        serve_ok = v;
+      } else if (name == "vc_serve_degraded_total") {
+        serve_degraded = v;
+      } else if (name == "vc_serve_shed_total") {
+        serve_shed = v;
+      } else if (name == "vc_serve_deadline_total") {
+        serve_deadline = v;
+      } else if (name == "vc_serve_failed_total") {
+        serve_failed = v;
+      }
+    }
     ++samples;
   }
   if (samples == 0) {
@@ -230,8 +268,34 @@ int LintProm(const std::string& path, bool require_cache) {
                 "vc_cache_* family present without the vc_cache_files/"
                 "vc_cache_functions gauges (partial publish)");
   }
-  std::printf("vc_obs_lint: %s: %zu sample(s), %zu metric(s), %zu cache sample(s) OK\n",
-              path.c_str(), samples, typed.size(), cache_samples);
+  if (require_serve && serve_samples == 0) {
+    return Fail(path, 0, "no vc_serve_* samples (daemon metrics missing)");
+  }
+  if (serve_samples > 0) {
+    if (serve_requests < 0 || serve_ok < 0 || serve_degraded < 0 || serve_shed < 0 ||
+        serve_deadline < 0 || serve_failed < 0) {
+      return Fail(path, 0,
+                  "vc_serve_* family present without the full request-accounting "
+                  "counter set (requests/ok/degraded/shed/deadline/failed)");
+    }
+    if (!serve_latency_histogram) {
+      return Fail(path, 0,
+                  "vc_serve_* family present without the vc_serve_request_seconds "
+                  "histogram");
+    }
+    const double accounted = serve_ok + serve_degraded + serve_shed + serve_deadline +
+                             serve_failed;
+    if (serve_requests != accounted) {
+      return Fail(path, 0,
+                  "serve accounting identity violated: vc_serve_requests_total " +
+                      std::to_string(serve_requests) + " != ok+degraded+shed+deadline+failed " +
+                      std::to_string(accounted));
+    }
+  }
+  std::printf(
+      "vc_obs_lint: %s: %zu sample(s), %zu metric(s), %zu cache sample(s), "
+      "%zu serve sample(s) OK\n",
+      path.c_str(), samples, typed.size(), cache_samples, serve_samples);
   return 0;
 }
 
@@ -392,28 +456,36 @@ int LintFolded(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* kUsage =
+      "usage: vc_obs_lint <events|prom|folded|perf> FILE [--require-cache] [--require-serve]\n";
   if (argc < 3) {
-    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE [--require-cache]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string mode = argv[1];
   const std::string path = argv[2];
   bool require_cache = false;
-  if (argc == 4 && std::string(argv[3]) == "--require-cache") {
-    if (mode != "prom") {
-      std::fprintf(stderr, "vc_obs_lint: --require-cache only applies to prom mode\n");
+  bool require_serve = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--require-cache") {
+      require_cache = true;
+    } else if (flag == "--require-serve") {
+      require_serve = true;
+    } else {
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
-    require_cache = true;
-  } else if (argc != 3) {
-    std::fprintf(stderr, "usage: vc_obs_lint <events|prom|folded|perf> FILE [--require-cache]\n");
+  }
+  if ((require_cache || require_serve) && mode != "prom") {
+    std::fprintf(stderr, "vc_obs_lint: --require-cache/--require-serve only apply to prom mode\n");
     return 2;
   }
   if (mode == "events") {
     return LintEvents(path);
   }
   if (mode == "prom") {
-    return LintProm(path, require_cache);
+    return LintProm(path, require_cache, require_serve);
   }
   if (mode == "folded") {
     return LintFolded(path);
